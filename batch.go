@@ -1,0 +1,66 @@
+package hilight
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// BatchJob is one circuit/grid pair for CompileAll. A nil Grid selects
+// the rectangular M×(M−1) grid for the circuit's width.
+type BatchJob struct {
+	Circuit *Circuit
+	Grid    *Grid
+}
+
+// BatchResult pairs a job's result with its error; exactly one of the
+// two is set.
+type BatchResult struct {
+	Result *Result
+	Err    error
+}
+
+// CompileAll maps every job concurrently on a bounded worker pool and
+// returns results in job order. parallelism ≤ 0 uses GOMAXPROCS. Each
+// worker builds its own framework state, so jobs never share mutable
+// router internals; identical seeds give identical per-job results
+// regardless of pool size or scheduling.
+func CompileAll(jobs []BatchJob, parallelism int, opts ...Option) []BatchResult {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(jobs) {
+		parallelism = len(jobs)
+	}
+	results := make([]BatchResult, len(jobs))
+	if len(jobs) == 0 {
+		return results
+	}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				job := jobs[i]
+				if job.Circuit == nil {
+					results[i] = BatchResult{Err: fmt.Errorf("hilight: job %d has no circuit", i)}
+					continue
+				}
+				g := job.Grid
+				if g == nil {
+					g = RectGrid(job.Circuit.NumQubits)
+				}
+				res, err := Compile(job.Circuit, g, opts...)
+				results[i] = BatchResult{Result: res, Err: err}
+			}
+		}()
+	}
+	for i := range jobs {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	return results
+}

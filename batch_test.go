@@ -1,0 +1,64 @@
+package hilight_test
+
+import (
+	"testing"
+
+	"hilight"
+)
+
+func TestCompileAllMatchesSerial(t *testing.T) {
+	var jobs []hilight.BatchJob
+	for _, n := range []int{6, 8, 10, 12, 14, 16} {
+		jobs = append(jobs, hilight.BatchJob{Circuit: hilight.QFT(n)})
+		jobs = append(jobs, hilight.BatchJob{Circuit: hilight.BV(n), Grid: hilight.SquareGrid(n)})
+	}
+	serial := hilight.CompileAll(jobs, 1, hilight.WithSeed(11))
+	parallel := hilight.CompileAll(jobs, 8, hilight.WithSeed(11))
+	if len(serial) != len(jobs) || len(parallel) != len(jobs) {
+		t.Fatal("result count mismatch")
+	}
+	for i := range jobs {
+		if serial[i].Err != nil || parallel[i].Err != nil {
+			t.Fatalf("job %d errored: %v / %v", i, serial[i].Err, parallel[i].Err)
+		}
+		if serial[i].Result.Latency != parallel[i].Result.Latency {
+			t.Errorf("job %d: serial latency %d != parallel %d",
+				i, serial[i].Result.Latency, parallel[i].Result.Latency)
+		}
+		if err := parallel[i].Result.Schedule.Validate(parallel[i].Result.Circuit); err != nil {
+			t.Errorf("job %d: %v", i, err)
+		}
+	}
+}
+
+func TestCompileAllReportsPerJobErrors(t *testing.T) {
+	jobs := []hilight.BatchJob{
+		{Circuit: hilight.QFT(6)},
+		{Circuit: nil}, // bad job
+		{Circuit: hilight.QFT(9), Grid: hilight.SquareGrid(4)}, // grid too small
+		{Circuit: hilight.BV(5)},
+	}
+	results := hilight.CompileAll(jobs, 2)
+	if results[0].Err != nil || results[3].Err != nil {
+		t.Errorf("good jobs failed: %v / %v", results[0].Err, results[3].Err)
+	}
+	if results[1].Err == nil {
+		t.Error("nil-circuit job succeeded")
+	}
+	if results[2].Err == nil {
+		t.Error("oversized job succeeded")
+	}
+}
+
+func TestCompileAllEmptyAndDefaults(t *testing.T) {
+	if got := hilight.CompileAll(nil, 0); len(got) != 0 {
+		t.Error("empty batch returned results")
+	}
+	res := hilight.CompileAll([]hilight.BatchJob{{Circuit: hilight.GHZ(5)}}, 0)
+	if res[0].Err != nil {
+		t.Fatal(res[0].Err)
+	}
+	if res[0].Result.Grid.Tiles() != hilight.RectGrid(5).Tiles() {
+		t.Error("nil grid did not default to the rectangular grid")
+	}
+}

@@ -1,0 +1,339 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation section. Each BenchmarkTable1/BenchmarkFig* target measures
+// the mapping work behind one reported artifact; run with
+//
+//	go test -bench=. -benchmem
+//
+// Per-metric custom results: latency (cycles) and resutil are reported
+// via b.ReportMetric so the shape of the paper's numbers shows up next to
+// the runtime.
+package hilight_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"hilight"
+	"hilight/internal/autobraid"
+	"hilight/internal/bench"
+	"hilight/internal/core"
+	"hilight/internal/exp"
+	"hilight/internal/grid"
+	"hilight/internal/order"
+	"hilight/internal/place"
+	"hilight/internal/route"
+)
+
+// table1Selection keeps the per-row benchmark affordable: the paper's
+// deterministic small rows plus one representative of each family.
+var table1Selection = []string{
+	"4gt11_82", "4gt5_75", "rd32_270", "sqrt8_260", "squar5_261",
+	"QFT-10", "QFT-16", "QFT-100",
+	"BV-10", "BV-100",
+	"CC-11", "CC-100",
+	"Ising-10", "Ising-500",
+	"BWT-126", "QAOA-100",
+}
+
+func table1Frameworks() map[string]func(*rand.Rand) core.Config {
+	return map[string]func(*rand.Rand) core.Config{
+		"autobraid-sp":   func(*rand.Rand) core.Config { return autobraid.SP() },
+		"autobraid-full": autobraid.Full,
+		"hilight-map":    core.HilightMap,
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1 rows: every selected benchmark
+// mapped by the three frameworks on the M×(M−1) grid.
+func BenchmarkTable1(b *testing.B) {
+	for _, name := range table1Selection {
+		e, ok := bench.ByName(name)
+		if !ok {
+			b.Fatalf("unknown benchmark %s", name)
+		}
+		c := e.Build()
+		g := grid.Rect(e.N)
+		for fw, mk := range table1Frameworks() {
+			b.Run(fmt.Sprintf("%s/%s", name, fw), func(b *testing.B) {
+				var lastLatency int
+				var lastUtil float64
+				for i := 0; i < b.N; i++ {
+					res, err := core.Map(c, g, mk(rand.New(rand.NewSource(1))))
+					if err != nil {
+						b.Fatal(err)
+					}
+					lastLatency = res.Latency
+					lastUtil = res.ResUtil
+				}
+				b.ReportMetric(float64(lastLatency), "latency")
+				b.ReportMetric(lastUtil, "resutil")
+			})
+		}
+	}
+}
+
+// BenchmarkFig8aPlacement regenerates Fig. 8a: the five initial-placement
+// methods with routing held fixed.
+func BenchmarkFig8aPlacement(b *testing.B) {
+	methods := map[string]func(*rand.Rand) place.Method{
+		"identity": func(*rand.Rand) place.Method { return place.Identity{} },
+		"random":   func(rng *rand.Rand) place.Method { return place.Random{Rng: rng} },
+		"gm":       func(rng *rand.Rand) place.Method { return place.GM{Rng: rng} },
+		"gmwp":     func(rng *rand.Rand) place.Method { return place.GMWP{Rng: rng} },
+		"proposed": func(rng *rand.Rand) place.Method { return place.HiLight{Rng: rng} },
+	}
+	for _, name := range []string{"sqrt8_260", "QFT-100", "Ising-500"} {
+		e, _ := bench.ByName(name)
+		c := e.Build()
+		g := grid.Rect(e.N)
+		for m, mk := range methods {
+			b.Run(fmt.Sprintf("%s/%s", name, m), func(b *testing.B) {
+				var latency int
+				for i := 0; i < b.N; i++ {
+					cfg := core.Config{
+						Placement: mk(rand.New(rand.NewSource(1))),
+						Ordering:  order.Proposed{},
+						Finder:    &route.AStar{},
+					}
+					res, err := core.Map(c, g, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					latency = res.Latency
+				}
+				b.ReportMetric(float64(latency), "latency")
+			})
+		}
+	}
+}
+
+// BenchmarkFig8bOrdering regenerates Fig. 8b: the five gate-ordering
+// strategies under the proposed placement and path-finder.
+func BenchmarkFig8bOrdering(b *testing.B) {
+	strategies := map[string]func(*rand.Rand) order.Strategy{
+		"random":     func(rng *rand.Rand) order.Strategy { return order.Random{Rng: rng} },
+		"ascending":  func(*rand.Rand) order.Strategy { return order.Ascending{} },
+		"descending": func(*rand.Rand) order.Strategy { return order.Descending{} },
+		"llg":        func(*rand.Rand) order.Strategy { return order.LLG{} },
+		"proposed":   func(*rand.Rand) order.Strategy { return order.Proposed{} },
+	}
+	for _, name := range []string{"QFT-100", "QAOA-100"} {
+		e, _ := bench.ByName(name)
+		c := e.Build()
+		g := grid.Rect(e.N)
+		for s, mk := range strategies {
+			b.Run(fmt.Sprintf("%s/%s", name, s), func(b *testing.B) {
+				var latency int
+				for i := 0; i < b.N; i++ {
+					rng := rand.New(rand.NewSource(1))
+					cfg := core.Config{
+						Placement: place.HiLight{Rng: rng},
+						Ordering:  mk(rng),
+						Finder:    &route.AStar{},
+					}
+					res, err := core.Map(c, g, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					latency = res.Latency
+				}
+				b.ReportMetric(float64(latency), "latency")
+			})
+		}
+	}
+}
+
+// BenchmarkFig8cAblation regenerates Fig. 8c: the six mapping-step
+// combinations on a representative benchmark.
+func BenchmarkFig8cAblation(b *testing.B) {
+	e, _ := bench.ByName("QFT-100")
+	c := e.Build()
+	g := grid.Rect(e.N)
+	rows := map[string]func(*rand.Rand) core.Config{
+		"identity+ours+ours": func(*rand.Rand) core.Config {
+			return core.Config{Placement: place.Identity{}}
+		},
+		"gm+ours+ours": func(rng *rand.Rand) core.Config {
+			return core.Config{Placement: place.GM{Rng: rng}}
+		},
+		"prox+ours+ours": func(*rand.Rand) core.Config {
+			return core.Config{Placement: place.Proximity{}}
+		},
+		"full-proposed": core.HilightMap,
+		"no-fast-braiding": func(rng *rand.Rand) core.Config {
+			cfg := core.HilightMap(rng)
+			cfg.Finder = &route.Full16{}
+			return cfg
+		},
+		"llg-ordering": func(rng *rand.Rand) core.Config {
+			cfg := core.HilightMap(rng)
+			cfg.Ordering = order.LLG{}
+			return cfg
+		},
+	}
+	for name, mk := range rows {
+		b.Run(name, func(b *testing.B) {
+			var latency int
+			for i := 0; i < b.N; i++ {
+				res, err := core.Map(c, g, mk(rand.New(rand.NewSource(1))))
+				if err != nil {
+					b.Fatal(err)
+				}
+				latency = res.Latency
+			}
+			b.ReportMetric(float64(latency), "latency")
+		})
+	}
+}
+
+// BenchmarkFig9Scalability regenerates Fig. 9: the four methods across
+// increasing QFT sizes (runtime scaling is the figure's y-axis).
+func BenchmarkFig9Scalability(b *testing.B) {
+	for _, n := range []int{10, 16, 50, 100} {
+		c := bench.QFT(n)
+		g := grid.Rect(n)
+		for _, method := range exp.Fig9Methods {
+			method := method
+			b.Run(fmt.Sprintf("QFT-%d/%s", n, method), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					cfg := fig9Config(method)
+					if _, err := core.Map(c, g, cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func fig9Config(method string) core.Config {
+	rng := rand.New(rand.NewSource(1))
+	switch method {
+	case "baseline":
+		return core.Fig9Baseline(rng)
+	case "autobraid-full":
+		return autobraid.Full(rng)
+	case "hilight-gm":
+		return core.HilightGM(rng)
+	default:
+		return core.HilightMap(rng)
+	}
+}
+
+// BenchmarkFig10Levels regenerates Fig. 10: program- and hardware-level
+// variants against hilight-map.
+func BenchmarkFig10Levels(b *testing.B) {
+	e, _ := bench.ByName("sqrt8_260")
+	c := e.Build()
+	arms := map[string]struct {
+		rect bool
+		mk   func(*rand.Rand) core.Config
+	}{
+		"autobraid-full": {false, autobraid.Full},
+		"hilight-map":    {false, core.HilightMap},
+		"hilight-pg":     {false, core.HilightPG},
+		"hilight-hw":     {true, core.HilightMap},
+		"hilight-full":   {true, core.HilightPG},
+	}
+	for name, arm := range arms {
+		g := grid.Square(e.N)
+		if arm.rect {
+			g = grid.Rect(e.N)
+		}
+		b.Run(name, func(b *testing.B) {
+			var latency int
+			var util float64
+			for i := 0; i < b.N; i++ {
+				res, err := core.Map(c, g, arm.mk(rand.New(rand.NewSource(1))))
+				if err != nil {
+					b.Fatal(err)
+				}
+				latency, util = res.Latency, res.ResUtil
+			}
+			b.ReportMetric(float64(latency), "latency")
+			b.ReportMetric(util, "resutil")
+		})
+	}
+}
+
+// BenchmarkPathFinders isolates the three path-finders on one search
+// (the ablation DESIGN.md calls out: single A* vs 16-pair vs stack DFS).
+func BenchmarkPathFinders(b *testing.B) {
+	g := grid.New(24, 24)
+	finders := map[string]route.Finder{
+		"astar-closest": &route.AStar{},
+		"full-16":       &route.Full16{},
+		"stack-dfs":     &route.StackDFS{},
+	}
+	for name, f := range finders {
+		b.Run(name, func(b *testing.B) {
+			occ := route.NewOccupancy()
+			for i := 0; i < b.N; i++ {
+				if _, ok := f.Find(g, occ, 0, g.Tiles()-1); !ok {
+					b.Fatal("no path on empty grid")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOrderingStrategies isolates gate-ordering cost on a large
+// ready set — the recurrent-graph LLG cost the paper measures.
+func BenchmarkOrderingStrategies(b *testing.B) {
+	g := grid.New(20, 20)
+	rng := rand.New(rand.NewSource(1))
+	ready := make([]order.Ready, 200)
+	for i := range ready {
+		ready[i] = order.Ready{Gate: i, CtlTile: rng.Intn(g.Tiles()), TgtTile: rng.Intn(g.Tiles())}
+	}
+	strategies := map[string]order.Strategy{
+		"proposed": order.Proposed{},
+		"llg":      order.LLG{},
+	}
+	for name, s := range strategies {
+		b.Run(name, func(b *testing.B) {
+			buf := make([]order.Ready, len(ready))
+			for i := 0; i < b.N; i++ {
+				copy(buf, ready)
+				s.Order(buf, g)
+			}
+		})
+	}
+}
+
+// BenchmarkPlacementMethods isolates initial-placement cost (matrix
+// proximity vs node/edge GM) on a mid-size circuit.
+func BenchmarkPlacementMethods(b *testing.B) {
+	c := bench.QFT(100)
+	g := grid.Rect(100)
+	methods := map[string]place.Method{
+		"proximity": place.Proximity{},
+		"gm":        place.GM{Rng: rand.New(rand.NewSource(1))},
+		"pattern":   place.Pattern{Rng: rand.New(rand.NewSource(1))},
+	}
+	for name, m := range methods {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m.Place(c, g)
+			}
+		})
+	}
+}
+
+// BenchmarkQCO isolates the program-level optimization rewrite.
+func BenchmarkQCO(b *testing.B) {
+	c := bench.QFT(100)
+	b.Run("qft-100", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			hilight.OptimizeProgram(c)
+		}
+	})
+	e, _ := bench.ByName("sqrt8_260")
+	r := e.Build()
+	b.Run("sqrt8_260", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			hilight.OptimizeProgram(r)
+		}
+	})
+}

@@ -1,0 +1,75 @@
+// Command benchgen emits the built-in benchmark circuits as OpenQASM 2.0,
+// for feeding other toolchains or inspecting the workloads Table 1 runs.
+//
+// Usage:
+//
+//	benchgen -list
+//	benchgen -name QFT-100 [-out qft100.qasm]
+//	benchgen -qft 32 | -bv 64 | -cc 32 | -ising 16 -steps 5 | -ghz 12
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hilight"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list built-in Table 1 benchmarks")
+		name  = flag.String("name", "", "Table 1 benchmark name")
+		out   = flag.String("out", "", "output file (default stdout)")
+		qft   = flag.Int("qft", 0, "generate an n-qubit QFT")
+		bv    = flag.Int("bv", 0, "generate an n-qubit Bernstein-Vazirani")
+		cc    = flag.Int("cc", 0, "generate an n-qubit counterfeit-coin")
+		ising = flag.Int("ising", 0, "generate an n-spin 1D Ising model")
+		steps = flag.Int("steps", 5, "Trotter steps for -ising")
+		ghz   = flag.Int("ghz", 0, "generate an n-qubit GHZ preparation")
+	)
+	flag.Parse()
+	if err := run(*list, *name, *out, *qft, *bv, *cc, *ising, *steps, *ghz); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(list bool, name, out string, qft, bv, cc, ising, steps, ghz int) error {
+	if list {
+		for _, b := range hilight.BenchmarkNames() {
+			fmt.Println(b)
+		}
+		return nil
+	}
+	var c *hilight.Circuit
+	switch {
+	case name != "":
+		var ok bool
+		if c, ok = hilight.Benchmark(name); !ok {
+			return fmt.Errorf("unknown benchmark %q (try -list)", name)
+		}
+	case qft > 0:
+		c = hilight.QFT(qft)
+	case bv > 0:
+		c = hilight.BV(bv)
+	case cc > 0:
+		c = hilight.CC(cc)
+	case ising > 0:
+		c = hilight.Ising(ising, steps)
+	case ghz > 0:
+		c = hilight.GHZ(ghz)
+	default:
+		return fmt.Errorf("nothing to generate (try -list, -name, or -qft N)")
+	}
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return hilight.WriteQASM(w, c)
+}

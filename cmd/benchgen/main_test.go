@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunGenerateToFile(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "qft.qasm")
+	if err := run(false, "", out, 6, 0, 0, 0, 5, 0); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "qreg q[6]") {
+		t.Errorf("output missing register:\n%s", data)
+	}
+}
+
+func TestRunNamedBenchmark(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "bv.qasm")
+	if err := run(false, "BV-10", out, 0, 0, 0, 0, 5, 0); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(string(data), "cx ") != 9 {
+		t.Errorf("BV-10 should emit 9 CX gates:\n%s", data)
+	}
+}
+
+func TestRunAllGeneratorFlags(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		name                    string
+		qft, bv, cc, ising, ghz int
+	}{
+		{"bv", 0, 8, 0, 0, 0},
+		{"cc", 0, 0, 8, 0, 0},
+		{"ising", 0, 0, 0, 6, 0},
+		{"ghz", 0, 0, 0, 0, 7},
+	}
+	for _, c := range cases {
+		out := filepath.Join(dir, c.name+".qasm")
+		if err := run(false, "", out, c.qft, c.bv, c.cc, c.ising, 2, c.ghz); err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if fi, err := os.Stat(out); err != nil || fi.Size() == 0 {
+			t.Fatalf("%s produced no output", c.name)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(false, "", "", 0, 0, 0, 0, 5, 0); err == nil {
+		t.Error("nothing-to-generate accepted")
+	}
+	if err := run(false, "nope", "", 0, 0, 0, 0, 5, 0); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if err := run(false, "BV-10", "/no/such/dir/x.qasm", 0, 0, 0, 0, 5, 0); err == nil {
+		t.Error("unwritable output accepted")
+	}
+}

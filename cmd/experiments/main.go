@@ -1,0 +1,122 @@
+// Command experiments regenerates the paper's evaluation artifacts:
+// Table 1 and Figures 8a, 8b, 8c, 9 and 10.
+//
+// Usage:
+//
+//	experiments -run all -scale small
+//	experiments -run table1,fig9 -scale medium -trials 10
+//
+// Scale bounds the benchmark sizes: small (seconds), medium (tens of
+// seconds), full (the paper's largest instances, minutes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hilight/internal/exp"
+)
+
+func main() {
+	var (
+		run    = flag.String("run", "all", "comma-separated: table1,fig8a,fig8b,fig8c,fig9,fig10,threshold,finders or all")
+		scale  = flag.String("scale", "small", "benchmark scale: small, medium, full")
+		trials = flag.Int("trials", 5, "trials for randomized arms (paper: 100)")
+		seed   = flag.Int64("seed", 1, "base seed")
+		format = flag.String("format", "table", "output format: table or csv (table1 and fig9 only)")
+	)
+	flag.Parse()
+	o := exp.Options{Scale: exp.Scale(*scale), Trials: *trials, Seed: *seed}
+	asCSV = *format == "csv"
+	names := strings.Split(*run, ",")
+	if *run == "all" {
+		names = []string{"table1", "fig8a", "fig8b", "fig8c", "fig9", "fig10", "threshold", "finders", "bounds", "modes"}
+	}
+	for _, name := range names {
+		if err := runOne(strings.TrimSpace(name), o); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}
+
+// asCSV selects CSV output for the reports that support it.
+var asCSV bool
+
+func runOne(name string, o exp.Options) error {
+	switch name {
+	case "table1":
+		rep, err := exp.RunTable1(o)
+		if err != nil {
+			return err
+		}
+		if asCSV {
+			return rep.WriteCSV(os.Stdout)
+		}
+		fmt.Println("Table 1 — mapping-level comparison (grid M×(M−1))")
+		rep.Print(os.Stdout)
+	case "fig8a":
+		rep, err := exp.RunFig8a(o)
+		if err != nil {
+			return err
+		}
+		rep.Print(os.Stdout)
+	case "fig8b":
+		rep, err := exp.RunFig8b(o)
+		if err != nil {
+			return err
+		}
+		rep.Print(os.Stdout)
+	case "fig8c":
+		rep, err := exp.RunFig8c(o)
+		if err != nil {
+			return err
+		}
+		rep.Print(os.Stdout)
+	case "fig9":
+		rep, err := exp.RunFig9(o)
+		if err != nil {
+			return err
+		}
+		if asCSV {
+			return rep.WriteCSV(os.Stdout)
+		}
+		rep.Print(os.Stdout)
+	case "fig10":
+		rep, err := exp.RunFig10(o)
+		if err != nil {
+			return err
+		}
+		rep.Print(os.Stdout)
+	case "threshold":
+		rep, err := exp.RunThresholdSweep(o)
+		if err != nil {
+			return err
+		}
+		rep.Print(os.Stdout)
+	case "finders":
+		rep, err := exp.RunFinderAblation(o)
+		if err != nil {
+			return err
+		}
+		rep.Print(os.Stdout)
+	case "bounds":
+		rep, err := exp.RunBounds(o)
+		if err != nil {
+			return err
+		}
+		rep.Print(os.Stdout)
+	case "modes":
+		rep, err := exp.RunModes(o)
+		if err != nil {
+			return err
+		}
+		rep.Print(os.Stdout)
+	default:
+		return fmt.Errorf("unknown experiment (table1, fig8a, fig8b, fig8c, fig9, fig10, threshold, finders, bounds, modes)")
+	}
+	return nil
+}

@@ -1,0 +1,25 @@
+package main
+
+import (
+	"testing"
+
+	"hilight/internal/exp"
+)
+
+func TestRunOneUnknown(t *testing.T) {
+	if err := runOne("nope", exp.Options{}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunOneSmallExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real experiments")
+	}
+	o := exp.Options{Scale: exp.ScaleSmall, Trials: 2, Seed: 3}
+	for _, name := range []string{"fig8c", "threshold", "finders"} {
+		if err := runOne(name, o); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+// Command hilight maps a quantum circuit onto a double-defect
+// surface-code grid and reports the braiding schedule and its metrics.
+//
+// Usage:
+//
+//	hilight -in circuit.qasm [flags]
+//	hilight -bench QFT-100 [flags]
+//
+// Flags select the mapping method (any of the paper's configurations,
+// including the AutoBraid baselines), the grid shape, an optional
+// magic-state factory reservation, and the output form.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"hilight"
+)
+
+func main() {
+	var (
+		inFile  = flag.String("in", "", "OpenQASM 2.0 input file")
+		benchN  = flag.String("bench", "", "built-in benchmark name (see -list)")
+		list    = flag.Bool("list", false, "list built-in benchmarks and methods")
+		method  = flag.String("method", "hilight", "mapping method")
+		gridKin = flag.String("grid", "rect", "grid shape: square or rect (M×(M−1))")
+		factory = flag.String("factory", "", "reserve a WxH magic-state factory, e.g. 2x2")
+		seed    = flag.Int64("seed", 1, "seed for randomized components")
+		show    = flag.String("show", "metrics", "output: metrics, layers, viz, heat, svg, json, or qasm")
+		magicP  = flag.Int("magic-period", 0, "analyze magic-state throughput: cycles per distilled state (0 = off)")
+	)
+	flag.Parse()
+	if err := run(*inFile, *benchN, *list, *method, *gridKin, *factory, *seed, *show, *magicP); err != nil {
+		fmt.Fprintln(os.Stderr, "hilight:", err)
+		os.Exit(1)
+	}
+}
+
+func run(inFile, benchName string, list bool, method, gridKind, factory string, seed int64, show string, magicPeriod int) error {
+	if list {
+		fmt.Println("methods:")
+		for _, m := range hilight.Methods() {
+			fmt.Println("  " + m)
+		}
+		fmt.Println("benchmarks:")
+		for _, b := range hilight.BenchmarkNames() {
+			fmt.Println("  " + b)
+		}
+		return nil
+	}
+	var c *hilight.Circuit
+	switch {
+	case inFile != "":
+		var err error
+		if strings.EqualFold(filepath.Ext(inFile), ".real") {
+			data, rerr := os.ReadFile(inFile)
+			if rerr != nil {
+				return rerr
+			}
+			name := strings.TrimSuffix(filepath.Base(inFile), filepath.Ext(inFile))
+			c, err = hilight.ParseReal(name, string(data))
+		} else {
+			c, err = hilight.ParseQASMFile(inFile)
+		}
+		if err != nil {
+			return err
+		}
+	case benchName != "":
+		var ok bool
+		c, ok = hilight.Benchmark(benchName)
+		if !ok {
+			return fmt.Errorf("unknown benchmark %q (try -list)", benchName)
+		}
+	default:
+		return fmt.Errorf("need -in or -bench (try -list)")
+	}
+
+	g, err := buildGrid(c.NumQubits, gridKind, factory)
+	if err != nil {
+		return err
+	}
+	res, err := hilight.Compile(c, g, hilight.WithMethod(method), hilight.WithSeed(seed))
+	if err != nil {
+		return err
+	}
+	if err := res.Schedule.Validate(res.Circuit); err != nil {
+		return fmt.Errorf("internal error: produced invalid schedule: %w", err)
+	}
+
+	switch show {
+	case "metrics":
+		fmt.Printf("circuit   %s (%d qubits, %d gates, %d two-qubit)\n",
+			c.Name, c.NumQubits, c.Len(), c.CXCount())
+		fmt.Printf("grid      %s\n", g)
+		fmt.Printf("method    %s\n", method)
+		fmt.Printf("latency   %d cycles\n", res.Latency)
+		fmt.Printf("runtime   %s\n", res.Runtime)
+		fmt.Printf("resutil   %.3f\n", res.ResUtil)
+		fmt.Printf("pathlen   %d occupied routing vertices\n", res.PathLen)
+		if ins := res.Schedule.InsertedBraids(); ins > 0 {
+			fmt.Printf("inserted  %d SWAP braids\n", ins)
+		}
+		if magicPeriod > 0 {
+			unit := hilight.DefaultMagicFactory()
+			unit.Period = magicPeriod
+			rep, err := hilight.AnalyzeMagic(res.Circuit, res.Schedule, unit)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("magic     %d T gates, %d stall cycles with 1 unit (total latency %d)\n",
+				rep.TCount, rep.StallCycles, rep.TotalLatency)
+			if k, err := hilight.MagicFactoriesNeeded(res.Circuit, res.Schedule, unit, 0, 1024); err == nil {
+				fmt.Printf("          %d units needed for stall-free execution\n", k)
+			}
+		}
+	case "viz":
+		fmt.Print(hilight.RenderSchedule(res.Schedule, 8))
+	case "heat":
+		fmt.Print(hilight.RenderHeat(res.Schedule))
+	case "svg":
+		fmt.Print(hilight.RenderSVG(res.Schedule, 16))
+	case "json":
+		data, err := hilight.EncodeScheduleJSON(res.Schedule)
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+	case "layers":
+		for i, layer := range res.Schedule.Layers {
+			fmt.Printf("cycle %d:\n", i)
+			for _, b := range layer {
+				if b.Gate >= 0 {
+					fmt.Printf("  gate %d  %v  tiles %d->%d  path %v\n",
+						b.Gate, res.Circuit.Gates[b.Gate], b.CtlTile, b.TgtTile, b.Path)
+				} else {
+					fmt.Printf("  swap braid  tiles %d<->%d  path %v\n", b.CtlTile, b.TgtTile, b.Path)
+				}
+			}
+		}
+	case "qasm":
+		fmt.Print(hilight.FormatQASM(res.Circuit))
+	default:
+		return fmt.Errorf("unknown -show %q (metrics, layers, viz, heat, svg, json, qasm)", show)
+	}
+	return nil
+}
+
+func buildGrid(n int, kind, factory string) (*hilight.Grid, error) {
+	rect := false
+	switch kind {
+	case "rect":
+		rect = true
+	case "square":
+	default:
+		return nil, fmt.Errorf("unknown -grid %q (square, rect)", kind)
+	}
+	if factory == "" {
+		if rect {
+			return hilight.RectGrid(n), nil
+		}
+		return hilight.SquareGrid(n), nil
+	}
+	var fw, fh int
+	if _, err := fmt.Sscanf(factory, "%dx%d", &fw, &fh); err != nil {
+		return nil, fmt.Errorf("bad -factory %q, want WxH: %w", factory, err)
+	}
+	return hilight.GridWithFactory(n, fw, fh, rect)
+}

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture runs f with stdout redirected and returns what it printed.
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string, 1)
+	go func() {
+		var sb strings.Builder
+		buf := make([]byte, 64<<10)
+		for {
+			n, err := r.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		done <- sb.String()
+	}()
+	runErr := f()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	r.Close()
+	return out, runErr
+}
+
+func TestRunList(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("", "", true, "hilight", "rect", "", 1, "metrics", 0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "hilight-map") || !strings.Contains(out, "QFT-100") {
+		t.Errorf("list output incomplete:\n%s", out)
+	}
+}
+
+func TestRunBenchMetrics(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("", "BV-10", false, "hilight-map", "rect", "", 1, "metrics", 0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "latency   9 cycles") {
+		t.Errorf("BV-10 metrics wrong:\n%s", out)
+	}
+}
+
+func TestRunQASMFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ghz.qasm")
+	src := "OPENQASM 2.0;\nqreg q[4];\nh q[0];\ncx q[0],q[1];\ncx q[1],q[2];\ncx q[2],q[3];\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, func() error {
+		return run(path, "", false, "hilight-map", "square", "", 1, "metrics", 0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "latency   3 cycles") {
+		t.Errorf("ghz metrics wrong:\n%s", out)
+	}
+}
+
+func TestRunRealFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "toy.real")
+	src := ".numvars 2\n.variables a b\n.begin\nt2 a b\n.end\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, func() error {
+		return run(path, "", false, "hilight-map", "rect", "", 1, "metrics", 0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "latency   1 cycles") {
+		t.Errorf("real-file metrics wrong:\n%s", out)
+	}
+}
+
+func TestRunShowVariants(t *testing.T) {
+	for _, show := range []string{"layers", "viz", "heat", "svg", "json", "qasm"} {
+		out, err := capture(t, func() error {
+			return run("", "CC-11", false, "hilight-map", "rect", "", 1, show, 0)
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", show, err)
+		}
+		if len(out) == 0 {
+			t.Errorf("%s produced no output", show)
+		}
+	}
+}
+
+func TestRunWithFactoryAndMagic(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("", "sqrt8_260", false, "hilight-map", "rect", "1x1", 1, "metrics", 10)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "magic") || !strings.Contains(out, "units needed") {
+		t.Errorf("magic analysis missing:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []func() error{
+		func() error { return run("", "", false, "hilight", "rect", "", 1, "metrics", 0) },       // no input
+		func() error { return run("", "nope", false, "hilight", "rect", "", 1, "metrics", 0) },   // bad bench
+		func() error { return run("", "BV-10", false, "nope", "rect", "", 1, "metrics", 0) },     // bad method
+		func() error { return run("", "BV-10", false, "hilight", "hex", "", 1, "metrics", 0) },   // bad grid
+		func() error { return run("", "BV-10", false, "hilight", "rect", "x", 1, "metrics", 0) }, // bad factory
+		func() error { return run("", "BV-10", false, "hilight", "rect", "", 1, "nope", 0) },     // bad show
+		func() error { return run("/no/such/file.qasm", "", false, "hilight", "rect", "", 1, "metrics", 0) },
+	}
+	for i, f := range cases {
+		if _, err := capture(t, f); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package hilight_test
+
+import (
+	"sync"
+	"testing"
+
+	"hilight"
+)
+
+// TestCompileConcurrentSafety runs many Compile calls in parallel across
+// methods: each call builds its own finder/ordering state, so there must
+// be no data races (run with -race) and results must match the serial
+// ones.
+func TestCompileConcurrentSafety(t *testing.T) {
+	c := hilight.QFT(12)
+	g := hilight.RectGrid(12)
+	methods := hilight.Methods()
+
+	// Serial reference latencies.
+	want := map[string]int{}
+	for _, m := range methods {
+		res, err := hilight.Compile(c, g, hilight.WithMethod(m), hilight.WithSeed(9))
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		want[m] = res.Latency
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, len(methods)*4)
+	for round := 0; round < 4; round++ {
+		for _, m := range methods {
+			wg.Add(1)
+			go func(m string) {
+				defer wg.Done()
+				res, err := hilight.Compile(c, g, hilight.WithMethod(m), hilight.WithSeed(9))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.Latency != want[m] {
+					t.Errorf("%s: concurrent latency %d != serial %d", m, res.Latency, want[m])
+				}
+				if err := res.Schedule.Validate(res.Circuit); err != nil {
+					t.Errorf("%s: %v", m, err)
+				}
+			}(m)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestCompileDeterminism: identical inputs and seeds yield identical
+// schedules, braid for braid.
+func TestCompileDeterminism(t *testing.T) {
+	c := hilight.QFT(10)
+	g := hilight.RectGrid(10)
+	for _, m := range []string{"hilight-map", "hilight-pg", "autobraid-full", "baseline"} {
+		a, err := hilight.Compile(c, g, hilight.WithMethod(m), hilight.WithSeed(42))
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		b, err := hilight.Compile(c, g, hilight.WithMethod(m), hilight.WithSeed(42))
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		da, err := hilight.EncodeScheduleJSON(a.Schedule)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := hilight.EncodeScheduleJSON(b.Schedule)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(da) != string(db) {
+			t.Errorf("%s: schedules differ across identical runs", m)
+		}
+	}
+}
+
+// TestScheduleJSONRoundTripThroughAPI: a compiled schedule survives
+// serialization and still validates.
+func TestScheduleJSONRoundTripThroughAPI(t *testing.T) {
+	c := hilight.QFT(9)
+	g, err := hilight.GridWithFactory(9, 1, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := hilight.Compile(c, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := hilight.EncodeScheduleJSON(res.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := hilight.DecodeScheduleJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Validate(res.Circuit); err != nil {
+		t.Fatalf("decoded schedule invalid: %v", err)
+	}
+	if hilight.ResUtil(s2) != res.ResUtil {
+		t.Error("ResUtil changed through serialization")
+	}
+}

@@ -1,0 +1,73 @@
+// Congestion profiling: watch the router work, cycle by cycle. Uses the
+// WithObserver hook to record how much of the ready set each cycle could
+// place, then prints a deferral histogram — the communication bottleneck
+// the paper's placement and ordering optimizations exist to flatten.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"hilight"
+)
+
+func main() {
+	c := hilight.QFT(36)
+	g := hilight.RectGrid(c.NumQubits)
+
+	profile := func(method string) (latency int, stats []hilight.CycleStats) {
+		res, err := hilight.Compile(c, g,
+			hilight.WithMethod(method),
+			hilight.WithObserver(func(s hilight.CycleStats) { stats = append(stats, s) }),
+		)
+		if err != nil {
+			log.Fatalf("%s: %v", method, err)
+		}
+		return res.Latency, stats
+	}
+
+	var lastHeat string
+	for _, method := range []string{"identity", "hilight-map"} {
+		latency, stats := profile(method)
+		res, err := hilight.Compile(c, g, hilight.WithMethod(method))
+		if err == nil && method == "hilight-map" {
+			lastHeat = hilight.RenderHeat(res.Schedule)
+		}
+		deferred, ready := 0, 0
+		peak := 0
+		for _, s := range stats {
+			deferred += s.Deferred
+			ready += s.Ready
+			if s.Executed > peak {
+				peak = s.Executed
+			}
+		}
+		fmt.Printf("%s: latency %d, peak parallelism %d braids/cycle, deferral rate %.1f%%\n",
+			method, latency, peak, 100*float64(deferred)/float64(ready))
+
+		// Sparkline of per-cycle executed braids (first 60 cycles).
+		const glyphs = " .:-=+*#%@"
+		var bar strings.Builder
+		for i, s := range stats {
+			if i == 60 {
+				break
+			}
+			idx := s.Executed * (len(glyphs) - 1) / max(peak, 1)
+			bar.WriteByte(glyphs[idx])
+		}
+		fmt.Printf("  braids/cycle: |%s|\n\n", bar.String())
+	}
+
+	fmt.Println(lastHeat)
+	fmt.Println("The identity layout scatters interacting qubits, so more of")
+	fmt.Println("each cycle's ready set collides and defers; the proposed")
+	fmt.Println("placement packs partners together and the profile flattens.")
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,49 @@
+// Factory layout: hardware-level optimization (§3.4). Reserves a
+// magic-state factory region on the grid, maps a workload around it, and
+// compares resource utilization across grid shapes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hilight"
+)
+
+func main() {
+	const n = 12 // program qubits (the paper's 4×4 → 4×3 example size)
+	c, ok := hilight.Benchmark("sqrt8_260")
+	if !ok {
+		log.Fatal("benchmark missing")
+	}
+
+	type config struct {
+		name string
+		grid *hilight.Grid
+	}
+	square := hilight.SquareGrid(n)
+	rect := hilight.RectGrid(n)
+	withFactory, err := hilight.GridWithFactory(n, 2, 2, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, cfg := range []config{
+		{"square M×M", square},
+		{"rect M×(M−1)", rect},
+		{"square + 2×2 factory", withFactory},
+	} {
+		res, err := hilight.Compile(c, cfg.grid, hilight.WithMethod("hilight-map"))
+		if err != nil {
+			log.Fatalf("%s: %v", cfg.name, err)
+		}
+		fmt.Printf("%-22s %v\n", cfg.name, cfg.grid)
+		fmt.Printf("  latency %4d   resutil %.3f   pathlen %d\n",
+			res.Latency, res.ResUtil, res.PathLen)
+	}
+
+	fmt.Println("\nThe factory tiles host no program qubits and braids may not")
+	fmt.Println("cross the region's interior, yet its boundary channels stay")
+	fmt.Println("routable — the factory behaves as a single non-braiding")
+	fmt.Println("logical qubit, exactly as §3.4 models it.")
+}

@@ -1,0 +1,47 @@
+// Mode comparison: double-defect braiding vs lattice surgery on the same
+// workloads. Braiding packs qubits onto a compact M×(M−1) grid and routes
+// on the tile-corner lattice; lattice surgery needs a quarter-density
+// patch layout (~4× the tiles) but merges patches through ancilla lanes.
+// This example quantifies that hardware-vs-latency trade.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"hilight"
+)
+
+func main() {
+	workloads := []*hilight.Circuit{
+		hilight.QFT(16),
+		hilight.BV(16),
+		hilight.Ising(16, 5),
+		hilight.QAOA(16, 24, 2),
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "circuit\tbraid.tiles\tbraid.latency\tsurgery.tiles\tsurgery.latency")
+	for _, c := range workloads {
+		bg := hilight.RectGrid(c.NumQubits)
+		braid, err := hilight.Compile(c, bg, hilight.WithMethod("hilight-map"))
+		if err != nil {
+			log.Fatalf("%s braiding: %v", c.Name, err)
+		}
+		surg, err := hilight.CompileSurgery(c)
+		if err != nil {
+			log.Fatalf("%s surgery: %v", c.Name, err)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\n",
+			c.Name, bg.Tiles(), braid.Latency,
+			surg.Schedule.Grid.Tiles(), surg.Latency)
+	}
+	tw.Flush()
+
+	fmt.Println("\nBraiding executes on ~n tiles; lattice surgery needs ~4n")
+	fmt.Println("tiles so merge regions can route through free lanes, and")
+	fmt.Println("each merge/split pair costs two cycles. The double-defect")
+	fmt.Println("mode's braiding paths coexist with occupied tiles, which is")
+	fmt.Println("exactly the communication advantage the paper optimizes.")
+}

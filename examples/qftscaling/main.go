@@ -1,0 +1,38 @@
+// QFT scaling study: the paper's Fig. 9 in miniature. Maps the quantum
+// Fourier transform at increasing sizes with HiLight and the AutoBraid
+// baseline and prints how latency and mapping runtime scale.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"hilight"
+)
+
+func main() {
+	methods := []string{"autobraid-sp", "autobraid-full", "hilight-map"}
+	sizes := []int{10, 16, 32, 64, 100}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "n\tgates\tmethod\tlatency\truntime")
+	for _, n := range sizes {
+		c := hilight.QFT(n)
+		g := hilight.RectGrid(n)
+		for _, m := range methods {
+			res, err := hilight.Compile(c, g, hilight.WithMethod(m), hilight.WithSeed(7))
+			if err != nil {
+				log.Fatalf("%s on QFT-%d: %v", m, n, err)
+			}
+			fmt.Fprintf(tw, "%d\t%d\t%s\t%d\t%s\n", n, c.Len(), m, res.Latency, res.Runtime)
+		}
+	}
+	tw.Flush()
+
+	fmt.Println("\nHiLight's pattern matching detects the QFT's complete")
+	fmt.Println("interaction graph and selects a distributed random layout;")
+	fmt.Println("the single-A*-search path-finder keeps runtime flat while")
+	fmt.Println("the baseline's exhaustive search and SWAP insertion grow.")
+}

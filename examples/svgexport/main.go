@@ -1,0 +1,38 @@
+// SVG export: compile a benchmark and write the braiding schedule as a
+// standalone SVG document — one frame per cycle, braids as colored
+// polylines, the magic-state factory marked — plus the ASCII heat map on
+// stdout for a quick look.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"hilight"
+)
+
+func main() {
+	c, ok := hilight.Benchmark("QFT-16")
+	if !ok {
+		log.Fatal("benchmark missing")
+	}
+	g, err := hilight.GridWithFactory(c.NumQubits, 1, 1, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := hilight.Compile(c, g, hilight.WithMethod("hilight-map"), hilight.WithSeed(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const out = "schedule.svg"
+	if err := os.WriteFile(out, []byte(hilight.RenderSVG(res.Schedule, 6)), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s: first 6 of %d cycles, %d braids total\n",
+		out, res.Latency, res.Schedule.BraidCount())
+
+	fmt.Println()
+	fmt.Print(hilight.RenderHeat(res.Schedule))
+}

@@ -1,0 +1,131 @@
+package hilight
+
+import (
+	"hilight/internal/errmodel"
+	"hilight/internal/lattice"
+	"hilight/internal/magic"
+	"hilight/internal/qco"
+	"hilight/internal/revlib"
+	"hilight/internal/sched"
+	"hilight/internal/surgery"
+	"hilight/internal/viz"
+)
+
+// Lowering is the physical-lattice realization of a schedule at a code
+// distance (see LowerSchedule).
+type Lowering = lattice.Lowering
+
+// LowerSchedule expands a braiding schedule down to the physical
+// surface-code lattice at code distance d: every braid becomes a
+// stabilizer-tear corridor, and the lowering fails loudly if two
+// same-cycle corridors would ever touch — the physical soundness check
+// of the 2D conflict model.
+func LowerSchedule(s *Schedule, d int) (*Lowering, error) { return lattice.Lower(s, d) }
+
+// ParseReal parses a RevLib ".real" reversible-circuit file — the native
+// format of the paper's building-block benchmarks — expanding Toffoli and
+// Fredkin gates into their CX networks.
+func ParseReal(name, src string) (*Circuit, error) { return revlib.Parse(name, src) }
+
+// CompressProgram applies the §3.3 QCO compression and cancellation
+// rules (inverse-pair cancellation, rotation merging, phase promotion)
+// and returns a semantically identical, never-larger circuit. Combine
+// with OptimizeProgram for the full program-level pass.
+func CompressProgram(c *Circuit) *Circuit { return qco.Compress(c) }
+
+// EncodeScheduleJSON serializes a schedule (with its grid and initial
+// layout) to a stable, versioned JSON form.
+func EncodeScheduleJSON(s *Schedule) ([]byte, error) { return sched.EncodeJSON(s) }
+
+// DecodeScheduleJSON reconstructs a schedule from EncodeScheduleJSON
+// output. Validate it against its circuit before trusting it.
+func DecodeScheduleJSON(data []byte) (*Schedule, error) { return sched.DecodeJSON(data) }
+
+// RenderLayout draws the grid and qubit layout as an ASCII diagram
+// (reserved factory tiles render as ###).
+func RenderLayout(g *Grid, l *Layout) string { return viz.Layout(g, l) }
+
+// RenderSchedule draws up to maxLayers braiding cycles of a schedule,
+// replaying layout changes from inserted SWAPs; maxLayers ≤ 0 draws all.
+func RenderSchedule(s *Schedule, maxLayers int) string { return viz.Schedule(s, maxLayers) }
+
+// RenderHeat draws a channel-usage heat map of the whole schedule:
+// hotter glyphs mark routing channels more braids crossed.
+func RenderHeat(s *Schedule) string { return viz.Heat(s) }
+
+// RenderSVG renders up to maxLayers braiding cycles as a standalone SVG
+// document (one frame per cycle, braids as colored polylines, factory
+// tiles marked); maxLayers ≤ 0 renders every cycle.
+func RenderSVG(s *Schedule, maxLayers int) string { return viz.SVG(s, maxLayers) }
+
+// ScheduleDiff summarizes how two schedules for the same circuit differ
+// (latency, path length, rescheduled and re-routed gates) — the
+// regression view for heuristic work.
+type ScheduleDiff = sched.Diff
+
+// CompareSchedules computes a ScheduleDiff between two schedules.
+func CompareSchedules(a, b *Schedule) ScheduleDiff { return sched.Compare(a, b) }
+
+// MagicFactory describes a magic-state distillation pipeline for
+// AnalyzeMagic (see internal/magic for the model).
+type MagicFactory = magic.Factory
+
+// MagicReport is the result of a factory-throughput analysis.
+type MagicReport = magic.Report
+
+// DefaultMagicFactory returns a single 15-to-1-style distillation unit.
+func DefaultMagicFactory() MagicFactory { return magic.DefaultFactory() }
+
+// AnalyzeMagic overlays a magic-state factory model on a compiled
+// schedule: it reports the T-gate demand and the stall-adjusted latency
+// when distillation cannot keep up — the paper's future-work direction,
+// made quantitative.
+func AnalyzeMagic(c *Circuit, s *Schedule, f MagicFactory) (MagicReport, error) {
+	return magic.Analyze(c, s, f)
+}
+
+// MagicFactoriesNeeded sizes the distillation pipeline: the smallest unit
+// count keeping stall cycles within maxStall.
+func MagicFactoriesNeeded(c *Circuit, s *Schedule, unit MagicFactory, maxStall, maxUnits int) (int, error) {
+	return magic.FactoriesNeeded(c, s, unit, maxStall, maxUnits)
+}
+
+// SurgeryResult is the outcome of mapping a circuit in lattice-surgery
+// mode (see CompileSurgery).
+type SurgeryResult = surgery.Result
+
+// SurgeryGrid returns the quarter-density patch grid lattice surgery
+// needs for n qubits: qubits on even-row/even-column tiles, the rest an
+// ancilla routing sea.
+func SurgeryGrid(n int) *Grid { return surgery.DilutedGrid(n) }
+
+// CompileSurgery maps the circuit in the lattice-surgery surface-code
+// mode — the alternative the paper's §2.3 contrasts with double-defect
+// braiding — on a quarter-density patch layout. Compare its Latency and
+// grid size against Compile's to quantify the braiding mode's hardware
+// advantage versus surgery's lane-contention latency.
+func CompileSurgery(c *Circuit) (*SurgeryResult, error) {
+	g := surgery.DilutedGrid(c.NumQubits)
+	l, err := surgery.DilutedPlace(c, g)
+	if err != nil {
+		return nil, err
+	}
+	return surgery.Map(c, g, l)
+}
+
+// ErrorModelParams configures the physical resource estimator.
+type ErrorModelParams = errmodel.Params
+
+// ResourceReport is a physical resource estimate for a schedule.
+type ResourceReport = errmodel.Report
+
+// DefaultErrorModel returns superconducting-platform parameters
+// (p = 10⁻³, threshold 10⁻², 1 µs code cycles).
+func DefaultErrorModel() ErrorModelParams { return errmodel.Default() }
+
+// EstimateResources sizes the surface-code distance so the whole
+// schedule completes within the given logical-error budget, and reports
+// the implied physical qubit count and wall-clock time.
+func EstimateResources(s *Schedule, budget float64, p ErrorModelParams) (ResourceReport, error) {
+	return errmodel.Estimate(s.Grid.Tiles(), s.Latency(), budget, p)
+}

@@ -1,0 +1,128 @@
+package hilight_test
+
+import (
+	"strings"
+	"testing"
+
+	"hilight"
+)
+
+func TestCompileSurgeryThroughAPI(t *testing.T) {
+	c := hilight.QFT(9)
+	res, err := hilight.CompileSurgery(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Validate(res.Circuit); err != nil {
+		t.Fatalf("surgery schedule invalid: %v", err)
+	}
+	// Surgery needs the quarter-density board: strictly more tiles than
+	// braiding's compact grid.
+	if res.Schedule.Grid.Tiles() <= hilight.RectGrid(9).Tiles() {
+		t.Error("surgery grid not larger than braiding grid")
+	}
+	braid, err := hilight.Compile(c, hilight.RectGrid(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Latency < braid.Latency {
+		t.Logf("note: surgery latency %d beat braiding %d (possible on tiny instances)", res.Latency, braid.Latency)
+	}
+}
+
+func TestSurgeryGridShape(t *testing.T) {
+	g := hilight.SurgeryGrid(9)
+	cells := 0
+	for tile := 0; tile < g.Tiles(); tile++ {
+		x, y := g.TileXY(tile)
+		if x%2 == 0 && y%2 == 0 {
+			cells++
+		}
+	}
+	if cells < 9 {
+		t.Errorf("surgery grid %v has only %d qubit cells", g, cells)
+	}
+}
+
+func TestMagicAnalysisThroughAPI(t *testing.T) {
+	c, _ := hilight.Benchmark("4gt5_75")
+	g := hilight.RectGrid(c.NumQubits)
+	res, err := hilight.Compile(c, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := hilight.AnalyzeMagic(res.Circuit, res.Schedule, hilight.DefaultMagicFactory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TCount == 0 {
+		t.Error("Toffoli-derived benchmark should consume T states")
+	}
+	if rep.TotalLatency < rep.BraidLatency {
+		t.Error("stalls cannot reduce latency")
+	}
+	k, err := hilight.MagicFactoriesNeeded(res.Circuit, res.Schedule, hilight.DefaultMagicFactory(), 0, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k < 1 {
+		t.Errorf("factories needed = %d", k)
+	}
+}
+
+func TestEstimateResourcesThroughAPI(t *testing.T) {
+	c := hilight.QFT(10)
+	g := hilight.RectGrid(10)
+	res, err := hilight.Compile(c, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := hilight.EstimateResources(res.Schedule, 1e-3, hilight.DefaultErrorModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Distance < 3 || rep.PhysicalQubits <= 0 || rep.WallClock <= 0 {
+		t.Errorf("degenerate estimate: %+v", rep)
+	}
+	// Lower latency (better mapping) must never need a larger distance.
+	worse, err := hilight.Compile(c, g, hilight.WithMethod("autobraid-full"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	repWorse, err := hilight.EstimateResources(worse.Schedule, 1e-3, hilight.DefaultErrorModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worse.Latency >= res.Latency && repWorse.Distance < rep.Distance {
+		t.Errorf("higher-latency schedule got smaller distance: %d vs %d", repWorse.Distance, rep.Distance)
+	}
+}
+
+func TestRenderScheduleThroughAPI(t *testing.T) {
+	c := hilight.GHZ(6)
+	res, err := hilight.Compile(c, hilight.RectGrid(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := hilight.RenderSchedule(res.Schedule, 2)
+	if !strings.Contains(out, "cycle 0") {
+		t.Errorf("render missing cycles:\n%s", out)
+	}
+	layout := hilight.RenderLayout(res.Grid, res.Schedule.Initial)
+	if !strings.Contains(layout, "0") {
+		t.Error("layout render missing qubits")
+	}
+}
+
+func TestObserverThroughAPI(t *testing.T) {
+	c := hilight.QFT(8)
+	cycles := 0
+	res, err := hilight.Compile(c, hilight.RectGrid(8),
+		hilight.WithObserver(func(s hilight.CycleStats) { cycles++ }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles != res.Latency {
+		t.Errorf("observer saw %d cycles, latency %d", cycles, res.Latency)
+	}
+}

@@ -1,0 +1,3 @@
+module hilight
+
+go 1.22

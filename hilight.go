@@ -1,0 +1,286 @@
+// Package hilight is the public API of the HiLight surface-code
+// communication framework (Park, Kim & Kang, DAC 2024): qubit mapping for
+// the double-defect surface code, where two-qubit gates execute as
+// braiding paths on a tile grid and latency is the number of cycles of
+// non-intersecting braids.
+//
+// The typical flow is three calls:
+//
+//	c := hilight.QFT(16)                         // or ParseQASM / NewCircuit
+//	g := hilight.RectGrid(c.NumQubits)           // M×(M−1) hardware grid
+//	res, err := hilight.Compile(c, g)            // place, order, braid
+//
+// Compile defaults to the paper's full "hilight" configuration
+// (pattern-matching + qubit-proximity placement, ASAP gate ordering,
+// closest-corner A* braiding). Options select every other configuration
+// the paper evaluates, including the AutoBraid baselines.
+package hilight
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+
+	"hilight/internal/autobraid"
+	"hilight/internal/bench"
+	"hilight/internal/circuit"
+	"hilight/internal/core"
+	"hilight/internal/grid"
+	"hilight/internal/hwopt"
+	"hilight/internal/order"
+	"hilight/internal/place"
+	"hilight/internal/qasm"
+	"hilight/internal/qco"
+	"hilight/internal/route"
+	"hilight/internal/sched"
+	"hilight/internal/sim"
+)
+
+// Core types, re-exported so downstream code never imports internal
+// packages.
+type (
+	// Circuit is an ordered gate list over program qubits.
+	Circuit = circuit.Circuit
+	// Gate is a single operation on one or two program qubits.
+	Gate = circuit.Gate
+	// Kind enumerates gate kinds (H, CX, RZ, ...).
+	Kind = circuit.Kind
+	// Grid is the double-defect surface-code tile grid.
+	Grid = grid.Grid
+	// Layout maps program qubits to grid tiles.
+	Layout = grid.Layout
+	// Schedule is the braiding schedule produced by Compile.
+	Schedule = sched.Schedule
+	// Result carries the schedule and its latency/runtime/ResUtil metrics.
+	Result = core.Result
+)
+
+// Common gate kinds.
+const (
+	H       = circuit.H
+	X       = circuit.X
+	Y       = circuit.Y
+	Z       = circuit.Z
+	S       = circuit.S
+	T       = circuit.T
+	RX      = circuit.RX
+	RY      = circuit.RY
+	RZ      = circuit.RZ
+	CX      = circuit.CX
+	CZ      = circuit.CZ
+	SWAP    = circuit.SWAP
+	Measure = circuit.Measure
+)
+
+// NewCircuit returns an empty circuit on n qubits.
+func NewCircuit(name string, n int) *Circuit { return circuit.New(name, n) }
+
+// ParseQASM parses OpenQASM 2.0 source into a circuit.
+func ParseQASM(name, src string) (*Circuit, error) { return qasm.Parse(name, src) }
+
+// ParseQASMFile parses an OpenQASM 2.0 file, resolving non-library
+// `include` statements relative to the file's directory.
+func ParseQASMFile(path string) (*Circuit, error) { return qasm.ParseFile(path) }
+
+// WriteQASM renders a circuit as OpenQASM 2.0.
+func WriteQASM(w io.Writer, c *Circuit) error { return qasm.Write(w, c) }
+
+// FormatQASM returns a circuit's OpenQASM 2.0 source.
+func FormatQASM(c *Circuit) string { return qasm.Format(c) }
+
+// SquareGrid returns the M×M grid for n qubits, M = ceil(sqrt(n)).
+func SquareGrid(n int) *Grid { return grid.Square(n) }
+
+// RectGrid returns the hardware-optimized M×(M−1) grid (M×M when the
+// rectangle cannot hold n qubits).
+func RectGrid(n int) *Grid { return grid.Rect(n) }
+
+// GridWithFactory returns a grid for n qubits with a fw×fh magic-state
+// factory reserved in one corner (§3.4).
+func GridWithFactory(n, fw, fh int, rect bool) (*Grid, error) {
+	return hwopt.GridWithFactory(n, fw, fh, rect)
+}
+
+// ResUtil computes the Eq. 1 resource-utilization metric of a schedule.
+func ResUtil(s *Schedule) float64 { return hwopt.ResUtilOf(s) }
+
+// OptimizeProgram applies the program-level commuting-CX reordering
+// (§3.3) and returns the rewritten, semantically-equal circuit.
+func OptimizeProgram(c *Circuit) *Circuit { return qco.Optimize(c) }
+
+// EquivalentCircuits reports whether two circuits implement the same
+// operator (statevector oracle; ≤ 20 qubits).
+func EquivalentCircuits(a, b *Circuit, tol float64) (bool, error) {
+	return sim.Equivalent(a, b, tol)
+}
+
+// options collects Compile configuration.
+type options struct {
+	method   string
+	seed     int64
+	qco      *bool
+	observer core.Observer
+	compact  bool
+}
+
+// Option configures Compile.
+type Option func(*options)
+
+// WithMethod selects a named configuration. See Methods for the list.
+func WithMethod(name string) Option { return func(o *options) { o.method = name } }
+
+// WithSeed seeds the randomized components (pattern-matched random
+// layouts, baseline partitioning). The default seed is 1.
+func WithSeed(seed int64) Option { return func(o *options) { o.seed = seed } }
+
+// WithQCO overrides whether the program-level optimization runs,
+// independent of the method preset.
+func WithQCO(enabled bool) Option {
+	return func(o *options) { o.qco = &enabled }
+}
+
+// CycleStats summarizes one braiding cycle for WithObserver callbacks.
+type CycleStats = core.CycleStats
+
+// WithObserver registers a per-cycle callback for congestion profiling:
+// it receives, for every braiding cycle, the ready-set size, how many
+// gates were placed or deferred, and the lattice resources consumed.
+func WithObserver(fn func(CycleStats)) Option {
+	return func(o *options) { o.observer = core.ObserverFunc(fn) }
+}
+
+// WithCompaction runs the post-routing compaction pass: braids are
+// hoisted into earlier cycles where dependencies and lattice occupancy
+// allow, so latency never increases and often shrinks on schedules
+// produced by weaker orderings. Schedules with inserted SWAPs (the
+// AutoBraid baseline) pass through unchanged.
+func WithCompaction() Option {
+	return func(o *options) { o.compact = true }
+}
+
+// methodConfigs maps public method names to framework configurations.
+func methodConfigs(rng *rand.Rand) map[string]core.Config {
+	return map[string]core.Config{
+		"hilight":        core.HilightPG(rng), // mapping + program level
+		"hilight-map":    core.HilightMap(rng),
+		"hilight-pg":     core.HilightPG(rng),
+		"hilight-gm":     core.HilightGM(rng),
+		"baseline":       core.Fig9Baseline(rng),
+		"autobraid-sp":   autobraid.SP(),
+		"autobraid-full": autobraid.Full(rng),
+		"identity": {
+			Placement: place.Identity{},
+			Ordering:  order.Proposed{},
+			Finder:    &route.AStar{},
+		},
+		"random": {
+			Placement: place.Random{Rng: rng},
+			Ordering:  order.Proposed{},
+			Finder:    &route.AStar{},
+		},
+		"hilight-refined": {
+			Placement: place.Refined{Base: place.HiLight{Rng: rng}},
+			Ordering:  order.Proposed{},
+			Finder:    &route.AStar{},
+		},
+		"hilight-cp": {
+			Placement: place.HiLight{Rng: rng},
+			Ordering:  order.CriticalPath{},
+			Finder:    &route.AStar{},
+		},
+	}
+}
+
+// Methods returns the method names accepted by WithMethod, sorted.
+func Methods() []string {
+	cfgs := methodConfigs(rand.New(rand.NewSource(1)))
+	names := make([]string, 0, len(cfgs))
+	for name := range cfgs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Compile maps the circuit onto the grid and returns the braiding
+// schedule with its metrics. The schedule is guaranteed to validate
+// against the returned (possibly QCO-rewritten) circuit.
+func Compile(c *Circuit, g *Grid, opts ...Option) (*Result, error) {
+	o := options{method: "hilight", seed: 1}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	cfgs := methodConfigs(rand.New(rand.NewSource(o.seed)))
+	cfg, ok := cfgs[o.method]
+	if !ok {
+		return nil, fmt.Errorf("hilight: unknown method %q (have %v)", o.method, Methods())
+	}
+	if o.qco != nil {
+		cfg.QCO = *o.qco
+	}
+	cfg.Observer = o.observer
+	res, err := core.Map(c, g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if o.compact {
+		res.Schedule = core.CompactSchedule(res.Schedule, res.Circuit, cfg.Finder)
+		res.Latency = res.Schedule.Latency()
+		res.PathLen = res.Schedule.TotalPathLength()
+		if res.Latency > 0 {
+			res.ResUtil = float64(res.PathLen) / (float64(g.Tiles()) * float64(res.Latency))
+		} else {
+			res.ResUtil = 0
+		}
+	}
+	return res, nil
+}
+
+// Benchmark builds a named Table 1 benchmark circuit (see BenchmarkNames).
+func Benchmark(name string) (*Circuit, bool) {
+	e, ok := bench.ByName(name)
+	if !ok {
+		return nil, false
+	}
+	return e.Build(), true
+}
+
+// BenchmarkNames lists the built-in Table 1 benchmarks in table order.
+func BenchmarkNames() []string {
+	entries := bench.Table1()
+	names := make([]string, len(entries))
+	for i, e := range entries {
+		names[i] = e.Name
+	}
+	return names
+}
+
+// Generators for the paper's parametric workloads, re-exported.
+var (
+	// QFT builds the n-qubit quantum Fourier transform (n² gates).
+	QFT = bench.QFT
+	// BV builds the Bernstein–Vazirani circuit with an all-ones string.
+	BV = bench.BV
+	// CC builds the counterfeit-coin circuit.
+	CC = bench.CC
+	// Ising builds 1D transverse-field Ising Trotter steps.
+	Ising = bench.Ising
+	// QAOA builds a QAOA instance with the given ZZ count and depth.
+	QAOA = bench.QAOA
+	// GHZ builds the GHZ-state preparation chain.
+	GHZ = bench.GHZ
+	// WState builds a W-state preparation chain.
+	WState = bench.WState
+	// VQE builds a hardware-efficient VQE ansatz.
+	VQE = bench.VQE
+	// GraphState builds a chain graph state.
+	GraphState = bench.GraphState
+	// CuccaroAdder builds the ripple-carry adder (semantically verified
+	// against classical addition by the test suite).
+	CuccaroAdder = bench.CuccaroAdder
+	// Grover builds a Grover-search skeleton.
+	Grover = bench.Grover
+	// HiddenShift builds the hidden-shift benchmark.
+	HiddenShift = bench.HiddenShift
+)

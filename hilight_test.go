@@ -1,0 +1,160 @@
+package hilight_test
+
+import (
+	"strings"
+	"testing"
+
+	"hilight"
+)
+
+func TestCompileQuickstart(t *testing.T) {
+	c := hilight.NewCircuit("bell-chain", 4)
+	c.Add1(hilight.H, 0)
+	c.Add2(hilight.CX, 0, 1)
+	c.Add2(hilight.CX, 1, 2)
+	c.Add2(hilight.CX, 2, 3)
+	res, err := hilight.Compile(c, hilight.SquareGrid(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Latency != 3 {
+		t.Errorf("latency = %d, want 3 (serial chain)", res.Latency)
+	}
+	if err := res.Schedule.Validate(res.Circuit); err != nil {
+		t.Errorf("schedule invalid: %v", err)
+	}
+}
+
+func TestCompileAllMethods(t *testing.T) {
+	c := hilight.QFT(8)
+	g := hilight.RectGrid(8)
+	for _, m := range hilight.Methods() {
+		res, err := hilight.Compile(c, g, hilight.WithMethod(m), hilight.WithSeed(3))
+		if err != nil {
+			t.Errorf("%s: %v", m, err)
+			continue
+		}
+		if err := res.Schedule.Validate(res.Circuit); err != nil {
+			t.Errorf("%s: %v", m, err)
+		}
+	}
+	if _, err := hilight.Compile(c, g, hilight.WithMethod("nope")); err == nil ||
+		!strings.Contains(err.Error(), "unknown method") {
+		t.Error("unknown method accepted")
+	}
+}
+
+func TestCompileQCOOverride(t *testing.T) {
+	c := hilight.QFT(6)
+	g := hilight.SquareGrid(6)
+	on, err := hilight.Compile(c, g, hilight.WithMethod("hilight-map"), hilight.WithQCO(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := on.Schedule.Validate(on.Circuit); err != nil {
+		t.Fatal(err)
+	}
+	// The rewritten circuit must stay semantically equal to the input.
+	eq, err := hilight.EquivalentCircuits(c, on.Circuit, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Error("QCO-compiled circuit not equivalent to input")
+	}
+}
+
+func TestQASMRoundTripThroughAPI(t *testing.T) {
+	src := `OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+h q[0];
+cx q[0],q[1];
+cx q[1],q[2];
+`
+	c, err := hilight.ParseQASM("ghz3", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := hilight.FormatQASM(c)
+	c2, err := hilight.ParseQASM("ghz3", out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Len() != c.Len() {
+		t.Errorf("round trip changed gate count: %d vs %d", c.Len(), c2.Len())
+	}
+	res, err := hilight.Compile(c, hilight.SquareGrid(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Latency != 2 {
+		t.Errorf("ghz3 latency = %d, want 2", res.Latency)
+	}
+}
+
+func TestBenchmarkRegistryThroughAPI(t *testing.T) {
+	names := hilight.BenchmarkNames()
+	if len(names) != 36 {
+		t.Fatalf("benchmark count = %d", len(names))
+	}
+	c, ok := hilight.Benchmark("BV-10")
+	if !ok || c.NumQubits != 10 {
+		t.Fatal("BV-10 missing or malformed")
+	}
+	if _, ok := hilight.Benchmark("nope"); ok {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestGridWithFactoryThroughAPI(t *testing.T) {
+	g, err := hilight.GridWithFactory(8, 1, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Capacity() < 8 {
+		t.Errorf("capacity %d < 8", g.Capacity())
+	}
+	c := hilight.QFT(8)
+	res, err := hilight.Compile(c, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := hilight.ResUtil(res.Schedule); got != res.ResUtil {
+		t.Errorf("ResUtil mismatch: %g vs %g", got, res.ResUtil)
+	}
+}
+
+func TestCompileWithCompaction(t *testing.T) {
+	c := hilight.QFT(12)
+	g := hilight.RectGrid(12)
+	plain, err := hilight.Compile(c, g, hilight.WithMethod("identity"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed, err := hilight.Compile(c, g, hilight.WithMethod("identity"), hilight.WithCompaction())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if packed.Latency > plain.Latency {
+		t.Errorf("compaction increased latency: %d -> %d", plain.Latency, packed.Latency)
+	}
+	if err := packed.Schedule.Validate(packed.Circuit); err != nil {
+		t.Fatalf("compacted schedule invalid: %v", err)
+	}
+	if packed.Latency != packed.Schedule.Latency() {
+		t.Error("result metrics not refreshed after compaction")
+	}
+}
+
+func TestOptimizeProgramExported(t *testing.T) {
+	c := hilight.NewCircuit("fan", 4)
+	c.Add2(hilight.CX, 0, 1)
+	c.Add2(hilight.CX, 0, 2)
+	c.Add2(hilight.CX, 3, 2)
+	o := hilight.OptimizeProgram(c)
+	eq, err := hilight.EquivalentCircuits(c, o, 1e-9)
+	if err != nil || !eq {
+		t.Errorf("OptimizeProgram broke semantics: %v %v", eq, err)
+	}
+}

@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"math"
+	"testing"
+
+	"hilight/internal/circuit"
+	"hilight/internal/core"
+	"hilight/internal/grid"
+	"hilight/internal/sim"
+)
+
+// runBasis applies c to the computational basis state |input⟩ and
+// returns the output basis label (the circuit must be classical).
+func runBasis(t *testing.T, c *circuit.Circuit, input int) int {
+	t.Helper()
+	s, err := sim.NewState(c.NumQubits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Amps[0] = 0
+	s.Amps[input] = 1
+	for _, g := range c.Gates {
+		if err := s.Apply(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, amp := range s.Amps {
+		if math.Abs(real(amp)-1) < 1e-9 && math.Abs(imag(amp)) < 1e-9 {
+			return i
+		}
+	}
+	t.Fatalf("output not a basis state")
+	return -1
+}
+
+// TestCuccaroAdderAdds verifies the generator against classical addition
+// for every input pair at small widths — the strongest possible check
+// that a generated benchmark is the real algorithm, not a shape-alike.
+func TestCuccaroAdderAdds(t *testing.T) {
+	for _, bits := range []int{1, 2, 3} {
+		c := CuccaroAdder(bits)
+		if err := c.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		for a := 0; a < 1<<bits; a++ {
+			for b := 0; b < 1<<bits; b++ {
+				// Input layout: bit 0 = cin, then b0,a0,b1,a1..., cout.
+				input := 0
+				for i := 0; i < bits; i++ {
+					if b&(1<<i) != 0 {
+						input |= 1 << (1 + 2*i)
+					}
+					if a&(1<<i) != 0 {
+						input |= 1 << (2 + 2*i)
+					}
+				}
+				output := runBasis(t, c, input)
+				// Expected: b register holds a+b mod 2^bits, cout the
+				// carry, a register unchanged.
+				sum := a + b
+				for i := 0; i < bits; i++ {
+					got := (output >> (1 + 2*i)) & 1
+					want := (sum >> i) & 1
+					if got != want {
+						t.Fatalf("bits=%d a=%d b=%d: sum bit %d = %d, want %d", bits, a, b, i, got, want)
+					}
+					gotA := (output >> (2 + 2*i)) & 1
+					if gotA != (a>>i)&1 {
+						t.Fatalf("bits=%d a=%d b=%d: a register corrupted", bits, a, b)
+					}
+				}
+				carry := (output >> (2*bits + 1)) & 1
+				if carry != (sum>>bits)&1 {
+					t.Fatalf("bits=%d a=%d b=%d: carry = %d, want %d", bits, a, b, carry, (sum>>bits)&1)
+				}
+			}
+		}
+	}
+}
+
+func TestCuccaroAdderMaps(t *testing.T) {
+	c := CuccaroAdder(4)
+	res, err := core.Map(c, grid.Rect(c.NumQubits), core.HilightMap(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Validate(res.Circuit); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCuccaroAdderPanicsOnBadWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero width accepted")
+		}
+	}()
+	CuccaroAdder(0)
+}
+
+func TestGroverStructure(t *testing.T) {
+	c := Grover(5, 2)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.CXCount() == 0 {
+		t.Error("no entangling structure")
+	}
+	// Exact semantics at n=2, 1 iteration: Grover finds |11⟩ with
+	// certainty.
+	g2 := Grover(2, 1)
+	s, err := sim.Run(g2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p11 := real(s.Amps[3])*real(s.Amps[3]) + imag(s.Amps[3])*imag(s.Amps[3])
+	if p11 < 0.999 {
+		t.Errorf("Grover(2,1) P(|11⟩) = %g, want ~1", p11)
+	}
+	res, err := core.Map(c, grid.Rect(5), core.HilightMap(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Validate(res.Circuit); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHiddenShiftStructure(t *testing.T) {
+	c := HiddenShift(8, 0b10110101)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	xs := 0
+	for _, g := range c.Gates {
+		if g.Kind == circuit.X {
+			xs++
+		}
+	}
+	if xs != 2*5 { // popcount(0b10110101)=5, applied twice
+		t.Errorf("X count = %d, want 10", xs)
+	}
+	res, err := core.Map(c, grid.Rect(8), core.HilightMap(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Validate(res.Circuit); err != nil {
+		t.Fatal(err)
+	}
+}

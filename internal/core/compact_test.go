@@ -1,0 +1,106 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hilight/internal/circuit"
+	"hilight/internal/grid"
+	"hilight/internal/order"
+	"hilight/internal/route"
+)
+
+func TestCompactHoistsBubbles(t *testing.T) {
+	// The two-bend L-shape finder defers gates whenever both bends are
+	// blocked, leaving bubbles a stronger finder can re-pack: compaction
+	// with A* must strictly reduce latency on a dense circuit.
+	c := qftCircuit(25)
+	g := grid.Rect(25)
+	cfg := HilightMap(nil)
+	cfg.Finder = route.LShape{}
+	res, err := Map(c, g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compact := CompactSchedule(res.Schedule, res.Circuit, &route.AStar{})
+	if err := compact.Validate(res.Circuit); err != nil {
+		t.Fatalf("compacted schedule invalid: %v", err)
+	}
+	if compact.Latency() >= res.Schedule.Latency() {
+		t.Errorf("compaction recovered nothing: %d -> %d", res.Schedule.Latency(), compact.Latency())
+	}
+}
+
+func TestCompactPreservesAlreadyTight(t *testing.T) {
+	// A serialized chain cannot compact below its dependency depth.
+	c := circuit.New("chain", 5)
+	for i := 0; i+1 < 5; i++ {
+		c.Add2(circuit.CX, i, i+1)
+	}
+	g := grid.Rect(5)
+	res, err := Map(c, g, HilightMap(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	compact := CompactSchedule(res.Schedule, res.Circuit, nil)
+	if compact.Latency() != res.Schedule.Latency() {
+		t.Errorf("chain latency changed: %d -> %d", res.Schedule.Latency(), compact.Latency())
+	}
+	if err := compact.Validate(res.Circuit); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompactSkipsSwapSchedules(t *testing.T) {
+	c := qftCircuit(6)
+	g := grid.Square(6)
+	cfg := HilightMap(nil)
+	cfg.Adjuster = &swapHappyAdjuster{}
+	res, err := Map(c, g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule.InsertedBraids() == 0 {
+		t.Skip("adjuster did not fire")
+	}
+	compact := CompactSchedule(res.Schedule, res.Circuit, nil)
+	if compact != res.Schedule {
+		t.Error("swap-bearing schedule should be returned unchanged")
+	}
+}
+
+// Property: compaction always yields a valid schedule with latency no
+// greater than the input, across random circuits and orderings.
+func TestCompactProperty(t *testing.T) {
+	orderings := []order.Strategy{
+		order.Descending{}, order.Ascending{}, order.Proposed{},
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(10)
+		c := circuit.New("rand", n)
+		for i := 0; i < 5+rng.Intn(40); i++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a != b {
+				c.Add2(circuit.CX, a, b)
+			}
+		}
+		g := grid.Rect(n)
+		cfg := HilightMap(rng)
+		cfg.Ordering = orderings[rng.Intn(len(orderings))]
+		cfg.OrderingThreshold = 1 + rng.Intn(4)
+		res, err := Map(c, g, cfg)
+		if err != nil {
+			return false
+		}
+		compact := CompactSchedule(res.Schedule, res.Circuit, &route.AStar{})
+		if compact.Validate(res.Circuit) != nil {
+			return false
+		}
+		return compact.Latency() <= res.Schedule.Latency()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

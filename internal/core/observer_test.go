@@ -1,0 +1,64 @@
+package core
+
+import (
+	"testing"
+
+	"hilight/internal/grid"
+)
+
+func TestObserverReceivesEveryCycle(t *testing.T) {
+	c := qftCircuit(10)
+	g := grid.Rect(10)
+	var stats []CycleStats
+	cfg := HilightMap(nil)
+	cfg.Observer = ObserverFunc(func(s CycleStats) { stats = append(stats, s) })
+	res, err := Map(c, g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != res.Latency {
+		t.Fatalf("observer saw %d cycles, latency %d", len(stats), res.Latency)
+	}
+	totalExecuted, totalPath := 0, 0
+	for i, s := range stats {
+		if s.Cycle != i {
+			t.Errorf("cycle numbering: %d at index %d", s.Cycle, i)
+		}
+		if s.Executed <= 0 {
+			t.Errorf("cycle %d executed nothing", i)
+		}
+		if s.Executed+s.Deferred != s.Ready {
+			t.Errorf("cycle %d: executed %d + deferred %d != ready %d", i, s.Executed, s.Deferred, s.Ready)
+		}
+		totalExecuted += s.Executed
+		totalPath += s.PathLength
+	}
+	if totalExecuted != res.Circuit.CXCount() {
+		t.Errorf("observer executed total %d != CX count %d", totalExecuted, res.Circuit.CXCount())
+	}
+	if totalPath != res.PathLen {
+		t.Errorf("observer path total %d != result %d", totalPath, res.PathLen)
+	}
+}
+
+func TestObserverSeesSwapBraids(t *testing.T) {
+	c := qftCircuit(6)
+	g := grid.Square(6)
+	cfg := HilightMap(nil)
+	cfg.Adjuster = &swapHappyAdjuster{}
+	swaps := 0
+	cfg.Observer = ObserverFunc(func(s CycleStats) { swaps += s.SwapBraids })
+	if _, err := Map(c, g, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if swaps != 3 {
+		t.Errorf("observer saw %d swap braids, want 3", swaps)
+	}
+}
+
+func TestObserverNilIsSilent(t *testing.T) {
+	c := qftCircuit(5)
+	if _, err := Map(c, grid.Square(5), Config{}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"math/rand"
+
+	"hilight/internal/circuit"
+	"hilight/internal/order"
+	"hilight/internal/place"
+	"hilight/internal/qco"
+	"hilight/internal/route"
+)
+
+// OptimizeProgram applies the program-level optimization (§3.3) and
+// returns the rewritten circuit.
+func OptimizeProgram(c *circuit.Circuit) *circuit.Circuit { return qco.Optimize(c) }
+
+// HilightMap is the paper's "hilight-map": pattern+proximity placement,
+// proposed ordering, closest-corner A* path-finding. rng drives the
+// random layout of pattern matching (QFT-like circuits); nil uses a fixed
+// seed.
+func HilightMap(rng *rand.Rand) Config {
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	return Config{
+		Placement: place.HiLight{Rng: rng},
+		Ordering:  order.Proposed{},
+		Finder:    &route.AStar{},
+	}
+}
+
+// HilightPG is "hilight-pg": HilightMap plus program-level optimization.
+func HilightPG(rng *rand.Rand) Config {
+	cfg := HilightMap(rng)
+	cfg.QCO = true
+	return cfg
+}
+
+// HilightGM is "hilight-gm" from Fig. 9: the graph-inspired GM placement
+// combined with HiLight's routing.
+func HilightGM(rng *rand.Rand) Config {
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	return Config{
+		Placement: place.GM{Rng: rng},
+		Ordering:  order.Proposed{},
+		Finder:    &route.AStar{},
+	}
+}
+
+// Fig9Baseline is the scalability baseline of Fig. 9: GM placement with
+// exhaustive 16-corner-pair path-finding.
+func Fig9Baseline(rng *rand.Rand) Config {
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	return Config{
+		Placement: place.GM{Rng: rng},
+		Ordering:  order.Proposed{},
+		Finder:    &route.Full16{},
+	}
+}

@@ -1,0 +1,363 @@
+// Package core implements the HiLight mapping pipeline: the fast-routing
+// main loop of Alg. 2 with pluggable initial placement, gate ordering and
+// braiding path-finding, plus the configuration presets for every variant
+// the paper evaluates (hilight-map/-pg/-hw/-full, hilight-gm, the Fig. 9
+// baseline, and the hooks the AutoBraid baseline plugs its SWAP-inserting
+// layout adjustment into).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"hilight/internal/circuit"
+	"hilight/internal/grid"
+	"hilight/internal/order"
+	"hilight/internal/place"
+	"hilight/internal/route"
+	"hilight/internal/sched"
+)
+
+// DefaultOrderingThreshold is the ready-set size above which the ordering
+// strategy is invoked; below it the discovery order is used directly. The
+// paper adopts 4 from AutoBraid's analysis.
+const DefaultOrderingThreshold = 4
+
+// TileSwap asks the router to exchange the occupants of two adjacent
+// tiles via an inserted three-braid SWAP.
+type TileSwap struct {
+	T1, T2 int
+}
+
+// RouterState is the read-only view a LayoutAdjuster gets each cycle.
+type RouterState struct {
+	Grid    *grid.Grid
+	Layout  *grid.Layout // live layout; adjusters must not mutate it
+	Circuit *circuit.Circuit
+	Cycle   int
+	// Pending lists, per qubit, the remaining two-qubit gate indices
+	// (front first). Adjusters use it to find distant interacting pairs.
+	Pending [][]int
+}
+
+// LayoutAdjuster lets a baseline (AutoBraid) propose SWAP insertions
+// between cycles. Proposals for non-adjacent tiles are rejected by the
+// router with an error; proposing nothing is always safe.
+type LayoutAdjuster interface {
+	Propose(st *RouterState) []TileSwap
+}
+
+// CycleStats summarizes one braiding cycle for an Observer: how much of
+// the ready set was placed, how much was deferred by congestion, and the
+// lattice resources the cycle consumed.
+type CycleStats struct {
+	Cycle      int
+	Ready      int // executable two-qubit gates at cycle start
+	Executed   int // braids placed for circuit gates
+	Deferred   int // ready gates pushed to the next cycle
+	SwapBraids int // in-flight inserted-SWAP braids this cycle
+	PathLength int // routing vertices consumed this cycle
+}
+
+// Observer receives per-cycle statistics as the router runs. Observers
+// must not retain or mutate router state; they are for congestion
+// profiling and debugging.
+type Observer interface {
+	OnCycle(CycleStats)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(CycleStats)
+
+// OnCycle implements Observer.
+func (f ObserverFunc) OnCycle(s CycleStats) { f(s) }
+
+// Config selects the pieces of the mapping flow. Zero-value fields get
+// the HiLight defaults (pattern+proximity placement, proposed ordering,
+// closest-corner A*, threshold 4).
+type Config struct {
+	Placement place.Method
+	Ordering  order.Strategy
+	Finder    route.Finder
+	// OrderingThreshold invokes Ordering only when the ready set is
+	// strictly larger; ≤0 means DefaultOrderingThreshold.
+	OrderingThreshold int
+	// Adjuster, when non-nil, may insert SWAPs between cycles.
+	Adjuster LayoutAdjuster
+	// QCO enables the program-level optimization (§3.3): commuting-CX
+	// reordering folded into gate-list generation.
+	QCO bool
+	// Observer, when non-nil, receives per-cycle routing statistics.
+	Observer Observer
+}
+
+func (cfg *Config) fillDefaults() {
+	if cfg.Placement == nil {
+		cfg.Placement = place.HiLight{}
+	}
+	if cfg.Ordering == nil {
+		cfg.Ordering = order.Proposed{}
+	}
+	if cfg.Finder == nil {
+		cfg.Finder = &route.AStar{}
+	}
+	if cfg.OrderingThreshold <= 0 {
+		cfg.OrderingThreshold = DefaultOrderingThreshold
+	}
+}
+
+// Result is the outcome of mapping a circuit onto a grid.
+type Result struct {
+	Schedule *sched.Schedule
+	Circuit  *circuit.Circuit // the routed circuit (post SWAP-decomposition/QCO)
+	Grid     *grid.Grid
+	Latency  int
+	PathLen  int           // total braiding path length (ResUtil numerator)
+	Runtime  time.Duration // wall-clock mapping time
+	ResUtil  float64       // Eq. 1
+}
+
+// Map runs the full mapping flow: (optional QCO) → initial placement →
+// the Alg. 2 routing loop. The returned schedule always validates against
+// the returned circuit.
+func Map(c *circuit.Circuit, g *grid.Grid, cfg Config) (*Result, error) {
+	cfg.fillDefaults()
+	start := time.Now()
+	work := c.DecomposeSWAPs()
+	if cfg.QCO {
+		work = OptimizeProgram(work)
+	}
+	if g.Capacity() < work.NumQubits {
+		return nil, fmt.Errorf("core: %s cannot hold %d qubits", g, work.NumQubits)
+	}
+	layout := cfg.Placement.Place(work, g)
+	s, err := routeCircuit(work, g, layout, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Schedule: s,
+		Circuit:  work,
+		Grid:     g,
+		Latency:  s.Latency(),
+		PathLen:  s.TotalPathLength(),
+		Runtime:  time.Since(start),
+	}
+	if res.Latency > 0 {
+		res.ResUtil = float64(res.PathLen) / (float64(g.Tiles()) * float64(res.Latency))
+	}
+	return res, nil
+}
+
+// swapOp tracks an in-flight inserted SWAP: three braids between two
+// adjacent tiles, the last of which exchanges the occupants.
+type swapOp struct {
+	t1, t2    int
+	remaining int
+}
+
+// routeCircuit is the Alg. 2 main loop.
+func routeCircuit(c *circuit.Circuit, g *grid.Grid, layout *grid.Layout, cfg Config) (*sched.Schedule, error) {
+	s := &sched.Schedule{Grid: g, Initial: layout.Clone()}
+
+	// circList: per-qubit gate lists with a cursor each (Alg. 2 line 2).
+	ql := circuit.NewQubitLists(c)
+	cursor := make([]int, c.NumQubits)
+	remaining := c.CXCount()
+	heights := gateHeights(c, ql)
+
+	// skip1Q advances a qubit's cursor past single-qubit gates: they cost
+	// no braiding cycles.
+	skip1Q := func(q int) {
+		lst := ql.Lists[q]
+		for cursor[q] < len(lst) && !c.Gates[lst[cursor[q]]].TwoQubit() {
+			cursor[q]++
+		}
+	}
+	for q := 0; q < c.NumQubits; q++ {
+		skip1Q(q)
+	}
+
+	occ := route.NewOccupancy()
+	var active []swapOp
+	cycle := 0
+	guard := 0
+	maxCycles := 16*(remaining+len(c.Gates)) + 4*g.Tiles() + 64
+
+	for remaining > 0 || len(active) > 0 {
+		if guard++; guard > maxCycles {
+			return nil, fmt.Errorf("core: router exceeded %d cycles with %d gates left — scheduling deadlock", maxCycles, remaining)
+		}
+		occ.Reset()
+		var layer sched.Layer
+		busyTile := map[int]bool{}
+
+		// 1) Keep in-flight SWAP braids going; they occupy their tiles.
+		for i := range active {
+			op := &active[i]
+			p, ok := cfg.Finder.Find(g, occ, op.t1, op.t2)
+			if !ok {
+				busyTile[op.t1], busyTile[op.t2] = true, true
+				continue // stalled by congestion; retry next cycle
+			}
+			occ.Add(g, p)
+			op.remaining--
+			layer = append(layer, sched.Braid{
+				Gate: -1, CtlTile: op.t1, TgtTile: op.t2, Path: p,
+				SwapTiles: op.remaining == 0,
+			})
+			busyTile[op.t1], busyTile[op.t2] = true, true
+		}
+
+		// 2) Gate ordering (Alg. 2 line 4): collect the ready set — both
+		// operands have the gate at their front (the FrontList check).
+		var ready []order.Ready
+		for q := 0; q < c.NumQubits; q++ {
+			lst := ql.Lists[q]
+			if cursor[q] >= len(lst) {
+				continue
+			}
+			gi := lst[cursor[q]]
+			gate := c.Gates[gi]
+			if q != gate.Q0 {
+				continue // count each gate once, from its control side
+			}
+			tq := gate.Q1
+			if cursor[tq] < len(ql.Lists[tq]) && ql.Lists[tq][cursor[tq]] == gi {
+				ready = append(ready, order.Ready{
+					Gate:    gi,
+					CtlTile: layout.QubitTile[gate.Q0],
+					TgtTile: layout.QubitTile[gate.Q1],
+					Height:  heights[gi],
+				})
+			}
+		}
+		if len(ready) > cfg.OrderingThreshold {
+			ready = cfg.Ordering.Order(ready, g)
+		}
+
+		// 3) Braiding path-finding per ready gate (Alg. 2 lines 7–11).
+		for _, r := range ready {
+			if busyTile[r.CtlTile] || busyTile[r.TgtTile] {
+				continue
+			}
+			p, ok := cfg.Finder.Find(g, occ, r.CtlTile, r.TgtTile)
+			if !ok {
+				continue // deferred to the next cycle
+			}
+			occ.Add(g, p)
+			layer = append(layer, sched.Braid{
+				Gate: r.Gate, CtlTile: r.CtlTile, TgtTile: r.TgtTile, Path: p,
+			})
+			busyTile[r.CtlTile], busyTile[r.TgtTile] = true, true
+			gate := c.Gates[r.Gate]
+			cursor[gate.Q0]++
+			cursor[gate.Q1]++
+			skip1Q(gate.Q0)
+			skip1Q(gate.Q1)
+			remaining--
+		}
+
+		if len(layer) > 0 {
+			if cfg.Observer != nil {
+				stats := CycleStats{Cycle: cycle, Ready: len(ready)}
+				for _, b := range layer {
+					stats.PathLength += len(b.Path)
+					if b.Gate >= 0 {
+						stats.Executed++
+					} else {
+						stats.SwapBraids++
+					}
+				}
+				stats.Deferred = stats.Ready - stats.Executed
+				cfg.Observer.OnCycle(stats)
+			}
+			s.Layers = append(s.Layers, layer)
+			cycle++
+		}
+
+		// 4) Apply completed SWAPs and drop them from the active list.
+		kept := active[:0]
+		for _, op := range active {
+			if op.remaining == 0 {
+				layout.Swap(op.t1, op.t2)
+			} else {
+				kept = append(kept, op)
+			}
+		}
+		active = kept
+
+		// 5) Let the adjuster (AutoBraid baseline) propose new SWAPs.
+		if cfg.Adjuster != nil && remaining > 0 {
+			st := &RouterState{
+				Grid: g, Layout: layout, Circuit: c, Cycle: cycle,
+				Pending: pendingLists(c, ql, cursor),
+			}
+			for _, sw := range cfg.Adjuster.Propose(st) {
+				if g.Dist(sw.T1, sw.T2) != 1 {
+					return nil, fmt.Errorf("core: adjuster proposed non-adjacent swap %d-%d", sw.T1, sw.T2)
+				}
+				if tileInFlight(active, sw.T1) || tileInFlight(active, sw.T2) {
+					continue
+				}
+				active = append(active, swapOp{t1: sw.T1, t2: sw.T2, remaining: 3})
+			}
+		}
+
+		if len(layer) == 0 && len(active) == 0 && remaining > 0 {
+			return nil, fmt.Errorf("core: no progress with %d gates remaining", remaining)
+		}
+	}
+	return s, nil
+}
+
+func tileInFlight(active []swapOp, t int) bool {
+	for _, op := range active {
+		if op.t1 == t || op.t2 == t {
+			return true
+		}
+	}
+	return false
+}
+
+// gateHeights computes, per two-qubit gate, the length of the longest
+// chain of dependent two-qubit gates below it — the priority the
+// CriticalPath ordering consumes. One backward sweep over the gate list.
+func gateHeights(c *circuit.Circuit, ql *circuit.QubitLists) []int {
+	heights := make([]int, len(c.Gates))
+	// nextCX[q] is the height of the next two-qubit gate after the sweep
+	// position on qubit q (-1 when none).
+	nextCX := make([]int, c.NumQubits)
+	for q := range nextCX {
+		nextCX[q] = -1
+	}
+	for gi := len(c.Gates) - 1; gi >= 0; gi-- {
+		g := c.Gates[gi]
+		if !g.TwoQubit() {
+			continue
+		}
+		h := 0
+		for _, q := range [2]int{g.Q0, g.Q1} {
+			if nextCX[q] >= 0 && nextCX[q]+1 > h {
+				h = nextCX[q] + 1
+			}
+		}
+		heights[gi] = h
+		nextCX[g.Q0] = h
+		nextCX[g.Q1] = h
+	}
+	return heights
+}
+
+// pendingLists returns, per qubit, the remaining two-qubit gate indices.
+func pendingLists(c *circuit.Circuit, ql *circuit.QubitLists, cursor []int) [][]int {
+	out := make([][]int, c.NumQubits)
+	for q := range out {
+		for _, gi := range ql.Lists[q][cursor[q]:] {
+			if c.Gates[gi].TwoQubit() {
+				out[q] = append(out[q], gi)
+			}
+		}
+	}
+	return out
+}

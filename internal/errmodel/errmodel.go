@@ -1,0 +1,139 @@
+// Package errmodel turns braiding schedules into physical resource
+// estimates: the code distance needed to execute a schedule within a
+// logical error budget, the physical qubit count that distance implies,
+// and the wall-clock execution time. It closes the loop from the paper's
+// cycle-count latency metric to hardware numbers a platform architect
+// can use.
+//
+// Model. The standard surface-code scaling law (Fowler et al. 2012): a
+// logical qubit patch of distance d run for one code cycle fails with
+// probability ≈ A·(p/p_th)^((d+1)/2), where p is the physical error rate
+// and p_th the threshold. A schedule's space-time volume is
+// tiles × latency braiding cycles, each braiding cycle lasting d code
+// cycles (the defect must move at most d per code cycle to stay
+// protected), so the total failure budget constrains d.
+package errmodel
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Params configures the error model. Zero fields take the Default values.
+type Params struct {
+	// PhysError is the physical per-operation error rate p (e.g. 1e-3).
+	PhysError float64
+	// Threshold is the surface-code threshold p_th (≈ 1e-2).
+	Threshold float64
+	// Prefactor is the A in A·(p/p_th)^((d+1)/2) (≈ 0.1).
+	Prefactor float64
+	// QubitsPerTileFactor scales d² to physical qubits per tile; the
+	// double-defect tile including measurement ancillas is ≈ 2.5·d².
+	QubitsPerTileFactor float64
+	// CodeCycle is the duration of one surface-code stabilizer round
+	// (≈ 1 µs for superconducting hardware).
+	CodeCycle time.Duration
+	// MaxDistance bounds the search (default 99).
+	MaxDistance int
+}
+
+// Default returns parameters for a superconducting-qubit platform at
+// p = 10⁻³.
+func Default() Params {
+	return Params{
+		PhysError:           1e-3,
+		Threshold:           1e-2,
+		Prefactor:           0.1,
+		QubitsPerTileFactor: 2.5,
+		CodeCycle:           time.Microsecond,
+		MaxDistance:         99,
+	}
+}
+
+func (p Params) fill() Params {
+	d := Default()
+	if p.PhysError == 0 {
+		p.PhysError = d.PhysError
+	}
+	if p.Threshold == 0 {
+		p.Threshold = d.Threshold
+	}
+	if p.Prefactor == 0 {
+		p.Prefactor = d.Prefactor
+	}
+	if p.QubitsPerTileFactor == 0 {
+		p.QubitsPerTileFactor = d.QubitsPerTileFactor
+	}
+	if p.CodeCycle == 0 {
+		p.CodeCycle = d.CodeCycle
+	}
+	if p.MaxDistance == 0 {
+		p.MaxDistance = d.MaxDistance
+	}
+	return p
+}
+
+func (p Params) validate() error {
+	if p.PhysError <= 0 || p.Threshold <= 0 {
+		return fmt.Errorf("errmodel: non-positive error rates %g/%g", p.PhysError, p.Threshold)
+	}
+	if p.PhysError >= p.Threshold {
+		return fmt.Errorf("errmodel: physical error %g at or above threshold %g — no distance suffices", p.PhysError, p.Threshold)
+	}
+	if p.Prefactor <= 0 || p.QubitsPerTileFactor <= 0 || p.MaxDistance < 3 {
+		return fmt.Errorf("errmodel: bad parameters %+v", p)
+	}
+	return nil
+}
+
+// LogicalErrorPerTileCycle returns the per-tile, per-code-cycle logical
+// failure probability at distance d.
+func (p Params) LogicalErrorPerTileCycle(d int) float64 {
+	p = p.fill()
+	return p.Prefactor * math.Pow(p.PhysError/p.Threshold, float64(d+1)/2)
+}
+
+// Report is a physical resource estimate for one schedule.
+type Report struct {
+	Distance       int           // selected code distance (odd)
+	PhysicalQubits int           // total physical qubits for the grid
+	CodeCycles     int64         // latency × d code cycles
+	WallClock      time.Duration // CodeCycles × code-cycle time
+	LogicalError   float64       // expected failure probability of the run
+	Budget         float64       // the target it was sized against
+}
+
+// Estimate sizes the code distance so the whole schedule (tiles ×
+// latency braiding cycles, each d code cycles long) fails with
+// probability at most budget, then derives physical qubits and wall
+// clock. Latency zero (no braids) yields the minimum distance 3.
+func Estimate(tiles, latency int, budget float64, p Params) (Report, error) {
+	p = p.fill()
+	if err := p.validate(); err != nil {
+		return Report{}, err
+	}
+	if tiles <= 0 || latency < 0 {
+		return Report{}, fmt.Errorf("errmodel: bad volume %d tiles × %d cycles", tiles, latency)
+	}
+	if budget <= 0 || budget >= 1 {
+		return Report{}, fmt.Errorf("errmodel: budget %g outside (0,1)", budget)
+	}
+	for d := 3; d <= p.MaxDistance; d += 2 {
+		codeCycles := int64(latency) * int64(d)
+		volume := float64(tiles) * math.Max(float64(codeCycles), 1)
+		fail := volume * p.LogicalErrorPerTileCycle(d)
+		if fail <= budget {
+			return Report{
+				Distance:       d,
+				PhysicalQubits: int(math.Ceil(p.QubitsPerTileFactor * float64(d*d) * float64(tiles))),
+				CodeCycles:     codeCycles,
+				WallClock:      time.Duration(codeCycles) * p.CodeCycle,
+				LogicalError:   fail,
+				Budget:         budget,
+			}, nil
+		}
+	}
+	return Report{}, fmt.Errorf("errmodel: no distance ≤ %d meets budget %g for %d tiles × %d cycles",
+		p.MaxDistance, budget, tiles, latency)
+}

@@ -1,0 +1,120 @@
+package errmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestLogicalErrorScaling(t *testing.T) {
+	p := Default()
+	// Exponential suppression: each +2 in distance multiplies the error
+	// by p/p_th.
+	e3 := p.LogicalErrorPerTileCycle(3)
+	e5 := p.LogicalErrorPerTileCycle(5)
+	if ratio := e5 / e3; math.Abs(ratio-p.PhysError/p.Threshold) > 1e-12 {
+		t.Errorf("suppression ratio = %g, want %g", ratio, p.PhysError/p.Threshold)
+	}
+	if e3 >= p.Prefactor {
+		t.Errorf("d=3 error %g not below prefactor", e3)
+	}
+}
+
+func TestEstimateBasic(t *testing.T) {
+	rep, err := Estimate(16, 100, 1e-2, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Distance < 3 || rep.Distance%2 == 0 {
+		t.Errorf("distance = %d", rep.Distance)
+	}
+	if rep.LogicalError > rep.Budget {
+		t.Errorf("error %g exceeds budget %g", rep.LogicalError, rep.Budget)
+	}
+	if rep.PhysicalQubits < 16*2*rep.Distance*rep.Distance {
+		t.Errorf("physical qubits %d implausibly low for d=%d", rep.PhysicalQubits, rep.Distance)
+	}
+	if rep.CodeCycles != int64(100*rep.Distance) {
+		t.Errorf("code cycles = %d", rep.CodeCycles)
+	}
+	if rep.WallClock != time.Duration(rep.CodeCycles)*time.Microsecond {
+		t.Errorf("wall clock = %v", rep.WallClock)
+	}
+	// Minimality: d−2 must miss the budget.
+	if rep.Distance > 3 {
+		d := rep.Distance - 2
+		vol := 16.0 * float64(100*d)
+		if vol*Default().LogicalErrorPerTileCycle(d) <= rep.Budget {
+			t.Errorf("distance %d not minimal", rep.Distance)
+		}
+	}
+}
+
+func TestEstimateZeroLatency(t *testing.T) {
+	rep, err := Estimate(9, 0, 1e-3, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Distance != 3 && rep.Distance%2 == 0 {
+		t.Errorf("distance = %d", rep.Distance)
+	}
+	if rep.WallClock != 0 {
+		t.Errorf("wall clock = %v for zero latency", rep.WallClock)
+	}
+}
+
+func TestEstimateRejectsBadInput(t *testing.T) {
+	if _, err := Estimate(0, 10, 1e-2, Params{}); err == nil {
+		t.Error("zero tiles accepted")
+	}
+	if _, err := Estimate(10, 10, 0, Params{}); err == nil {
+		t.Error("zero budget accepted")
+	}
+	if _, err := Estimate(10, 10, 1.5, Params{}); err == nil {
+		t.Error("budget > 1 accepted")
+	}
+	if _, err := Estimate(10, 10, 1e-2, Params{PhysError: 0.02, Threshold: 0.01}); err == nil {
+		t.Error("above-threshold physical error accepted")
+	}
+}
+
+func TestEstimateImpossibleBudget(t *testing.T) {
+	// Near-threshold hardware with a huge run and a tiny budget: no
+	// distance under the cap can satisfy it.
+	p := Params{PhysError: 9.9e-3, Threshold: 1e-2, MaxDistance: 11}
+	if _, err := Estimate(1000, 1_000_000, 1e-15, p); err == nil {
+		t.Error("impossible budget accepted")
+	}
+}
+
+// Property: distance is monotone — tighter budgets and bigger volumes
+// never shrink it; the reported error never exceeds the budget.
+func TestEstimateMonotoneProperty(t *testing.T) {
+	f := func(tilesSeed, latSeed uint8) bool {
+		tiles := 1 + int(tilesSeed)%200
+		latency := int(latSeed) * 10
+		budgets := []float64{1e-1, 1e-3, 1e-6, 1e-9}
+		prev := 0
+		for _, b := range budgets {
+			rep, err := Estimate(tiles, latency, b, Params{})
+			if err != nil {
+				return false
+			}
+			if rep.Distance < prev {
+				return false
+			}
+			if rep.LogicalError > b {
+				return false
+			}
+			prev = rep.Distance
+		}
+		// Doubling the volume cannot shrink the distance.
+		a, err1 := Estimate(tiles, latency, 1e-6, Params{})
+		b, err2 := Estimate(tiles*2, latency*2+1, 1e-6, Params{})
+		return err1 == nil && err2 == nil && b.Distance >= a.Distance
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

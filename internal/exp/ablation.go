@@ -1,0 +1,161 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"text/tabwriter"
+
+	"hilight/internal/core"
+	"hilight/internal/grid"
+	"hilight/internal/place"
+	"hilight/internal/route"
+)
+
+// ThresholdPoint is one row of the ordering-threshold sweep: the ready-set
+// size above which the ordering strategy is invoked, and the resulting
+// geomean-normalized metrics (reference: the paper's threshold of 4).
+type ThresholdPoint struct {
+	Threshold int
+	Latency   float64
+	Runtime   float64
+}
+
+// ThresholdReport is the ordering-threshold ablation — the paper adopts
+// threshold 4 from AutoBraid's analysis; this sweep regenerates the
+// trade-off behind that constant.
+type ThresholdReport struct {
+	Points []ThresholdPoint
+}
+
+// Print renders the sweep.
+func (r *ThresholdReport) Print(w io.Writer) {
+	fmt.Fprintln(w, "Ablation — gate-ordering invocation threshold (normalized to threshold 4)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "threshold\tnorm.latency\tnorm.runtime")
+	for _, p := range r.Points {
+		fmt.Fprintf(tw, "%d\t%.3f\t%.3f\n", p.Threshold, p.Latency, p.Runtime)
+	}
+	tw.Flush()
+}
+
+// RunThresholdSweep measures the ordering threshold at 1, 2, 4, 8, 16 and
+// 1<<30 (never order) over the scaled benchmark set.
+func RunThresholdSweep(o Options) (*ThresholdReport, error) {
+	o = o.fill()
+	thresholds := []int{1, 2, 4, 8, 16, 1 << 30}
+	lat := make([][]float64, len(thresholds))
+	rt := make([][]float64, len(thresholds))
+	for _, e := range o.entries() {
+		c := e.Build()
+		g := grid.Rect(e.N)
+		for i, th := range thresholds {
+			mk := func(rng *rand.Rand) core.Config {
+				cfg := core.HilightMap(rng)
+				cfg.OrderingThreshold = th
+				return cfg
+			}
+			m, err := average(c, g, mk, o.Seed, 1)
+			if err != nil {
+				return nil, fmt.Errorf("%s/threshold %d: %w", e.Name, th, err)
+			}
+			lat[i] = append(lat[i], float64(m.Latency))
+			rt[i] = append(rt[i], seconds(m.Runtime))
+		}
+	}
+	ref := 2 // threshold 4, the paper's choice
+	const rtFloor = 50e-6
+	rep := &ThresholdReport{}
+	for i, th := range thresholds {
+		rep.Points = append(rep.Points, ThresholdPoint{
+			Threshold: th,
+			Latency:   geomeanRatio(lat[i], lat[ref], 1),
+			Runtime:   geomeanRatio(rt[i], rt[ref], rtFloor),
+		})
+	}
+	return rep, nil
+}
+
+// FinderArm is one path-finder of the finder ablation.
+type FinderArm struct {
+	Name    string
+	Latency float64
+	Runtime float64
+	ResUtil float64
+}
+
+// FinderReport compares the four braiding path-finders under otherwise
+// identical mapping (proposed placement and ordering).
+type FinderReport struct {
+	Arms []FinderArm
+}
+
+// Arm returns the named arm, if present.
+func (r *FinderReport) Arm(name string) (FinderArm, bool) {
+	for _, a := range r.Arms {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return FinderArm{}, false
+}
+
+// Print renders the comparison.
+func (r *FinderReport) Print(w io.Writer) {
+	fmt.Fprintln(w, "Ablation — braiding path-finders (normalized to astar-closest)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "finder\tnorm.latency\tnorm.runtime\tnorm.resutil")
+	for _, a := range r.Arms {
+		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%.3f\n", a.Name, a.Latency, a.Runtime, a.ResUtil)
+	}
+	tw.Flush()
+}
+
+// RunFinderAblation measures the four path-finders — single-A*, the
+// exhaustive 16-pair search, the AutoBraid stack DFS, and the two-bend
+// L-shape — across the scaled benchmark set.
+func RunFinderAblation(o Options) (*FinderReport, error) {
+	o = o.fill()
+	finders := []struct {
+		name string
+		mk   func() route.Finder
+	}{
+		{"astar-closest", func() route.Finder { return &route.AStar{} }},
+		{"full-16", func() route.Finder { return &route.Full16{} }},
+		{"stack-dfs", func() route.Finder { return &route.StackDFS{} }},
+		{"l-shape", func() route.Finder { return route.LShape{} }},
+	}
+	lat := make([][]float64, len(finders))
+	rt := make([][]float64, len(finders))
+	util := make([][]float64, len(finders))
+	for _, e := range o.entries() {
+		c := e.Build()
+		g := grid.Rect(e.N)
+		for i, f := range finders {
+			mk := func(rng *rand.Rand) core.Config {
+				return core.Config{
+					Placement: place.HiLight{Rng: rng},
+					Finder:    f.mk(),
+				}
+			}
+			m, err := average(c, g, mk, o.Seed, 1)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", e.Name, f.name, err)
+			}
+			lat[i] = append(lat[i], float64(m.Latency))
+			rt[i] = append(rt[i], seconds(m.Runtime))
+			util[i] = append(util[i], m.ResUtil)
+		}
+	}
+	const rtFloor = 50e-6
+	rep := &FinderReport{}
+	for i, f := range finders {
+		rep.Arms = append(rep.Arms, FinderArm{
+			Name:    f.name,
+			Latency: geomeanRatio(lat[i], lat[0], 1),
+			Runtime: geomeanRatio(rt[i], rt[0], rtFloor),
+			ResUtil: geomeanRatio(util[i], util[0], 1e-6),
+		})
+	}
+	return rep, nil
+}

@@ -1,0 +1,77 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"text/tabwriter"
+
+	"hilight/internal/circuit"
+	"hilight/internal/core"
+	"hilight/internal/grid"
+	"hilight/internal/qco"
+)
+
+// BoundsRow compares a benchmark's achieved latency against its
+// dependency lower bound: no mapper can beat the circuit's two-qubit
+// ASAP depth (each qubit braids at most once per cycle), so
+// latency/depth measures how much congestion — the only thing mapping
+// can influence — actually costs.
+type BoundsRow struct {
+	Name    string
+	N       int
+	Depth   int // commutation-unaware dependency depth
+	QCODpth int // depth after the commuting-CX rewrite (a tighter model)
+	Latency int // hilight-map achieved latency
+	Gap     float64
+}
+
+// BoundsReport is the optimality analysis across the benchmark set.
+type BoundsReport struct {
+	Rows []BoundsRow
+	// MeanGap is the geomean of latency/depth across rows (1.0 = every
+	// schedule is dependency-bound-optimal).
+	MeanGap float64
+}
+
+// Print renders the analysis.
+func (r *BoundsReport) Print(w io.Writer) {
+	fmt.Fprintln(w, "Bounds — achieved latency vs dependency lower bound (hilight-map)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "name\tn\tdepth\tqco.depth\tlatency\tgap")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%.3f\n",
+			row.Name, row.N, row.Depth, row.QCODpth, row.Latency, row.Gap)
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "geomean gap: %.3f (1.0 = dependency-optimal)\n", r.MeanGap)
+}
+
+// RunBounds maps every scaled benchmark with hilight-map and reports the
+// latency/depth gap.
+func RunBounds(o Options) (*BoundsReport, error) {
+	o = o.fill()
+	rep := &BoundsReport{}
+	var gaps, ones []float64
+	for _, e := range o.entries() {
+		c := e.Build()
+		work := c.DecomposeSWAPs()
+		_, depth := circuit.Layers(work)
+		_, qcoDepth := circuit.Layers(qco.Optimize(work))
+		m, err := runOn(c, grid.Rect(e.N), core.HilightMap(rand.New(rand.NewSource(o.Seed))))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", e.Name, err)
+		}
+		row := BoundsRow{Name: e.Name, N: e.N, Depth: depth, QCODpth: qcoDepth, Latency: m.Latency}
+		if depth > 0 {
+			row.Gap = float64(m.Latency) / float64(depth)
+		} else {
+			row.Gap = 1
+		}
+		rep.Rows = append(rep.Rows, row)
+		gaps = append(gaps, row.Gap)
+		ones = append(ones, 1)
+	}
+	rep.MeanGap = geomeanRatio(gaps, ones, 1e-9)
+	return rep, nil
+}

@@ -1,0 +1,52 @@
+package exp
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// WriteCSV emits the Table 1 report as machine-readable CSV (one row per
+// benchmark, framework metrics in columns) for external plotting.
+func (r *Table1Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"name", "type", "n", "gates",
+		"sp_latency", "sp_runtime_s", "sp_resutil",
+		"full_latency", "full_runtime_s", "full_resutil",
+		"hilight_latency", "hilight_runtime_s", "hilight_resutil"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		rec := []string{
+			row.Name, row.Type,
+			fmt.Sprint(row.N), fmt.Sprint(row.Gates),
+			fmt.Sprint(row.SP.Latency), fmt.Sprintf("%.6f", seconds(row.SP.Runtime)), fmt.Sprintf("%.4f", row.SP.ResUtil),
+			fmt.Sprint(row.Full.Latency), fmt.Sprintf("%.6f", seconds(row.Full.Runtime)), fmt.Sprintf("%.4f", row.Full.ResUtil),
+			fmt.Sprint(row.HiLight.Latency), fmt.Sprintf("%.6f", seconds(row.HiLight.Runtime)), fmt.Sprintf("%.4f", row.HiLight.ResUtil),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits the scalability sweep as long-form CSV
+// (bench,n,method,latency,runtime) — the layout plotting libraries want.
+func (r *Fig9Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"bench", "n", "method", "latency", "runtime_s"}); err != nil {
+		return err
+	}
+	for _, p := range r.Points {
+		rec := []string{p.Bench, fmt.Sprint(p.N), p.Method,
+			fmt.Sprint(p.Latency), fmt.Sprintf("%.6f", seconds(p.Runtime))}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

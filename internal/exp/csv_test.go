@@ -1,0 +1,54 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/csv"
+	"testing"
+)
+
+func TestTable1CSV(t *testing.T) {
+	rep, err := RunTable1(smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("output not valid CSV: %v", err)
+	}
+	if len(records) != len(rep.Rows)+1 {
+		t.Fatalf("records = %d, want %d", len(records), len(rep.Rows)+1)
+	}
+	if records[0][0] != "name" || len(records[0]) != 13 {
+		t.Errorf("header wrong: %v", records[0])
+	}
+	for i, rec := range records[1:] {
+		if rec[0] != rep.Rows[i].Name {
+			t.Errorf("row %d name %q != %q", i, rec[0], rep.Rows[i].Name)
+		}
+	}
+}
+
+func TestFig9CSV(t *testing.T) {
+	rep, err := RunFig9(smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("output not valid CSV: %v", err)
+	}
+	if len(records) != len(rep.Points)+1 {
+		t.Fatalf("records = %d, want %d", len(records), len(rep.Points)+1)
+	}
+	if records[0][2] != "method" {
+		t.Errorf("header wrong: %v", records[0])
+	}
+}

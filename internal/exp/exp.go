@@ -1,0 +1,143 @@
+// Package exp is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation section from the re-implemented
+// frameworks and prints the same rows/series the paper reports.
+//
+// Experiments return structured reports (so tests can assert the paper's
+// qualitative shape — who wins, by roughly what factor) and render
+// themselves as text tables.
+package exp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"hilight/internal/bench"
+	"hilight/internal/circuit"
+	"hilight/internal/core"
+	"hilight/internal/grid"
+)
+
+// Scale bounds how much of Table 1 an experiment runs.
+type Scale string
+
+// Scales, by maximum benchmark gate count.
+const (
+	ScaleSmall  Scale = "small"  // ≤ 2,500 gates: seconds
+	ScaleMedium Scale = "medium" // ≤ 40,000 gates: tens of seconds
+	ScaleFull   Scale = "full"   // everything, including QFT-500 (0.25M gates)
+)
+
+func (s Scale) maxGates() int {
+	switch s {
+	case ScaleSmall:
+		return 2500
+	case ScaleMedium:
+		return 40000
+	default:
+		return math.MaxInt
+	}
+}
+
+// Options configures an experiment run.
+type Options struct {
+	Scale Scale
+	Seed  int64
+	// Trials averages the random-placement / random-ordering arms; the
+	// paper uses 100, the default here is 5 to keep runs quick.
+	Trials int
+}
+
+func (o Options) fill() Options {
+	if o.Scale == "" {
+		o.Scale = ScaleSmall
+	}
+	if o.Trials <= 0 {
+		o.Trials = 5
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// entries returns the Table 1 benchmarks within the scale budget.
+func (o Options) entries() []bench.Entry {
+	maxG := o.Scale.maxGates()
+	var out []bench.Entry
+	for _, e := range bench.Table1() {
+		if e.Gates <= maxG {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Measurement is one framework run on one benchmark.
+type Measurement struct {
+	Latency int
+	Runtime time.Duration
+	ResUtil float64
+}
+
+// runOn maps a circuit on its paper grid (rectangular M×(M−1), per §4.6)
+// and returns the measurement. The schedule is validated — a harness that
+// reports metrics for unexecutable schedules would be meaningless.
+func runOn(c *circuit.Circuit, g *grid.Grid, cfg core.Config) (Measurement, error) {
+	res, err := core.Map(c, g, cfg)
+	if err != nil {
+		return Measurement{}, err
+	}
+	if err := res.Schedule.Validate(res.Circuit); err != nil {
+		return Measurement{}, fmt.Errorf("invalid schedule: %w", err)
+	}
+	return Measurement{Latency: res.Latency, Runtime: res.Runtime, ResUtil: res.ResUtil}, nil
+}
+
+// average runs cfg trials times with distinct seeds and averages.
+func average(c *circuit.Circuit, g *grid.Grid, mk func(*rand.Rand) core.Config, seed int64, trials int) (Measurement, error) {
+	var sumL, sumU float64
+	var sumR time.Duration
+	for t := 0; t < trials; t++ {
+		m, err := runOn(c, g, mk(rand.New(rand.NewSource(seed+int64(t)))))
+		if err != nil {
+			return Measurement{}, err
+		}
+		sumL += float64(m.Latency)
+		sumR += m.Runtime
+		sumU += m.ResUtil
+	}
+	return Measurement{
+		Latency: int(math.Round(sumL / float64(trials))),
+		Runtime: sumR / time.Duration(trials),
+		ResUtil: sumU / float64(trials),
+	}, nil
+}
+
+// geomeanRatio returns the geometric mean of xs[i]/ys[i], skipping pairs
+// where the denominator is zero (adding a floor keeps sub-microsecond
+// runtimes from exploding the ratio).
+func geomeanRatio(xs, ys []float64, floor float64) float64 {
+	sum, n := 0.0, 0
+	for i := range xs {
+		x, y := xs[i], ys[i]
+		if x < floor {
+			x = floor
+		}
+		if y < floor {
+			y = floor
+		}
+		if y == 0 {
+			continue
+		}
+		sum += math.Log(x / y)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+func seconds(d time.Duration) float64 { return d.Seconds() }

@@ -1,0 +1,97 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"text/tabwriter"
+
+	"hilight/internal/autobraid"
+	"hilight/internal/core"
+	"hilight/internal/hwopt"
+)
+
+// Fig10Arm is one bar group of Fig. 10: a framework variant's latency,
+// runtime and resource utilization geomean-normalized to hilight-map.
+type Fig10Arm struct {
+	Name    string
+	Latency float64
+	Runtime float64
+	ResUtil float64
+}
+
+// Fig10Report is the optimization-level summary of Fig. 10.
+type Fig10Report struct {
+	Arms []Fig10Arm
+}
+
+// Arm returns the named arm, if present.
+func (r *Fig10Report) Arm(name string) (Fig10Arm, bool) {
+	for _, a := range r.Arms {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return Fig10Arm{}, false
+}
+
+// Print renders the summary.
+func (r *Fig10Report) Print(w io.Writer) {
+	fmt.Fprintln(w, "Fig. 10 — optimization levels (normalized to hilight-map)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "variant\tnorm.latency\tnorm.runtime\tnorm.resutil")
+	for _, a := range r.Arms {
+		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%.3f\n", a.Name, a.Latency, a.Runtime, a.ResUtil)
+	}
+	tw.Flush()
+}
+
+// RunFig10 reproduces Fig. 10: autobraid-full as the external reference
+// and the four HiLight variants — map, -pg (program-level), -hw
+// (hardware-level M×(M−1) grid), -full (both) — all normalized to
+// hilight-map. The hardware-level arms run on the diminished grid; the
+// others on the square grid.
+func RunFig10(o Options) (*Fig10Report, error) {
+	o = o.fill()
+	type arm struct {
+		name   string
+		hwGrid bool
+		mk     func(*rand.Rand) core.Config
+	}
+	arms := []arm{
+		{"autobraid-full", false, func(rng *rand.Rand) core.Config { return autobraid.Full(rng) }},
+		{"hilight-map", false, func(rng *rand.Rand) core.Config { return core.HilightMap(rng) }},
+		{"hilight-pg", false, func(rng *rand.Rand) core.Config { return core.HilightPG(rng) }},
+		{"hilight-hw", true, func(rng *rand.Rand) core.Config { return core.HilightMap(rng) }},
+		{"hilight-full", true, func(rng *rand.Rand) core.Config { return core.HilightPG(rng) }},
+	}
+	entries := o.entries()
+	lat := make([][]float64, len(arms))
+	rt := make([][]float64, len(arms))
+	util := make([][]float64, len(arms))
+	for _, e := range entries {
+		c := e.Build()
+		for i, a := range arms {
+			g := hwopt.GridFor(e.N, a.hwGrid)
+			m, err := average(c, g, a.mk, o.Seed, 1)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", e.Name, a.name, err)
+			}
+			lat[i] = append(lat[i], float64(m.Latency))
+			rt[i] = append(rt[i], seconds(m.Runtime))
+			util[i] = append(util[i], m.ResUtil)
+		}
+	}
+	ref := 1 // hilight-map
+	const rtFloor = 50e-6
+	rep := &Fig10Report{}
+	for i, a := range arms {
+		rep.Arms = append(rep.Arms, Fig10Arm{
+			Name:    a.name,
+			Latency: geomeanRatio(lat[i], lat[ref], 1),
+			Runtime: geomeanRatio(rt[i], rt[ref], rtFloor),
+			ResUtil: geomeanRatio(util[i], util[ref], 1e-6),
+		})
+	}
+	return rep, nil
+}

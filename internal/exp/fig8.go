@@ -1,0 +1,225 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"text/tabwriter"
+
+	"hilight/internal/core"
+	"hilight/internal/grid"
+	"hilight/internal/order"
+	"hilight/internal/place"
+	"hilight/internal/route"
+)
+
+// ArmResult is one bar of Fig. 8a/8b: a method's latency and runtime
+// geomean-normalized to the proposed method (1.0 = proposed).
+type ArmResult struct {
+	Name    string
+	Latency float64
+	Runtime float64
+}
+
+// FigReport is a normalized multi-arm comparison.
+type FigReport struct {
+	Title string
+	Arms  []ArmResult
+}
+
+// Print renders the report as a normalized table.
+func (r *FigReport) Print(w io.Writer) {
+	fmt.Fprintln(w, r.Title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "method\tnorm.latency\tnorm.runtime")
+	for _, a := range r.Arms {
+		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\n", a.Name, a.Latency, a.Runtime)
+	}
+	tw.Flush()
+}
+
+// Arm returns the named arm, if present.
+func (r *FigReport) Arm(name string) (ArmResult, bool) {
+	for _, a := range r.Arms {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return ArmResult{}, false
+}
+
+// runArms measures every arm over the scaled benchmark set and
+// normalizes to the arm named ref.
+func runArms(o Options, title, ref string, arms map[string]func(*rand.Rand) core.Config, trials map[string]int) (*FigReport, error) {
+	o = o.fill()
+	entries := o.entries()
+	lat := map[string][]float64{}
+	rt := map[string][]float64{}
+	for _, e := range entries {
+		c := e.Build()
+		g := grid.Rect(e.N)
+		for name, mk := range arms {
+			t := 1
+			if trials[name] > 0 {
+				t = trials[name]
+			}
+			m, err := average(c, g, mk, o.Seed, t)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", e.Name, name, err)
+			}
+			lat[name] = append(lat[name], float64(m.Latency))
+			rt[name] = append(rt[name], seconds(m.Runtime))
+		}
+	}
+	const rtFloor = 50e-6
+	rep := &FigReport{Title: title}
+	for name := range arms {
+		rep.Arms = append(rep.Arms, ArmResult{
+			Name:    name,
+			Latency: geomeanRatio(lat[name], lat[ref], 1),
+			Runtime: geomeanRatio(rt[name], rt[ref], rtFloor),
+		})
+	}
+	sortArms(rep.Arms)
+	return rep, nil
+}
+
+func sortArms(arms []ArmResult) {
+	for i := 1; i < len(arms); i++ {
+		for j := i; j > 0 && arms[j].Name < arms[j-1].Name; j-- {
+			arms[j], arms[j-1] = arms[j-1], arms[j]
+		}
+	}
+}
+
+// RunFig8a reproduces Fig. 8a: initial-placement comparison with routing
+// fixed to the proposed gate ordering and path-finder.
+func RunFig8a(o Options) (*FigReport, error) {
+	o = o.fill()
+	withPlacement := func(mk func(*rand.Rand) place.Method) func(*rand.Rand) core.Config {
+		return func(rng *rand.Rand) core.Config {
+			return core.Config{
+				Placement: mk(rng),
+				Ordering:  order.Proposed{},
+				Finder:    &route.AStar{},
+			}
+		}
+	}
+	arms := map[string]func(*rand.Rand) core.Config{
+		"identity": withPlacement(func(*rand.Rand) place.Method { return place.Identity{} }),
+		"random":   withPlacement(func(rng *rand.Rand) place.Method { return place.Random{Rng: rng} }),
+		"gm":       withPlacement(func(rng *rand.Rand) place.Method { return place.GM{Rng: rng} }),
+		"gmwp":     withPlacement(func(rng *rand.Rand) place.Method { return place.GMWP{Rng: rng} }),
+		"proposed": withPlacement(func(rng *rand.Rand) place.Method { return place.HiLight{Rng: rng} }),
+	}
+	return runArms(o, "Fig. 8a — initial placement (normalized to proposed)", "proposed",
+		arms, map[string]int{"random": o.Trials, "proposed": o.Trials})
+}
+
+// RunFig8b reproduces Fig. 8b: gate-ordering comparison with the proposed
+// placement and path-finder.
+func RunFig8b(o Options) (*FigReport, error) {
+	o = o.fill()
+	withOrdering := func(mk func(*rand.Rand) order.Strategy) func(*rand.Rand) core.Config {
+		return func(rng *rand.Rand) core.Config {
+			return core.Config{
+				Placement: place.HiLight{Rng: rng},
+				Ordering:  mk(rng),
+				Finder:    &route.AStar{},
+			}
+		}
+	}
+	arms := map[string]func(*rand.Rand) core.Config{
+		"random":     withOrdering(func(rng *rand.Rand) order.Strategy { return order.Random{Rng: rng} }),
+		"ascending":  withOrdering(func(*rand.Rand) order.Strategy { return order.Ascending{} }),
+		"descending": withOrdering(func(*rand.Rand) order.Strategy { return order.Descending{} }),
+		"llg":        withOrdering(func(*rand.Rand) order.Strategy { return order.LLG{} }),
+		"proposed":   withOrdering(func(*rand.Rand) order.Strategy { return order.Proposed{} }),
+	}
+	return runArms(o, "Fig. 8b — gate ordering (normalized to proposed)", "proposed",
+		arms, map[string]int{"random": o.Trials})
+}
+
+// Fig8cRow is one ablation row of Fig. 8c.
+type Fig8cRow struct {
+	Placement, Pattern, Ordering, Braiding string
+	Latency, Runtime                       float64 // normalized to the full proposed stack
+}
+
+// Fig8cReport is the mapping-step ablation of Fig. 8c.
+type Fig8cReport struct {
+	Rows []Fig8cRow
+}
+
+// Print renders the ablation table.
+func (r *Fig8cReport) Print(w io.Writer) {
+	fmt.Fprintln(w, "Fig. 8c — individual mapping steps (normalized to full proposed stack)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "placement\tpattern\tordering\tbraiding\tnorm.latency\tnorm.runtime")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%.3f\t%.3f\n",
+			row.Placement, row.Pattern, row.Ordering, row.Braiding, row.Latency, row.Runtime)
+	}
+	tw.Flush()
+}
+
+// RunFig8c reproduces Fig. 8c: the six-row ablation over placement,
+// pattern matching, gate ordering and fast braiding.
+func RunFig8c(o Options) (*Fig8cReport, error) {
+	o = o.fill()
+	type spec struct {
+		placement, pattern, ordering, braiding string
+		mk                                     func(*rand.Rand) core.Config
+	}
+	specs := []spec{
+		{"identity", "-", "ours", "ours", func(rng *rand.Rand) core.Config {
+			return core.Config{Placement: place.Identity{}}
+		}},
+		{"gm", "-", "ours", "ours", func(rng *rand.Rand) core.Config {
+			return core.Config{Placement: place.GM{Rng: rng}}
+		}},
+		{"ours", "-", "ours", "ours", func(rng *rand.Rand) core.Config {
+			return core.Config{Placement: place.Proximity{}}
+		}},
+		{"ours", "ours", "ours", "ours", func(rng *rand.Rand) core.Config {
+			return core.HilightMap(rng)
+		}},
+		{"ours", "ours", "ours", "-", func(rng *rand.Rand) core.Config {
+			cfg := core.HilightMap(rng)
+			cfg.Finder = &route.Full16{}
+			return cfg
+		}},
+		{"ours", "ours", "llg", "ours", func(rng *rand.Rand) core.Config {
+			cfg := core.HilightMap(rng)
+			cfg.Ordering = order.LLG{}
+			return cfg
+		}},
+	}
+	entries := o.entries()
+	lat := make([][]float64, len(specs))
+	rt := make([][]float64, len(specs))
+	for _, e := range entries {
+		c := e.Build()
+		g := grid.Rect(e.N)
+		for i, sp := range specs {
+			m, err := average(c, g, sp.mk, o.Seed, 1)
+			if err != nil {
+				return nil, fmt.Errorf("%s/row%d: %w", e.Name, i, err)
+			}
+			lat[i] = append(lat[i], float64(m.Latency))
+			rt[i] = append(rt[i], seconds(m.Runtime))
+		}
+	}
+	const refRow = 3 // the full proposed stack
+	const rtFloor = 50e-6
+	rep := &Fig8cReport{}
+	for i, sp := range specs {
+		rep.Rows = append(rep.Rows, Fig8cRow{
+			Placement: sp.placement, Pattern: sp.pattern,
+			Ordering: sp.ordering, Braiding: sp.braiding,
+			Latency: geomeanRatio(lat[i], lat[refRow], 1),
+			Runtime: geomeanRatio(rt[i], rt[refRow], rtFloor),
+		})
+	}
+	return rep, nil
+}

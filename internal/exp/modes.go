@@ -1,0 +1,92 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"text/tabwriter"
+
+	"hilight/internal/core"
+	"hilight/internal/grid"
+	"hilight/internal/surgery"
+)
+
+// ModeRow compares the two surface-code modes on one benchmark: compact
+// braiding versus quarter-density lattice surgery.
+type ModeRow struct {
+	Name           string
+	N              int
+	BraidTiles     int
+	BraidLatency   int
+	SurgeryTiles   int
+	SurgeryLatency int
+	// LatencyRatio is surgery/braiding latency; TileRatio the hardware
+	// overhead surgery pays.
+	LatencyRatio float64
+	TileRatio    float64
+}
+
+// ModeReport is the braiding-vs-surgery study across the benchmark set.
+type ModeReport struct {
+	Rows []ModeRow
+	// Geomean ratios across rows.
+	MeanLatencyRatio float64
+	MeanTileRatio    float64
+}
+
+// Print renders the comparison.
+func (r *ModeReport) Print(w io.Writer) {
+	fmt.Fprintln(w, "Modes — double-defect braiding vs lattice surgery")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "name\tn\tbraid.tiles\tbraid.lat\tsurg.tiles\tsurg.lat\tlat.ratio\ttile.ratio")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%.2f\t%.2f\n",
+			row.Name, row.N, row.BraidTiles, row.BraidLatency,
+			row.SurgeryTiles, row.SurgeryLatency, row.LatencyRatio, row.TileRatio)
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "geomean: lattice surgery takes %.2fx the latency on %.2fx the tiles\n",
+		r.MeanLatencyRatio, r.MeanTileRatio)
+}
+
+// RunModes maps every scaled benchmark in both modes. Benchmarks too
+// large for the quarter-density board at this scale are skipped (the
+// surgery board is ~4× the braiding grid).
+func RunModes(o Options) (*ModeReport, error) {
+	o = o.fill()
+	rep := &ModeReport{}
+	var latR, tileR, ones []float64
+	for _, e := range o.entries() {
+		c := e.Build()
+		bg := grid.Rect(e.N)
+		braid, err := runOn(c, bg, core.HilightMap(rand.New(rand.NewSource(o.Seed))))
+		if err != nil {
+			return nil, fmt.Errorf("%s/braiding: %w", e.Name, err)
+		}
+		sg := surgery.DilutedGrid(e.N)
+		layout, err := surgery.DilutedPlace(c, sg)
+		if err != nil {
+			return nil, fmt.Errorf("%s/surgery place: %w", e.Name, err)
+		}
+		surg, err := surgery.Map(c, sg, layout)
+		if err != nil {
+			return nil, fmt.Errorf("%s/surgery: %w", e.Name, err)
+		}
+		row := ModeRow{
+			Name: e.Name, N: e.N,
+			BraidTiles: bg.Tiles(), BraidLatency: braid.Latency,
+			SurgeryTiles: sg.Tiles(), SurgeryLatency: surg.Latency,
+			TileRatio: float64(sg.Tiles()) / float64(bg.Tiles()),
+		}
+		if braid.Latency > 0 {
+			row.LatencyRatio = float64(surg.Latency) / float64(braid.Latency)
+			latR = append(latR, row.LatencyRatio)
+			tileR = append(tileR, row.TileRatio)
+			ones = append(ones, 1)
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	rep.MeanLatencyRatio = geomeanRatio(latR, ones, 1e-9)
+	rep.MeanTileRatio = geomeanRatio(tileR, ones, 1e-9)
+	return rep, nil
+}

@@ -1,0 +1,103 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"text/tabwriter"
+
+	"hilight/internal/autobraid"
+	"hilight/internal/core"
+	"hilight/internal/grid"
+)
+
+// Table1Row is one benchmark line of Table 1: the three frameworks'
+// latency, runtime and resource utilization.
+type Table1Row struct {
+	Type, Function, Name string
+	N, Gates             int
+	SP, Full, HiLight    Measurement
+}
+
+// Table1Report is the full table plus the normalized summary row.
+type Table1Report struct {
+	Rows []Table1Row
+	// Normalized geometric means relative to hilight-map (the paper's
+	// "Normalized to Ours" row; 1.0 = parity, >1 = worse than HiLight).
+	SPLatency, SPRuntime, SPResUtil       float64
+	FullLatency, FullRuntime, FullResUtil float64
+}
+
+// RunTable1 reproduces Table 1: every benchmark mapped by autobraid-sp,
+// autobraid-full and hilight-map on the rectangular M×(M−1) grid.
+func RunTable1(o Options) (*Table1Report, error) {
+	o = o.fill()
+	rep := &Table1Report{}
+	for _, e := range o.entries() {
+		c := e.Build()
+		row := Table1Row{Type: e.Type, Function: e.Function, Name: e.Name, N: e.N, Gates: e.Gates}
+		var err error
+		if row.SP, err = runOn(c, grid.Rect(e.N), autobraid.SP()); err != nil {
+			return nil, fmt.Errorf("%s/autobraid-sp: %w", e.Name, err)
+		}
+		mkFull := func(rng *rand.Rand) core.Config { return autobraid.Full(rng) }
+		if row.Full, err = average(c, grid.Rect(e.N), mkFull, o.Seed, 1); err != nil {
+			return nil, fmt.Errorf("%s/autobraid-full: %w", e.Name, err)
+		}
+		// QFT rows average the pattern-matched random layout (§3.1.2).
+		trials := 1
+		if c.NumQubits >= 4 && isQFTLike(e.Name) {
+			trials = o.Trials
+		}
+		mkOurs := func(rng *rand.Rand) core.Config { return core.HilightMap(rng) }
+		if row.HiLight, err = average(c, grid.Rect(e.N), mkOurs, o.Seed, trials); err != nil {
+			return nil, fmt.Errorf("%s/hilight-map: %w", e.Name, err)
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	rep.summarize()
+	return rep, nil
+}
+
+func isQFTLike(name string) bool {
+	return len(name) >= 3 && name[:3] == "QFT"
+}
+
+func (r *Table1Report) summarize() {
+	var spL, spR, spU, flL, flR, flU, ourL, ourR, ourU []float64
+	for _, row := range r.Rows {
+		spL = append(spL, float64(row.SP.Latency))
+		spR = append(spR, seconds(row.SP.Runtime))
+		spU = append(spU, row.SP.ResUtil)
+		flL = append(flL, float64(row.Full.Latency))
+		flR = append(flR, seconds(row.Full.Runtime))
+		flU = append(flU, row.Full.ResUtil)
+		ourL = append(ourL, float64(row.HiLight.Latency))
+		ourR = append(ourR, seconds(row.HiLight.Runtime))
+		ourU = append(ourU, row.HiLight.ResUtil)
+	}
+	const rtFloor = 50e-6 // 50µs floor keeps trivial benchmarks from dominating ratios
+	r.SPLatency = geomeanRatio(spL, ourL, 1)
+	r.SPRuntime = geomeanRatio(spR, ourR, rtFloor)
+	r.SPResUtil = geomeanRatio(spU, ourU, 1e-6)
+	r.FullLatency = geomeanRatio(flL, ourL, 1)
+	r.FullRuntime = geomeanRatio(flR, ourR, rtFloor)
+	r.FullResUtil = geomeanRatio(flU, ourU, 1e-6)
+}
+
+// Print renders the report in the paper's layout.
+func (r *Table1Report) Print(w io.Writer) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "name\tn\tg\tsp.lat\tsp.rt[s]\tsp.util\tfull.lat\tfull.rt[s]\tfull.util\tours.lat\tours.rt[s]\tours.util")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%.3f\t%.2f\t%d\t%.3f\t%.2f\t%d\t%.3f\t%.2f\n",
+			row.Name, row.N, row.Gates,
+			row.SP.Latency, seconds(row.SP.Runtime), row.SP.ResUtil,
+			row.Full.Latency, seconds(row.Full.Runtime), row.Full.ResUtil,
+			row.HiLight.Latency, seconds(row.HiLight.Runtime), row.HiLight.ResUtil)
+	}
+	fmt.Fprintf(tw, "normalized to ours\t\t\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t1.000\t1.000\t1.000\n",
+		r.SPLatency, r.SPRuntime, r.SPResUtil,
+		r.FullLatency, r.FullRuntime, r.FullResUtil)
+	tw.Flush()
+}

@@ -1,0 +1,243 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestDenseBasics(t *testing.T) {
+	g := NewDense(4)
+	g.AddEdge(0, 1, 3)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 2, 9) // self-loop ignored
+	if g.Weight(0, 1) != 3 || g.Weight(1, 0) != 3 {
+		t.Error("weights not symmetric")
+	}
+	if g.Weight(2, 2) != 0 {
+		t.Error("self-loop stored")
+	}
+	if g.Degree(1) != 2 || g.WeightedDegree(1) != 4 {
+		t.Errorf("degree(1)=%d weighted=%d", g.Degree(1), g.WeightedDegree(1))
+	}
+	if got := g.Neighbors(1); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("Neighbors(1) = %v", got)
+	}
+	if g.TotalWeight() != 4 {
+		t.Errorf("TotalWeight = %d", g.TotalWeight())
+	}
+	if g.MaxWeightVertex() != 1 {
+		t.Errorf("MaxWeightVertex = %d", g.MaxWeightVertex())
+	}
+}
+
+func TestNewDensePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative size accepted")
+		}
+	}()
+	NewDense(-1)
+}
+
+func TestBFSOrderCoversAllVertices(t *testing.T) {
+	g := NewDense(6)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 5)
+	g.AddEdge(1, 3, 2)
+	// 4 and 5 disconnected.
+	order := g.BFSOrder(0)
+	if len(order) != 6 {
+		t.Fatalf("order = %v", order)
+	}
+	seen := map[int]bool{}
+	for _, v := range order {
+		seen[v] = true
+	}
+	if len(seen) != 6 {
+		t.Fatalf("not a permutation: %v", order)
+	}
+	// Heavier neighbor of 1 (vertex 2, weight 5) precedes vertex 3.
+	pos := map[int]int{}
+	for i, v := range order {
+		pos[v] = i
+	}
+	if pos[2] > pos[3] {
+		t.Errorf("heavy-first BFS violated: %v", order)
+	}
+}
+
+func TestGreedyIndependentSet(t *testing.T) {
+	// Path conflict graph 0-1-2: picking in order 0,1,2 gives {0,2}.
+	g := NewDense(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	got := g.GreedyIndependentSet([]int{0, 1, 2})
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("MIS = %v", got)
+	}
+	// Preference order matters: starting at 1 blocks both ends.
+	got = g.GreedyIndependentSet([]int{1, 0, 2})
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("MIS = %v", got)
+	}
+}
+
+func TestGreedyIndependentSetIsIndependentAndMaximal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(15)
+		g := NewDense(n)
+		for i := 0; i < n*2; i++ {
+			g.AddEdge(rng.Intn(n), rng.Intn(n), 1)
+		}
+		cand := rng.Perm(n)
+		set := g.GreedyIndependentSet(cand)
+		in := map[int]bool{}
+		for _, v := range set {
+			in[v] = true
+		}
+		// Independent: no edge inside the set.
+		for _, u := range set {
+			for _, v := range set {
+				if u != v && g.Weight(u, v) > 0 {
+					return false
+				}
+			}
+		}
+		// Maximal: every candidate outside the set has a neighbor inside.
+		for _, v := range cand {
+			if in[v] {
+				continue
+			}
+			touches := false
+			for _, u := range set {
+				if g.Weight(u, v) > 0 {
+					touches = true
+					break
+				}
+			}
+			if !touches {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBisectSizesAndPartition(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		g := NewDense(n)
+		for i := 0; i < n*3; i++ {
+			g.AddEdge(rng.Intn(n), rng.Intn(n), 1+rng.Intn(5))
+		}
+		verts := rng.Perm(n)
+		l, r := g.Bisect(verts, rng)
+		if len(l)+len(r) != n {
+			return false
+		}
+		if len(l) != (n+1)/2 {
+			return false
+		}
+		all := append(append([]int(nil), l...), r...)
+		sort.Ints(all)
+		for i, v := range all {
+			if v != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBisectSeparatesClusters(t *testing.T) {
+	// Two 4-cliques joined by one light edge: the cut should isolate them.
+	g := NewDense(8)
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			g.AddEdge(i, j, 10)
+			g.AddEdge(i+4, j+4, 10)
+		}
+	}
+	g.AddEdge(0, 4, 1)
+	rng := rand.New(rand.NewSource(7))
+	verts := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	l, r := g.Bisect(verts, rng)
+	if got := g.CutWeight(l, r); got != 1 {
+		t.Errorf("cut weight = %d, want 1 (l=%v r=%v)", got, l, r)
+	}
+}
+
+func TestMinHeapOrdering(t *testing.T) {
+	var h MinHeap
+	input := []int{5, 3, 8, 1, 9, 2, 7}
+	for _, p := range input {
+		h.Push(p*10, p)
+	}
+	prev := -1
+	for h.Len() > 0 {
+		v, p := h.Pop()
+		if p < prev {
+			t.Fatalf("heap order violated: %d after %d", p, prev)
+		}
+		if v != p*10 {
+			t.Fatalf("value/priority pairing lost: %d/%d", v, p)
+		}
+		prev = p
+	}
+}
+
+func TestMinHeapTieBreaksOnValue(t *testing.T) {
+	var h MinHeap
+	h.Push(9, 1)
+	h.Push(2, 1)
+	h.Push(5, 1)
+	v, _ := h.Pop()
+	if v != 2 {
+		t.Errorf("tie break = %d, want 2", v)
+	}
+}
+
+func TestMinHeapProperty(t *testing.T) {
+	f := func(ps []uint8) bool {
+		var h MinHeap
+		for i, p := range ps {
+			h.Push(i, int(p))
+		}
+		h.Push(len(ps), 0)
+		prev := -1
+		for h.Len() > 0 {
+			_, p := h.Pop()
+			if p < prev {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinHeapReset(t *testing.T) {
+	var h MinHeap
+	h.Push(1, 1)
+	h.Reset()
+	if h.Len() != 0 {
+		t.Error("Reset did not empty heap")
+	}
+	h.Push(2, 2)
+	if v, _ := h.Pop(); v != 2 {
+		t.Error("heap unusable after Reset")
+	}
+}

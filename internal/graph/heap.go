@@ -1,0 +1,67 @@
+package graph
+
+// MinHeap is a binary min-heap of (value, priority) pairs keyed on
+// priority, with ties broken by lower value for determinism. It backs the
+// A* open set in the braiding path-finder. The zero value is an empty
+// heap ready to use.
+type MinHeap struct {
+	items []heapItem
+}
+
+type heapItem struct {
+	value    int
+	priority int
+}
+
+// Len returns the number of queued items.
+func (h *MinHeap) Len() int { return len(h.items) }
+
+// Push adds value with the given priority.
+func (h *MinHeap) Push(value, priority int) {
+	h.items = append(h.items, heapItem{value, priority})
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+// Pop removes and returns the value with the smallest priority. It panics
+// on an empty heap; callers check Len first.
+func (h *MinHeap) Pop() (value, priority int) {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h.items) && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(h.items) && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+	return top.value, top.priority
+}
+
+// Reset empties the heap while keeping its backing storage for reuse.
+func (h *MinHeap) Reset() { h.items = h.items[:0] }
+
+func (h *MinHeap) less(i, j int) bool {
+	if h.items[i].priority != h.items[j].priority {
+		return h.items[i].priority < h.items[j].priority
+	}
+	return h.items[i].value < h.items[j].value
+}

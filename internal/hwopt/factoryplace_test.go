@@ -1,0 +1,84 @@
+package hwopt
+
+import (
+	"testing"
+
+	"hilight/internal/bench"
+	"hilight/internal/circuit"
+)
+
+func TestCandidateFactoryGrids(t *testing.T) {
+	cands, err := CandidateFactoryGrids(9, 1, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) < 4 {
+		t.Fatalf("only %d candidates", len(cands))
+	}
+	seen := map[[2]int]bool{}
+	for _, c := range cands {
+		if c.Grid.Capacity() < 9 {
+			t.Errorf("candidate (%d,%d) cannot hold 9 qubits", c.X, c.Y)
+		}
+		key := [2]int{c.X, c.Y}
+		if seen[key] {
+			t.Errorf("duplicate position (%d,%d)", c.X, c.Y)
+		}
+		seen[key] = true
+		if !c.Grid.Reserved(c.Grid.TileAt(c.X, c.Y)) {
+			t.Errorf("position (%d,%d) not actually reserved", c.X, c.Y)
+		}
+	}
+	if _, err := CandidateFactoryGrids(4, 0, 1, false); err == nil {
+		t.Error("invalid factory size accepted")
+	}
+}
+
+func TestCandidateFactoryGridsBigRegion(t *testing.T) {
+	cands, err := CandidateFactoryGrids(12, 2, 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cands {
+		reserved := c.Grid.Tiles() - c.Grid.Capacity()
+		if reserved != 4 {
+			t.Errorf("candidate (%d,%d) reserved %d tiles, want 4", c.X, c.Y, reserved)
+		}
+	}
+}
+
+func TestBestFactoryPlacement(t *testing.T) {
+	e, ok := bench.ByName("sqrt8_260")
+	if !ok {
+		t.Fatal("benchmark missing")
+	}
+	c := e.Build()
+	placements, err := BestFactoryPlacement(c, 1, 1, false, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(placements) < 4 {
+		t.Fatalf("placements = %d", len(placements))
+	}
+	best := placements[0]
+	for _, p := range placements[1:] {
+		if p.Latency < best.Latency {
+			t.Errorf("winner latency %d beaten by (%d,%d) at %d", best.Latency, p.X, p.Y, p.Latency)
+		}
+	}
+	if best.Latency <= 0 {
+		t.Error("degenerate winner")
+	}
+}
+
+func TestBestFactoryPlacementTinyCircuit(t *testing.T) {
+	c := circuit.New("pair", 2)
+	c.Add2(circuit.CX, 0, 1)
+	placements, err := BestFactoryPlacement(c, 1, 1, true, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if placements[0].Latency != 1 {
+		t.Errorf("latency = %d, want 1", placements[0].Latency)
+	}
+}

@@ -1,0 +1,151 @@
+// Package lattice lowers braiding schedules from the tile-level 2D
+// abstraction down to the physical surface-code lattice of §2.1: each
+// tile is a d×d block of physical qubits hosting a double-defect logical
+// qubit, routing vertices sit at block corners, and a braiding path
+// becomes a defect trajectory — a corridor of physical cells along which
+// stabilizers are disabled and re-enabled during the five-step braid
+// transformation.
+//
+// The lowering is the soundness check for the whole 2D model: two braids
+// that the scheduler declares compatible (vertex- and channel-disjoint on
+// the routing lattice) must occupy disjoint physical corridors at code
+// distance d. Lower verifies exactly that, cycle by cycle, and reports
+// the physical footprint of the machine.
+package lattice
+
+import (
+	"fmt"
+
+	"hilight/internal/grid"
+	"hilight/internal/route"
+	"hilight/internal/sched"
+)
+
+// Cell is a physical lattice coordinate (stabilizer-site granularity).
+type Cell struct {
+	X, Y int
+}
+
+// BraidCorridor is the physical footprint of one braid during its cycle.
+type BraidCorridor struct {
+	Gate  int // source gate index, -1 for inserted SWAP braids
+	Cells []Cell
+}
+
+// Lowering is the physical realization of a schedule at distance d.
+type Lowering struct {
+	Distance int
+	// Width and Height are the physical lattice extents
+	// (grid.W×d+1 by grid.H×d+1 stabilizer sites).
+	Width, Height int
+	Cycles        [][]BraidCorridor
+}
+
+// LowerPath expands a routing-lattice path into its physical corridor at
+// code distance d: routing vertex (vx,vy) sits at physical site
+// (vx·d, vy·d) and each channel contributes the d−1 interior sites of
+// the straight segment between its endpoints.
+func LowerPath(p route.Path, g *grid.Grid, d int) []Cell {
+	var cells []Cell
+	for i, v := range p {
+		vx, vy := g.VertexXY(v)
+		cells = append(cells, Cell{vx * d, vy * d})
+		if i == 0 {
+			continue
+		}
+		ux, uy := g.VertexXY(p[i-1])
+		switch {
+		case uy == vy: // horizontal channel
+			step := 1
+			if vx < ux {
+				step = -1
+			}
+			for k := 1; k < d; k++ {
+				cells = append(cells, Cell{ux*d + step*k, uy * d})
+			}
+		default: // vertical channel
+			step := 1
+			if vy < uy {
+				step = -1
+			}
+			for k := 1; k < d; k++ {
+				cells = append(cells, Cell{ux * d, uy*d + step*k})
+			}
+		}
+	}
+	return cells
+}
+
+// DefectSites returns the two defect positions of the logical qubit on
+// tile t: the standard double-defect pair sits at the horizontal third
+// points of the tile's physical block.
+func DefectSites(g *grid.Grid, t, d int) [2]Cell {
+	tx, ty := g.TileXY(t)
+	cy := ty*d + d/2
+	off := d / 3
+	if off < 1 {
+		off = 1
+	}
+	return [2]Cell{
+		{tx*d + off, cy},
+		{tx*d + d - off, cy},
+	}
+}
+
+// Lower maps every braid of the schedule to its physical corridor at
+// distance d and verifies the central soundness property: corridors of
+// the same cycle are pairwise disjoint. A violation means the 2D
+// conflict model would have let two braids tear the same stabilizers —
+// it is returned as an error, never silently accepted.
+func Lower(s *sched.Schedule, d int) (*Lowering, error) {
+	if d < 3 || d%2 == 0 {
+		return nil, fmt.Errorf("lattice: code distance %d must be odd and ≥ 3", d)
+	}
+	low := &Lowering{
+		Distance: d,
+		Width:    s.Grid.W*d + 1,
+		Height:   s.Grid.H*d + 1,
+	}
+	for li, layer := range s.Layers {
+		seen := make(map[Cell]int, 64)
+		var cycle []BraidCorridor
+		for bi, b := range layer {
+			cells := LowerPath(b.Path, s.Grid, d)
+			for _, c := range cells {
+				if c.X < 0 || c.Y < 0 || c.X >= low.Width || c.Y >= low.Height {
+					return nil, fmt.Errorf("lattice: cycle %d braid %d: cell %v outside the %dx%d lattice",
+						li, bi, c, low.Width, low.Height)
+				}
+				if prev, clash := seen[c]; clash {
+					return nil, fmt.Errorf("lattice: cycle %d: braids %d and %d collide at physical cell %v",
+						li, prev, bi, c)
+				}
+				seen[c] = bi
+			}
+			cycle = append(cycle, BraidCorridor{Gate: b.Gate, Cells: cells})
+		}
+		low.Cycles = append(low.Cycles, cycle)
+	}
+	return low, nil
+}
+
+// PhysicalQubits returns the number of data qubits the lowered lattice
+// spans (two physical qubits per stabilizer site in the rotated-code
+// accounting used for estimates).
+func (l *Lowering) PhysicalQubits() int {
+	return 2 * l.Width * l.Height
+}
+
+// MaxCorridor returns the largest single-braid corridor (in cells) —
+// the longest stabilizer tear any cycle performs.
+func (l *Lowering) MaxCorridor() int {
+	m := 0
+	for _, cycle := range l.Cycles {
+		for _, bc := range cycle {
+			if len(bc.Cells) > m {
+				m = len(bc.Cells)
+			}
+		}
+	}
+	return m
+}

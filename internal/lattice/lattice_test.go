@@ -1,0 +1,152 @@
+package lattice
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hilight/internal/circuit"
+	"hilight/internal/core"
+	"hilight/internal/grid"
+	"hilight/internal/route"
+	"hilight/internal/sched"
+)
+
+func TestLowerPathGeometry(t *testing.T) {
+	g := grid.New(3, 3)
+	d := 5
+	// Horizontal two-channel path: (0,0) -> (1,0) -> (2,0).
+	p := route.Path{g.VertexID(0, 0), g.VertexID(1, 0), g.VertexID(2, 0)}
+	cells := LowerPath(p, g, d)
+	// 3 vertices + 2 channels × (d−1) interior sites.
+	if len(cells) != 3+2*(d-1) {
+		t.Fatalf("cells = %d, want %d", len(cells), 3+2*(d-1))
+	}
+	seen := map[Cell]bool{}
+	for _, c := range cells {
+		if seen[c] {
+			t.Fatalf("duplicate cell %v", c)
+		}
+		seen[c] = true
+		if c.Y != 0 {
+			t.Fatalf("horizontal path left its row: %v", c)
+		}
+	}
+	// Covers x = 0..2d contiguously.
+	for x := 0; x <= 2*d; x++ {
+		if !seen[Cell{x, 0}] {
+			t.Errorf("cell (%d,0) missing", x)
+		}
+	}
+}
+
+func TestLowerPathSingleVertex(t *testing.T) {
+	g := grid.New(2, 2)
+	cells := LowerPath(route.Path{g.VertexID(1, 1)}, g, 7)
+	if len(cells) != 1 || cells[0] != (Cell{7, 7}) {
+		t.Errorf("cells = %v", cells)
+	}
+}
+
+func TestDefectSitesInsideTile(t *testing.T) {
+	g := grid.New(3, 3)
+	for _, d := range []int{3, 5, 7, 11} {
+		for tile := 0; tile < g.Tiles(); tile++ {
+			tx, ty := g.TileXY(tile)
+			sites := DefectSites(g, tile, d)
+			if sites[0] == sites[1] {
+				t.Fatalf("d=%d tile %d: defects coincide", d, tile)
+			}
+			for _, s := range sites {
+				if s.X <= tx*d || s.X >= (tx+1)*d || s.Y <= ty*d || s.Y >= (ty+1)*d {
+					t.Fatalf("d=%d tile %d: defect %v outside block interior", d, tile, s)
+				}
+			}
+		}
+	}
+}
+
+func TestLowerRejectsBadDistance(t *testing.T) {
+	s := &sched.Schedule{Grid: grid.New(2, 2)}
+	for _, d := range []int{0, 2, 4, -3, 1} {
+		if _, err := Lower(s, d); err == nil {
+			t.Errorf("distance %d accepted", d)
+		}
+	}
+}
+
+func TestLowerDetectsCollision(t *testing.T) {
+	g := grid.New(2, 2)
+	// Two braids sharing a vertex: illegal at the 2D level, must be
+	// caught at the physical level too.
+	v := g.VertexID(1, 1)
+	s := &sched.Schedule{Grid: g, Layers: []sched.Layer{{
+		{Gate: 0, Path: route.Path{v}},
+		{Gate: 1, Path: route.Path{v, g.VertexID(1, 0)}},
+	}}}
+	if _, err := Lower(s, 3); err == nil {
+		t.Error("colliding corridors accepted")
+	}
+}
+
+func TestLowerFullPipeline(t *testing.T) {
+	c := circuit.New("pipeline", 9)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 30; i++ {
+		a, b := rng.Intn(9), rng.Intn(9)
+		if a != b {
+			c.Add2(circuit.CX, a, b)
+		}
+	}
+	g := grid.Rect(9)
+	res, err := core.Map(c, g, core.HilightMap(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, err := Lower(res.Schedule, 5)
+	if err != nil {
+		t.Fatalf("lowering failed on a valid schedule: %v", err)
+	}
+	if len(low.Cycles) != res.Latency {
+		t.Errorf("cycles = %d, latency %d", len(low.Cycles), res.Latency)
+	}
+	if low.Width != g.W*5+1 || low.Height != g.H*5+1 {
+		t.Errorf("extent = %dx%d", low.Width, low.Height)
+	}
+	if low.PhysicalQubits() != 2*low.Width*low.Height {
+		t.Error("physical qubit accounting inconsistent")
+	}
+	if low.MaxCorridor() == 0 {
+		t.Error("no corridors recorded")
+	}
+}
+
+// Property: every valid schedule lowers collision-free at every distance
+// — the 2D conflict model is physically sound.
+func TestLoweringSoundnessProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(12)
+		c := circuit.New("rand", n)
+		for i := 0; i < 5+rng.Intn(40); i++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a != b {
+				c.Add2(circuit.CX, a, b)
+			}
+		}
+		g := grid.Rect(n)
+		res, err := core.Map(c, g, core.HilightMap(rng))
+		if err != nil || res.Schedule.Validate(res.Circuit) != nil {
+			return false
+		}
+		for _, d := range []int{3, 5, 9} {
+			if _, err := Lower(res.Schedule, d); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,215 @@
+// Package magic models magic-state consumption — the paper's stated
+// future-work direction (§6: "further optimization opportunities, such as
+// those for single-qubit gates and the magic-state factory").
+//
+// In the double-defect surface code, T and T† gates are executed by
+// consuming a distilled magic state from the factory (Bravyi–Kitaev
+// distillation). The mapper treats single-qubit gates as free, which is
+// accurate only while the factory keeps up: if the braiding schedule
+// demands T states faster than distillation produces them, the machine
+// stalls. This package overlays a factory throughput model on a braiding
+// schedule and reports the stall-adjusted latency, and sizes the factory
+// count needed to keep a schedule stall-free.
+package magic
+
+import (
+	"fmt"
+
+	"hilight/internal/circuit"
+	"hilight/internal/sched"
+)
+
+// Factory describes the distillation pipeline feeding the computation.
+type Factory struct {
+	// Count is the number of parallel distillation units (≥ 1).
+	Count int
+	// Period is the number of braiding cycles one unit needs to distill
+	// one magic state (≥ 1). A 15-to-1 Reed–Muller round is on the order
+	// of 10 code cycles; the default used by DefaultFactory is 10.
+	Period int
+	// Buffer is the maximum number of distilled states that can be
+	// stored awaiting consumption (≥ 1).
+	Buffer int
+	// Initial is the number of states banked before cycle 0 (≤ Buffer).
+	Initial int
+}
+
+// DefaultFactory returns a single 15-to-1-style unit: one state per 10
+// cycles, buffer of 4, starting full.
+func DefaultFactory() Factory {
+	return Factory{Count: 1, Period: 10, Buffer: 4, Initial: 4}
+}
+
+func (f Factory) validate() error {
+	if f.Count < 1 || f.Period < 1 || f.Buffer < 1 {
+		return fmt.Errorf("magic: factory %+v has non-positive parameters", f)
+	}
+	if f.Initial < 0 || f.Initial > f.Buffer {
+		return fmt.Errorf("magic: initial bank %d outside [0,%d]", f.Initial, f.Buffer)
+	}
+	return nil
+}
+
+// Demand is the per-braiding-cycle magic-state demand of a schedule:
+// Demand[i] counts the T/T† gates that become executable right before
+// cycle i (their predecessors on the qubit have all run by cycle i−1).
+// Index len(schedule layers) collects the trailing T gates after the last
+// braid.
+type Demand []int
+
+// Total returns the total T count.
+func (d Demand) Total() int {
+	t := 0
+	for _, v := range d {
+		t += v
+	}
+	return t
+}
+
+// Peak returns the largest single-cycle demand.
+func (d Demand) Peak() int {
+	p := 0
+	for _, v := range d {
+		if v > p {
+			p = v
+		}
+	}
+	return p
+}
+
+// DemandOf computes the magic-state demand profile of a circuit under a
+// schedule. Each T/T† gate is charged to the cycle after the last braid
+// that precedes it on its qubit (cycle 0 when none). The schedule must
+// execute exactly the given circuit (use Schedule.Validate first).
+func DemandOf(c *circuit.Circuit, s *sched.Schedule) Demand {
+	// Layer of each executed two-qubit gate.
+	layerOf := map[int]int{}
+	for li, layer := range s.Layers {
+		for _, b := range layer {
+			if b.Gate >= 0 {
+				layerOf[b.Gate] = li
+			}
+		}
+	}
+	d := make(Demand, len(s.Layers)+1)
+	lastBraidLayer := make([]int, c.NumQubits) // layer of the most recent 2Q gate per qubit, -1 none
+	for q := range lastBraidLayer {
+		lastBraidLayer[q] = -1
+	}
+	for gi, g := range c.Gates {
+		if g.TwoQubit() {
+			if l, ok := layerOf[gi]; ok {
+				lastBraidLayer[g.Q0] = l
+				lastBraidLayer[g.Q1] = l
+			}
+			continue
+		}
+		if g.Kind != circuit.T && g.Kind != circuit.Tdg {
+			continue
+		}
+		cycle := lastBraidLayer[g.Q0] + 1
+		d[cycle]++
+	}
+	return d
+}
+
+// Report summarizes a factory-throughput analysis.
+type Report struct {
+	TCount       int // total magic states consumed
+	BraidLatency int // schedule latency without factory stalls
+	StallCycles  int // extra cycles waiting for distillation
+	TotalLatency int // BraidLatency + StallCycles
+	PeakDemand   int // largest single-cycle T demand
+	FinalBank    int // states left over at the end
+	// Utilization is consumed states over produced-plus-initial states:
+	// low values mean the factory is oversized.
+	Utilization float64
+}
+
+// Analyze simulates the factory against the demand profile of (c, s):
+// production accrues every cycle (Count states per Period, modelled as
+// one unit finishing every Period/Count cycles aggregated per cycle),
+// capped by Buffer; when a cycle's demand exceeds the bank, the machine
+// stalls — braiding pauses while distillation catches up.
+func Analyze(c *circuit.Circuit, s *sched.Schedule, f Factory) (Report, error) {
+	if err := f.validate(); err != nil {
+		return Report{}, err
+	}
+	demand := DemandOf(c, s)
+	rep := Report{
+		TCount:       demand.Total(),
+		BraidLatency: s.Latency(),
+		PeakDemand:   demand.Peak(),
+	}
+	bank := f.Initial
+	produced := f.Initial
+	// Token-bucket production: Count units each finishing every Period
+	// cycles yield Count/Period states per cycle in aggregate, realized
+	// whenever the accumulated progress crosses a whole Period. Cumulative
+	// production after t cycles is floor(t·Count/Period), which is
+	// pointwise monotone in Count — adding factory units never produces
+	// later.
+	progress := 0
+	tick := func() {
+		progress += f.Count
+		for progress >= f.Period {
+			progress -= f.Period
+			if bank < f.Buffer {
+				bank++
+				produced++
+			}
+		}
+	}
+	for cycle := 0; cycle < len(demand); cycle++ {
+		// A cycle's T gates drain the bank as states become available;
+		// braiding stalls until the whole batch is served (the gates
+		// themselves are latency-free once fed).
+		need := demand[cycle]
+		for need > 0 {
+			take := bank
+			if take > need {
+				take = need
+			}
+			bank -= take
+			need -= take
+			if need > 0 {
+				rep.StallCycles++
+				tick()
+			}
+		}
+		if cycle < len(demand)-1 {
+			// The braiding cycle itself takes one machine cycle.
+			tick()
+		}
+	}
+	rep.TotalLatency = rep.BraidLatency + rep.StallCycles
+	rep.FinalBank = bank
+	if produced > 0 {
+		rep.Utilization = float64(rep.TCount) / float64(produced)
+	}
+	return rep, nil
+}
+
+// FactoriesNeeded returns the smallest factory Count (with the given
+// per-unit Period and Buffer scaled by the count) that keeps stall cycles
+// within maxStall for the schedule. It returns an error if even maxUnits
+// units cannot satisfy the peak demand.
+func FactoriesNeeded(c *circuit.Circuit, s *sched.Schedule, unit Factory, maxStall, maxUnits int) (int, error) {
+	if err := unit.validate(); err != nil {
+		return 0, err
+	}
+	for count := 1; count <= maxUnits; count++ {
+		f := unit
+		f.Count = count
+		f.Buffer = unit.Buffer * count
+		f.Initial = unit.Initial * count
+		rep, err := Analyze(c, s, f)
+		if err != nil {
+			continue // buffer too small for the peak; more units may fix it
+		}
+		if rep.StallCycles <= maxStall {
+			return count, nil
+		}
+	}
+	return 0, fmt.Errorf("magic: %d units cannot keep stalls under %d", maxUnits, maxStall)
+}

@@ -1,0 +1,233 @@
+package magic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hilight/internal/circuit"
+	"hilight/internal/core"
+	"hilight/internal/grid"
+)
+
+// tCircuit builds a circuit interleaving CX braids with nT T gates after
+// each braid on the control qubit.
+func tCircuit(braids, nT int) *circuit.Circuit {
+	c := circuit.New("t", 4)
+	for i := 0; i < braids; i++ {
+		c.Add2(circuit.CX, 0, 1)
+		for k := 0; k < nT; k++ {
+			c.Add1(circuit.T, 0)
+		}
+		c.Add2(circuit.CX, 2, 3)
+	}
+	return c
+}
+
+func mapIt(t *testing.T, c *circuit.Circuit) *core.Result {
+	t.Helper()
+	res, err := core.Map(c, grid.Square(c.NumQubits), core.HilightMap(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Validate(res.Circuit); err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestDemandProfile(t *testing.T) {
+	c := circuit.New("d", 3)
+	c.Add1(circuit.T, 0)     // before any braid: cycle 0
+	c.Add2(circuit.CX, 0, 1) // layer 0
+	c.Add1(circuit.T, 0)     // after layer 0: cycle 1
+	c.Add1(circuit.Tdg, 1)   // after layer 0: cycle 1
+	c.Add1(circuit.T, 2)     // qubit 2 never braids: cycle 0
+	res := mapIt(t, c)
+	d := DemandOf(res.Circuit, res.Schedule)
+	if d.Total() != 4 {
+		t.Fatalf("total = %d, want 4", d.Total())
+	}
+	if d[0] != 2 {
+		t.Errorf("cycle-0 demand = %d, want 2", d[0])
+	}
+	if d[1] != 2 {
+		t.Errorf("cycle-1 demand = %d, want 2", d[1])
+	}
+	if d.Peak() != 2 {
+		t.Errorf("peak = %d", d.Peak())
+	}
+}
+
+func TestAnalyzeNoTGatesNoStalls(t *testing.T) {
+	c := circuit.New("cx", 2)
+	c.Add2(circuit.CX, 0, 1)
+	res := mapIt(t, c)
+	rep, err := Analyze(res.Circuit, res.Schedule, DefaultFactory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TCount != 0 || rep.StallCycles != 0 {
+		t.Errorf("unexpected T accounting: %+v", rep)
+	}
+	if rep.TotalLatency != rep.BraidLatency {
+		t.Error("latency changed without T gates")
+	}
+}
+
+func TestAnalyzeStallsWhenFactorySlow(t *testing.T) {
+	// 6 braids, 2 T gates after each: demand 2 per cycle; a factory
+	// producing 1 state per 10 cycles must stall heavily.
+	c := tCircuit(6, 2)
+	res := mapIt(t, c)
+	slow := Factory{Count: 1, Period: 10, Buffer: 4, Initial: 2}
+	rep, err := Analyze(res.Circuit, res.Schedule, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.StallCycles == 0 {
+		t.Fatal("slow factory never stalled")
+	}
+	fast := Factory{Count: 4, Period: 2, Buffer: 16, Initial: 16}
+	repFast, err := Analyze(res.Circuit, res.Schedule, fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repFast.StallCycles >= rep.StallCycles {
+		t.Errorf("faster factory stalled more: %d vs %d", repFast.StallCycles, rep.StallCycles)
+	}
+	if rep.TCount != 12 || repFast.TCount != 12 {
+		t.Errorf("T counts: %d, %d", rep.TCount, repFast.TCount)
+	}
+}
+
+func TestAnalyzeBufferTooSmall(t *testing.T) {
+	c := circuit.New("burst", 2)
+	for i := 0; i < 5; i++ {
+		c.Add1(circuit.T, 0) // five states demanded at cycle 0
+	}
+	c.Add2(circuit.CX, 0, 1)
+	res := mapIt(t, c)
+	// A buffer smaller than the burst just stalls more: states are
+	// consumed incrementally as they distill.
+	tiny := Factory{Count: 1, Period: 2, Buffer: 2, Initial: 0}
+	repTiny, err := Analyze(res.Circuit, res.Schedule, tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := Factory{Count: 1, Period: 2, Buffer: 8, Initial: 8}
+	rep, err := Analyze(res.Circuit, res.Schedule, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repTiny.StallCycles == 0 {
+		t.Error("cold-start burst should stall")
+	}
+	if rep.StallCycles >= repTiny.StallCycles {
+		t.Errorf("pre-banked factory stalled as much: %d vs %d", rep.StallCycles, repTiny.StallCycles)
+	}
+}
+
+func TestAnalyzeValidatesFactory(t *testing.T) {
+	c := tCircuit(1, 1)
+	res := mapIt(t, c)
+	bad := []Factory{
+		{Count: 0, Period: 1, Buffer: 1},
+		{Count: 1, Period: 0, Buffer: 1},
+		{Count: 1, Period: 1, Buffer: 0},
+		{Count: 1, Period: 1, Buffer: 2, Initial: 3},
+	}
+	for i, f := range bad {
+		if _, err := Analyze(res.Circuit, res.Schedule, f); err == nil {
+			t.Errorf("factory %d accepted: %+v", i, f)
+		}
+	}
+}
+
+func TestFactoriesNeeded(t *testing.T) {
+	c := tCircuit(8, 2)
+	res := mapIt(t, c)
+	unit := Factory{Count: 1, Period: 8, Buffer: 4, Initial: 2}
+	k, err := FactoriesNeeded(res.Circuit, res.Schedule, unit, 0, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k < 2 {
+		t.Errorf("one slow unit should not suffice, got k=%d", k)
+	}
+	// The returned count must actually be stall-free.
+	f := unit
+	f.Count = k
+	f.Buffer = unit.Buffer * k
+	f.Initial = unit.Initial * k
+	rep, err := Analyze(res.Circuit, res.Schedule, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.StallCycles != 0 {
+		t.Errorf("k=%d still stalls %d cycles", k, rep.StallCycles)
+	}
+	// And k-1 must not be (minimality).
+	if k > 1 {
+		f.Count = k - 1
+		f.Buffer = unit.Buffer * (k - 1)
+		f.Initial = unit.Initial * (k - 1)
+		rep, err := Analyze(res.Circuit, res.Schedule, f)
+		if err == nil && rep.StallCycles == 0 {
+			t.Errorf("k-1=%d already stall-free; k not minimal", k-1)
+		}
+	}
+}
+
+func TestFactoriesNeededImpossible(t *testing.T) {
+	c := tCircuit(2, 3)
+	res := mapIt(t, c)
+	unit := Factory{Count: 1, Period: 50, Buffer: 1, Initial: 0}
+	if _, err := FactoriesNeeded(res.Circuit, res.Schedule, unit, 0, 2); err == nil {
+		t.Error("impossible sizing accepted")
+	}
+}
+
+// Property: more factory units never increase stalls; demand totals match
+// the circuit's T count.
+func TestMonotoneFactoryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := circuit.New("rand", 4)
+		tCount := 0
+		for i := 0; i < 20; i++ {
+			if rng.Intn(2) == 0 {
+				c.Add1(circuit.T, rng.Intn(4))
+				tCount++
+			} else {
+				a, b := rng.Intn(4), rng.Intn(4)
+				if a != b {
+					c.Add2(circuit.CX, a, b)
+				}
+			}
+		}
+		res, err := core.Map(c, grid.Square(4), core.HilightMap(nil))
+		if err != nil || res.Schedule.Validate(res.Circuit) != nil {
+			return false
+		}
+		if DemandOf(res.Circuit, res.Schedule).Total() != tCount {
+			return false
+		}
+		prev := -1
+		for count := 1; count <= 4; count++ {
+			fac := Factory{Count: count, Period: 6, Buffer: 8 * count, Initial: 4 * count}
+			rep, err := Analyze(res.Circuit, res.Schedule, fac)
+			if err != nil {
+				return false
+			}
+			if prev >= 0 && rep.StallCycles > prev {
+				return false
+			}
+			prev = rep.StallCycles
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

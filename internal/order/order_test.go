@@ -1,0 +1,176 @@
+package order
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hilight/internal/grid"
+)
+
+func readySet(g *grid.Grid, pairs [][2]int) []Ready {
+	out := make([]Ready, len(pairs))
+	for i, p := range pairs {
+		out[i] = Ready{Gate: i, CtlTile: p[0], TgtTile: p[1]}
+	}
+	return out
+}
+
+func isPermutation(orig, got []Ready) bool {
+	if len(orig) != len(got) {
+		return false
+	}
+	seen := map[int]int{}
+	for _, r := range orig {
+		seen[r.Gate]++
+	}
+	for _, r := range got {
+		seen[r.Gate]--
+	}
+	for _, v := range seen {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestProposedShortestFirst(t *testing.T) {
+	g := grid.New(3, 3)
+	// Gate 0 spans the grid (distance 4), gate 1 is adjacent (1), gate 2
+	// medium (2): proposed attempts 1, 2, 0.
+	ready := readySet(g, [][2]int{{0, 8}, {4, 5}, {0, 2}})
+	got := Proposed{}.Order(append([]Ready(nil), ready...), g)
+	want := []int{1, 2, 0}
+	for i := range got {
+		if got[i].Gate != want[i] {
+			t.Fatalf("order = %v, want gates %v", got, want)
+		}
+	}
+	// Ties resolve in program order.
+	tied := readySet(g, [][2]int{{4, 5}, {0, 1}, {7, 8}})
+	got = Proposed{}.Order(append([]Ready(nil), tied...), g)
+	for i := range got {
+		if got[i].Gate != i {
+			t.Fatalf("tie-break not program order: %v", got)
+		}
+	}
+}
+
+func TestAscendingDescending(t *testing.T) {
+	g := grid.New(3, 3)
+	ready := []Ready{{Gate: 5}, {Gate: 1}, {Gate: 3}}
+	asc := Ascending{}.Order(append([]Ready(nil), ready...), g)
+	if asc[0].Gate != 1 || asc[1].Gate != 3 || asc[2].Gate != 5 {
+		t.Errorf("ascending = %v", asc)
+	}
+	desc := Descending{}.Order(append([]Ready(nil), ready...), g)
+	if desc[0].Gate != 5 || desc[1].Gate != 3 || desc[2].Gate != 1 {
+		t.Errorf("descending = %v", desc)
+	}
+}
+
+func TestRandomIsPermutation(t *testing.T) {
+	g := grid.New(3, 3)
+	r := Random{Rng: rand.New(rand.NewSource(1))}
+	ready := readySet(g, [][2]int{{0, 1}, {2, 3}, {4, 5}, {6, 7}, {8, 0}})
+	got := r.Order(append([]Ready(nil), ready...), g)
+	if !isPermutation(ready, got) {
+		t.Fatalf("not a permutation: %v", got)
+	}
+}
+
+func TestLLGGroupsNonConflictingFirst(t *testing.T) {
+	g := grid.New(4, 4)
+	// Gates 0 and 1 are in disjoint rows (no box overlap); gate 2 overlaps
+	// both (spans the whole grid).
+	ready := []Ready{
+		{Gate: 0, CtlTile: g.TileAt(0, 0), TgtTile: g.TileAt(1, 0)},
+		{Gate: 1, CtlTile: g.TileAt(0, 3), TgtTile: g.TileAt(1, 3)},
+		{Gate: 2, CtlTile: g.TileAt(0, 0), TgtTile: g.TileAt(3, 3)},
+	}
+	got := LLG{}.Order(append([]Ready(nil), ready...), g)
+	if !isPermutation(ready, got) {
+		t.Fatalf("not a permutation: %v", got)
+	}
+	// Gate 2 is longest so it leads its group, but gates 0 and 1 conflict
+	// with it; the greedy set around gate 2 is {2} alone, then {0,1}.
+	if got[0].Gate != 2 {
+		t.Errorf("longest braid should lead: %v", got)
+	}
+	pos := map[int]int{}
+	for i, r := range got {
+		pos[r.Gate] = i
+	}
+	if pos[0] > 2 || pos[1] > 2 {
+		t.Errorf("non-conflicting pair split: %v", got)
+	}
+}
+
+func TestAllStrategiesReturnPermutations(t *testing.T) {
+	g := grid.New(5, 5)
+	strategies := []Strategy{
+		Proposed{}, Ascending{}, Descending{},
+		Random{Rng: rand.New(rand.NewSource(42))}, LLG{}, CriticalPath{},
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(12)
+		ready := make([]Ready, n)
+		for i := range ready {
+			ready[i] = Ready{
+				Gate:    i,
+				CtlTile: rng.Intn(g.Tiles()),
+				TgtTile: rng.Intn(g.Tiles()),
+			}
+		}
+		for _, s := range strategies {
+			got := s.Order(append([]Ready(nil), ready...), g)
+			if !isPermutation(ready, got) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCriticalPathPrefersTallGates(t *testing.T) {
+	g := grid.New(3, 3)
+	ready := []Ready{
+		{Gate: 0, CtlTile: 0, TgtTile: 1, Height: 0},
+		{Gate: 1, CtlTile: 3, TgtTile: 4, Height: 7},
+		{Gate: 2, CtlTile: 6, TgtTile: 7, Height: 3},
+	}
+	got := CriticalPath{}.Order(append([]Ready(nil), ready...), g)
+	if got[0].Gate != 1 || got[1].Gate != 2 || got[2].Gate != 0 {
+		t.Errorf("order = %v", got)
+	}
+	// Equal heights fall back to shortest braid.
+	tied := []Ready{
+		{Gate: 0, CtlTile: 0, TgtTile: 8, Height: 2}, // distance 4
+		{Gate: 1, CtlTile: 3, TgtTile: 4, Height: 2}, // distance 1
+	}
+	got = CriticalPath{}.Order(append([]Ready(nil), tied...), g)
+	if got[0].Gate != 1 {
+		t.Errorf("tie-break wrong: %v", got)
+	}
+}
+
+func TestStrategyNames(t *testing.T) {
+	want := map[string]Strategy{
+		"proposed":      Proposed{},
+		"ascending":     Ascending{},
+		"descending":    Descending{},
+		"random":        Random{},
+		"llg":           LLG{},
+		"critical-path": CriticalPath{},
+	}
+	for name, s := range want {
+		if s.Name() != name {
+			t.Errorf("Name() = %q, want %q", s.Name(), name)
+		}
+	}
+}

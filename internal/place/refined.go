@@ -1,0 +1,35 @@
+package place
+
+import (
+	"fmt"
+
+	"hilight/internal/circuit"
+	"hilight/internal/grid"
+)
+
+// Refined decorates any placement method with the local-search
+// refinement pass: Base produces the initial layout and Refine polishes
+// it for up to Rounds rounds (0 = the default budget). The composite is
+// itself a Method, so it plugs into any framework configuration.
+type Refined struct {
+	Base   Method
+	Rounds int
+}
+
+// Name implements Method.
+func (r Refined) Name() string {
+	base := "proximity"
+	if r.Base != nil {
+		base = r.Base.Name()
+	}
+	return fmt.Sprintf("%s+refine", base)
+}
+
+// Place implements Method.
+func (r Refined) Place(c *circuit.Circuit, g *grid.Grid) *grid.Layout {
+	base := r.Base
+	if base == nil {
+		base = Proximity{}
+	}
+	return Refine(base.Place(c, g), c, g, r.Rounds)
+}

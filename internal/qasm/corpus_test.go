@@ -1,0 +1,79 @@
+package qasm_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hilight/internal/core"
+	"hilight/internal/grid"
+	"hilight/internal/qasm"
+)
+
+// TestCorpusEndToEnd parses every testdata file, validates the circuit,
+// round-trips it through the writer, and maps it end to end — the full
+// pipeline a user feeds real benchmark files through.
+func TestCorpusEndToEnd(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "*.qasm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 5 {
+		t.Fatalf("corpus too small: %v", files)
+	}
+	for _, f := range files {
+		f := f
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			data, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			name := strings.TrimSuffix(filepath.Base(f), ".qasm")
+			c, err := qasm.Parse(name, string(data))
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			if err := c.Validate(); err != nil {
+				t.Fatalf("validate: %v", err)
+			}
+			if c.NumQubits == 0 || c.Len() == 0 {
+				t.Fatal("degenerate circuit")
+			}
+			// Writer round trip preserves the gate stream.
+			c2, err := qasm.Parse(name, qasm.Format(c))
+			if err != nil {
+				t.Fatalf("re-parse: %v", err)
+			}
+			if c2.Len() != c.Len() {
+				t.Fatalf("round trip changed gate count %d -> %d", c.Len(), c2.Len())
+			}
+			// Full mapping flow.
+			res, err := core.Map(c, grid.Rect(c.NumQubits), core.HilightMap(nil))
+			if err != nil {
+				t.Fatalf("map: %v", err)
+			}
+			if err := res.Schedule.Validate(res.Circuit); err != nil {
+				t.Fatalf("schedule: %v", err)
+			}
+		})
+	}
+}
+
+func TestCorpusAdderStructure(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "adder4.qasm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := qasm.Parse("adder4", string(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumQubits != 10 {
+		t.Errorf("qubits = %d, want 10 (4+4+1+1)", c.NumQubits)
+	}
+	// 8 majority/unmaj macros × (2 CX + 6 CX from ccx) + 1 carry CX = 65.
+	if got := c.CXCount(); got != 8*8+1 {
+		t.Errorf("CX count = %d, want %d", got, 8*8+1)
+	}
+}

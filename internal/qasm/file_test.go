@@ -1,0 +1,103 @@
+package qasm
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, dir, name, src string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseFileResolvesIncludes(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "gates.inc", `
+gate bell a,b { h a; cx a,b; }
+`)
+	main := writeFile(t, dir, "main.qasm", `
+OPENQASM 2.0;
+include "qelib1.inc";
+include "gates.inc";
+qreg q[2];
+bell q[0],q[1];
+`)
+	c, err := ParseFile(main)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("gates = %d, want 2", c.Len())
+	}
+	if c.Name != "main" {
+		t.Errorf("name = %q", c.Name)
+	}
+}
+
+func TestParseFileNestedIncludes(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "inner.inc", `gate pair a,b { cx a,b; }`)
+	writeFile(t, dir, "outer.inc", `
+OPENQASM 2.0;
+include "inner.inc";
+gate chain a,b,c { pair a,b; pair b,c; }
+`)
+	main := writeFile(t, dir, "main.qasm", `
+OPENQASM 2.0;
+include "outer.inc";
+qreg q[3];
+chain q[0],q[1],q[2];
+`)
+	c, err := ParseFile(main)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.CXCount() != 2 {
+		t.Fatalf("CX = %d, want 2", c.CXCount())
+	}
+}
+
+func TestParseFileIncludeCycle(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "a.inc", `include "b.inc";`)
+	writeFile(t, dir, "b.inc", `include "a.inc";`)
+	main := writeFile(t, dir, "main.qasm", `
+include "a.inc";
+qreg q[1];
+`)
+	if _, err := ParseFile(main); err == nil || !strings.Contains(err.Error(), "nesting") {
+		t.Fatalf("include cycle accepted: %v", err)
+	}
+}
+
+func TestParseFileMissingInclude(t *testing.T) {
+	dir := t.TempDir()
+	main := writeFile(t, dir, "main.qasm", `
+include "nope.inc";
+qreg q[1];
+`)
+	if _, err := ParseFile(main); err == nil {
+		t.Fatal("missing include accepted")
+	}
+	if _, err := ParseFile(filepath.Join(dir, "absent.qasm")); err == nil {
+		t.Fatal("missing root file accepted")
+	}
+}
+
+func TestParseFileCorpus(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "*.qasm"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("corpus missing: %v", err)
+	}
+	for _, f := range files {
+		if _, err := ParseFile(f); err != nil {
+			t.Errorf("%s: %v", f, err)
+		}
+	}
+}

@@ -1,0 +1,309 @@
+package qasm
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"hilight/internal/circuit"
+)
+
+func parseOK(t *testing.T, src string) *circuit.Circuit {
+	t.Helper()
+	c, err := Parse("test", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("parsed circuit invalid: %v", err)
+	}
+	return c
+}
+
+func TestParseBasic(t *testing.T) {
+	c := parseOK(t, `
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[3];
+h q[0];
+cx q[0],q[1];
+rz(pi/4) q[2];
+measure q[0] -> c[0];
+`)
+	if c.NumQubits != 3 {
+		t.Fatalf("qubits = %d", c.NumQubits)
+	}
+	if c.Len() != 4 {
+		t.Fatalf("gates = %d: %v", c.Len(), c.Gates)
+	}
+	if c.Gates[0].Kind != circuit.H || c.Gates[1].Kind != circuit.CX {
+		t.Error("gate kinds wrong")
+	}
+	if got := c.Gates[2].Params[0]; math.Abs(got-math.Pi/4) > 1e-12 {
+		t.Errorf("rz param = %g", got)
+	}
+	if c.Gates[3].Kind != circuit.Measure {
+		t.Error("measure missing")
+	}
+}
+
+func TestParseMultipleRegisters(t *testing.T) {
+	c := parseOK(t, `
+qreg a[2];
+qreg b[3];
+cx a[1],b[0];
+`)
+	if c.NumQubits != 5 {
+		t.Fatalf("qubits = %d", c.NumQubits)
+	}
+	g := c.Gates[0]
+	if g.Q0 != 1 || g.Q1 != 2 {
+		t.Errorf("flattening wrong: %v", g)
+	}
+}
+
+func TestParseBroadcast(t *testing.T) {
+	c := parseOK(t, `
+qreg q[4];
+h q;
+`)
+	if c.Len() != 4 {
+		t.Fatalf("broadcast h emitted %d gates", c.Len())
+	}
+	c2 := parseOK(t, `
+qreg a[3];
+qreg b[3];
+cx a,b;
+`)
+	if c2.Len() != 3 {
+		t.Fatalf("register cx broadcast = %d gates", c2.Len())
+	}
+	for i, g := range c2.Gates {
+		if g.Q0 != i || g.Q1 != i+3 {
+			t.Errorf("broadcast pair %d = %v", i, g)
+		}
+	}
+	// Scalar against register: repeat the scalar.
+	c3 := parseOK(t, `
+qreg a[1];
+qreg b[3];
+cx a[0],b;
+`)
+	if c3.Len() != 3 {
+		t.Fatalf("scalar/register broadcast = %d gates", c3.Len())
+	}
+}
+
+func TestParseBroadcastMismatch(t *testing.T) {
+	_, err := Parse("t", `
+qreg a[2];
+qreg b[3];
+cx a,b;
+`)
+	if err == nil || !strings.Contains(err.Error(), "mismatch") {
+		t.Fatalf("want size-mismatch error, got %v", err)
+	}
+}
+
+func TestParseGateDefinitionExpansion(t *testing.T) {
+	c := parseOK(t, `
+qreg q[2];
+gate bell a,b { h a; cx a,b; }
+bell q[0],q[1];
+`)
+	if c.Len() != 2 || c.Gates[0].Kind != circuit.H || c.Gates[1].Kind != circuit.CX {
+		t.Fatalf("macro expansion wrong: %v", c.Gates)
+	}
+}
+
+func TestParseParameterizedMacro(t *testing.T) {
+	c := parseOK(t, `
+qreg q[1];
+gate wiggle(theta) a { rz(theta/2) a; rz(-theta/2) a; }
+wiggle(pi) q[0];
+`)
+	if c.Len() != 2 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	if got := c.Gates[0].Params[0]; math.Abs(got-math.Pi/2) > 1e-12 {
+		t.Errorf("param = %g", got)
+	}
+	if got := c.Gates[1].Params[0]; math.Abs(got+math.Pi/2) > 1e-12 {
+		t.Errorf("param = %g", got)
+	}
+}
+
+func TestParseNestedMacros(t *testing.T) {
+	c := parseOK(t, `
+qreg q[3];
+gate pair a,b { cx a,b; }
+gate chain a,b,c { pair a,b; pair b,c; }
+chain q[0],q[1],q[2];
+`)
+	if c.Len() != 2 || c.Gates[0].Q1 != 1 || c.Gates[1].Q0 != 1 {
+		t.Fatalf("nested macro wrong: %v", c.Gates)
+	}
+}
+
+func TestParseCCXExpansion(t *testing.T) {
+	c := parseOK(t, `
+qreg q[3];
+ccx q[0],q[1],q[2];
+`)
+	if got := c.CXCount(); got != 6 {
+		t.Fatalf("ccx CX count = %d, want 6", got)
+	}
+	if c.Len() != 15 {
+		t.Fatalf("ccx total gates = %d, want 15", c.Len())
+	}
+}
+
+func TestParseOpaqueRejectedOnUse(t *testing.T) {
+	c := parseOK(t, `
+qreg q[2];
+opaque mystery a,b;
+cx q[0],q[1];
+`)
+	if c.Len() != 1 {
+		t.Fatal("opaque decl should not emit gates")
+	}
+	_, err := Parse("t", `
+qreg q[2];
+opaque mystery a,b;
+mystery q[0],q[1];
+`)
+	if err == nil || !strings.Contains(err.Error(), "opaque") {
+		t.Fatalf("want opaque-application error, got %v", err)
+	}
+}
+
+func TestParseIfRejected(t *testing.T) {
+	_, err := Parse("t", `
+qreg q[1];
+creg c[1];
+if (c==1) x q[0];
+`)
+	if err == nil || !strings.Contains(err.Error(), "classical control") {
+		t.Fatalf("want classical-control error, got %v", err)
+	}
+}
+
+func TestParseBarrierIgnored(t *testing.T) {
+	c := parseOK(t, `
+qreg q[2];
+h q[0];
+barrier q;
+cx q[0],q[1];
+`)
+	if c.Len() != 2 {
+		t.Fatalf("barrier leaked gates: %d", c.Len())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`qreg q[0];`,                       // zero-size register
+		`qreg q[2]; qreg q[2];`,            // redeclared
+		`qreg q[2]; h q[5];`,               // index out of range
+		`qreg q[2]; frobnicate q[0];`,      // unknown gate
+		`qreg q[2]; cx q[0];`,              // arity
+		`qreg q[2]; rz q[0];`,              // missing param
+		`qreg q[2]; h q[0]`,                // missing semicolon
+		`qreg q[2]; measure q[0] -> c[0];`, // unknown creg
+		`qreg q[2]; rz(1/0) q[0];`,         // division by zero
+		`qreg q[2]; rz(foo) q[0];`,         // unknown identifier
+	}
+	for _, src := range cases {
+		if _, err := Parse("t", src); err == nil {
+			t.Errorf("accepted bad source %q", src)
+		}
+	}
+}
+
+func TestParseExpressionForms(t *testing.T) {
+	c := parseOK(t, `
+qreg q[1];
+rz(2*pi - pi/2) q[0];
+rz(-(1+1)) q[0];
+rz(sin(0)) q[0];
+rz(2^3) q[0];
+u3(0.1,0.2,0.3) q[0];
+`)
+	want := []float64{2*math.Pi - math.Pi/2, -2, 0, 8}
+	for i, w := range want {
+		if got := c.Gates[i].Params[0]; math.Abs(got-w) > 1e-12 {
+			t.Errorf("expr %d = %g, want %g", i, got, w)
+		}
+	}
+	g := c.Gates[4]
+	if g.Params != [3]float64{0.1, 0.2, 0.3} {
+		t.Errorf("u3 params = %v", g.Params)
+	}
+}
+
+func TestWriterRoundTrip(t *testing.T) {
+	src := `
+qreg q[4];
+creg c[4];
+h q[0];
+cx q[0],q[1];
+cz q[1],q[2];
+swap q[2],q[3];
+t q[3];
+rz(0.25) q[1];
+measure q[0] -> c[0];
+`
+	c1 := parseOK(t, src)
+	out := Format(c1)
+	c2 := parseOK(t, out)
+	if c1.Len() != c2.Len() || c1.NumQubits != c2.NumQubits {
+		t.Fatalf("round trip changed shape: %d/%d vs %d/%d", c1.NumQubits, c1.Len(), c2.NumQubits, c2.Len())
+	}
+	for i := range c1.Gates {
+		if c1.Gates[i] != c2.Gates[i] {
+			t.Errorf("gate %d: %v vs %v", i, c1.Gates[i], c2.Gates[i])
+		}
+	}
+}
+
+// Property: Format/Parse round trip is the identity on random circuits
+// over the writer-supported kinds.
+func TestRoundTripProperty(t *testing.T) {
+	kinds1 := []circuit.Kind{circuit.H, circuit.X, circuit.Y, circuit.Z,
+		circuit.S, circuit.Sdg, circuit.T, circuit.Tdg}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		c := circuit.New("rt", n)
+		for i := 0; i < 60; i++ {
+			switch rng.Intn(4) {
+			case 0:
+				c.Add1(kinds1[rng.Intn(len(kinds1))], rng.Intn(n))
+			case 1:
+				c.AddRot(circuit.RZ, rng.Intn(n), rng.NormFloat64())
+			default:
+				a, b := rng.Intn(n), rng.Intn(n)
+				if a == b {
+					continue
+				}
+				c.Add2(circuit.CX, a, b)
+			}
+		}
+		c2, err := Parse("rt", Format(c))
+		if err != nil || c2.Len() != c.Len() {
+			return false
+		}
+		for i := range c.Gates {
+			if c.Gates[i] != c2.Gates[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,34 @@
+// 4-bit ripple-carry adder skeleton in the RevLib style: custom gate
+// definitions, Toffolis, broadcast operands.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg a[4];
+qreg b[4];
+qreg cin[1];
+qreg cout[1];
+creg result[4];
+
+gate majority x,y,z {
+  cx z,y;
+  cx z,x;
+  ccx x,y,z;
+}
+
+gate unmaj x,y,z {
+  ccx x,y,z;
+  cx z,x;
+  cx x,y;
+}
+
+x a[0];
+x b;
+majority cin[0],b[0],a[0];
+majority a[0],b[1],a[1];
+majority a[1],b[2],a[2];
+majority a[2],b[3],a[3];
+cx a[3],cout[0];
+unmaj a[2],b[3],a[3];
+unmaj a[1],b[2],a[2];
+unmaj a[0],b[1],a[1];
+unmaj cin[0],b[0],a[0];
+measure b -> result;

@@ -1,0 +1,63 @@
+package qasm
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"hilight/internal/circuit"
+)
+
+// Write renders the circuit as OpenQASM 2.0 with a single register q of
+// the circuit's width. Measure gates become `measure q[i] -> c[i];` with a
+// creg sized to the qubit count. The output parses back via Parse into an
+// equivalent circuit (CX structure preserved exactly).
+func Write(w io.Writer, c *circuit.Circuit) error {
+	var b strings.Builder
+	b.WriteString("OPENQASM 2.0;\n")
+	b.WriteString("include \"qelib1.inc\";\n")
+	if c.NumQubits > 0 {
+		fmt.Fprintf(&b, "qreg q[%d];\n", c.NumQubits)
+	}
+	hasMeasure := false
+	for _, g := range c.Gates {
+		if g.Kind == circuit.Measure {
+			hasMeasure = true
+			break
+		}
+	}
+	if hasMeasure {
+		fmt.Fprintf(&b, "creg c[%d];\n", c.NumQubits)
+	}
+	for _, g := range c.Gates {
+		switch {
+		case g.Kind == circuit.Measure:
+			fmt.Fprintf(&b, "measure q[%d] -> c[%d];\n", g.Q0, g.Q0)
+		case g.Kind == circuit.Reset:
+			fmt.Fprintf(&b, "reset q[%d];\n", g.Q0)
+		case g.TwoQubit():
+			fmt.Fprintf(&b, "%s q[%d],q[%d];\n", g.Kind, g.Q0, g.Q1)
+		case g.Kind.Parameterized():
+			switch g.Kind {
+			case circuit.U2:
+				fmt.Fprintf(&b, "u2(%.17g,%.17g) q[%d];\n", g.Params[0], g.Params[1], g.Q0)
+			case circuit.U3:
+				fmt.Fprintf(&b, "u3(%.17g,%.17g,%.17g) q[%d];\n", g.Params[0], g.Params[1], g.Params[2], g.Q0)
+			default:
+				fmt.Fprintf(&b, "%s(%.17g) q[%d];\n", g.Kind, g.Params[0], g.Q0)
+			}
+		default:
+			fmt.Fprintf(&b, "%s q[%d];\n", g.Kind, g.Q0)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Format returns the circuit's OpenQASM 2.0 source as a string.
+func Format(c *circuit.Circuit) string {
+	var b strings.Builder
+	// strings.Builder's Write never fails.
+	_ = Write(&b, c)
+	return b.String()
+}

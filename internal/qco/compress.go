@@ -1,0 +1,181 @@
+package qco
+
+import (
+	"math"
+
+	"hilight/internal/circuit"
+)
+
+// Compress applies the §3.3 QCO gate-compression and cancellation rules
+// until a fixpoint:
+//
+//   - adjacent self-inverse pairs cancel: X·X, Y·Y, Z·Z, H·H, CZ·CZ,
+//     SWAP·SWAP, and CX·CX with identical control/target;
+//   - adjacent inverse pairs cancel: S·S†, T·T†(either order);
+//   - adjacent rotations of the same kind merge: RZ(a)·RZ(b) → RZ(a+b)
+//     (likewise RX, RY, U1), and a merged angle of 0 (mod 2π) drops;
+//   - adjacent phase pairs promote: S·S → Z, T·T → S, S†·S† → Z,
+//     T†·T† → S†.
+//
+// "Adjacent" means no intervening gate touches any shared qubit; for
+// two-qubit pairs both qubits must be free in between. Compress preserves
+// circuit semantics exactly (no global-phase tricks are used) and returns
+// a new circuit.
+func Compress(c *circuit.Circuit) *circuit.Circuit {
+	gates := append([]circuit.Gate(nil), c.Gates...)
+	for {
+		next, changed := compressOnce(gates, c.NumQubits)
+		gates = next
+		if !changed {
+			break
+		}
+	}
+	out := circuit.New(c.Name, c.NumQubits)
+	out.Gates = gates
+	return out
+}
+
+// compressOnce performs one left-to-right pass, applying the first
+// applicable rule at each position.
+func compressOnce(gates []circuit.Gate, numQubits int) ([]circuit.Gate, bool) {
+	// nextOn[q] tracking is rebuilt per pass: for each gate, find the next
+	// gate index sharing a qubit.
+	alive := make([]bool, len(gates))
+	for i := range alive {
+		alive[i] = true
+	}
+	changed := false
+	for i := 0; i < len(gates); i++ {
+		if !alive[i] {
+			continue
+		}
+		j, ok := nextAdjacent(gates, alive, i)
+		if !ok {
+			continue
+		}
+		a, b := gates[i], gates[j]
+		switch {
+		case cancels(a, b):
+			alive[i], alive[j] = false, false
+			changed = true
+		case a.Kind == b.Kind && a.Q0 == b.Q0 && !a.TwoQubit() && isAxisRotation(a.Kind):
+			sum := a.Params[0] + b.Params[0]
+			alive[j] = false
+			if zeroAngle(sum) {
+				alive[i] = false
+			} else {
+				merged := a
+				merged.Params[0] = sum
+				gates[i] = merged
+			}
+			changed = true
+		default:
+			if promoted, okP := promote(a, b); okP {
+				gates[i] = promoted
+				alive[j] = false
+				changed = true
+			}
+		}
+	}
+	if !changed {
+		return gates, false
+	}
+	out := gates[:0:0]
+	for i, g := range gates {
+		if alive[i] {
+			out = append(out, g)
+		}
+	}
+	return out, true
+}
+
+// nextAdjacent finds the next alive gate j > i such that j is the very
+// next alive gate on every qubit of gate i (no intervening gate touches
+// any of them).
+func nextAdjacent(gates []circuit.Gate, alive []bool, i int) (int, bool) {
+	qs := gates[i].Qubits()
+	for j := i + 1; j < len(gates); j++ {
+		if !alive[j] {
+			continue
+		}
+		shares := false
+		for _, q := range qs {
+			if gates[j].ActsOn(q) {
+				shares = true
+				break
+			}
+		}
+		if !shares {
+			continue
+		}
+		// j is the first alive gate sharing a qubit with i. Adjacent only
+		// if j covers ALL of i's qubits or the rest of i's qubits have no
+		// earlier successor — since j is the first sharing gate, any qubit
+		// of i not in j is still untouched, so i and j are adjacent on
+		// their common qubits. For cancellation of 2Q pairs we addition-
+		// ally need identical operand sets, checked by the rules.
+		return j, true
+	}
+	return 0, false
+}
+
+// cancels reports whether adjacent gates a and b compose to identity.
+func cancels(a, b circuit.Gate) bool {
+	sameOperands := a.Q0 == b.Q0 && a.Q1 == b.Q1
+	switch a.Kind {
+	case circuit.X, circuit.Y, circuit.Z, circuit.H:
+		return b.Kind == a.Kind && sameOperands
+	case circuit.CX:
+		return b.Kind == circuit.CX && sameOperands
+	case circuit.CZ, circuit.SWAP:
+		if b.Kind != a.Kind {
+			return false
+		}
+		return sameOperands || (a.Q0 == b.Q1 && a.Q1 == b.Q0) // symmetric gates
+	case circuit.S:
+		return b.Kind == circuit.Sdg && sameOperands
+	case circuit.Sdg:
+		return b.Kind == circuit.S && sameOperands
+	case circuit.T:
+		return b.Kind == circuit.Tdg && sameOperands
+	case circuit.Tdg:
+		return b.Kind == circuit.T && sameOperands
+	}
+	return false
+}
+
+// promote merges adjacent equal phase gates into the next gate up the
+// ladder: T·T → S, T†·T† → S†, S·S → Z, S†·S† → Z.
+func promote(a, b circuit.Gate) (circuit.Gate, bool) {
+	if a.Kind != b.Kind || a.Q0 != b.Q0 || a.TwoQubit() {
+		return circuit.Gate{}, false
+	}
+	switch a.Kind {
+	case circuit.T:
+		return circuit.NewGate1(circuit.S, a.Q0), true
+	case circuit.Tdg:
+		return circuit.NewGate1(circuit.Sdg, a.Q0), true
+	case circuit.S, circuit.Sdg:
+		return circuit.NewGate1(circuit.Z, a.Q0), true
+	}
+	return circuit.Gate{}, false
+}
+
+// isAxisRotation reports whether the kind merges by angle addition.
+func isAxisRotation(k circuit.Kind) bool {
+	switch k {
+	case circuit.RX, circuit.RY, circuit.RZ, circuit.U1:
+		return true
+	}
+	return false
+}
+
+// zeroAngle reports whether theta is 0 modulo 2π within float tolerance.
+// RX/RY/RZ(2π) = −I (a pure global phase), which is unobservable, but we
+// only drop exact multiples of 4π for rotations to keep the statevector
+// oracle's exact-amplitude comparison happy; U1(2π) = I exactly.
+func zeroAngle(theta float64) bool {
+	const tol = 1e-12
+	m := math.Mod(theta, 4*math.Pi)
+	return math.Abs(m) < tol || math.Abs(m-4*math.Pi) < tol || math.Abs(m+4*math.Pi) < tol
+}

@@ -1,0 +1,223 @@
+package qco
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hilight/internal/circuit"
+	"hilight/internal/sim"
+)
+
+func TestCompressCancelsSelfInversePairs(t *testing.T) {
+	c := circuit.New("cancel", 3)
+	c.Add1(circuit.X, 0)
+	c.Add1(circuit.X, 0)
+	c.Add1(circuit.H, 1)
+	c.Add1(circuit.H, 1)
+	c.Add2(circuit.CX, 0, 2)
+	c.Add2(circuit.CX, 0, 2)
+	o := Compress(c)
+	if o.Len() != 0 {
+		t.Errorf("residual gates: %v", o.Gates)
+	}
+}
+
+func TestCompressRespectsIntervening(t *testing.T) {
+	c := circuit.New("blocked", 2)
+	c.Add1(circuit.X, 0)
+	c.Add1(circuit.H, 0) // blocks the X pair
+	c.Add1(circuit.X, 0)
+	o := Compress(c)
+	if o.Len() != 3 {
+		t.Errorf("gates removed across a blocker: %v", o.Gates)
+	}
+	// A gate on ANOTHER qubit does not block.
+	d := circuit.New("free", 2)
+	d.Add1(circuit.X, 0)
+	d.Add1(circuit.H, 1)
+	d.Add1(circuit.X, 0)
+	od := Compress(d)
+	if od.Len() != 1 || od.Gates[0].Kind != circuit.H {
+		t.Errorf("pair across unrelated gate not cancelled: %v", od.Gates)
+	}
+}
+
+func TestCompressCXRequiresSameOrientation(t *testing.T) {
+	c := circuit.New("cxrev", 2)
+	c.Add2(circuit.CX, 0, 1)
+	c.Add2(circuit.CX, 1, 0) // reversed: not an inverse pair
+	o := Compress(c)
+	if o.Len() != 2 {
+		t.Errorf("reversed CX pair wrongly cancelled: %v", o.Gates)
+	}
+}
+
+func TestCompressSymmetricTwoQubit(t *testing.T) {
+	c := circuit.New("cz", 2)
+	c.Add2(circuit.CZ, 0, 1)
+	c.Add2(circuit.CZ, 1, 0) // CZ is symmetric: cancels
+	o := Compress(c)
+	if o.Len() != 0 {
+		t.Errorf("symmetric CZ pair not cancelled: %v", o.Gates)
+	}
+	s := circuit.New("swap", 2)
+	s.Add2(circuit.SWAP, 0, 1)
+	s.Add2(circuit.SWAP, 1, 0)
+	if got := Compress(s); got.Len() != 0 {
+		t.Errorf("symmetric SWAP pair not cancelled: %v", got.Gates)
+	}
+}
+
+func TestCompressMergesRotations(t *testing.T) {
+	c := circuit.New("rz", 1)
+	c.AddRot(circuit.RZ, 0, 0.3)
+	c.AddRot(circuit.RZ, 0, 0.5)
+	o := Compress(c)
+	if o.Len() != 1 {
+		t.Fatalf("gates = %v", o.Gates)
+	}
+	if math.Abs(o.Gates[0].Params[0]-0.8) > 1e-12 {
+		t.Errorf("merged angle = %g", o.Gates[0].Params[0])
+	}
+	// Chain of three merges to one.
+	d := circuit.New("rz3", 1)
+	d.AddRot(circuit.RX, 0, 0.1)
+	d.AddRot(circuit.RX, 0, 0.2)
+	d.AddRot(circuit.RX, 0, 0.3)
+	od := Compress(d)
+	if od.Len() != 1 || math.Abs(od.Gates[0].Params[0]-0.6) > 1e-12 {
+		t.Errorf("triple merge wrong: %v", od.Gates)
+	}
+}
+
+func TestCompressDropsFullRotations(t *testing.T) {
+	c := circuit.New("full", 1)
+	c.AddRot(circuit.RZ, 0, 2*math.Pi)
+	c.AddRot(circuit.RZ, 0, 2*math.Pi)
+	o := Compress(c)
+	if o.Len() != 0 {
+		t.Errorf("4π rotation kept: %v", o.Gates)
+	}
+	// 2π alone is -I (global phase) and is conservatively kept.
+	d := circuit.New("half", 1)
+	d.AddRot(circuit.RZ, 0, math.Pi)
+	d.AddRot(circuit.RZ, 0, math.Pi)
+	od := Compress(d)
+	if od.Len() != 1 {
+		t.Errorf("2π rotation dropped: %v", od.Gates)
+	}
+}
+
+func TestCompressPromotesPhases(t *testing.T) {
+	c := circuit.New("tt", 1)
+	c.Add1(circuit.T, 0)
+	c.Add1(circuit.T, 0)
+	o := Compress(c)
+	if o.Len() != 1 || o.Gates[0].Kind != circuit.S {
+		t.Errorf("T·T != S: %v", o.Gates)
+	}
+	// Four Ts collapse to Z (T·T→S twice, S·S→Z).
+	d := circuit.New("tttt", 1)
+	for i := 0; i < 4; i++ {
+		d.Add1(circuit.T, 0)
+	}
+	od := Compress(d)
+	if od.Len() != 1 || od.Gates[0].Kind != circuit.Z {
+		t.Errorf("T^4 != Z: %v", od.Gates)
+	}
+	// Eight Ts collapse to nothing (Z·Z).
+	e := circuit.New("t8", 1)
+	for i := 0; i < 8; i++ {
+		e.Add1(circuit.T, 0)
+	}
+	oe := Compress(e)
+	if oe.Len() != 0 {
+		t.Errorf("T^8 != I: %v", oe.Gates)
+	}
+}
+
+func TestCompressInversePhasePairs(t *testing.T) {
+	c := circuit.New("sdg", 1)
+	c.Add1(circuit.S, 0)
+	c.Add1(circuit.Sdg, 0)
+	c.Add1(circuit.Tdg, 0)
+	c.Add1(circuit.T, 0)
+	if o := Compress(c); o.Len() != 0 {
+		t.Errorf("inverse phases kept: %v", o.Gates)
+	}
+}
+
+// Property: Compress preserves exact semantics and never grows the gate
+// count.
+func TestCompressSemanticsProperty(t *testing.T) {
+	kinds := []circuit.Kind{circuit.X, circuit.Y, circuit.Z, circuit.H,
+		circuit.S, circuit.Sdg, circuit.T, circuit.Tdg}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(4)
+		c := circuit.New("rand", n)
+		for i := 0; i < 50; i++ {
+			switch rng.Intn(5) {
+			case 0, 1:
+				c.Add1(kinds[rng.Intn(len(kinds))], rng.Intn(n))
+			case 2:
+				c.AddRot([]circuit.Kind{circuit.RX, circuit.RY, circuit.RZ}[rng.Intn(3)],
+					rng.Intn(n), float64(rng.Intn(5))*math.Pi/4)
+			default:
+				if n < 2 {
+					continue
+				}
+				a, b := rng.Intn(n), rng.Intn(n)
+				if a == b {
+					continue
+				}
+				c.Add2([]circuit.Kind{circuit.CX, circuit.CZ}[rng.Intn(2)], a, b)
+			}
+		}
+		o := Compress(c)
+		if o.Len() > c.Len() {
+			return false
+		}
+		eq, err := sim.Equivalent(c, o, 1e-9)
+		return err == nil && eq
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Compress is idempotent.
+func TestCompressIdempotentProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		c := circuit.New("rand", n)
+		kinds := []circuit.Kind{circuit.X, circuit.H, circuit.T, circuit.S}
+		for i := 0; i < 40; i++ {
+			if rng.Intn(3) == 0 && n >= 2 {
+				a, b := rng.Intn(n), rng.Intn(n)
+				if a != b {
+					c.Add2(circuit.CX, a, b)
+				}
+				continue
+			}
+			c.Add1(kinds[rng.Intn(len(kinds))], rng.Intn(n))
+		}
+		once := Compress(c)
+		twice := Compress(once)
+		if once.Len() != twice.Len() {
+			return false
+		}
+		for i := range once.Gates {
+			if once.Gates[i] != twice.Gates[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,383 @@
+// Package route implements braiding paths on the surface-code routing
+// lattice and the path-finders the paper compares:
+//
+//   - AStar — HiLight's fast path-finding (Alg. 2 lines 14–17): pick the
+//     corner pair of the two tiles with minimum Manhattan distance, then
+//     run a single A* search between them.
+//   - Full16 — the heavyweight baseline of Fig. 9: search all 16 corner
+//     pairs and keep the shortest valid path.
+//   - StackDFS — the AutoBraid-style stack-based path-finder: an iterative
+//     depth-first search that returns the first path it reaches, valid but
+//     not necessarily shortest.
+//
+// A braiding path is a simple sequence of routing vertices; two braids in
+// the same cycle conflict when they share any vertex or channel. Braiding
+// latency is independent of path length (a constant five-step topological
+// transformation), so each cycle executes a set of disjoint braids.
+package route
+
+import (
+	"fmt"
+
+	"hilight/internal/graph"
+	"hilight/internal/grid"
+)
+
+// Path is one braiding path: the visited routing vertices in order. A
+// single-vertex path (adjacent tiles braiding through a shared corner) is
+// legal and occupies only that vertex.
+type Path []int
+
+// Len returns the channel count of the path (vertices − 1).
+func (p Path) Len() int {
+	if len(p) == 0 {
+		return 0
+	}
+	return len(p) - 1
+}
+
+// Validate checks that p is a non-empty simple lattice walk on g with
+// every channel routable.
+func (p Path) Validate(g *grid.Grid) error {
+	if len(p) == 0 {
+		return fmt.Errorf("route: empty path")
+	}
+	seen := make(map[int]bool, len(p))
+	for i, v := range p {
+		if v < 0 || v >= g.NumVertices() {
+			return fmt.Errorf("route: vertex %d out of range", v)
+		}
+		if seen[v] {
+			return fmt.Errorf("route: vertex %d repeated", v)
+		}
+		seen[v] = true
+		if i == 0 {
+			continue
+		}
+		if g.VertexDist(p[i-1], v) != 1 {
+			return fmt.Errorf("route: vertices %d and %d not adjacent", p[i-1], v)
+		}
+		if !g.EdgeRoutable(p[i-1], v) {
+			return fmt.Errorf("route: channel %d-%d not routable", p[i-1], v)
+		}
+	}
+	return nil
+}
+
+// Occupancy tracks the routing vertices and channels consumed by the
+// braids of the current cycle. Reset starts a new cycle.
+type Occupancy struct {
+	vertices map[int]bool
+	edges    map[int]bool
+}
+
+// NewOccupancy returns an empty occupancy set.
+func NewOccupancy() *Occupancy {
+	return &Occupancy{vertices: map[int]bool{}, edges: map[int]bool{}}
+}
+
+// Reset clears the occupancy for a new cycle.
+func (o *Occupancy) Reset() {
+	clear(o.vertices)
+	clear(o.edges)
+}
+
+// VertexUsed reports whether vertex v is taken this cycle.
+func (o *Occupancy) VertexUsed(v int) bool { return o.vertices[v] }
+
+// EdgeUsed reports whether the channel between adjacent u,v is taken.
+func (o *Occupancy) EdgeUsed(g *grid.Grid, u, v int) bool {
+	return o.edges[g.EdgeID(u, v)]
+}
+
+// Conflicts reports whether p overlaps any braid already added this cycle.
+func (o *Occupancy) Conflicts(g *grid.Grid, p Path) bool {
+	for i, v := range p {
+		if o.vertices[v] {
+			return true
+		}
+		if i > 0 && o.edges[g.EdgeID(p[i-1], v)] {
+			return true
+		}
+	}
+	return false
+}
+
+// Add marks p's vertices and channels as taken this cycle.
+func (o *Occupancy) Add(g *grid.Grid, p Path) {
+	for i, v := range p {
+		o.vertices[v] = true
+		if i > 0 {
+			o.edges[g.EdgeID(p[i-1], v)] = true
+		}
+	}
+}
+
+// Finder searches for a braiding path between the tiles of a two-qubit
+// gate, avoiding the braids already placed this cycle. ok is false when
+// no path exists under the current occupancy (the gate waits a cycle).
+type Finder interface {
+	Find(g *grid.Grid, occ *Occupancy, ctlTile, tgtTile int) (p Path, ok bool)
+	Name() string
+}
+
+// --- A* between the closest corner pair (HiLight) ---------------------------
+
+// AStar is the paper's fast path-finder (FindMinManhattanDistPoint +
+// FindValidBraidingPath): corner pairs are tried in ascending Manhattan
+// distance and the first valid A* path wins. In the common case this is a
+// single search between the closest corners; only under congestion do the
+// remaining pairs get probed, which keeps it an order of magnitude
+// cheaper than the exhaustive 16-pair shortest-path search (Full16) at
+// near-identical latency (Fig. 8c). The zero value is ready to use; a
+// single instance reuses its internal buffers and is not safe for
+// concurrent use.
+type AStar struct {
+	open     graph.MinHeap
+	gScore   []int
+	cameFrom []int
+	closed   []bool
+	stamp    []int
+	epoch    int
+	nbrBuf   []int
+}
+
+// Name implements Finder.
+func (a *AStar) Name() string { return "astar-closest" }
+
+// Find implements Finder.
+func (a *AStar) Find(g *grid.Grid, occ *Occupancy, ctlTile, tgtTile int) (Path, bool) {
+	pairs := cornerPairsByDistance(g, ctlTile, tgtTile)
+	for _, pr := range pairs {
+		if occ.VertexUsed(pr.u) || occ.VertexUsed(pr.v) {
+			continue
+		}
+		if p, ok := a.search(g, occ, pr.u, pr.v); ok {
+			return p, true
+		}
+	}
+	return nil, false
+}
+
+type cornerPair struct {
+	u, v, d int
+}
+
+// cornerPairsByDistance returns the 16 corner pairs of two tiles in
+// ascending Manhattan distance, stable within equal distances.
+func cornerPairsByDistance(g *grid.Grid, a, b int) []cornerPair {
+	var pairs [16]cornerPair
+	i := 0
+	for _, u := range g.Corners(a) {
+		for _, v := range g.Corners(b) {
+			pairs[i] = cornerPair{u, v, g.VertexDist(u, v)}
+			i++
+		}
+	}
+	// Insertion sort: 16 elements, stable.
+	out := pairs[:]
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].d < out[j-1].d; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// search runs A* from src to dst over unoccupied vertices and channels.
+func (a *AStar) search(g *grid.Grid, occ *Occupancy, src, dst int) (Path, bool) {
+	if occ.VertexUsed(src) || occ.VertexUsed(dst) {
+		return nil, false
+	}
+	if src == dst {
+		return Path{src}, true
+	}
+	n := g.NumVertices()
+	if len(a.gScore) < n {
+		a.gScore = make([]int, n)
+		a.cameFrom = make([]int, n)
+		a.closed = make([]bool, n)
+		a.stamp = make([]int, n)
+	}
+	a.epoch++
+	a.open.Reset()
+	touch := func(v int) {
+		if a.stamp[v] != a.epoch {
+			a.stamp[v] = a.epoch
+			a.gScore[v] = 1 << 30
+			a.cameFrom[v] = -1
+			a.closed[v] = false
+		}
+	}
+	touch(src)
+	a.gScore[src] = 0
+	a.open.Push(src, g.VertexDist(src, dst))
+	for a.open.Len() > 0 {
+		cur, _ := a.open.Pop()
+		touch(cur)
+		if cur == dst {
+			return a.reconstruct(dst), true
+		}
+		if a.closed[cur] {
+			continue
+		}
+		a.closed[cur] = true
+		a.nbrBuf = g.VertexNeighbors(cur, a.nbrBuf[:0])
+		for _, nb := range a.nbrBuf {
+			touch(nb)
+			if a.closed[nb] || occ.VertexUsed(nb) || occ.EdgeUsed(g, cur, nb) {
+				continue
+			}
+			tentative := a.gScore[cur] + 1
+			if tentative < a.gScore[nb] {
+				a.gScore[nb] = tentative
+				a.cameFrom[nb] = cur
+				a.open.Push(nb, tentative+g.VertexDist(nb, dst))
+			}
+		}
+	}
+	return nil, false
+}
+
+func (a *AStar) reconstruct(dst int) Path {
+	var rev Path
+	for v := dst; v != -1; v = a.cameFrom[v] {
+		rev = append(rev, v)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// --- exhaustive 16-pair search (Fig. 9 "baseline") --------------------------
+
+// Full16 searches every corner pair of the two tiles and returns the
+// shortest valid path, reproducing the heavyweight routing the paper's
+// scalability baseline uses. It shares the A* core.
+type Full16 struct {
+	astar AStar
+}
+
+// Name implements Finder.
+func (f *Full16) Name() string { return "full-16" }
+
+// Find implements Finder.
+func (f *Full16) Find(g *grid.Grid, occ *Occupancy, ctlTile, tgtTile int) (Path, bool) {
+	var best Path
+	found := false
+	for _, u := range g.Corners(ctlTile) {
+		for _, v := range g.Corners(tgtTile) {
+			p, ok := f.astar.search(g, occ, u, v)
+			if !ok {
+				continue
+			}
+			if !found || p.Len() < best.Len() {
+				best = append(Path(nil), p...)
+				found = true
+			}
+		}
+	}
+	return best, found
+}
+
+// --- stack-based DFS (AutoBraid) ---------------------------------------------
+
+// StackDFS is the AutoBraid-style stack-based path-finder: an iterative
+// DFS from the closest corner pair that commits to the first path found.
+// Neighbor expansion prefers steps that reduce the Manhattan distance to
+// the target, so paths are goal-directed but may detour around congestion
+// instead of globally minimizing length — which is what inflates the
+// baseline's ResUtil in Table 1.
+type StackDFS struct {
+	visited []bool
+	stampV  []int
+	epoch   int
+	nbrBuf  []int
+}
+
+// Name implements Finder.
+func (s *StackDFS) Name() string { return "stack-dfs" }
+
+// Find implements Finder.
+func (s *StackDFS) Find(g *grid.Grid, occ *Occupancy, ctlTile, tgtTile int) (Path, bool) {
+	for _, pr := range cornerPairsByDistance(g, ctlTile, tgtTile) {
+		if occ.VertexUsed(pr.u) || occ.VertexUsed(pr.v) {
+			continue
+		}
+		if p, ok := s.dfs(g, occ, pr.u, pr.v); ok {
+			return p, true
+		}
+	}
+	return nil, false
+}
+
+// dfs runs one stack-based search between two free corners.
+func (s *StackDFS) dfs(g *grid.Grid, occ *Occupancy, src, dst int) (Path, bool) {
+	if src == dst {
+		return Path{src}, true
+	}
+	n := g.NumVertices()
+	if len(s.visited) < n {
+		s.visited = make([]bool, n)
+		s.stampV = make([]int, n)
+	}
+	s.epoch++
+	visit := func(v int) bool {
+		if s.stampV[v] != s.epoch {
+			s.stampV[v] = s.epoch
+			s.visited[v] = false
+		}
+		return s.visited[v]
+	}
+	mark := func(v int) {
+		s.stampV[v] = s.epoch
+		s.visited[v] = true
+	}
+
+	// Stack of partial paths; each frame stores the path so backtracking
+	// restores state trivially. Frames expand goal-ward neighbors last so
+	// they pop first.
+	type frame struct {
+		vertex int
+		parent int // index of parent frame, -1 at root
+	}
+	frames := []frame{{vertex: src, parent: -1}}
+	stack := []int{0}
+	mark(src)
+	for len(stack) > 0 {
+		fi := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		cur := frames[fi].vertex
+		if cur == dst {
+			// Reconstruct by walking parents.
+			var rev Path
+			for i := fi; i != -1; i = frames[i].parent {
+				rev = append(rev, frames[i].vertex)
+			}
+			for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+				rev[i], rev[j] = rev[j], rev[i]
+			}
+			return rev, true
+		}
+		s.nbrBuf = g.VertexNeighbors(cur, s.nbrBuf[:0])
+		// Two passes: push distance-increasing neighbors first, then
+		// distance-decreasing ones, so the goal-ward step is explored
+		// first (LIFO).
+		for pass := 0; pass < 2; pass++ {
+			for _, nb := range s.nbrBuf {
+				goalward := g.VertexDist(nb, dst) < g.VertexDist(cur, dst)
+				if (pass == 1) != goalward {
+					continue
+				}
+				if visit(nb) || occ.VertexUsed(nb) || occ.EdgeUsed(g, cur, nb) {
+					continue
+				}
+				mark(nb)
+				frames = append(frames, frame{vertex: nb, parent: fi})
+				stack = append(stack, len(frames)-1)
+			}
+		}
+	}
+	return nil, false
+}

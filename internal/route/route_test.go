@@ -1,0 +1,278 @@
+package route
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hilight/internal/grid"
+)
+
+func TestPathLen(t *testing.T) {
+	if (Path{}).Len() != 0 {
+		t.Error("empty path length")
+	}
+	if (Path{5}).Len() != 0 {
+		t.Error("single-vertex path length")
+	}
+	if (Path{0, 1, 2}).Len() != 2 {
+		t.Error("path length")
+	}
+}
+
+func TestPathValidate(t *testing.T) {
+	g := grid.New(3, 3)
+	v := func(x, y int) int { return g.VertexID(x, y) }
+	good := Path{v(0, 0), v(1, 0), v(1, 1)}
+	if err := good.Validate(g); err != nil {
+		t.Errorf("good path rejected: %v", err)
+	}
+	bad := []Path{
+		{},                          // empty
+		{v(0, 0), v(2, 0)},          // non-adjacent hop
+		{v(0, 0), v(1, 0), v(0, 0)}, // repeated vertex
+		{-1},                        // out of range
+	}
+	for i, p := range bad {
+		if err := p.Validate(g); err == nil {
+			t.Errorf("bad path %d accepted", i)
+		}
+	}
+}
+
+func TestOccupancyConflicts(t *testing.T) {
+	g := grid.New(3, 3)
+	occ := NewOccupancy()
+	v := func(x, y int) int { return g.VertexID(x, y) }
+	p1 := Path{v(0, 0), v(1, 0), v(2, 0)}
+	occ.Add(g, p1)
+	if !occ.Conflicts(g, Path{v(1, 0), v(1, 1)}) {
+		t.Error("shared vertex not detected")
+	}
+	if !occ.Conflicts(g, Path{v(0, 0), v(1, 0)}) {
+		t.Error("shared edge not detected")
+	}
+	if occ.Conflicts(g, Path{v(0, 1), v(1, 1)}) {
+		t.Error("disjoint path flagged")
+	}
+	occ.Reset()
+	if occ.Conflicts(g, p1) {
+		t.Error("occupancy survived Reset")
+	}
+}
+
+func finders() []Finder {
+	return []Finder{&AStar{}, &Full16{}, &StackDFS{}}
+}
+
+func TestFindersBasicPath(t *testing.T) {
+	g := grid.New(4, 4)
+	for _, f := range finders() {
+		occ := NewOccupancy()
+		p, ok := f.Find(g, occ, g.TileAt(0, 0), g.TileAt(3, 3))
+		if !ok {
+			t.Fatalf("%s: no path on empty grid", f.Name())
+		}
+		if err := p.Validate(g); err != nil {
+			t.Fatalf("%s: invalid path: %v", f.Name(), err)
+		}
+		// Endpoints must be corners of the two tiles.
+		if !isCorner(g, p[0], g.TileAt(0, 0)) || !isCorner(g, p[len(p)-1], g.TileAt(3, 3)) {
+			t.Errorf("%s: endpoints not tile corners", f.Name())
+		}
+	}
+}
+
+func isCorner(g *grid.Grid, v, tile int) bool {
+	for _, c := range g.Corners(tile) {
+		if c == v {
+			return true
+		}
+	}
+	return false
+}
+
+func TestFindersAdjacentTilesShareCorner(t *testing.T) {
+	g := grid.New(4, 4)
+	for _, f := range finders() {
+		occ := NewOccupancy()
+		p, ok := f.Find(g, occ, g.TileAt(1, 1), g.TileAt(2, 1))
+		if !ok {
+			t.Fatalf("%s: no path between adjacent tiles", f.Name())
+		}
+		if p.Len() != 0 {
+			t.Errorf("%s: adjacent tiles path length = %d, want 0", f.Name(), p.Len())
+		}
+	}
+}
+
+func TestAStarFindsShortestPath(t *testing.T) {
+	g := grid.New(5, 5)
+	occ := NewOccupancy()
+	var a AStar
+	p, ok := a.Find(g, occ, g.TileAt(0, 0), g.TileAt(4, 0))
+	if !ok {
+		t.Fatal("no path")
+	}
+	// Closest corners are (1,y) and (4,y): distance 3.
+	if p.Len() != 3 {
+		t.Errorf("path length = %d, want 3", p.Len())
+	}
+}
+
+func TestFindersRouteAroundCongestion(t *testing.T) {
+	g := grid.New(5, 3)
+	// Occupy the whole middle corner column x=2 except the top row, forcing
+	// a detour over the top.
+	occ := NewOccupancy()
+	var wall Path
+	for y := 1; y <= g.H; y++ {
+		wall = append(wall, g.VertexID(2, y))
+	}
+	occ.Add(g, wall)
+	for _, f := range finders() {
+		p, ok := f.Find(g, occ, g.TileAt(0, 1), g.TileAt(4, 1))
+		if !ok {
+			t.Fatalf("%s: no detour found", f.Name())
+		}
+		if err := p.Validate(g); err != nil {
+			t.Fatalf("%s: invalid detour: %v", f.Name(), err)
+		}
+		if occ.Conflicts(g, p) {
+			t.Fatalf("%s: detour crosses occupied lattice", f.Name())
+		}
+	}
+}
+
+func TestFindersFailWhenBlocked(t *testing.T) {
+	g := grid.New(5, 3)
+	// Occupy the entire corner column x=2: no path from left to right.
+	occ := NewOccupancy()
+	var wall Path
+	for y := 0; y <= g.H; y++ {
+		wall = append(wall, g.VertexID(2, y))
+	}
+	occ.Add(g, wall)
+	for _, f := range finders() {
+		if _, ok := f.Find(g, occ, g.TileAt(0, 1), g.TileAt(4, 1)); ok {
+			t.Errorf("%s: found path through a full wall", f.Name())
+		}
+	}
+}
+
+func TestFull16NotWorseThanAStar(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := grid.New(3+rng.Intn(6), 3+rng.Intn(6))
+		occ := NewOccupancy()
+		// Random pre-existing braids.
+		var a AStar
+		for i := 0; i < 3; i++ {
+			t1, t2 := rng.Intn(g.Tiles()), rng.Intn(g.Tiles())
+			if t1 == t2 {
+				continue
+			}
+			if p, ok := a.Find(g, occ, t1, t2); ok {
+				occ.Add(g, p)
+			}
+		}
+		t1, t2 := rng.Intn(g.Tiles()), rng.Intn(g.Tiles())
+		if t1 == t2 {
+			return true
+		}
+		var full Full16
+		var one AStar
+		pf, okF := full.Find(g, occ, t1, t2)
+		p1, ok1 := one.Find(g, occ, t1, t2)
+		if ok1 && !okF {
+			return false // full search must find anything the single search finds
+		}
+		if ok1 && okF && pf.Len() > p1.Len() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every finder returns paths that validate, end on the right
+// tiles' corners, and avoid the occupancy set.
+func TestFinderPathsAlwaysValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := grid.New(2+rng.Intn(7), 2+rng.Intn(7))
+		occ := NewOccupancy()
+		fs := finders()
+		for i := 0; i < 8; i++ {
+			t1, t2 := rng.Intn(g.Tiles()), rng.Intn(g.Tiles())
+			if t1 == t2 {
+				continue
+			}
+			fd := fs[rng.Intn(len(fs))]
+			p, ok := fd.Find(g, occ, t1, t2)
+			if !ok {
+				continue
+			}
+			if p.Validate(g) != nil || occ.Conflicts(g, p) {
+				return false
+			}
+			if !isCorner(g, p[0], t1) || !isCorner(g, p[len(p)-1], t2) {
+				return false
+			}
+			occ.Add(g, p)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFindersRespectFactoryInterior(t *testing.T) {
+	g := grid.New(6, 6)
+	if err := g.Reserve(2, 2, 3, 3); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range finders() {
+		occ := NewOccupancy()
+		p, ok := f.Find(g, occ, g.TileAt(0, 2), g.TileAt(5, 2))
+		if !ok {
+			t.Fatalf("%s: no path around factory", f.Name())
+		}
+		if err := p.Validate(g); err != nil {
+			t.Fatalf("%s: %v", f.Name(), err)
+		}
+		// The factory-interior vertex (3,3) must not appear.
+		inner := g.VertexID(3, 3)
+		for _, v := range p {
+			if v == inner {
+				t.Errorf("%s: path crosses factory interior", f.Name())
+			}
+		}
+	}
+}
+
+func TestFinderReuseAcrossSearches(t *testing.T) {
+	// The stateful finders must give correct results across many calls
+	// (epoch/stamp reuse).
+	g := grid.New(6, 6)
+	var a AStar
+	var s StackDFS
+	occ := NewOccupancy()
+	for i := 0; i < 50; i++ {
+		t1 := i % g.Tiles()
+		t2 := (i*7 + 3) % g.Tiles()
+		if t1 == t2 {
+			continue
+		}
+		occ.Reset()
+		if p, ok := a.Find(g, occ, t1, t2); !ok || p.Validate(g) != nil {
+			t.Fatalf("astar iteration %d failed", i)
+		}
+		if p, ok := s.Find(g, occ, t1, t2); !ok || p.Validate(g) != nil {
+			t.Fatalf("dfs iteration %d failed", i)
+		}
+	}
+}

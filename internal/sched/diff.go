@@ -1,0 +1,99 @@
+package sched
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// Diff summarizes how two schedules for the same circuit differ — the
+// regression-analysis view for anyone iterating on placement, ordering
+// or path-finding heuristics.
+type Diff struct {
+	LatencyA, LatencyB   int
+	PathLenA, PathLenB   int
+	BraidsA, BraidsB     int
+	InsertedA, InsertedB int
+	// GateMoves counts circuit gates scheduled in a different cycle.
+	GateMoves int
+	// GateRepaths counts gates scheduled in the same cycle but along a
+	// different path.
+	GateRepaths int
+	// OnlyA / OnlyB are circuit gates present in one schedule only
+	// (normally empty for complete schedules of the same circuit).
+	OnlyA, OnlyB []int
+}
+
+// Compare computes the Diff between two schedules.
+func Compare(a, b *Schedule) Diff {
+	d := Diff{
+		LatencyA: a.Latency(), LatencyB: b.Latency(),
+		PathLenA: a.TotalPathLength(), PathLenB: b.TotalPathLength(),
+		BraidsA: a.BraidCount(), BraidsB: b.BraidCount(),
+		InsertedA: a.InsertedBraids(), InsertedB: b.InsertedBraids(),
+	}
+	type slot struct {
+		cycle int
+		path  string
+	}
+	index := func(s *Schedule) map[int]slot {
+		m := map[int]slot{}
+		for li, layer := range s.Layers {
+			for _, br := range layer {
+				if br.Gate >= 0 {
+					m[br.Gate] = slot{cycle: li, path: pathKey(br)}
+				}
+			}
+		}
+		return m
+	}
+	ma, mb := index(a), index(b)
+	for gate, sa := range ma {
+		sb, ok := mb[gate]
+		if !ok {
+			d.OnlyA = append(d.OnlyA, gate)
+			continue
+		}
+		switch {
+		case sa.cycle != sb.cycle:
+			d.GateMoves++
+		case sa.path != sb.path:
+			d.GateRepaths++
+		}
+	}
+	for gate := range mb {
+		if _, ok := ma[gate]; !ok {
+			d.OnlyB = append(d.OnlyB, gate)
+		}
+	}
+	return d
+}
+
+func pathKey(b Braid) string {
+	var sb strings.Builder
+	for i, v := range b.Path {
+		if i > 0 {
+			sb.WriteByte('-')
+		}
+		fmt.Fprintf(&sb, "%d", v)
+	}
+	return sb.String()
+}
+
+// Print renders the diff as a two-column comparison.
+func (d Diff) Print(w io.Writer, nameA, nameB string) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "metric\t%s\t%s\n", nameA, nameB)
+	fmt.Fprintf(tw, "latency\t%d\t%d\n", d.LatencyA, d.LatencyB)
+	fmt.Fprintf(tw, "path length\t%d\t%d\n", d.PathLenA, d.PathLenB)
+	fmt.Fprintf(tw, "braids\t%d\t%d\n", d.BraidsA, d.BraidsB)
+	fmt.Fprintf(tw, "inserted swaps\t%d\t%d\n", d.InsertedA, d.InsertedB)
+	tw.Flush()
+	fmt.Fprintf(w, "gates rescheduled to a different cycle: %d\n", d.GateMoves)
+	fmt.Fprintf(w, "gates re-routed within the same cycle:  %d\n", d.GateRepaths)
+	if len(d.OnlyA) > 0 || len(d.OnlyB) > 0 {
+		fmt.Fprintf(w, "WARNING: gate coverage differs (only-%s: %v, only-%s: %v)\n",
+			nameA, d.OnlyA, nameB, d.OnlyB)
+	}
+}

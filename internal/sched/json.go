@@ -1,0 +1,120 @@
+package sched
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"hilight/internal/grid"
+	"hilight/internal/route"
+)
+
+// jsonSchedule is the stable on-disk form of a Schedule: enough to
+// reconstruct the grid (dimensions plus reserved tiles), the initial
+// layout, and every braid. The format is versioned so later extensions
+// stay decodable.
+type jsonSchedule struct {
+	Version  int           `json:"version"`
+	GridW    int           `json:"grid_w"`
+	GridH    int           `json:"grid_h"`
+	Reserved []int         `json:"reserved,omitempty"`
+	Qubits   int           `json:"qubits"`
+	Initial  []int         `json:"initial"` // qubit -> tile
+	Layers   [][]jsonBraid `json:"layers"`
+}
+
+type jsonBraid struct {
+	Gate      int   `json:"gate"`
+	CtlTile   int   `json:"ctl"`
+	TgtTile   int   `json:"tgt"`
+	Path      []int `json:"path"`
+	SwapTiles bool  `json:"swap,omitempty"`
+}
+
+const jsonVersion = 1
+
+// EncodeJSON serializes the schedule.
+func EncodeJSON(s *Schedule) ([]byte, error) {
+	if s.Grid == nil || s.Initial == nil {
+		return nil, fmt.Errorf("sched: schedule missing grid or initial layout")
+	}
+	js := jsonSchedule{
+		Version: jsonVersion,
+		GridW:   s.Grid.W,
+		GridH:   s.Grid.H,
+		Qubits:  len(s.Initial.QubitTile),
+		Initial: append([]int(nil), s.Initial.QubitTile...),
+	}
+	for t := 0; t < s.Grid.Tiles(); t++ {
+		if s.Grid.Reserved(t) {
+			js.Reserved = append(js.Reserved, t)
+		}
+	}
+	for _, layer := range s.Layers {
+		jl := make([]jsonBraid, len(layer))
+		for i, b := range layer {
+			jl[i] = jsonBraid{
+				Gate: b.Gate, CtlTile: b.CtlTile, TgtTile: b.TgtTile,
+				Path: append([]int(nil), b.Path...), SwapTiles: b.SwapTiles,
+			}
+		}
+		js.Layers = append(js.Layers, jl)
+	}
+	return json.MarshalIndent(js, "", "  ")
+}
+
+// DecodeJSON reconstructs a schedule (including its grid and layout)
+// from EncodeJSON output. The result still needs Validate against the
+// matching circuit before being trusted.
+func DecodeJSON(data []byte) (*Schedule, error) {
+	var js jsonSchedule
+	if err := json.Unmarshal(data, &js); err != nil {
+		return nil, fmt.Errorf("sched: %w", err)
+	}
+	if js.Version != jsonVersion {
+		return nil, fmt.Errorf("sched: unsupported schedule version %d", js.Version)
+	}
+	if js.GridW <= 0 || js.GridH <= 0 {
+		return nil, fmt.Errorf("sched: bad grid dimensions %dx%d", js.GridW, js.GridH)
+	}
+	g := grid.New(js.GridW, js.GridH)
+	for _, t := range js.Reserved {
+		if t < 0 || t >= g.Tiles() {
+			return nil, fmt.Errorf("sched: reserved tile %d out of range", t)
+		}
+		g.ReserveTile(t)
+	}
+	if js.Qubits < 0 || len(js.Initial) != js.Qubits {
+		return nil, fmt.Errorf("sched: initial layout has %d entries for %d qubits", len(js.Initial), js.Qubits)
+	}
+	if g.Capacity() < js.Qubits {
+		return nil, fmt.Errorf("sched: grid %s cannot hold %d qubits", g, js.Qubits)
+	}
+	l := grid.NewLayout(js.Qubits, g)
+	for q, t := range js.Initial {
+		if t == -1 {
+			continue
+		}
+		if t < 0 || t >= g.Tiles() {
+			return nil, fmt.Errorf("sched: qubit %d on out-of-range tile %d", q, t)
+		}
+		if g.Reserved(t) {
+			return nil, fmt.Errorf("sched: qubit %d on reserved tile %d", q, t)
+		}
+		if l.TileQubit[t] != -1 {
+			return nil, fmt.Errorf("sched: tile %d assigned twice", t)
+		}
+		l.Assign(q, t, g)
+	}
+	s := &Schedule{Grid: g, Initial: l}
+	for _, jl := range js.Layers {
+		layer := make(Layer, len(jl))
+		for i, jb := range jl {
+			layer[i] = Braid{
+				Gate: jb.Gate, CtlTile: jb.CtlTile, TgtTile: jb.TgtTile,
+				Path: route.Path(jb.Path), SwapTiles: jb.SwapTiles,
+			}
+		}
+		s.Layers = append(s.Layers, layer)
+	}
+	return s, nil
+}

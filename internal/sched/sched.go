@@ -1,0 +1,192 @@
+// Package sched defines the output artifact of the mapping flow: a
+// braiding schedule — cycles ("layers") of vertex- and channel-disjoint
+// braiding paths — plus the validator that replays a schedule against the
+// circuit and grid to prove it is executable, and the latency /
+// path-length accounting the paper's metrics are computed from.
+package sched
+
+import (
+	"fmt"
+
+	"hilight/internal/circuit"
+	"hilight/internal/grid"
+	"hilight/internal/route"
+)
+
+// Braid is one scheduled braiding operation. Gate is the index of the
+// two-qubit gate in the source circuit, or -1 for a SWAP braid inserted by
+// a layout-adjusting router (the AutoBraid baseline). CtlTile and TgtTile
+// record where the operands lived when the braid executed. SwapTiles, when
+// true, means the braid completes an inserted SWAP: after this cycle the
+// two tiles exchange occupants.
+type Braid struct {
+	Gate      int
+	CtlTile   int
+	TgtTile   int
+	Path      route.Path
+	SwapTiles bool
+}
+
+// Layer is one braiding cycle: a set of concurrently executing braids.
+type Layer []Braid
+
+// Schedule is the complete mapping result for a circuit on a grid.
+type Schedule struct {
+	Grid    *grid.Grid
+	Initial *grid.Layout // layout before the first cycle
+	Layers  []Layer
+}
+
+// Latency returns the number of braiding cycles — the paper's latency
+// metric (single-qubit gates are free).
+func (s *Schedule) Latency() int { return len(s.Layers) }
+
+// TotalPathLength returns the summed braiding path length over all
+// braids — the numerator of the ResUtil metric (Eq. 1). Length counts the
+// routing vertices a braid occupies (channels + 1): even a shared-corner
+// braid between adjacent tiles consumes one lattice resource, which is
+// what makes the paper's ResUtil non-zero on chain workloads like the 1D
+// Ising model.
+func (s *Schedule) TotalPathLength() int {
+	total := 0
+	for _, layer := range s.Layers {
+		for _, b := range layer {
+			total += len(b.Path)
+		}
+	}
+	return total
+}
+
+// BraidCount returns the number of braids including inserted SWAP braids.
+func (s *Schedule) BraidCount() int {
+	n := 0
+	for _, layer := range s.Layers {
+		n += len(layer)
+	}
+	return n
+}
+
+// InsertedBraids returns the number of braids that did not come from the
+// source circuit (SWAP-gate overhead of layout-adjusting routers).
+func (s *Schedule) InsertedBraids() int {
+	n := 0
+	for _, layer := range s.Layers {
+		for _, b := range layer {
+			if b.Gate < 0 {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Validate replays the schedule against the circuit it claims to
+// implement and returns the first inconsistency, or nil. It checks that:
+//
+//   - every braid's path is a valid simple lattice walk;
+//   - braids within a layer are vertex- and channel-disjoint;
+//   - path endpoints are corners of the braid's recorded tiles;
+//   - recorded tiles match the evolving layout (replaying SWAP braids);
+//   - every two-qubit gate of the circuit is executed exactly once;
+//   - gates sharing a qubit execute in program order, in distinct cycles.
+func (s *Schedule) Validate(c *circuit.Circuit) error {
+	if s.Initial == nil {
+		return fmt.Errorf("sched: schedule has no initial layout")
+	}
+	if err := s.Initial.Validate(s.Grid); err != nil {
+		return fmt.Errorf("sched: initial layout: %w", err)
+	}
+	layout := s.Initial.Clone()
+
+	// Program-order tracking: for each qubit, the next two-qubit gate (by
+	// scanning the circuit) that must execute.
+	type gateRef struct {
+		index int
+	}
+	var order []gateRef
+	nextPos := make([]int, c.NumQubits) // per-qubit cursor into order-of-that-qubit
+	perQubit := make([][]int, c.NumQubits)
+	for i, g := range c.Gates {
+		if g.TwoQubit() {
+			order = append(order, gateRef{i})
+			perQubit[g.Q0] = append(perQubit[g.Q0], i)
+			perQubit[g.Q1] = append(perQubit[g.Q1], i)
+		}
+	}
+	executed := make(map[int]bool, len(order))
+
+	occ := route.NewOccupancy()
+	for li, layer := range s.Layers {
+		occ.Reset()
+		qubitBusy := make(map[int]bool)
+		for bi, b := range layer {
+			if err := b.Path.Validate(s.Grid); err != nil {
+				return fmt.Errorf("sched: layer %d braid %d: %w", li, bi, err)
+			}
+			if occ.Conflicts(s.Grid, b.Path) {
+				return fmt.Errorf("sched: layer %d braid %d: path intersects another braid", li, bi)
+			}
+			occ.Add(s.Grid, b.Path)
+			if !isCorner(s.Grid, b.Path[0], b.CtlTile) {
+				return fmt.Errorf("sched: layer %d braid %d: path start not a corner of tile %d", li, bi, b.CtlTile)
+			}
+			if !isCorner(s.Grid, b.Path[len(b.Path)-1], b.TgtTile) {
+				return fmt.Errorf("sched: layer %d braid %d: path end not a corner of tile %d", li, bi, b.TgtTile)
+			}
+			switch {
+			case b.Gate >= 0:
+				if b.Gate >= len(c.Gates) || !c.Gates[b.Gate].TwoQubit() {
+					return fmt.Errorf("sched: layer %d braid %d: gate %d is not a two-qubit gate", li, bi, b.Gate)
+				}
+				if executed[b.Gate] {
+					return fmt.Errorf("sched: gate %d executed twice", b.Gate)
+				}
+				g := c.Gates[b.Gate]
+				if qubitBusy[g.Q0] || qubitBusy[g.Q1] {
+					return fmt.Errorf("sched: layer %d: qubit of gate %d braids twice in one cycle", li, b.Gate)
+				}
+				qubitBusy[g.Q0], qubitBusy[g.Q1] = true, true
+				// Program order per qubit.
+				for _, q := range [2]int{g.Q0, g.Q1} {
+					lst := perQubit[q]
+					if nextPos[q] >= len(lst) || lst[nextPos[q]] != b.Gate {
+						return fmt.Errorf("sched: layer %d: gate %d out of program order on qubit %d", li, b.Gate, q)
+					}
+				}
+				nextPos[g.Q0]++
+				nextPos[g.Q1]++
+				// Tiles match current layout.
+				if layout.QubitTile[g.Q0] != b.CtlTile || layout.QubitTile[g.Q1] != b.TgtTile {
+					return fmt.Errorf("sched: layer %d gate %d: recorded tiles (%d,%d) but layout has (%d,%d)",
+						li, b.Gate, b.CtlTile, b.TgtTile, layout.QubitTile[g.Q0], layout.QubitTile[g.Q1])
+				}
+				executed[b.Gate] = true
+			case b.SwapTiles:
+				// Validity of the swap braid path is already checked.
+			default:
+				// A non-final braid of an inserted SWAP: nothing to track.
+			}
+		}
+		// Apply layout changes after the whole cycle.
+		for _, b := range layer {
+			if b.Gate < 0 && b.SwapTiles {
+				layout.Swap(b.CtlTile, b.TgtTile)
+			}
+		}
+	}
+	for _, ref := range order {
+		if !executed[ref.index] {
+			return fmt.Errorf("sched: gate %d never executed", ref.index)
+		}
+	}
+	return nil
+}
+
+func isCorner(g *grid.Grid, v, tile int) bool {
+	for _, c := range g.Corners(tile) {
+		if c == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"fmt"
+
+	"hilight/internal/circuit"
+)
+
+// GF2Matrix is the F2-linear map computed by a CX-only circuit: output
+// bit i equals the XOR of input bits j with Rows[i] bit j set. The
+// identity map has Rows[i] = 1<<i. Limited to 64 qubits by the uint64
+// row representation, which covers every benchmark in the paper except
+// the large QFT sweeps (which are not CX-only anyway).
+type GF2Matrix struct {
+	N    int
+	Rows []uint64
+}
+
+// NewGF2Identity returns the identity map on n ≤ 64 bits.
+func NewGF2Identity(n int) (*GF2Matrix, error) {
+	if n < 1 || n > 64 {
+		return nil, fmt.Errorf("sim: GF(2) map supports 1..64 qubits, got %d", n)
+	}
+	m := &GF2Matrix{N: n, Rows: make([]uint64, n)}
+	for i := range m.Rows {
+		m.Rows[i] = 1 << i
+	}
+	return m, nil
+}
+
+// ApplyCX composes a CNOT with control c and target t: row[t] ^= row[c].
+func (m *GF2Matrix) ApplyCX(c, t int) { m.Rows[t] ^= m.Rows[c] }
+
+// Equal reports whether two maps are identical.
+func (m *GF2Matrix) Equal(o *GF2Matrix) bool {
+	if m.N != o.N {
+		return false
+	}
+	for i := range m.Rows {
+		if m.Rows[i] != o.Rows[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// GF2Of computes the linear map of the CX skeleton of c — all non-CX
+// gates are ignored. Use only when the non-CX gates are diagonal or
+// single-qubit gates whose reordering is separately justified; for a
+// CX-only circuit this is the complete semantics.
+func GF2Of(c *circuit.Circuit) (*GF2Matrix, error) {
+	m, err := NewGF2Identity(c.NumQubits)
+	if err != nil {
+		return nil, err
+	}
+	for _, g := range c.Gates {
+		if g.Kind == circuit.CX {
+			m.ApplyCX(g.Q0, g.Q1)
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"hilight/internal/circuit"
+)
+
+func mustStab(t *testing.T, c *circuit.Circuit) *Stabilizer {
+	t.Helper()
+	s, err := RunStabilizer(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestMeasureDeterministicBasis(t *testing.T) {
+	c := circuit.New("basis", 2)
+	c.Add1(circuit.X, 1)
+	s := mustStab(t, c)
+	out, det := s.MeasureZ(0, nil)
+	if !det || out {
+		t.Errorf("q0 = %v det=%v, want 0 deterministic", out, det)
+	}
+	out, det = s.MeasureZ(1, nil)
+	if !det || !out {
+		t.Errorf("q1 = %v det=%v, want 1 deterministic", out, det)
+	}
+}
+
+func TestMeasureRandomThenRepeatable(t *testing.T) {
+	for _, forced := range []bool{false, true} {
+		c := circuit.New("h", 1)
+		c.Add1(circuit.H, 0)
+		s := mustStab(t, c)
+		out, det := s.MeasureZ(0, func() bool { return forced })
+		if det {
+			t.Fatal("H|0> measurement should be random")
+		}
+		if out != forced {
+			t.Fatalf("outcome %v, forced %v", out, forced)
+		}
+		// The state collapsed: re-measuring is deterministic and equal.
+		again, det2 := s.MeasureZ(0, nil)
+		if !det2 || again != out {
+			t.Errorf("re-measure: %v det=%v, want %v deterministic", again, det2, out)
+		}
+	}
+}
+
+func TestMeasureBellCorrelation(t *testing.T) {
+	for _, forced := range []bool{false, true} {
+		c := circuit.New("bell", 2)
+		c.Add1(circuit.H, 0)
+		c.Add2(circuit.CX, 0, 1)
+		s := mustStab(t, c)
+		out0, det0 := s.MeasureZ(0, func() bool { return forced })
+		if det0 {
+			t.Fatal("first Bell measurement should be random")
+		}
+		out1, det1 := s.MeasureZ(1, nil)
+		if !det1 {
+			t.Fatal("second Bell measurement should be deterministic")
+		}
+		if out1 != out0 {
+			t.Errorf("Bell correlation broken: %v vs %v", out0, out1)
+		}
+	}
+}
+
+func TestMeasureGHZCorrelation(t *testing.T) {
+	n := 64 // cross the word boundary
+	c := circuit.New("ghz", n)
+	c.Add1(circuit.H, 0)
+	for i := 0; i+1 < n; i++ {
+		c.Add2(circuit.CX, i, i+1)
+	}
+	s := mustStab(t, c)
+	rng := rand.New(rand.NewSource(2))
+	first, det := s.MeasureZ(0, func() bool { return rng.Intn(2) == 1 })
+	if det {
+		t.Fatal("GHZ first measurement should be random")
+	}
+	for q := 1; q < n; q++ {
+		out, det := s.MeasureZ(q, nil)
+		if !det || out != first {
+			t.Fatalf("qubit %d: %v det=%v, want %v deterministic", q, out, det, first)
+		}
+	}
+}
+
+func TestMeasureMatchesStatevectorDeterminism(t *testing.T) {
+	// Random Clifford circuits: wherever the tableau says an outcome is
+	// deterministic, the statevector must put all probability mass there.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(4)
+		c := randomClifford(rng, n, 25)
+		s := mustStab(t, c)
+		sv, err := Run(c, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := rng.Intn(n)
+		out, det := s.MeasureZ(q, func() bool { return rng.Intn(2) == 1 })
+		p1 := 0.0
+		for i, amp := range sv.Amps {
+			if i&(1<<q) != 0 {
+				p1 += real(amp)*real(amp) + imag(amp)*imag(amp)
+			}
+		}
+		switch {
+		case det && out && p1 < 0.999:
+			t.Fatalf("trial %d: tableau says deterministic 1, statevector P(1)=%g", trial, p1)
+		case det && !out && p1 > 0.001:
+			t.Fatalf("trial %d: tableau says deterministic 0, statevector P(1)=%g", trial, p1)
+		case !det && (p1 < 0.499 || p1 > 0.501):
+			t.Fatalf("trial %d: tableau says random, statevector P(1)=%g", trial, p1)
+		}
+	}
+}

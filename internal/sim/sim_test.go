@@ -1,0 +1,289 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hilight/internal/circuit"
+)
+
+func TestNewStateBounds(t *testing.T) {
+	if _, err := NewState(0); err == nil {
+		t.Error("0 qubits accepted")
+	}
+	if _, err := NewState(MaxQubits + 1); err == nil {
+		t.Error("oversized state accepted")
+	}
+	s, err := NewState(3)
+	if err != nil || len(s.Amps) != 8 || s.Amps[0] != 1 {
+		t.Fatalf("NewState(3) = %v, %v", s, err)
+	}
+}
+
+func TestBellState(t *testing.T) {
+	c := circuit.New("bell", 2)
+	c.Add1(circuit.H, 0)
+	c.Add2(circuit.CX, 0, 1)
+	s, err := Run(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv := 1 / math.Sqrt2
+	if math.Abs(real(s.Amps[0])-inv) > 1e-12 || math.Abs(real(s.Amps[3])-inv) > 1e-12 {
+		t.Errorf("bell amplitudes: %v", s.Amps)
+	}
+	if math.Abs(s.Norm()-1) > 1e-12 {
+		t.Errorf("norm = %g", s.Norm())
+	}
+}
+
+func TestGHZState(t *testing.T) {
+	n := 5
+	c := circuit.New("ghz", n)
+	c.Add1(circuit.H, 0)
+	for i := 0; i < n-1; i++ {
+		c.Add2(circuit.CX, i, i+1)
+	}
+	s, err := Run(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv := 1 / math.Sqrt2
+	last := (1 << n) - 1
+	if math.Abs(real(s.Amps[0])-inv) > 1e-12 || math.Abs(real(s.Amps[last])-inv) > 1e-12 {
+		t.Errorf("GHZ amplitudes wrong")
+	}
+	for i := 1; i < last; i++ {
+		if s.Amps[i] != 0 {
+			t.Fatalf("amplitude %d nonzero", i)
+		}
+	}
+}
+
+func TestPauliIdentities(t *testing.T) {
+	// HZH = X, HXH = Z, S^2 = Z, T^2 = S.
+	pairs := []struct {
+		name string
+		a, b func(c *circuit.Circuit)
+	}{
+		{"HZH=X",
+			func(c *circuit.Circuit) { c.Add1(circuit.H, 0); c.Add1(circuit.Z, 0); c.Add1(circuit.H, 0) },
+			func(c *circuit.Circuit) { c.Add1(circuit.X, 0) }},
+		{"HXH=Z",
+			func(c *circuit.Circuit) { c.Add1(circuit.H, 0); c.Add1(circuit.X, 0); c.Add1(circuit.H, 0) },
+			func(c *circuit.Circuit) { c.Add1(circuit.Z, 0) }},
+		{"SS=Z",
+			func(c *circuit.Circuit) { c.Add1(circuit.S, 0); c.Add1(circuit.S, 0) },
+			func(c *circuit.Circuit) { c.Add1(circuit.Z, 0) }},
+		{"TT=S",
+			func(c *circuit.Circuit) { c.Add1(circuit.T, 0); c.Add1(circuit.T, 0) },
+			func(c *circuit.Circuit) { c.Add1(circuit.S, 0) }},
+		{"SdgS=I",
+			func(c *circuit.Circuit) { c.Add1(circuit.Sdg, 0); c.Add1(circuit.S, 0) },
+			func(c *circuit.Circuit) { c.Add1(circuit.I, 0) }},
+		{"YY=I",
+			func(c *circuit.Circuit) { c.Add1(circuit.Y, 0); c.Add1(circuit.Y, 0) },
+			func(c *circuit.Circuit) {}},
+	}
+	for _, p := range pairs {
+		a := circuit.New(p.name, 2)
+		b := circuit.New(p.name, 2)
+		p.a(a)
+		p.b(b)
+		eq, err := Equivalent(a, b, 1e-12)
+		if err != nil {
+			t.Fatalf("%s: %v", p.name, err)
+		}
+		if !eq {
+			t.Errorf("%s: not equivalent", p.name)
+		}
+	}
+}
+
+func TestSwapEqualsThreeCX(t *testing.T) {
+	a := circuit.New("swap", 3)
+	a.Add2(circuit.SWAP, 0, 2)
+	b := a.DecomposeSWAPs()
+	eq, err := Equivalent(a, b, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Error("SWAP != CX·CX·CX")
+	}
+}
+
+func TestCZSymmetric(t *testing.T) {
+	a := circuit.New("cz", 2)
+	a.Add2(circuit.CZ, 0, 1)
+	b := circuit.New("cz", 2)
+	b.Add2(circuit.CZ, 1, 0)
+	eq, err := Equivalent(a, b, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Error("CZ not symmetric")
+	}
+}
+
+func TestRotationComposition(t *testing.T) {
+	// RZ(a) RZ(b) = RZ(a+b); RX(pi) = X up to phase (compare fidelity).
+	a := circuit.New("rz", 1)
+	a.AddRot(circuit.RZ, 0, 0.3)
+	a.AddRot(circuit.RZ, 0, 0.4)
+	b := circuit.New("rz", 1)
+	b.AddRot(circuit.RZ, 0, 0.7)
+	eq, err := Equivalent(a, b, 1e-12)
+	if err != nil || !eq {
+		t.Errorf("RZ composition failed: %v %v", eq, err)
+	}
+
+	x := circuit.New("x", 1)
+	x.Add1(circuit.X, 0)
+	rx := circuit.New("rx", 1)
+	rx.AddRot(circuit.RX, 0, math.Pi)
+	sx, _ := Run(x, nil)
+	srx, _ := Run(rx, nil)
+	if math.Abs(sx.Fidelity(srx)-1) > 1e-12 {
+		t.Errorf("RX(pi) fidelity with X = %g", sx.Fidelity(srx))
+	}
+	if sx.MaxAmpDiff(srx) < 0.5 {
+		t.Error("RX(pi) should differ from X by a global phase")
+	}
+}
+
+func TestU2U3Definitions(t *testing.T) {
+	// u2(0,pi) = H; u3(pi,0,pi) = X.
+	h := circuit.New("h", 1)
+	h.Add1(circuit.H, 0)
+	u2 := circuit.New("u2", 1)
+	g := circuit.NewGate1(circuit.U2, 0)
+	g.Params[0], g.Params[1] = 0, math.Pi
+	u2.Append(g)
+	eq, err := Equivalent(h, u2, 1e-12)
+	if err != nil || !eq {
+		t.Errorf("u2(0,pi) != H: %v %v", eq, err)
+	}
+	x := circuit.New("x", 1)
+	x.Add1(circuit.X, 0)
+	u3 := circuit.New("u3", 1)
+	g = circuit.NewGate1(circuit.U3, 0)
+	g.Params[0], g.Params[1], g.Params[2] = math.Pi, 0, math.Pi
+	u3.Append(g)
+	eq, err = Equivalent(x, u3, 1e-12)
+	if err != nil || !eq {
+		t.Errorf("u3(pi,0,pi) != X: %v %v", eq, err)
+	}
+}
+
+func TestMeasureRejected(t *testing.T) {
+	c := circuit.New("m", 1)
+	c.Add1(circuit.Measure, 0)
+	if _, err := Run(c, nil); err == nil {
+		t.Error("measure accepted by statevector oracle")
+	}
+}
+
+// Property: unitarity — every supported gate preserves the norm.
+func TestNormPreservationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		c := circuit.New("norm", n)
+		kinds := []circuit.Kind{circuit.H, circuit.X, circuit.Y, circuit.Z,
+			circuit.S, circuit.Sdg, circuit.T, circuit.Tdg}
+		for i := 0; i < 30; i++ {
+			switch rng.Intn(4) {
+			case 0:
+				c.Add1(kinds[rng.Intn(len(kinds))], rng.Intn(n))
+			case 1:
+				c.AddRot([]circuit.Kind{circuit.RX, circuit.RY, circuit.RZ}[rng.Intn(3)],
+					rng.Intn(n), rng.NormFloat64())
+			default:
+				if n < 2 {
+					continue
+				}
+				a, b := rng.Intn(n), rng.Intn(n)
+				if a == b {
+					continue
+				}
+				c.Add2([]circuit.Kind{circuit.CX, circuit.CZ, circuit.SWAP}[rng.Intn(3)], a, b)
+			}
+		}
+		s, err := Run(c, nil)
+		return err == nil && math.Abs(s.Norm()-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGF2Basics(t *testing.T) {
+	m, err := NewGF2Identity(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.ApplyCX(0, 1) // row1 ^= row0
+	if m.Rows[1] != 0b0011 {
+		t.Errorf("row1 = %b", m.Rows[1])
+	}
+	m.ApplyCX(0, 1) // undoes it
+	id, _ := NewGF2Identity(4)
+	if !m.Equal(id) {
+		t.Error("CX twice != identity")
+	}
+	if _, err := NewGF2Identity(65); err == nil {
+		t.Error("65 qubits accepted")
+	}
+}
+
+// Property: GF(2) semantics agree with the statevector on basis states
+// for CX-only circuits.
+func TestGF2MatchesStatevector(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		c := circuit.New("cx", n)
+		for i := 0; i < 25; i++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a != b {
+				c.Add2(circuit.CX, a, b)
+			}
+		}
+		m, err := GF2Of(c)
+		if err != nil {
+			return false
+		}
+		// Pick a random basis state, run both engines.
+		input := rng.Intn(1 << n)
+		s, err := NewState(n)
+		if err != nil {
+			return false
+		}
+		s.Amps[0] = 0
+		s.Amps[input] = 1
+		for _, g := range c.Gates {
+			if err := s.Apply(g); err != nil {
+				return false
+			}
+		}
+		// GF(2) output label.
+		var out int
+		for i := 0; i < n; i++ {
+			bit := 0
+			for j := 0; j < n; j++ {
+				if m.Rows[i]&(1<<j) != 0 && input&(1<<j) != 0 {
+					bit ^= 1
+				}
+			}
+			out |= bit << i
+		}
+		return math.Abs(real(s.Amps[out])-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,363 @@
+package sim
+
+import (
+	"fmt"
+
+	"hilight/internal/circuit"
+)
+
+// Stabilizer is an Aaronson–Gottesman CHP tableau: it tracks the
+// stabilizer group of the state under Clifford gates (H, S, CX and
+// everything expressible in them) in O(n²) space, so Clifford circuits
+// verify at widths far beyond the statevector oracle. Rows 0..n−1 are
+// the destabilizers, rows n..2n−1 the stabilizers; each row is a Pauli
+// string over n qubits plus a sign bit.
+type Stabilizer struct {
+	N int
+	// x[i][j], z[i][j] are bit j of row i's X/Z parts, packed in uint64
+	// words; r[i] is the sign bit.
+	x, z [][]uint64
+	r    []bool
+}
+
+// NewStabilizer returns the tableau of |0...0⟩ on n qubits.
+func NewStabilizer(n int) (*Stabilizer, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("sim: stabilizer needs at least one qubit")
+	}
+	words := (n + 63) / 64
+	s := &Stabilizer{
+		N: n,
+		x: make([][]uint64, 2*n),
+		z: make([][]uint64, 2*n),
+		r: make([]bool, 2*n),
+	}
+	for i := range s.x {
+		s.x[i] = make([]uint64, words)
+		s.z[i] = make([]uint64, words)
+	}
+	for i := 0; i < n; i++ {
+		s.x[i][i/64] |= 1 << (i % 64)   // destabilizer X_i
+		s.z[n+i][i/64] |= 1 << (i % 64) // stabilizer Z_i
+	}
+	return s, nil
+}
+
+// ApplyClifford applies a Clifford gate to the tableau. Non-Clifford
+// kinds (T, rotations, measure, ...) return an error.
+func (s *Stabilizer) ApplyClifford(g circuit.Gate) error {
+	switch g.Kind {
+	case circuit.I:
+		return nil
+	case circuit.H:
+		s.hadamard(g.Q0)
+	case circuit.S:
+		s.phase(g.Q0)
+	case circuit.Sdg:
+		// S† = S·S·S.
+		s.phase(g.Q0)
+		s.phase(g.Q0)
+		s.phase(g.Q0)
+	case circuit.Z:
+		s.phase(g.Q0)
+		s.phase(g.Q0)
+	case circuit.X:
+		// X = H Z H.
+		s.hadamard(g.Q0)
+		s.phase(g.Q0)
+		s.phase(g.Q0)
+		s.hadamard(g.Q0)
+	case circuit.Y:
+		// Y = S X S† (up to global phase, which the tableau ignores).
+		s.phase(g.Q0)
+		s.hadamard(g.Q0)
+		s.phase(g.Q0)
+		s.phase(g.Q0)
+		s.hadamard(g.Q0)
+		s.phase(g.Q0)
+		s.phase(g.Q0)
+		s.phase(g.Q0)
+	case circuit.CX:
+		s.cnot(g.Q0, g.Q1)
+	case circuit.CZ:
+		// CZ = (I⊗H) CX (I⊗H).
+		s.hadamard(g.Q1)
+		s.cnot(g.Q0, g.Q1)
+		s.hadamard(g.Q1)
+	case circuit.SWAP:
+		s.cnot(g.Q0, g.Q1)
+		s.cnot(g.Q1, g.Q0)
+		s.cnot(g.Q0, g.Q1)
+	default:
+		return fmt.Errorf("sim: gate %v is not Clifford", g.Kind)
+	}
+	return nil
+}
+
+// hadamard: X_a ↔ Z_a, r ^= x·z.
+func (s *Stabilizer) hadamard(a int) {
+	w, b := a/64, uint64(1)<<(a%64)
+	for i := 0; i < 2*s.N; i++ {
+		xa, za := s.x[i][w]&b != 0, s.z[i][w]&b != 0
+		if xa && za {
+			s.r[i] = !s.r[i]
+		}
+		if xa != za {
+			s.x[i][w] ^= b
+			s.z[i][w] ^= b
+		}
+	}
+}
+
+// phase: Z_a ^= X_a, r ^= x·z.
+func (s *Stabilizer) phase(a int) {
+	w, b := a/64, uint64(1)<<(a%64)
+	for i := 0; i < 2*s.N; i++ {
+		xa, za := s.x[i][w]&b != 0, s.z[i][w]&b != 0
+		if xa && za {
+			s.r[i] = !s.r[i]
+		}
+		if xa {
+			s.z[i][w] ^= b
+		}
+	}
+}
+
+// cnot with control a, target b:
+// x_b ^= x_a, z_a ^= z_b, r ^= x_a·z_b·(x_b ⊕ z_a ⊕ 1).
+func (s *Stabilizer) cnot(a, b int) {
+	wa, ba := a/64, uint64(1)<<(a%64)
+	wb, bb := b/64, uint64(1)<<(b%64)
+	for i := 0; i < 2*s.N; i++ {
+		xa, za := s.x[i][wa]&ba != 0, s.z[i][wa]&ba != 0
+		xb, zb := s.x[i][wb]&bb != 0, s.z[i][wb]&bb != 0
+		if xa && zb && (xb == za) {
+			s.r[i] = !s.r[i]
+		}
+		if xa {
+			s.x[i][wb] ^= bb
+		}
+		if zb {
+			s.z[i][wa] ^= ba
+		}
+	}
+}
+
+// MeasureZ performs a computational-basis measurement of qubit a using
+// the CHP procedure. It returns the outcome bit and whether the outcome
+// was deterministic (no stabilizer anticommutes with Z_a). For random
+// outcomes, rnd supplies the coin flip (called once); it must not be nil
+// when the outcome can be random.
+func (s *Stabilizer) MeasureZ(a int, rnd func() bool) (outcome bool, deterministic bool) {
+	w, bit := a/64, uint64(1)<<(a%64)
+	// Find a stabilizer row (n..2n−1) with X on qubit a.
+	p := -1
+	for i := s.N; i < 2*s.N; i++ {
+		if s.x[i][w]&bit != 0 {
+			p = i
+			break
+		}
+	}
+	if p >= 0 {
+		// Random outcome: every other row with X_a gets multiplied by
+		// row p; row p becomes the new stabilizer Z_a with a random sign,
+		// and its old value moves to the destabilizer slot.
+		for i := 0; i < 2*s.N; i++ {
+			if i != p && s.x[i][w]&bit != 0 {
+				s.rowMult(i, p)
+			}
+		}
+		s.copyRow(p-s.N, p)
+		s.zeroRow(p)
+		s.z[p][w] |= bit
+		out := rnd()
+		s.r[p] = out
+		return out, false
+	}
+	// Deterministic outcome: accumulate the product of destabilizer
+	// partners into a scratch row.
+	scratch := s.scratchRow()
+	for i := 0; i < s.N; i++ {
+		if s.x[i][w]&bit != 0 {
+			s.rowMultInto(scratch, i+s.N)
+		}
+	}
+	out := scratch.r
+	return out, true
+}
+
+// pauliRow is a standalone Pauli accumulator for deterministic
+// measurement.
+type pauliRow struct {
+	x, z []uint64
+	r    bool
+}
+
+func (s *Stabilizer) scratchRow() *pauliRow {
+	words := len(s.x[0])
+	return &pauliRow{x: make([]uint64, words), z: make([]uint64, words)}
+}
+
+// phaseExp returns the exponent of i (0..3) contributed by multiplying
+// single-qubit Paulis (x1,z1)·(x2,z2).
+func phaseExp(x1, z1, x2, z2 bool) int {
+	// Aaronson–Gottesman g function.
+	switch {
+	case !x1 && !z1:
+		return 0
+	case x1 && z1: // Y
+		if z2 {
+			if x2 {
+				return 0
+			}
+			return 1
+		}
+		if x2 {
+			return -1
+		}
+		return 0
+	case x1 && !z1: // X
+		if z2 {
+			if x2 {
+				return 1
+			}
+			return -1
+		}
+		return 0
+	default: // Z
+		if x2 {
+			if z2 {
+				return -1
+			}
+			return 1
+		}
+		return 0
+	}
+}
+
+// rowMult multiplies row i by row j (i ← i·j), tracking signs.
+func (s *Stabilizer) rowMult(i, j int) {
+	exp := 0
+	for q := 0; q < s.N; q++ {
+		w, bit := q/64, uint64(1)<<(q%64)
+		exp += phaseExp(s.x[j][w]&bit != 0, s.z[j][w]&bit != 0,
+			s.x[i][w]&bit != 0, s.z[i][w]&bit != 0)
+	}
+	if s.r[i] {
+		exp += 2
+	}
+	if s.r[j] {
+		exp += 2
+	}
+	s.r[i] = ((exp%4)+4)%4 == 2
+	for w := range s.x[i] {
+		s.x[i][w] ^= s.x[j][w]
+		s.z[i][w] ^= s.z[j][w]
+	}
+}
+
+// rowMultInto multiplies the scratch row by tableau row j.
+func (s *Stabilizer) rowMultInto(dst *pauliRow, j int) {
+	exp := 0
+	for q := 0; q < s.N; q++ {
+		w, bit := q/64, uint64(1)<<(q%64)
+		exp += phaseExp(s.x[j][w]&bit != 0, s.z[j][w]&bit != 0,
+			dst.x[w]&bit != 0, dst.z[w]&bit != 0)
+	}
+	if dst.r {
+		exp += 2
+	}
+	if s.r[j] {
+		exp += 2
+	}
+	dst.r = ((exp%4)+4)%4 == 2
+	for w := range dst.x {
+		dst.x[w] ^= s.x[j][w]
+		dst.z[w] ^= s.z[j][w]
+	}
+}
+
+func (s *Stabilizer) copyRow(dst, src int) {
+	copy(s.x[dst], s.x[src])
+	copy(s.z[dst], s.z[src])
+	s.r[dst] = s.r[src]
+}
+
+func (s *Stabilizer) zeroRow(i int) {
+	for w := range s.x[i] {
+		s.x[i][w] = 0
+		s.z[i][w] = 0
+	}
+	s.r[i] = false
+}
+
+// Equal reports whether two tableaus are identical (same stabilizer
+// rows and signs). Circuits producing identical tableaus from |0…0⟩
+// implement the same map on that input up to global phase; combined with
+// a second fixed product-state probe this is the Clifford analogue of
+// Equivalent.
+func (s *Stabilizer) Equal(o *Stabilizer) bool {
+	if s.N != o.N {
+		return false
+	}
+	for i := 0; i < 2*s.N; i++ {
+		if s.r[i] != o.r[i] {
+			return false
+		}
+		for w := range s.x[i] {
+			if s.x[i][w] != o.x[i][w] || s.z[i][w] != o.z[i][w] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// RunStabilizer applies all gates of a Clifford circuit to |0...0⟩,
+// optionally prefixed by prep gates (e.g. an H layer to probe a second
+// input state).
+func RunStabilizer(c *circuit.Circuit, prep []circuit.Gate) (*Stabilizer, error) {
+	s, err := NewStabilizer(c.NumQubits)
+	if err != nil {
+		return nil, err
+	}
+	for _, g := range prep {
+		if err := s.ApplyClifford(g); err != nil {
+			return nil, err
+		}
+	}
+	for i, g := range c.Gates {
+		if err := s.ApplyClifford(g); err != nil {
+			return nil, fmt.Errorf("gate %d: %w", i, err)
+		}
+	}
+	return s, nil
+}
+
+// CliffordEquivalent reports whether two Clifford circuits act
+// identically (up to global phase) on |0…0⟩ and on |+…+⟩ — a strong
+// equivalence probe that scales to thousands of qubits. It errors on
+// non-Clifford gates.
+func CliffordEquivalent(a, b *circuit.Circuit) (bool, error) {
+	if a.NumQubits != b.NumQubits {
+		return false, nil
+	}
+	var hLayer []circuit.Gate
+	for q := 0; q < a.NumQubits; q++ {
+		hLayer = append(hLayer, circuit.NewGate1(circuit.H, q))
+	}
+	for _, prep := range [][]circuit.Gate{nil, hLayer} {
+		sa, err := RunStabilizer(a, prep)
+		if err != nil {
+			return false, err
+		}
+		sb, err := RunStabilizer(b, prep)
+		if err != nil {
+			return false, err
+		}
+		if !sa.Equal(sb) {
+			return false, nil
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,180 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hilight/internal/circuit"
+)
+
+func cliffordKinds() []circuit.Kind {
+	return []circuit.Kind{circuit.H, circuit.S, circuit.Sdg, circuit.X,
+		circuit.Y, circuit.Z, circuit.I}
+}
+
+func randomClifford(rng *rand.Rand, n, gates int) *circuit.Circuit {
+	c := circuit.New("clifford", n)
+	k1 := cliffordKinds()
+	for i := 0; i < gates; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			c.Add1(k1[rng.Intn(len(k1))], rng.Intn(n))
+		default:
+			if n < 2 {
+				continue
+			}
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a == b {
+				continue
+			}
+			c.Add2([]circuit.Kind{circuit.CX, circuit.CZ, circuit.SWAP}[rng.Intn(3)], a, b)
+		}
+	}
+	return c
+}
+
+func TestStabilizerIdentities(t *testing.T) {
+	// Known Clifford identities must produce equal tableaus.
+	mk := func(f func(*circuit.Circuit)) *circuit.Circuit {
+		c := circuit.New("id", 2)
+		f(c)
+		return c
+	}
+	cases := []struct {
+		name string
+		a, b *circuit.Circuit
+	}{
+		{"HH=I", mk(func(c *circuit.Circuit) { c.Add1(circuit.H, 0); c.Add1(circuit.H, 0) }),
+			mk(func(c *circuit.Circuit) {})},
+		{"SSSS=I", mk(func(c *circuit.Circuit) {
+			for i := 0; i < 4; i++ {
+				c.Add1(circuit.S, 0)
+			}
+		}), mk(func(c *circuit.Circuit) {})},
+		{"HZH=X", mk(func(c *circuit.Circuit) { c.Add1(circuit.H, 0); c.Add1(circuit.Z, 0); c.Add1(circuit.H, 0) }),
+			mk(func(c *circuit.Circuit) { c.Add1(circuit.X, 0) })},
+		{"CXCX=I", mk(func(c *circuit.Circuit) { c.Add2(circuit.CX, 0, 1); c.Add2(circuit.CX, 0, 1) }),
+			mk(func(c *circuit.Circuit) {})},
+		{"SWAP=3CX", mk(func(c *circuit.Circuit) { c.Add2(circuit.SWAP, 0, 1) }),
+			mk(func(c *circuit.Circuit) {
+				c.Add2(circuit.CX, 0, 1)
+				c.Add2(circuit.CX, 1, 0)
+				c.Add2(circuit.CX, 0, 1)
+			})},
+		{"CZ symmetric", mk(func(c *circuit.Circuit) { c.Add2(circuit.CZ, 0, 1) }),
+			mk(func(c *circuit.Circuit) { c.Add2(circuit.CZ, 1, 0) })},
+	}
+	for _, tc := range cases {
+		eq, err := CliffordEquivalent(tc.a, tc.b)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !eq {
+			t.Errorf("%s: not equivalent", tc.name)
+		}
+	}
+}
+
+func TestStabilizerDetectsDifference(t *testing.T) {
+	a := circuit.New("a", 2)
+	a.Add2(circuit.CX, 0, 1)
+	b := circuit.New("b", 2)
+	b.Add2(circuit.CX, 1, 0)
+	eq, err := CliffordEquivalent(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq {
+		t.Error("reversed CX reported equivalent")
+	}
+}
+
+func TestStabilizerRejectsNonClifford(t *testing.T) {
+	c := circuit.New("t", 1)
+	c.Add1(circuit.T, 0)
+	if _, err := RunStabilizer(c, nil); err == nil {
+		t.Error("T gate accepted")
+	}
+}
+
+// Property: the tableau oracle agrees with the statevector oracle on
+// random small Clifford circuits, both for equivalent pairs (a circuit
+// vs itself plus an inserted identity pair) and for perturbed ones.
+func TestStabilizerMatchesStatevector(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		a := randomClifford(rng, n, 30)
+
+		// Equivalent variant: insert a cancelling pair at a random spot.
+		b := a.Clone()
+		pos := rng.Intn(len(b.Gates) + 1)
+		q := rng.Intn(n)
+		pair := []circuit.Gate{circuit.NewGate1(circuit.H, q), circuit.NewGate1(circuit.H, q)}
+		b.Gates = append(b.Gates[:pos:pos], append(pair, b.Gates[pos:]...)...)
+
+		eqTab, err := CliffordEquivalent(a, b)
+		if err != nil || !eqTab {
+			return false
+		}
+		// Perturbed variant: append one extra S somewhere.
+		d := a.Clone()
+		d.Add1(circuit.S, rng.Intn(n))
+		eqTab, err = CliffordEquivalent(a, d)
+		if err != nil {
+			return false
+		}
+		// Cross-check against statevector fidelity on both probes.
+		svEq := statevectorCliffordEq(a, d)
+		return eqTab == svEq
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// statevectorCliffordEq compares two circuits on |0..0> and |+..+> up to
+// global phase via fidelity.
+func statevectorCliffordEq(a, b *circuit.Circuit) bool {
+	preps := []func(*State){
+		nil,
+		func(s *State) {
+			for q := 0; q < s.N; q++ {
+				_ = s.Apply(circuit.NewGate1(circuit.H, q))
+			}
+		},
+	}
+	for _, prep := range preps {
+		sa, err1 := Run(a, prep)
+		sb, err2 := Run(b, prep)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if math.Abs(sa.Fidelity(sb)-1) > 1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+// TestStabilizerScales runs a 512-qubit Clifford circuit — far beyond
+// the statevector's reach — through the tableau in reasonable time.
+func TestStabilizerScales(t *testing.T) {
+	n := 512
+	rng := rand.New(rand.NewSource(9))
+	c := randomClifford(rng, n, 4000)
+	s, err := RunStabilizer(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != n {
+		t.Fatal("tableau size wrong")
+	}
+	// Self-equivalence sanity.
+	eq, err := CliffordEquivalent(c, c)
+	if err != nil || !eq {
+		t.Errorf("self-equivalence failed: %v %v", eq, err)
+	}
+}

@@ -1,0 +1,227 @@
+// Package sim provides two circuit-semantics engines used to verify that
+// program-level optimization preserves meaning:
+//
+//   - a dense statevector simulator (exact, up to ~20 qubits), and
+//   - a GF(2) linear simulator for CX-only circuits (exact at any size:
+//     a CX circuit is a linear map over F2 on computational basis labels).
+//
+// Neither engine is on the mapping hot path; they are correctness
+// oracles for tests, examples, and the QCO rewrite.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"hilight/internal/circuit"
+)
+
+// MaxQubits bounds the statevector size (2^20 amplitudes ≈ 16 MiB).
+const MaxQubits = 20
+
+// State is a dense statevector over n qubits. Qubit 0 is the least
+// significant bit of the basis index.
+type State struct {
+	N    int
+	Amps []complex128
+}
+
+// NewState returns |0...0⟩ on n qubits.
+func NewState(n int) (*State, error) {
+	if n < 1 || n > MaxQubits {
+		return nil, fmt.Errorf("sim: qubit count %d outside [1,%d]", n, MaxQubits)
+	}
+	s := &State{N: n, Amps: make([]complex128, 1<<n)}
+	s.Amps[0] = 1
+	return s, nil
+}
+
+// Clone returns a deep copy of the state.
+func (s *State) Clone() *State {
+	return &State{N: s.N, Amps: append([]complex128(nil), s.Amps...)}
+}
+
+// Norm returns the 2-norm of the state (1 for any valid evolution).
+func (s *State) Norm() float64 {
+	t := 0.0
+	for _, a := range s.Amps {
+		t += real(a)*real(a) + imag(a)*imag(a)
+	}
+	return math.Sqrt(t)
+}
+
+// Fidelity returns |⟨s|o⟩| — 1 when the states agree up to global phase.
+func (s *State) Fidelity(o *State) float64 {
+	var ip complex128
+	for i := range s.Amps {
+		ip += cmplx.Conj(s.Amps[i]) * o.Amps[i]
+	}
+	return cmplx.Abs(ip)
+}
+
+// MaxAmpDiff returns the largest amplitude difference between two states
+// (exact equality check, sensitive to global phase).
+func (s *State) MaxAmpDiff(o *State) float64 {
+	worst := 0.0
+	for i := range s.Amps {
+		if d := cmplx.Abs(s.Amps[i] - o.Amps[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// apply1 applies the 2x2 matrix m to qubit q.
+func (s *State) apply1(q int, m [2][2]complex128) {
+	bit := 1 << q
+	for i := 0; i < len(s.Amps); i++ {
+		if i&bit != 0 {
+			continue
+		}
+		j := i | bit
+		a0, a1 := s.Amps[i], s.Amps[j]
+		s.Amps[i] = m[0][0]*a0 + m[0][1]*a1
+		s.Amps[j] = m[1][0]*a0 + m[1][1]*a1
+	}
+}
+
+// Apply applies gate g to the state. Measure and Reset are rejected: the
+// oracles compare pure-state evolutions.
+func (s *State) Apply(g circuit.Gate) error {
+	inv := complex(1/math.Sqrt2, 0)
+	switch g.Kind {
+	case circuit.I:
+		return nil
+	case circuit.H:
+		s.apply1(g.Q0, [2][2]complex128{{inv, inv}, {inv, -inv}})
+	case circuit.X:
+		s.apply1(g.Q0, [2][2]complex128{{0, 1}, {1, 0}})
+	case circuit.Y:
+		s.apply1(g.Q0, [2][2]complex128{{0, -1i}, {1i, 0}})
+	case circuit.Z:
+		s.apply1(g.Q0, [2][2]complex128{{1, 0}, {0, -1}})
+	case circuit.S:
+		s.apply1(g.Q0, [2][2]complex128{{1, 0}, {0, 1i}})
+	case circuit.Sdg:
+		s.apply1(g.Q0, [2][2]complex128{{1, 0}, {0, -1i}})
+	case circuit.T:
+		s.apply1(g.Q0, [2][2]complex128{{1, 0}, {0, cmplx.Exp(1i * math.Pi / 4)}})
+	case circuit.Tdg:
+		s.apply1(g.Q0, [2][2]complex128{{1, 0}, {0, cmplx.Exp(-1i * math.Pi / 4)}})
+	case circuit.RX:
+		th := g.Params[0] / 2
+		c, sn := complex(math.Cos(th), 0), complex(0, -math.Sin(th))
+		s.apply1(g.Q0, [2][2]complex128{{c, sn}, {sn, c}})
+	case circuit.RY:
+		th := g.Params[0] / 2
+		c, sn := complex(math.Cos(th), 0), complex(math.Sin(th), 0)
+		s.apply1(g.Q0, [2][2]complex128{{c, -sn}, {sn, c}})
+	case circuit.RZ:
+		th := g.Params[0] / 2
+		s.apply1(g.Q0, [2][2]complex128{
+			{cmplx.Exp(complex(0, -th)), 0},
+			{0, cmplx.Exp(complex(0, th))},
+		})
+	case circuit.U1:
+		s.apply1(g.Q0, [2][2]complex128{{1, 0}, {0, cmplx.Exp(complex(0, g.Params[0]))}})
+	case circuit.U2:
+		phi, lam := g.Params[0], g.Params[1]
+		s.apply1(g.Q0, [2][2]complex128{
+			{inv, -inv * cmplx.Exp(complex(0, lam))},
+			{inv * cmplx.Exp(complex(0, phi)), inv * cmplx.Exp(complex(0, phi+lam))},
+		})
+	case circuit.U3:
+		th, phi, lam := g.Params[0]/2, g.Params[1], g.Params[2]
+		c, sn := complex(math.Cos(th), 0), complex(math.Sin(th), 0)
+		s.apply1(g.Q0, [2][2]complex128{
+			{c, -sn * cmplx.Exp(complex(0, lam))},
+			{sn * cmplx.Exp(complex(0, phi)), c * cmplx.Exp(complex(0, phi+lam))},
+		})
+	case circuit.CX:
+		cbit, tbit := 1<<g.Q0, 1<<g.Q1
+		for i := range s.Amps {
+			if i&cbit != 0 && i&tbit == 0 {
+				j := i | tbit
+				s.Amps[i], s.Amps[j] = s.Amps[j], s.Amps[i]
+			}
+		}
+	case circuit.CZ:
+		b0, b1 := 1<<g.Q0, 1<<g.Q1
+		for i := range s.Amps {
+			if i&b0 != 0 && i&b1 != 0 {
+				s.Amps[i] = -s.Amps[i]
+			}
+		}
+	case circuit.SWAP:
+		b0, b1 := 1<<g.Q0, 1<<g.Q1
+		for i := range s.Amps {
+			if i&b0 != 0 && i&b1 == 0 {
+				j := i&^b0 | b1
+				s.Amps[i], s.Amps[j] = s.Amps[j], s.Amps[i]
+			}
+		}
+	default:
+		return fmt.Errorf("sim: gate %v not supported by the statevector oracle", g.Kind)
+	}
+	return nil
+}
+
+// Run applies every gate of c to a fresh |0...0⟩ state prepared by prep
+// (prep may be nil). It returns the final state.
+func Run(c *circuit.Circuit, prep func(*State)) (*State, error) {
+	s, err := NewState(c.NumQubits)
+	if err != nil {
+		return nil, err
+	}
+	if prep != nil {
+		prep(s)
+	}
+	for i, g := range c.Gates {
+		if err := s.Apply(g); err != nil {
+			return nil, fmt.Errorf("gate %d: %w", i, err)
+		}
+	}
+	return s, nil
+}
+
+// Equivalent reports whether two circuits implement the same operator, by
+// comparing their action on |0...0⟩ and on a fixed pseudo-random product
+// state. tol bounds the allowed max amplitude difference. Circuits of
+// different width are never equivalent.
+func Equivalent(a, b *circuit.Circuit, tol float64) (bool, error) {
+	if a.NumQubits != b.NumQubits {
+		return false, nil
+	}
+	preps := []func(*State){
+		nil,
+		func(s *State) {
+			// Deterministic non-trivial product state: rotate each qubit
+			// by angles derived from its index.
+			for q := 0; q < s.N; q++ {
+				th := 0.37*float64(q+1) + 0.11
+				s.apply1(q, [2][2]complex128{
+					{complex(math.Cos(th), 0), complex(-math.Sin(th), 0)},
+					{complex(math.Sin(th), 0), complex(math.Cos(th), 0)},
+				})
+				s.apply1(q, [2][2]complex128{
+					{1, 0}, {0, cmplx.Exp(complex(0, 0.53*float64(q+1)))},
+				})
+			}
+		},
+	}
+	for _, prep := range preps {
+		sa, err := Run(a, prep)
+		if err != nil {
+			return false, err
+		}
+		sb, err := Run(b, prep)
+		if err != nil {
+			return false, err
+		}
+		if sa.MaxAmpDiff(sb) > tol {
+			return false, nil
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,357 @@
+// Package surgery implements a lattice-surgery execution model for the
+// same workloads the braiding mapper handles — the other surface-code
+// mode the paper's §2.3 contrasts (Javadi-Abhari et al. MICRO'17, Lao et
+// al. QST'19). It exists as a comparator: downstream users can measure,
+// on identical circuits and grids, how the double-defect braiding mode
+// and the lattice-surgery mode trade hardware for latency.
+//
+// Model. A lattice-surgery CNOT merges the control and target patches
+// through a connected region of *free ancilla tiles*: the operation
+// occupies both endpoint tiles plus a tile path between them for one
+// merge/split round pair (two cycles in braiding-cycle units). Unlike
+// braiding — which routes on the tile-corner lattice and coexists with
+// any tile occupancy — surgery paths consume whole tiles, so mapped
+// qubits are obstacles and the layout must keep ancilla lanes free.
+// DilutedGrid/DilutedPlace provide the standard checkerboard layout
+// (qubits on even-parity tiles, odd-parity tiles as routing lanes).
+package surgery
+
+import (
+	"fmt"
+	"time"
+
+	"hilight/internal/circuit"
+	"hilight/internal/graph"
+	"hilight/internal/grid"
+)
+
+// CyclesPerOp is the duration of one merge/split round pair in
+// braiding-cycle units: a ZZ merge plus a split.
+const CyclesPerOp = 2
+
+// Op is one scheduled lattice-surgery operation: the gate it implements
+// and the tiles it occupies (endpoints first, then the ancilla path).
+type Op struct {
+	Gate  int
+	Tiles []int // control, target, then connecting ancilla tiles
+}
+
+// Schedule is a sequence of layers of tile-disjoint surgery operations.
+type Schedule struct {
+	Grid   *grid.Grid
+	Layout *grid.Layout
+	Layers [][]Op
+}
+
+// Latency returns the total latency in braiding-cycle units.
+func (s *Schedule) Latency() int { return CyclesPerOp * len(s.Layers) }
+
+// TileTime returns the total tile⋅cycles consumed (the surgery analogue
+// of the ResUtil numerator).
+func (s *Schedule) TileTime() int {
+	total := 0
+	for _, layer := range s.Layers {
+		for _, op := range layer {
+			total += len(op.Tiles) * CyclesPerOp
+		}
+	}
+	return total
+}
+
+// Validate replays the schedule: every op's tile set must be a connected
+// region containing both endpoint tiles, free of other qubits along the
+// ancilla section, disjoint from the other ops of its layer, and gates
+// must respect per-qubit program order and completeness.
+func (s *Schedule) Validate(c *circuit.Circuit) error {
+	perQubit := make([][]int, c.NumQubits)
+	for gi, g := range c.Gates {
+		if g.TwoQubit() {
+			perQubit[g.Q0] = append(perQubit[g.Q0], gi)
+			perQubit[g.Q1] = append(perQubit[g.Q1], gi)
+		}
+	}
+	cursor := make([]int, c.NumQubits)
+	executed := map[int]bool{}
+	for li, layer := range s.Layers {
+		used := map[int]bool{}
+		for oi, op := range layer {
+			g := c.Gates[op.Gate]
+			if !g.TwoQubit() {
+				return fmt.Errorf("surgery: layer %d op %d: gate %d not two-qubit", li, oi, op.Gate)
+			}
+			if executed[op.Gate] {
+				return fmt.Errorf("surgery: gate %d executed twice", op.Gate)
+			}
+			if len(op.Tiles) < 2 {
+				return fmt.Errorf("surgery: layer %d op %d: too few tiles", li, oi)
+			}
+			ctl, tgt := s.Layout.QubitTile[g.Q0], s.Layout.QubitTile[g.Q1]
+			if op.Tiles[0] != ctl || op.Tiles[1] != tgt {
+				return fmt.Errorf("surgery: layer %d gate %d: endpoints (%d,%d) do not match layout (%d,%d)",
+					li, op.Gate, op.Tiles[0], op.Tiles[1], ctl, tgt)
+			}
+			for _, t := range op.Tiles {
+				if t < 0 || t >= s.Grid.Tiles() {
+					return fmt.Errorf("surgery: layer %d op %d: tile %d out of range", li, oi, t)
+				}
+				if used[t] {
+					return fmt.Errorf("surgery: layer %d: tile %d used by two ops", li, t)
+				}
+				used[t] = true
+				if s.Grid.Reserved(t) {
+					return fmt.Errorf("surgery: layer %d op %d: reserved tile %d", li, oi, t)
+				}
+			}
+			for _, t := range op.Tiles[2:] {
+				if q := s.Layout.TileQubit[t]; q != -1 {
+					return fmt.Errorf("surgery: layer %d op %d: ancilla tile %d holds qubit %d", li, oi, t, q)
+				}
+			}
+			if err := s.checkConnected(op); err != nil {
+				return fmt.Errorf("surgery: layer %d op %d: %w", li, oi, err)
+			}
+			for _, q := range [2]int{g.Q0, g.Q1} {
+				lst := perQubit[q]
+				if cursor[q] >= len(lst) || lst[cursor[q]] != op.Gate {
+					return fmt.Errorf("surgery: layer %d: gate %d out of order on qubit %d", li, op.Gate, q)
+				}
+			}
+			cursor[g.Q0]++
+			cursor[g.Q1]++
+			executed[op.Gate] = true
+		}
+	}
+	for gi, g := range c.Gates {
+		if g.TwoQubit() && !executed[gi] {
+			return fmt.Errorf("surgery: gate %d never executed", gi)
+		}
+	}
+	return nil
+}
+
+// checkConnected verifies the op's tiles form a connected region under
+// 4-adjacency.
+func (s *Schedule) checkConnected(op Op) error {
+	in := make(map[int]bool, len(op.Tiles))
+	for _, t := range op.Tiles {
+		in[t] = true
+	}
+	stack := []int{op.Tiles[0]}
+	seen := map[int]bool{op.Tiles[0]: true}
+	for len(stack) > 0 {
+		t := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		x, y := s.Grid.TileXY(t)
+		for _, d := range [4][2]int{{0, -1}, {1, 0}, {0, 1}, {-1, 0}} {
+			nx, ny := x+d[0], y+d[1]
+			if !s.Grid.InBounds(nx, ny) {
+				continue
+			}
+			nt := s.Grid.TileAt(nx, ny)
+			if in[nt] && !seen[nt] {
+				seen[nt] = true
+				stack = append(stack, nt)
+			}
+		}
+	}
+	if len(seen) != len(in) {
+		return fmt.Errorf("tile region disconnected (%d of %d reachable)", len(seen), len(in))
+	}
+	return nil
+}
+
+// Result carries the surgery schedule and its metrics.
+type Result struct {
+	Schedule *Schedule
+	Circuit  *circuit.Circuit
+	Latency  int
+	TileTime int
+	Runtime  time.Duration
+}
+
+// DilutedGrid returns a grid big enough to hold n qubits at quarter
+// density (qubits on even-column, even-row tiles). The remaining tiles —
+// every odd row and odd column — form a connected ancilla sea, so any
+// qubit pair is routable no matter where the other qubits sit. This 4×
+// tile overhead versus braiding's compact grids is precisely the
+// hardware cost the braiding-vs-surgery comparison measures.
+func DilutedGrid(n int) *grid.Grid {
+	side := 1
+	for side*side < n {
+		side++
+	}
+	w := 2*side - 1
+	if w < 2 {
+		w = 2
+	}
+	return grid.New(w, w)
+}
+
+// DilutedPlace places qubits on the even-column, even-row tiles of g,
+// ordering qubits by the interaction-queue heuristic of Alg. 1 and
+// filling cells in a center-out sweep so heavy qubits sit centrally.
+func DilutedPlace(c *circuit.Circuit, g *grid.Grid) (*grid.Layout, error) {
+	var cells []int
+	for t := 0; t < g.Tiles(); t++ {
+		x, y := g.TileXY(t)
+		if x%2 == 0 && y%2 == 0 && !g.Reserved(t) {
+			cells = append(cells, t)
+		}
+	}
+	if len(cells) < c.NumQubits {
+		return nil, fmt.Errorf("surgery: grid %s has %d checkerboard cells for %d qubits", g, len(cells), c.NumQubits)
+	}
+	// Center-out order of the checkerboard cells.
+	center := g.Center()
+	for i := 1; i < len(cells); i++ {
+		for j := i; j > 0 && g.Dist(cells[j], center) < g.Dist(cells[j-1], center); j-- {
+			cells[j], cells[j-1] = cells[j-1], cells[j]
+		}
+	}
+	m := circuit.NewInteractionMatrix(c)
+	queue := m.QueueByDegree()
+	l := grid.NewLayout(c.NumQubits, g)
+	for i, q := range queue {
+		l.Assign(q, cells[i], g)
+	}
+	return l, nil
+}
+
+// Map schedules the circuit's two-qubit gates as lattice-surgery
+// operations on g under the given layout (use DilutedPlace, or any
+// layout leaving routing lanes free). Single-qubit gates are free, as in
+// the braiding model.
+func Map(c *circuit.Circuit, g *grid.Grid, layout *grid.Layout) (*Result, error) {
+	start := time.Now()
+	work := c.DecomposeSWAPs()
+	s := &Schedule{Grid: g, Layout: layout}
+
+	ql := circuit.NewQubitLists(work)
+	cursor := make([]int, work.NumQubits)
+	skip1Q := func(q int) {
+		lst := ql.Lists[q]
+		for cursor[q] < len(lst) && !work.Gates[lst[cursor[q]]].TwoQubit() {
+			cursor[q]++
+		}
+	}
+	for q := 0; q < work.NumQubits; q++ {
+		skip1Q(q)
+	}
+	remaining := work.CXCount()
+	guard := 0
+	for remaining > 0 {
+		if guard++; guard > 4*remaining+2*len(work.Gates)+64 {
+			return nil, fmt.Errorf("surgery: scheduler stalled with %d gates left", remaining)
+		}
+		usedTiles := map[int]bool{}
+		var layer []Op
+		for q := 0; q < work.NumQubits; q++ {
+			lst := ql.Lists[q]
+			if cursor[q] >= len(lst) {
+				continue
+			}
+			gi := lst[cursor[q]]
+			gate := work.Gates[gi]
+			if q != gate.Q0 {
+				continue
+			}
+			tq := gate.Q1
+			if cursor[tq] >= len(ql.Lists[tq]) || ql.Lists[tq][cursor[tq]] != gi {
+				continue
+			}
+			ctl, tgt := layout.QubitTile[gate.Q0], layout.QubitTile[gate.Q1]
+			if usedTiles[ctl] || usedTiles[tgt] {
+				continue
+			}
+			path, ok := routeTiles(g, layout, usedTiles, ctl, tgt)
+			if !ok {
+				continue
+			}
+			op := Op{Gate: gi, Tiles: append([]int{ctl, tgt}, path...)}
+			for _, t := range op.Tiles {
+				usedTiles[t] = true
+			}
+			layer = append(layer, op)
+			cursor[gate.Q0]++
+			cursor[gate.Q1]++
+			skip1Q(gate.Q0)
+			skip1Q(gate.Q1)
+			remaining--
+		}
+		if len(layer) == 0 {
+			return nil, fmt.Errorf("surgery: no routable operation among %d pending gates — layout leaves no ancilla lanes", remaining)
+		}
+		s.Layers = append(s.Layers, layer)
+	}
+	return &Result{
+		Schedule: s,
+		Circuit:  work,
+		Latency:  s.Latency(),
+		TileTime: s.TileTime(),
+		Runtime:  time.Since(start),
+	}, nil
+}
+
+// routeTiles finds a tile path from a neighbor of ctl to a neighbor of
+// tgt through free, unused ancilla tiles (excluded: tiles holding qubits,
+// reserved tiles, tiles used this layer). Adjacent endpoint tiles need no
+// ancilla. Returns the intermediate tiles only.
+func routeTiles(g *grid.Grid, layout *grid.Layout, used map[int]bool, ctl, tgt int) ([]int, bool) {
+	if g.Dist(ctl, tgt) == 1 {
+		return nil, true
+	}
+	// BFS over free tiles using the shared min-heap for deterministic
+	// shortest paths (uniform weights make it Dijkstra ≡ BFS).
+	free := func(t int) bool {
+		return !g.Reserved(t) && layout.TileQubit[t] == -1 && !used[t]
+	}
+	prev := make(map[int]int)
+	var h graph.MinHeap
+	x, y := g.TileXY(ctl)
+	for _, d := range [4][2]int{{0, -1}, {1, 0}, {0, 1}, {-1, 0}} {
+		nx, ny := x+d[0], y+d[1]
+		if !g.InBounds(nx, ny) {
+			continue
+		}
+		t := g.TileAt(nx, ny)
+		if t == tgt {
+			return nil, true
+		}
+		if free(t) {
+			if _, seen := prev[t]; !seen {
+				prev[t] = ctl
+				h.Push(t, g.Dist(t, tgt))
+			}
+		}
+	}
+	for h.Len() > 0 {
+		t, _ := h.Pop()
+		tx, ty := g.TileXY(t)
+		for _, d := range [4][2]int{{0, -1}, {1, 0}, {0, 1}, {-1, 0}} {
+			nx, ny := tx+d[0], ty+d[1]
+			if !g.InBounds(nx, ny) {
+				continue
+			}
+			nt := g.TileAt(nx, ny)
+			if nt == tgt {
+				// Reconstruct intermediate tiles.
+				var rev []int
+				for cur := t; cur != ctl; cur = prev[cur] {
+					rev = append(rev, cur)
+				}
+				for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+					rev[i], rev[j] = rev[j], rev[i]
+				}
+				return rev, true
+			}
+			if !free(nt) {
+				continue
+			}
+			if _, seen := prev[nt]; !seen {
+				prev[nt] = t
+				h.Push(nt, g.Dist(nt, tgt))
+			}
+		}
+	}
+	return nil, false
+}

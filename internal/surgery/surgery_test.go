@@ -1,0 +1,219 @@
+package surgery
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"hilight/internal/circuit"
+	"hilight/internal/grid"
+)
+
+func mapDiluted(t *testing.T, c *circuit.Circuit) *Result {
+	t.Helper()
+	g := DilutedGrid(c.NumQubits)
+	l, err := DilutedPlace(c, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Map(c, g, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Validate(res.Circuit); err != nil {
+		t.Fatalf("invalid surgery schedule: %v", err)
+	}
+	return res
+}
+
+func TestDilutedGridSizing(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 12, 50} {
+		g := DilutedGrid(n)
+		cells := 0
+		for tile := 0; tile < g.Tiles(); tile++ {
+			x, y := g.TileXY(tile)
+			if x%2 == 0 && y%2 == 0 {
+				cells++
+			}
+		}
+		if cells < n {
+			t.Errorf("DilutedGrid(%d) = %s with %d cells", n, g, cells)
+		}
+	}
+}
+
+func TestDilutedPlaceCheckerboard(t *testing.T) {
+	c := circuit.New("cb", 6)
+	c.Add2(circuit.CX, 0, 1)
+	g := DilutedGrid(6)
+	l, err := DilutedPlace(c, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	for q, tile := range l.QubitTile {
+		x, y := g.TileXY(tile)
+		if x%2 != 0 || y%2 != 0 {
+			t.Errorf("qubit %d on lane tile (%d,%d)", q, x, y)
+		}
+	}
+	// Too many qubits for the board errors out.
+	small := grid.New(2, 2)
+	big := circuit.New("big", 4)
+	if _, err := DilutedPlace(big, small); err == nil {
+		t.Error("overfull checkerboard accepted")
+	}
+}
+
+func TestMapSerialChain(t *testing.T) {
+	n := 6
+	c := circuit.New("chain", n)
+	for i := 0; i+1 < n; i++ {
+		c.Add2(circuit.CX, i, i+1)
+	}
+	res := mapDiluted(t, c)
+	// The chain serializes: n-1 layers, each CyclesPerOp cycles.
+	if res.Latency != CyclesPerOp*(n-1) {
+		t.Errorf("latency = %d, want %d", res.Latency, CyclesPerOp*(n-1))
+	}
+}
+
+func TestMapParallelPairs(t *testing.T) {
+	c := circuit.New("pairs", 8)
+	for i := 0; i < 8; i += 2 {
+		c.Add2(circuit.CX, i, i+1)
+	}
+	res := mapDiluted(t, c)
+	// Ancilla-lane contention may split the four ops across layers, but
+	// some parallelism must survive (full serialization would be 4).
+	if got := len(res.Schedule.Layers); got >= 4 {
+		t.Errorf("layers = %d, want < 4 (lane contention fully serialized)", got)
+	}
+}
+
+func TestMapFailsOnDenseLayout(t *testing.T) {
+	// A full grid with no free tiles cannot route non-adjacent surgery.
+	c := circuit.New("dense", 9)
+	c.Add2(circuit.CX, 0, 8) // corners of a 3x3
+	g := grid.New(3, 3)
+	l := grid.NewLayout(9, g)
+	for q := 0; q < 9; q++ {
+		l.Assign(q, q, g)
+	}
+	_, err := Map(c, g, l)
+	if err == nil || !strings.Contains(err.Error(), "ancilla") {
+		t.Fatalf("dense layout should fail with ancilla error, got %v", err)
+	}
+}
+
+func TestMapAdjacentOnFullGrid(t *testing.T) {
+	// Adjacent qubits merge directly: works even with zero free tiles.
+	c := circuit.New("adj", 4)
+	c.Add2(circuit.CX, 0, 1)
+	c.Add2(circuit.CX, 2, 3)
+	g := grid.New(2, 2)
+	l := grid.NewLayout(4, g)
+	for q := 0; q < 4; q++ {
+		l.Assign(q, q, g)
+	}
+	res, err := Map(c, g, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Validate(res.Circuit); err != nil {
+		t.Fatal(err)
+	}
+	if res.Latency != CyclesPerOp {
+		t.Errorf("latency = %d, want %d (both ops parallel)", res.Latency, CyclesPerOp)
+	}
+}
+
+func TestValidateCatchesTileOverlap(t *testing.T) {
+	c := circuit.New("v", 4)
+	c.Add2(circuit.CX, 0, 1)
+	c.Add2(circuit.CX, 2, 3)
+	g := grid.New(2, 2)
+	l := grid.NewLayout(4, g)
+	for q := 0; q < 4; q++ {
+		l.Assign(q, q, g)
+	}
+	s := &Schedule{Grid: g, Layout: l, Layers: [][]Op{{
+		{Gate: 0, Tiles: []int{0, 1}},
+		{Gate: 1, Tiles: []int{2, 3, 1}}, // overlaps tile 1
+	}}}
+	if err := s.Validate(c); err == nil {
+		t.Error("overlapping tiles accepted")
+	}
+}
+
+func TestValidateCatchesDisconnectedRegion(t *testing.T) {
+	c := circuit.New("v", 2)
+	c.Add2(circuit.CX, 0, 1)
+	g := grid.New(3, 1)
+	l := grid.NewLayout(2, g)
+	l.Assign(0, 0, g)
+	l.Assign(1, 2, g)
+	s := &Schedule{Grid: g, Layout: l, Layers: [][]Op{{
+		{Gate: 0, Tiles: []int{0, 2}}, // endpoints not adjacent, no ancilla
+	}}}
+	if err := s.Validate(c); err == nil || !strings.Contains(err.Error(), "disconnected") {
+		t.Fatalf("disconnected region accepted: %v", err)
+	}
+	// With the middle ancilla it validates.
+	s.Layers[0][0].Tiles = []int{0, 2, 1}
+	if err := s.Validate(c); err != nil {
+		t.Fatalf("connected region rejected: %v", err)
+	}
+}
+
+func TestValidateCatchesOrderViolation(t *testing.T) {
+	c := circuit.New("ord", 2)
+	c.Add2(circuit.CX, 0, 1)
+	c.Add2(circuit.CX, 1, 0)
+	g := grid.New(2, 1)
+	l := grid.NewLayout(2, g)
+	l.Assign(0, 0, g)
+	l.Assign(1, 1, g)
+	s := &Schedule{Grid: g, Layout: l, Layers: [][]Op{
+		{{Gate: 1, Tiles: []int{1, 0}}},
+		{{Gate: 0, Tiles: []int{0, 1}}},
+	}}
+	if err := s.Validate(c); err == nil || !strings.Contains(err.Error(), "order") {
+		t.Fatalf("order violation accepted: %v", err)
+	}
+}
+
+// Property: random circuits on diluted boards always produce valid
+// schedules, with latency bounded by CyclesPerOp × CX count.
+func TestSurgeryScheduleProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		c := circuit.New("rand", n)
+		for i := 0; i < 1+rng.Intn(25); i++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a != b {
+				c.Add2(circuit.CX, a, b)
+			}
+		}
+		g := DilutedGrid(n)
+		l, err := DilutedPlace(c, g)
+		if err != nil {
+			return false
+		}
+		res, err := Map(c, g, l)
+		if err != nil {
+			return false
+		}
+		if res.Schedule.Validate(res.Circuit) != nil {
+			return false
+		}
+		return res.Latency <= CyclesPerOp*res.Circuit.CXCount()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

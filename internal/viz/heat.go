@@ -1,0 +1,89 @@
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"hilight/internal/sched"
+)
+
+// heatGlyphs ramps from unused to hottest.
+const heatGlyphs = " .:-=+*#%@"
+
+// Heat renders a channel-usage heat map of the whole schedule: every
+// routing channel is drawn with an intensity glyph proportional to how
+// many cycles braids crossed it, and every routing vertex likewise. The
+// map shows where the grid congests — the hot rows/columns placement and
+// ordering exist to cool down.
+func Heat(s *sched.Schedule) string {
+	g := s.Grid
+	vertexUse := make([]int, g.NumVertices())
+	edgeUse := map[[2]int]int{} // canonical (min,max) vertex pair
+	maxUse := 1
+	for _, layer := range s.Layers {
+		for _, b := range layer {
+			for i, v := range b.Path {
+				vertexUse[v]++
+				if vertexUse[v] > maxUse {
+					maxUse = vertexUse[v]
+				}
+				if i == 0 {
+					continue
+				}
+				u := b.Path[i-1]
+				key := [2]int{u, v}
+				if key[0] > key[1] {
+					key[0], key[1] = key[1], key[0]
+				}
+				edgeUse[key]++
+				if edgeUse[key] > maxUse {
+					maxUse = edgeUse[key]
+				}
+			}
+		}
+	}
+	glyph := func(use int) byte {
+		if use == 0 {
+			return heatGlyphs[0]
+		}
+		idx := 1 + use*(len(heatGlyphs)-2)/maxUse
+		if idx >= len(heatGlyphs) {
+			idx = len(heatGlyphs) - 1
+		}
+		return heatGlyphs[idx]
+	}
+
+	c := newCanvas(g.W*cellW+1, g.H*cellH+1)
+	for vy := 0; vy <= g.H; vy++ {
+		for vx := 0; vx <= g.W; vx++ {
+			v := g.VertexID(vx, vy)
+			x, y := vertexPos(vx, vy)
+			c.set(x, y, glyph(vertexUse[v]))
+			if vx < g.W {
+				u := g.VertexID(vx+1, vy)
+				key := [2]int{v, u}
+				if key[0] > key[1] {
+					key[0], key[1] = key[1], key[0]
+				}
+				gl := glyph(edgeUse[key])
+				for i := 1; i < cellW; i++ {
+					c.set(x+i, y, gl)
+				}
+			}
+			if vy < g.H {
+				u := g.VertexID(vx, vy+1)
+				key := [2]int{v, u}
+				if key[0] > key[1] {
+					key[0], key[1] = key[1], key[0]
+				}
+				c.set(x, y+1, glyph(edgeUse[key]))
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "channel heat over %d cycles (max use %d):\n", s.Latency(), maxUse)
+	b.WriteString(c.String())
+	fmt.Fprintf(&b, "scale: '%s' = idle ... '%c' = %d uses\n",
+		string(heatGlyphs[0]), heatGlyphs[len(heatGlyphs)-1], maxUse)
+	return b.String()
+}

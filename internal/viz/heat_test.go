@@ -1,0 +1,66 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"hilight/internal/bench"
+	"hilight/internal/core"
+	"hilight/internal/grid"
+	"hilight/internal/route"
+	"hilight/internal/sched"
+)
+
+func TestHeatRendersUsage(t *testing.T) {
+	c := bench.BV(10)
+	g := grid.Rect(10)
+	res, err := core.Map(c, g, core.HilightMap(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Heat(res.Schedule)
+	if !strings.Contains(out, "channel heat") || !strings.Contains(out, "scale:") {
+		t.Errorf("header/scale missing:\n%s", out)
+	}
+	// BV's star pattern reuses the hub's corners: the hottest glyph must
+	// appear somewhere.
+	if !strings.Contains(out, string(heatGlyphs[len(heatGlyphs)-1])) {
+		t.Errorf("no hot spot rendered:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	wantWidth := g.W*cellW + 1
+	for _, line := range lines[1 : 1+g.H*cellH+1] {
+		if len(line) != wantWidth {
+			t.Fatalf("canvas line width %d, want %d:\n%s", len(line), wantWidth, out)
+		}
+	}
+}
+
+func TestHeatEmptySchedule(t *testing.T) {
+	g := grid.New(2, 2)
+	l := grid.NewLayout(0, g)
+	s := &sched.Schedule{Grid: g, Initial: l}
+	out := Heat(s)
+	lines := strings.Split(out, "\n")
+	canvas := strings.Join(lines[1:1+g.H*cellH+1], "\n")
+	if strings.ContainsAny(canvas, "@%#.:-=+*") {
+		t.Errorf("idle grid rendered hot:\n%s", out)
+	}
+}
+
+func TestHeatCountsRepeatedUse(t *testing.T) {
+	g := grid.New(2, 1)
+	l := grid.NewLayout(2, g)
+	l.Assign(0, 0, g)
+	l.Assign(1, 1, g)
+	shared := g.VertexID(1, 0)
+	var layers []sched.Layer
+	for i := 0; i < 5; i++ {
+		layers = append(layers, sched.Layer{{Gate: i, CtlTile: 0, TgtTile: 1, Path: route.Path{shared}}})
+	}
+	s := &sched.Schedule{Grid: g, Initial: l, Layers: layers}
+	out := Heat(s)
+	if !strings.Contains(out, "max use 5") {
+		t.Errorf("max use wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,127 @@
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"hilight/internal/grid"
+	"hilight/internal/sched"
+)
+
+// SVG rendering constants: tile edge length and frame padding in user
+// units, and the palette braids cycle through.
+const (
+	svgTile = 48
+	svgPad  = 16
+)
+
+var svgPalette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e",
+	"#17becf", "#e377c2", "#8c564b", "#bcbd22", "#7f7f7f",
+}
+
+// SVG renders up to maxLayers braiding cycles as a single standalone SVG
+// document: one frame per cycle laid out vertically, tiles as squares
+// with qubit labels, braiding paths as colored polylines along the
+// routing lattice, factory tiles hatched. maxLayers ≤ 0 renders all.
+func SVG(s *sched.Schedule, maxLayers int) string {
+	g := s.Grid
+	if maxLayers <= 0 || maxLayers > len(s.Layers) {
+		maxLayers = len(s.Layers)
+	}
+	frameW := g.W*svgTile + 2*svgPad
+	frameH := g.H*svgTile + 2*svgPad + 18 // caption strip
+	totalW := frameW
+	totalH := frameH * maxInt(maxLayers, 1)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		totalW, totalH, totalW, totalH)
+	b.WriteString(`<style>text{font-family:monospace;font-size:11px}.cap{font-size:12px;font-weight:bold}</style>` + "\n")
+
+	layout := s.Initial.Clone()
+	frames := maxLayers
+	if frames == 0 {
+		frames = 1
+	}
+	for f := 0; f < frames; f++ {
+		oy := f * frameH
+		fmt.Fprintf(&b, `<g transform="translate(0,%d)">`+"\n", oy)
+		if len(s.Layers) > 0 {
+			fmt.Fprintf(&b, `<text class="cap" x="%d" y="13">cycle %d (%d braids)</text>`+"\n",
+				svgPad, f, len(s.Layers[f]))
+		} else {
+			fmt.Fprintf(&b, `<text class="cap" x="%d" y="13">initial layout</text>`+"\n", svgPad)
+		}
+		// Tiles.
+		for t := 0; t < g.Tiles(); t++ {
+			tx, ty := g.TileXY(t)
+			x := svgPad + tx*svgTile
+			y := svgPad + 18 + ty*svgTile
+			fill := "#f8f8f8"
+			if g.Reserved(t) {
+				fill = "#dddddd"
+			}
+			fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s" stroke="#999"/>`+"\n",
+				x, y, svgTile, svgTile, fill)
+			switch {
+			case g.Reserved(t):
+				fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle" fill="#666">MSF</text>`+"\n",
+					x+svgTile/2, y+svgTile/2+4)
+			case layout.TileQubit[t] != -1:
+				fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle">q%d</text>`+"\n",
+					x+svgTile/2, y+svgTile/2+4, layout.TileQubit[t])
+			}
+		}
+		// Braids of this cycle.
+		if f < len(s.Layers) {
+			for bi, br := range s.Layers[f] {
+				color := svgPalette[bi%len(svgPalette)]
+				b.WriteString(svgPath(g, br, color))
+			}
+			// Apply SWAP layout changes for the next frame.
+			for _, br := range s.Layers[f] {
+				if br.Gate < 0 && br.SwapTiles {
+					layout.Swap(br.CtlTile, br.TgtTile)
+				}
+			}
+		}
+		b.WriteString("</g>\n")
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// svgPath renders one braid as a polyline over the routing lattice with
+// dot markers at its endpoints.
+func svgPath(g *grid.Grid, br sched.Braid, color string) string {
+	var pts []string
+	for _, v := range br.Path {
+		vx, vy := g.VertexXY(v)
+		pts = append(pts, fmt.Sprintf("%d,%d", svgPad+vx*svgTile, svgPad+18+vy*svgTile))
+	}
+	var b strings.Builder
+	if len(pts) > 1 {
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="3" stroke-linecap="round"/>`+"\n",
+			strings.Join(pts, " "), color)
+	}
+	// Endpoint markers (single-vertex braids get one dot).
+	first := br.Path[0]
+	last := br.Path[len(br.Path)-1]
+	for _, v := range []int{first, last} {
+		vx, vy := g.VertexXY(v)
+		fmt.Fprintf(&b, `<circle cx="%d" cy="%d" r="4" fill="%s"/>`+"\n",
+			svgPad+vx*svgTile, svgPad+18+vy*svgTile, color)
+		if first == last {
+			break
+		}
+	}
+	return b.String()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,72 @@
+package viz
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"hilight/internal/bench"
+	"hilight/internal/core"
+	"hilight/internal/grid"
+	"hilight/internal/sched"
+)
+
+func compileFixture(t *testing.T) *core.Result {
+	t.Helper()
+	c := bench.QFT(9)
+	res, err := core.Map(c, grid.Rect(9), core.HilightMap(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSVGIsWellFormedXML(t *testing.T) {
+	res := compileFixture(t)
+	out := SVG(res.Schedule, 3)
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG not well-formed XML: %v", err)
+		}
+	}
+	if !strings.Contains(out, "<svg") || !strings.Contains(out, "</svg>") {
+		t.Error("missing svg element")
+	}
+	if !strings.Contains(out, "polyline") && !strings.Contains(out, "circle") {
+		t.Error("no braid geometry rendered")
+	}
+	if strings.Count(out, "cycle ") != 3 {
+		t.Errorf("frame count wrong:\n%s", out[:200])
+	}
+}
+
+func TestSVGHandlesFactoryAndEmpty(t *testing.T) {
+	g := grid.New(2, 2)
+	g.ReserveTile(3)
+	l := grid.NewLayout(1, g)
+	l.Assign(0, 0, g)
+	s := &sched.Schedule{Grid: g, Initial: l}
+	out := SVG(s, 0)
+	if !strings.Contains(out, "MSF") {
+		t.Error("factory tile not marked")
+	}
+	if !strings.Contains(out, "initial layout") {
+		t.Error("empty schedule missing caption")
+	}
+	if !strings.Contains(out, "q0") {
+		t.Error("qubit label missing")
+	}
+}
+
+func TestSVGAllLayersDefault(t *testing.T) {
+	res := compileFixture(t)
+	out := SVG(res.Schedule, 0)
+	if got := strings.Count(out, "cycle "); got != res.Latency {
+		t.Errorf("frames = %d, want %d", got, res.Latency)
+	}
+}

@@ -1,0 +1,176 @@
+// Package viz renders surface-code grids, layouts and braiding layers as
+// ASCII diagrams — the debugging view for everything the mapper produces.
+//
+// A tile is drawn as a 4×2-character cell; routing vertices are the `+`
+// corners and braiding paths overdraw the lattice edges between them.
+// Example (one braid between tiles 0 and 5 of a 3×2 grid):
+//
+//	+***+---+---+
+//	| 0 * 1 | 2 |
+//	+---+***+---+
+//	| 3 | 4 * 5 |
+//	+---+---+***+
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"hilight/internal/grid"
+	"hilight/internal/route"
+	"hilight/internal/sched"
+)
+
+// canvas is a mutable character grid.
+type canvas struct {
+	w, h  int
+	cells [][]byte
+}
+
+func newCanvas(w, h int) *canvas {
+	c := &canvas{w: w, h: h, cells: make([][]byte, h)}
+	for i := range c.cells {
+		c.cells[i] = []byte(strings.Repeat(" ", w))
+	}
+	return c
+}
+
+func (c *canvas) set(x, y int, ch byte) {
+	if x >= 0 && x < c.w && y >= 0 && y < c.h {
+		c.cells[y][x] = ch
+	}
+}
+
+func (c *canvas) text(x, y int, s string) {
+	for i := 0; i < len(s); i++ {
+		c.set(x+i, y, s[i])
+	}
+}
+
+func (c *canvas) String() string {
+	var b strings.Builder
+	for _, row := range c.cells {
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// cellW is the character width of one tile cell (excluding its shared
+// right border); cellH the height excluding the shared bottom border.
+const (
+	cellW = 4
+	cellH = 2
+)
+
+// vertexPos returns the canvas position of routing vertex (vx, vy).
+func vertexPos(vx, vy int) (x, y int) { return vx * cellW, vy * cellH }
+
+// baseGrid draws the lattice: corners, channels, tile labels.
+func baseGrid(g *grid.Grid, l *grid.Layout) *canvas {
+	c := newCanvas(g.W*cellW+1, g.H*cellH+1)
+	for vy := 0; vy <= g.H; vy++ {
+		for vx := 0; vx <= g.W; vx++ {
+			x, y := vertexPos(vx, vy)
+			c.set(x, y, '+')
+			if vx < g.W {
+				for i := 1; i < cellW; i++ {
+					c.set(x+i, y, '-')
+				}
+			}
+			if vy < g.H {
+				c.set(x, y+1, '|')
+			}
+		}
+	}
+	for t := 0; t < g.Tiles(); t++ {
+		tx, ty := g.TileXY(t)
+		x, y := vertexPos(tx, ty)
+		label := " . "
+		switch {
+		case g.Reserved(t):
+			label = "###"
+		case l != nil && l.TileQubit[t] != -1:
+			label = fmt.Sprintf("%3d", l.TileQubit[t])
+		}
+		c.text(x+1, y+1, label)
+	}
+	return c
+}
+
+// Layout renders the grid with each tile showing its program qubit
+// (".” for empty, "###" for reserved/factory tiles).
+func Layout(g *grid.Grid, l *grid.Layout) string {
+	return baseGrid(g, l).String()
+}
+
+// pathGlyphs overdraws one braiding path using the given glyph for its
+// vertices and channel midpoints.
+func pathGlyphs(c *canvas, g *grid.Grid, p route.Path, glyph byte) {
+	for i, v := range p {
+		vx, vy := g.VertexXY(v)
+		x, y := vertexPos(vx, vy)
+		c.set(x, y, glyph)
+		if i == 0 {
+			continue
+		}
+		ux, uy := g.VertexXY(p[i-1])
+		px, py := vertexPos(ux, uy)
+		switch {
+		case uy == vy: // horizontal channel
+			lo := px
+			if x < px {
+				lo = x
+			}
+			for k := 1; k < cellW; k++ {
+				c.set(lo+k, y, glyph)
+			}
+		default: // vertical channel
+			lo := py
+			if y < py {
+				lo = y
+			}
+			c.set(x, lo+1, glyph)
+		}
+	}
+}
+
+// braidGlyph returns the glyph for braid index i within a layer.
+func braidGlyph(i int) byte {
+	const glyphs = "*abcdefghijklmnopqrstuvwxyz"
+	return glyphs[i%len(glyphs)]
+}
+
+// Layer renders one braiding cycle over the layout: each braid's path is
+// overdrawn with its own glyph ('*', then 'a', 'b', ...).
+func Layer(g *grid.Grid, l *grid.Layout, layer sched.Layer) string {
+	c := baseGrid(g, l)
+	for i, b := range layer {
+		pathGlyphs(c, g, b.Path, braidGlyph(i))
+	}
+	return c.String()
+}
+
+// Schedule renders every cycle of a schedule, replaying layout changes
+// from inserted SWAP braids so each frame shows where qubits actually
+// are. maxLayers bounds the output (≤0 means all layers).
+func Schedule(s *sched.Schedule, maxLayers int) string {
+	if maxLayers <= 0 || maxLayers > len(s.Layers) {
+		maxLayers = len(s.Layers)
+	}
+	layout := s.Initial.Clone()
+	var b strings.Builder
+	for i := 0; i < maxLayers; i++ {
+		fmt.Fprintf(&b, "cycle %d (%d braids):\n", i, len(s.Layers[i]))
+		b.WriteString(Layer(s.Grid, layout, s.Layers[i]))
+		for _, br := range s.Layers[i] {
+			if br.Gate < 0 && br.SwapTiles {
+				layout.Swap(br.CtlTile, br.TgtTile)
+			}
+		}
+	}
+	if maxLayers < len(s.Layers) {
+		fmt.Fprintf(&b, "... %d more cycles\n", len(s.Layers)-maxLayers)
+	}
+	return b.String()
+}

@@ -1,0 +1,130 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"hilight/internal/circuit"
+	"hilight/internal/core"
+	"hilight/internal/grid"
+	"hilight/internal/route"
+	"hilight/internal/sched"
+)
+
+func TestLayoutRendering(t *testing.T) {
+	g := grid.New(3, 2)
+	l := grid.NewLayout(3, g)
+	l.Assign(0, 0, g)
+	l.Assign(1, 4, g)
+	l.Assign(2, 5, g)
+	out := Layout(g, l)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2*2+1 {
+		t.Fatalf("line count = %d:\n%s", len(lines), out)
+	}
+	wantWidth := 3*4 + 1
+	for i, line := range lines {
+		if len(line) != wantWidth {
+			t.Errorf("line %d width = %d, want %d", i, len(line), wantWidth)
+		}
+	}
+	if !strings.Contains(out, "0") || !strings.Contains(out, "2") {
+		t.Errorf("qubit labels missing:\n%s", out)
+	}
+	if !strings.Contains(out, ".") {
+		t.Errorf("empty tile marker missing:\n%s", out)
+	}
+}
+
+func TestLayoutShowsReserved(t *testing.T) {
+	g := grid.New(2, 2)
+	g.ReserveTile(3)
+	l := grid.NewLayout(1, g)
+	l.Assign(0, 0, g)
+	out := Layout(g, l)
+	if !strings.Contains(out, "###") {
+		t.Errorf("reserved tile marker missing:\n%s", out)
+	}
+}
+
+func TestLayerOverdrawsPath(t *testing.T) {
+	g := grid.New(3, 2)
+	l := grid.NewLayout(2, g)
+	l.Assign(0, 0, g)
+	l.Assign(1, 5, g)
+	// A braid along the top: vertices (1,0)->(2,0)->(3,0)->(3,1).
+	p := route.Path{g.VertexID(1, 0), g.VertexID(2, 0), g.VertexID(3, 0), g.VertexID(3, 1)}
+	layer := sched.Layer{{Gate: 0, CtlTile: 0, TgtTile: 5, Path: p}}
+	out := Layer(g, l, layer)
+	if strings.Count(out, "*") < len(p) {
+		t.Errorf("path glyphs missing:\n%s", out)
+	}
+}
+
+func TestLayerDistinctGlyphsPerBraid(t *testing.T) {
+	g := grid.New(2, 2)
+	l := grid.NewLayout(4, g)
+	for q := 0; q < 4; q++ {
+		l.Assign(q, q, g)
+	}
+	layer := sched.Layer{
+		{Gate: 0, CtlTile: 0, TgtTile: 1, Path: route.Path{g.VertexID(1, 0)}},
+		{Gate: 1, CtlTile: 2, TgtTile: 3, Path: route.Path{g.VertexID(1, 2)}},
+	}
+	out := Layer(g, l, layer)
+	if !strings.Contains(out, "*") || !strings.Contains(out, "a") {
+		t.Errorf("braids not distinguished:\n%s", out)
+	}
+}
+
+func TestScheduleRendersEndToEnd(t *testing.T) {
+	c := circuit.New("viz", 6)
+	c.Add2(circuit.CX, 0, 1)
+	c.Add2(circuit.CX, 2, 3)
+	c.Add2(circuit.CX, 4, 5)
+	g := grid.Rect(6)
+	res, err := core.Map(c, g, core.HilightMap(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Schedule(res.Schedule, 0)
+	if !strings.Contains(out, "cycle 0") {
+		t.Errorf("missing cycle header:\n%s", out)
+	}
+	// Truncation note appears when capped.
+	if res.Latency > 1 {
+		capped := Schedule(res.Schedule, 1)
+		if !strings.Contains(capped, "more cycles") {
+			t.Errorf("truncation note missing:\n%s", capped)
+		}
+	}
+}
+
+func TestScheduleReplaysSwaps(t *testing.T) {
+	g := grid.New(2, 1)
+	c := circuit.New("swap", 2)
+	c.Add2(circuit.CX, 0, 1)
+	l := grid.NewLayout(2, g)
+	l.Assign(0, 0, g)
+	l.Assign(1, 1, g)
+	shared := g.VertexID(1, 0)
+	s := &sched.Schedule{Grid: g, Initial: l, Layers: []sched.Layer{
+		{{Gate: -1, CtlTile: 0, TgtTile: 1, Path: route.Path{shared}}},
+		{{Gate: -1, CtlTile: 0, TgtTile: 1, Path: route.Path{shared}}},
+		{{Gate: -1, CtlTile: 0, TgtTile: 1, Path: route.Path{shared}, SwapTiles: true}},
+		{{Gate: 0, CtlTile: 1, TgtTile: 0, Path: route.Path{shared}}},
+	}}
+	if err := s.Validate(c); err != nil {
+		t.Fatalf("fixture invalid: %v", err)
+	}
+	out := Schedule(s, 0)
+	// After the swap, cycle 3's frame must show qubit 0 on tile 1 (the
+	// right cell) — i.e. the last frame differs from the first.
+	frames := strings.Split(out, "cycle ")
+	if len(frames) < 5 {
+		t.Fatalf("expected 4 frames:\n%s", out)
+	}
+	if frames[1] == frames[4] {
+		t.Error("layout did not change after swap braid")
+	}
+}
