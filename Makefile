@@ -1,0 +1,37 @@
+GO ?= go
+
+.PHONY: all build vet test race bench bench-route golden check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrency-bearing paths: the CompileAll worker pool and the root
+# integration/batch tests.
+race:
+	$(GO) test -race -run 'Batch|CompileAll|Concurrent|Parallel' .
+	$(GO) test -race ./internal/core/
+
+# Hot-path microbenchmarks tracked in BENCH_route.json. BenchmarkRouteCircuit
+# and BenchmarkFinderFind must report 0 allocs/op in steady state.
+bench-route:
+	$(GO) test -bench 'BenchmarkFinderFind|BenchmarkOccupancy' -benchmem -benchtime 1000x ./internal/route/
+	$(GO) test -bench 'BenchmarkRouteCircuit|BenchmarkCompileQFT' -benchmem -benchtime 5x ./internal/core/
+
+# Everything, including the paper-artifact benchmarks (slow).
+bench:
+	$(GO) test -bench . -benchmem ./...
+
+# Refresh the behavior-preservation goldens after an *intentional* schedule
+# change (testdata/golden_schedules.json).
+golden:
+	$(GO) test -run TestGoldenSchedules -update .
+
+check: build vet test

@@ -268,11 +268,14 @@ func BenchmarkPathFinders(b *testing.B) {
 	}
 	for name, f := range finders {
 		b.Run(name, func(b *testing.B) {
-			occ := route.NewOccupancy()
+			occ := route.NewOccupancy(g)
+			var buf route.Path
 			for i := 0; i < b.N; i++ {
-				if _, ok := f.Find(g, occ, 0, g.Tiles()-1); !ok {
+				p, ok := f.Find(g, occ, 0, g.Tiles()-1, buf[:0])
+				if !ok {
 					b.Fatal("no path on empty grid")
 				}
+				buf = p
 			}
 		})
 	}

@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"hilight"
@@ -32,12 +34,46 @@ func main() {
 		seed    = flag.Int64("seed", 1, "seed for randomized components")
 		show    = flag.String("show", "metrics", "output: metrics, layers, viz, heat, svg, json, or qasm")
 		magicP  = flag.Int("magic-period", 0, "analyze magic-state throughput: cycles per distilled state (0 = off)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file after compiling")
 	)
 	flag.Parse()
-	if err := run(*inFile, *benchN, *list, *method, *gridKin, *factory, *seed, *show, *magicP); err != nil {
-		fmt.Fprintln(os.Stderr, "hilight:", err)
-		os.Exit(1)
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hilight:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "hilight:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
 	}
+	err := run(*inFile, *benchN, *list, *method, *gridKin, *factory, *seed, *show, *magicP)
+	if *memProf != "" {
+		f, merr := os.Create(*memProf)
+		if merr != nil {
+			fmt.Fprintln(os.Stderr, "hilight:", merr)
+			os.Exit(1)
+		}
+		runtime.GC() // report live objects, not transient garbage
+		if merr := pprof.WriteHeapProfile(f); merr != nil {
+			fmt.Fprintln(os.Stderr, "hilight:", merr)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hilight:", err)
+		exit(1)
+	}
+}
+
+// exit runs deferred profile flushes before terminating.
+func exit(code int) {
+	pprof.StopCPUProfile()
+	os.Exit(code)
 }
 
 func run(inFile, benchName string, list bool, method, gridKind, factory string, seed int64, show string, magicPeriod int) error {

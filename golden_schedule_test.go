@@ -1,0 +1,195 @@
+package hilight_test
+
+// Behavior-preservation goldens: the routing hot path is optimized for
+// zero allocations, and these tests pin down that the optimization never
+// changes *what* is computed. The golden file records, at seed 1,
+//
+//   - a schedule fingerprint (FNV-1a over every layer/braid/path) per
+//     path-finder on a Table 1 subset, and
+//   - latency/ResUtil per public method preset.
+//
+// Regenerate with `go test -run TestGolden -update` — but only when a
+// change is *supposed* to alter schedules; performance work must keep
+// this file byte-identical.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"hilight"
+	"hilight/internal/bench"
+	"hilight/internal/core"
+	"hilight/internal/grid"
+	"hilight/internal/order"
+	"hilight/internal/place"
+	"hilight/internal/route"
+	"hilight/internal/sched"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+const goldenPath = "testdata/golden_schedules.json"
+
+// goldenFile is the on-disk golden format.
+type goldenFile struct {
+	// ScheduleHash maps "<benchmark>/<finder>" to the schedule fingerprint.
+	ScheduleHash map[string]string `json:"schedule_hash"`
+	// Presets maps "<benchmark>/<method>" to "latency/resutil".
+	Presets map[string]string `json:"presets"`
+}
+
+// goldenBenchmarks is the Table 1 subset the finder-identity test runs:
+// every deterministic small row plus one representative per family, kept
+// small enough that the exhaustive Full16 finder stays affordable.
+var goldenBenchmarks = []string{
+	"4gt11_82", "4gt5_75", "rd32_270", "sqrt8_260", "squar5_261",
+	"QFT-10", "QFT-16", "BV-10", "CC-11", "Ising-10",
+}
+
+func goldenFinders() []func() route.Finder {
+	return []func() route.Finder{
+		func() route.Finder { return &route.AStar{} },
+		func() route.Finder { return &route.Full16{} },
+		func() route.Finder { return &route.StackDFS{} },
+		func() route.Finder { return route.LShape{} },
+	}
+}
+
+// hashSchedule fingerprints every braid of every layer, in order.
+func hashSchedule(s *sched.Schedule) string {
+	h := fnv.New64a()
+	buf := make([]byte, 0, 64)
+	putInt := func(v int) {
+		buf = buf[:0]
+		for i := 0; i < 8; i++ {
+			buf = append(buf, byte(v>>(8*i)))
+		}
+		h.Write(buf)
+	}
+	putInt(len(s.Layers))
+	for _, layer := range s.Layers {
+		putInt(len(layer))
+		for _, b := range layer {
+			putInt(b.Gate)
+			putInt(b.CtlTile)
+			putInt(b.TgtTile)
+			if b.SwapTiles {
+				putInt(1)
+			} else {
+				putInt(0)
+			}
+			putInt(len(b.Path))
+			for _, v := range b.Path {
+				putInt(v)
+			}
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+func computeGolden(t testing.TB) *goldenFile {
+	gf := &goldenFile{
+		ScheduleHash: map[string]string{},
+		Presets:      map[string]string{},
+	}
+	for _, name := range goldenBenchmarks {
+		e, ok := bench.ByName(name)
+		if !ok {
+			t.Fatalf("unknown golden benchmark %s", name)
+		}
+		c := e.Build()
+		g := grid.Rect(e.N)
+		for _, mk := range goldenFinders() {
+			f := mk()
+			cfg := core.Config{
+				Placement: place.HiLight{Rng: rand.New(rand.NewSource(1))},
+				Ordering:  order.Proposed{},
+				Finder:    f,
+			}
+			res, err := core.Map(c, g, cfg)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, f.Name(), err)
+			}
+			if err := res.Schedule.Validate(res.Circuit); err != nil {
+				t.Fatalf("%s/%s: invalid schedule: %v", name, f.Name(), err)
+			}
+			gf.ScheduleHash[name+"/"+f.Name()] = hashSchedule(res.Schedule)
+		}
+	}
+	for _, name := range []string{"sqrt8_260", "QFT-16", "Ising-10"} {
+		c, ok := hilight.Benchmark(name)
+		if !ok {
+			t.Fatalf("unknown benchmark %s", name)
+		}
+		g := hilight.RectGrid(c.NumQubits)
+		for _, method := range hilight.Methods() {
+			res, err := hilight.Compile(c, g, hilight.WithMethod(method), hilight.WithSeed(1))
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, method, err)
+			}
+			gf.Presets[name+"/"+method] = fmt.Sprintf("%d/%.6f", res.Latency, res.ResUtil)
+		}
+	}
+	return gf
+}
+
+// TestGoldenSchedules pins routing behavior: every path-finder must keep
+// producing byte-identical schedules, and every method preset identical
+// latency/ResUtil, at seed 1.
+func TestGoldenSchedules(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden regeneration is slow")
+	}
+	got := computeGolden(t)
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden rewritten: %d schedule hashes, %d preset rows",
+			len(got.ScheduleHash), len(got.Presets))
+		return
+	}
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	var want goldenFile
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	diffMaps(t, "schedule_hash", want.ScheduleHash, got.ScheduleHash)
+	diffMaps(t, "presets", want.Presets, got.Presets)
+}
+
+func diffMaps(t *testing.T, label string, want, got map[string]string) {
+	t.Helper()
+	keys := make([]string, 0, len(want))
+	for k := range want {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if got[k] != want[k] {
+			t.Errorf("%s[%s] = %s, want %s", label, k, got[k], want[k])
+		}
+	}
+	for k := range got {
+		if _, ok := want[k]; !ok {
+			t.Errorf("%s[%s] unexpected new entry", label, k)
+		}
+	}
+}

@@ -191,8 +191,12 @@ func (a *SwapAdjuster) Propose(st *core.RouterState) []core.TileSwap {
 		if d < a.MinDistance {
 			continue
 		}
+		// Ties break on (q, p) lexicographically — a total order, so the
+		// winner is independent of map iteration order and schedules stay
+		// deterministic at a fixed seed.
 		if score := w * d; score > bestScore ||
-			(score == bestScore && score > 0 && pr.q < bq) {
+			(score == bestScore && score > 0 &&
+				(pr.q < bq || (pr.q == bq && pr.p < bp))) {
 			bestScore, bq, bp = score, pr.q, pr.p
 		}
 	}

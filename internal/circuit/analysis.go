@@ -175,14 +175,27 @@ type QubitLists struct {
 
 // NewQubitLists builds the per-qubit gate lists of c.
 func NewQubitLists(c *Circuit) *QubitLists {
-	ql := &QubitLists{Lists: make([][]int, c.NumQubits)}
+	ql := &QubitLists{}
+	ql.Fill(c)
+	return ql
+}
+
+// Fill rebuilds the per-qubit gate lists of c in place, reusing the list
+// storage from a previous Fill so steady-state rebuilds do not allocate.
+func (ql *QubitLists) Fill(c *Circuit) {
+	if cap(ql.Lists) < c.NumQubits {
+		ql.Lists = make([][]int, c.NumQubits)
+	}
+	ql.Lists = ql.Lists[:c.NumQubits]
+	for q := range ql.Lists {
+		ql.Lists[q] = ql.Lists[q][:0]
+	}
 	for i, g := range c.Gates {
 		ql.Lists[g.Q0] = append(ql.Lists[g.Q0], i)
 		if g.TwoQubit() {
 			ql.Lists[g.Q1] = append(ql.Lists[g.Q1], i)
 		}
 	}
-	return ql
 }
 
 // Layers performs ASAP layering of the circuit: gates that commute by

@@ -1,0 +1,64 @@
+package core
+
+// Benchmarks for the Alg. 2 routing loop. BenchmarkRouteCircuit drives
+// the package-internal router with every piece of scratch state reused
+// across iterations — the steady-state regime of batch compilation — and
+// must report 0 allocs/op after the allocation-free rewrite.
+// BenchmarkCompileQFT{64,256} measure the full Map pipeline (placement +
+// routing + metrics); their alloc counts are tracked against the
+// pre-rewrite baseline in BENCH_route.json at the repo root.
+
+import (
+	"fmt"
+	"testing"
+
+	"hilight/internal/bench"
+	"hilight/internal/grid"
+	"hilight/internal/place"
+)
+
+// BenchmarkRouteCircuit measures one full routing pass over QFT-64 with
+// the default (HiLight) configuration and a fixed pre-computed placement.
+func BenchmarkRouteCircuit(b *testing.B) {
+	c := bench.QFT(64).DecomposeSWAPs()
+	g := grid.Rect(64)
+	var cfg Config
+	cfg.fillDefaults()
+	// The default configuration has no adjuster, so the router never
+	// mutates the layout and one placement serves every iteration.
+	layout := place.HiLight{}.Place(c, g)
+	var rt router
+	// Warm up: the first pass sizes all per-grid, per-circuit, and result
+	// scratch; the steady state after it must be allocation-free.
+	if _, err := rt.route(c, g, layout, cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.route(c, g, layout, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompileQFT measures the full Map pipeline on QFT-64/QFT-256.
+func BenchmarkCompileQFT(b *testing.B) {
+	for _, n := range []int{64, 256} {
+		b.Run(fmt.Sprintf("QFT%d", n), func(b *testing.B) {
+			c := bench.QFT(n)
+			g := grid.Rect(n)
+			cfg := HilightMap(nil)
+			if _, err := Map(c, g, cfg); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Map(c, g, HilightMap(nil)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -68,7 +68,7 @@ func CompactSchedule(s *sched.Schedule, c *circuit.Circuit, finder route.Finder)
 	qubitBusy := make([]map[int]bool, len(layers))
 	layerOf := map[int]int{}
 	for i, l := range layers {
-		occs[i] = route.NewOccupancy()
+		occs[i] = route.NewOccupancy(s.Grid)
 		qubitBusy[i] = map[int]bool{}
 		for _, b := range l {
 			occs[i].Add(s.Grid, b.Path)
@@ -89,7 +89,9 @@ func CompactSchedule(s *sched.Schedule, c *circuit.Circuit, finder route.Finder)
 				if qubitBusy[t][g.Q0] || qubitBusy[t][g.Q1] {
 					continue
 				}
-				p, ok := finder.Find(s.Grid, occs[t], b.CtlTile, b.TgtTile)
+				// nil buf: the hoisted path is retained in the layer, so it
+				// must own its storage.
+				p, ok := finder.Find(s.Grid, occs[t], b.CtlTile, b.TgtTile, nil)
 				if !ok {
 					continue
 				}
@@ -114,7 +116,7 @@ func CompactSchedule(s *sched.Schedule, c *circuit.Circuit, finder route.Finder)
 			// (Handled below by reconstructing occupancy for li.)
 		}
 		layers[li] = kept
-		occs[li] = route.NewOccupancy()
+		occs[li] = route.NewOccupancy(s.Grid)
 		qubitBusy[li] = map[int]bool{}
 		for _, b := range kept {
 			occs[li].Add(s.Grid, b.Path)

@@ -30,6 +30,8 @@ type TileSwap struct {
 }
 
 // RouterState is the read-only view a LayoutAdjuster gets each cycle.
+// The struct and its Pending slices are owned by the router and reused
+// between cycles; adjusters must not retain them past Propose.
 type RouterState struct {
 	Grid    *grid.Grid
 	Layout  *grid.Layout // live layout; adjusters must not mutate it
@@ -156,112 +158,175 @@ type swapOp struct {
 	remaining int
 }
 
-// routeCircuit is the Alg. 2 main loop.
+// routeCircuit is the Alg. 2 main loop on a one-shot router.
 func routeCircuit(c *circuit.Circuit, g *grid.Grid, layout *grid.Layout, cfg Config) (*sched.Schedule, error) {
-	s := &sched.Schedule{Grid: g, Initial: layout.Clone()}
+	var rt router
+	return rt.route(c, g, layout, cfg)
+}
 
-	// circList: per-qubit gate lists with a cursor each (Alg. 2 line 2).
-	ql := circuit.NewQubitLists(c)
-	cursor := make([]int, c.NumQubits)
+// router holds every piece of scratch state the Alg. 2 main loop needs,
+// so repeated route calls (batch compilation, benchmarks) run without
+// heap allocations once the buffers have warmed up. The zero value is
+// ready to use. A router is not safe for concurrent use, and the schedule
+// returned by route is owned by the router: it is valid only until the
+// next route call on the same router.
+type router struct {
+	// Per-call inputs, stored to keep the helper methods argument-free.
+	c      *circuit.Circuit
+	g      *grid.Grid
+	layout *grid.Layout
+	cfg    Config
+
+	// Per-grid state (reallocated when the grid changes).
+	occ       *route.Occupancy
+	busyTile  []int // tile -> epoch stamp; busy iff == busyEpoch
+	busyEpoch int
+
+	// Per-circuit state.
+	ql      circuit.QubitLists
+	cursor  []int
+	heights []int
+	nextCX  []int
+
+	// Per-cycle scratch.
+	ready    []order.Ready
+	active   []swapOp
+	layerBuf sched.Layer
+	pathBuf  route.Path
+
+	// Adjuster support (only populated when an adjuster is configured).
+	pending     [][]int
+	pendingBack []int
+	pendingOffs []int
+	state       RouterState
+
+	// Result storage. Braiding paths are appended into arena and sliced
+	// out, so a schedule costs O(log total-path-length) allocations the
+	// first time and none once the arena has grown to steady state.
+	sch   *sched.Schedule
+	arena []int
+}
+
+// init sizes the scratch for a (circuit, grid, layout) triple and resets
+// all per-call state.
+func (r *router) init(c *circuit.Circuit, g *grid.Grid, layout *grid.Layout, cfg Config) {
+	r.c, r.g, r.layout, r.cfg = c, g, layout, cfg
+
+	if r.occ == nil || len(r.busyTile) != g.Tiles() {
+		r.occ = route.NewOccupancy(g)
+		r.busyTile = make([]int, g.Tiles())
+		r.busyEpoch = 0
+	}
+
+	r.ql.Fill(c)
+	r.cursor = resizeZeroed(r.cursor, c.NumQubits)
+	r.computeHeights()
+
+	r.ready = r.ready[:0]
+	r.active = r.active[:0]
+	r.layerBuf = r.layerBuf[:0]
+	r.arena = r.arena[:0]
+
+	if r.sch == nil {
+		r.sch = &sched.Schedule{}
+	}
+	r.sch.Grid = g
+	r.sch.Layers = r.sch.Layers[:0]
+	if r.sch.Initial == nil ||
+		len(r.sch.Initial.QubitTile) != len(layout.QubitTile) ||
+		len(r.sch.Initial.TileQubit) != len(layout.TileQubit) {
+		r.sch.Initial = layout.Clone()
+	} else {
+		r.sch.Initial.CopyFrom(layout)
+	}
+
+	if cfg.Adjuster != nil {
+		r.initPending()
+	}
+}
+
+// route runs the Alg. 2 main loop. The returned schedule is owned by the
+// router and valid until the next route call.
+func (r *router) route(c *circuit.Circuit, g *grid.Grid, layout *grid.Layout, cfg Config) (*sched.Schedule, error) {
+	r.init(c, g, layout, cfg)
+
+	// skip1Q advances each qubit's cursor past single-qubit gates: they
+	// cost no braiding cycles.
 	remaining := c.CXCount()
-	heights := gateHeights(c, ql)
-
-	// skip1Q advances a qubit's cursor past single-qubit gates: they cost
-	// no braiding cycles.
-	skip1Q := func(q int) {
-		lst := ql.Lists[q]
-		for cursor[q] < len(lst) && !c.Gates[lst[cursor[q]]].TwoQubit() {
-			cursor[q]++
-		}
-	}
 	for q := 0; q < c.NumQubits; q++ {
-		skip1Q(q)
+		r.skip1Q(q)
 	}
 
-	occ := route.NewOccupancy()
-	var active []swapOp
 	cycle := 0
 	guard := 0
 	maxCycles := 16*(remaining+len(c.Gates)) + 4*g.Tiles() + 64
 
-	for remaining > 0 || len(active) > 0 {
+	for remaining > 0 || len(r.active) > 0 {
 		if guard++; guard > maxCycles {
 			return nil, fmt.Errorf("core: router exceeded %d cycles with %d gates left — scheduling deadlock", maxCycles, remaining)
 		}
-		occ.Reset()
-		var layer sched.Layer
-		busyTile := map[int]bool{}
+		r.occ.Reset()
+		r.busyEpoch++
+		r.layerBuf = r.layerBuf[:0]
 
 		// 1) Keep in-flight SWAP braids going; they occupy their tiles.
-		for i := range active {
-			op := &active[i]
-			p, ok := cfg.Finder.Find(g, occ, op.t1, op.t2)
+		for i := range r.active {
+			op := &r.active[i]
+			p, ok := cfg.Finder.Find(g, r.occ, op.t1, op.t2, r.pathBuf[:0])
 			if !ok {
-				busyTile[op.t1], busyTile[op.t2] = true, true
+				r.markBusy(op.t1, op.t2)
 				continue // stalled by congestion; retry next cycle
 			}
-			occ.Add(g, p)
+			r.pathBuf = p
+			r.occ.Add(g, p)
 			op.remaining--
-			layer = append(layer, sched.Braid{
-				Gate: -1, CtlTile: op.t1, TgtTile: op.t2, Path: p,
+			r.layerBuf = append(r.layerBuf, sched.Braid{
+				Gate: -1, CtlTile: op.t1, TgtTile: op.t2, Path: r.storePath(p),
 				SwapTiles: op.remaining == 0,
 			})
-			busyTile[op.t1], busyTile[op.t2] = true, true
+			r.markBusy(op.t1, op.t2)
 		}
 
 		// 2) Gate ordering (Alg. 2 line 4): collect the ready set — both
 		// operands have the gate at their front (the FrontList check).
-		var ready []order.Ready
-		for q := 0; q < c.NumQubits; q++ {
-			lst := ql.Lists[q]
-			if cursor[q] >= len(lst) {
-				continue
-			}
-			gi := lst[cursor[q]]
-			gate := c.Gates[gi]
-			if q != gate.Q0 {
-				continue // count each gate once, from its control side
-			}
-			tq := gate.Q1
-			if cursor[tq] < len(ql.Lists[tq]) && ql.Lists[tq][cursor[tq]] == gi {
-				ready = append(ready, order.Ready{
-					Gate:    gi,
-					CtlTile: layout.QubitTile[gate.Q0],
-					TgtTile: layout.QubitTile[gate.Q1],
-					Height:  heights[gi],
-				})
-			}
-		}
+		ready := r.collectReady()
 		if len(ready) > cfg.OrderingThreshold {
 			ready = cfg.Ordering.Order(ready, g)
+			r.ready = ready[:0] // adopt whatever backing Order returned
 		}
 
 		// 3) Braiding path-finding per ready gate (Alg. 2 lines 7–11).
-		for _, r := range ready {
-			if busyTile[r.CtlTile] || busyTile[r.TgtTile] {
+		for _, rd := range ready {
+			if r.isBusy(rd.CtlTile) || r.isBusy(rd.TgtTile) {
 				continue
 			}
-			p, ok := cfg.Finder.Find(g, occ, r.CtlTile, r.TgtTile)
+			p, ok := cfg.Finder.Find(g, r.occ, rd.CtlTile, rd.TgtTile, r.pathBuf[:0])
 			if !ok {
 				continue // deferred to the next cycle
 			}
-			occ.Add(g, p)
-			layer = append(layer, sched.Braid{
-				Gate: r.Gate, CtlTile: r.CtlTile, TgtTile: r.TgtTile, Path: p,
+			r.pathBuf = p
+			r.occ.Add(g, p)
+			r.layerBuf = append(r.layerBuf, sched.Braid{
+				Gate: rd.Gate, CtlTile: rd.CtlTile, TgtTile: rd.TgtTile, Path: r.storePath(p),
 			})
-			busyTile[r.CtlTile], busyTile[r.TgtTile] = true, true
-			gate := c.Gates[r.Gate]
-			cursor[gate.Q0]++
-			cursor[gate.Q1]++
-			skip1Q(gate.Q0)
-			skip1Q(gate.Q1)
+			r.markBusy(rd.CtlTile, rd.TgtTile)
+			gate := c.Gates[rd.Gate]
+			r.cursor[gate.Q0]++
+			r.cursor[gate.Q1]++
+			r.skip1Q(gate.Q0)
+			r.skip1Q(gate.Q1)
+			if cfg.Adjuster != nil {
+				// The executed gate is at the front of both pending lists.
+				r.pending[gate.Q0] = r.pending[gate.Q0][1:]
+				r.pending[gate.Q1] = r.pending[gate.Q1][1:]
+			}
 			remaining--
 		}
 
-		if len(layer) > 0 {
+		if len(r.layerBuf) > 0 {
 			if cfg.Observer != nil {
 				stats := CycleStats{Cycle: cycle, Ready: len(ready)}
-				for _, b := range layer {
+				for _, b := range r.layerBuf {
 					stats.PathLength += len(b.Path)
 					if b.Gate >= 0 {
 						stats.Executed++
@@ -272,43 +337,155 @@ func routeCircuit(c *circuit.Circuit, g *grid.Grid, layout *grid.Layout, cfg Con
 				stats.Deferred = stats.Ready - stats.Executed
 				cfg.Observer.OnCycle(stats)
 			}
-			s.Layers = append(s.Layers, layer)
+			r.flushLayer()
 			cycle++
 		}
 
 		// 4) Apply completed SWAPs and drop them from the active list.
-		kept := active[:0]
-		for _, op := range active {
+		kept := r.active[:0]
+		for _, op := range r.active {
 			if op.remaining == 0 {
 				layout.Swap(op.t1, op.t2)
 			} else {
 				kept = append(kept, op)
 			}
 		}
-		active = kept
+		r.active = kept
 
 		// 5) Let the adjuster (AutoBraid baseline) propose new SWAPs.
 		if cfg.Adjuster != nil && remaining > 0 {
-			st := &RouterState{
+			r.state = RouterState{
 				Grid: g, Layout: layout, Circuit: c, Cycle: cycle,
-				Pending: pendingLists(c, ql, cursor),
+				Pending: r.pending,
 			}
-			for _, sw := range cfg.Adjuster.Propose(st) {
+			for _, sw := range cfg.Adjuster.Propose(&r.state) {
 				if g.Dist(sw.T1, sw.T2) != 1 {
 					return nil, fmt.Errorf("core: adjuster proposed non-adjacent swap %d-%d", sw.T1, sw.T2)
 				}
-				if tileInFlight(active, sw.T1) || tileInFlight(active, sw.T2) {
+				if tileInFlight(r.active, sw.T1) || tileInFlight(r.active, sw.T2) {
 					continue
 				}
-				active = append(active, swapOp{t1: sw.T1, t2: sw.T2, remaining: 3})
+				r.active = append(r.active, swapOp{t1: sw.T1, t2: sw.T2, remaining: 3})
 			}
 		}
 
-		if len(layer) == 0 && len(active) == 0 && remaining > 0 {
+		if len(r.layerBuf) == 0 && len(r.active) == 0 && remaining > 0 {
 			return nil, fmt.Errorf("core: no progress with %d gates remaining", remaining)
 		}
 	}
-	return s, nil
+	return r.sch, nil
+}
+
+// skip1Q advances qubit q's cursor past single-qubit gates.
+func (r *router) skip1Q(q int) {
+	lst := r.ql.Lists[q]
+	for r.cursor[q] < len(lst) && !r.c.Gates[lst[r.cursor[q]]].TwoQubit() {
+		r.cursor[q]++
+	}
+}
+
+// markBusy stamps tiles as braiding this cycle.
+func (r *router) markBusy(t1, t2 int) {
+	r.busyTile[t1] = r.busyEpoch
+	r.busyTile[t2] = r.busyEpoch
+}
+
+// isBusy reports whether tile t already braids this cycle.
+func (r *router) isBusy(t int) bool { return r.busyTile[t] == r.busyEpoch }
+
+// collectReady rebuilds the ready set into the reused r.ready slice.
+func (r *router) collectReady() []order.Ready {
+	r.ready = r.ready[:0]
+	for q := 0; q < r.c.NumQubits; q++ {
+		lst := r.ql.Lists[q]
+		if r.cursor[q] >= len(lst) {
+			continue
+		}
+		gi := lst[r.cursor[q]]
+		gate := r.c.Gates[gi]
+		if q != gate.Q0 {
+			continue // count each gate once, from its control side
+		}
+		tq := gate.Q1
+		if r.cursor[tq] < len(r.ql.Lists[tq]) && r.ql.Lists[tq][r.cursor[tq]] == gi {
+			r.ready = append(r.ready, order.Ready{
+				Gate:    gi,
+				CtlTile: r.layout.QubitTile[gate.Q0],
+				TgtTile: r.layout.QubitTile[gate.Q1],
+				Height:  r.heights[gi],
+			})
+		}
+	}
+	return r.ready
+}
+
+// storePath copies p into the router's arena and returns the stored
+// slice (capacity-clamped so later appends cannot clobber neighbors).
+func (r *router) storePath(p route.Path) route.Path {
+	n := len(r.arena)
+	r.arena = append(r.arena, p...)
+	return route.Path(r.arena[n:len(r.arena):len(r.arena)])
+}
+
+// flushLayer appends a copy of layerBuf to the schedule, reusing the
+// layer storage left over from a previous route call when possible.
+func (r *router) flushLayer() {
+	n := len(r.sch.Layers)
+	if cap(r.sch.Layers) > n {
+		r.sch.Layers = r.sch.Layers[:n+1]
+		r.sch.Layers[n] = append(r.sch.Layers[n][:0], r.layerBuf...)
+	} else {
+		r.sch.Layers = append(r.sch.Layers, append(sched.Layer(nil), r.layerBuf...))
+	}
+}
+
+// computeHeights computes, per two-qubit gate, the length of the longest
+// chain of dependent two-qubit gates below it — the priority the
+// CriticalPath ordering consumes. One backward sweep over the gate list.
+func (r *router) computeHeights() {
+	c := r.c
+	r.heights = resizeZeroed(r.heights, len(c.Gates))
+	// nextCX[q] is the height of the next two-qubit gate after the sweep
+	// position on qubit q (-1 when none).
+	r.nextCX = resizeFilled(r.nextCX, c.NumQubits, -1)
+	for gi := len(c.Gates) - 1; gi >= 0; gi-- {
+		g := c.Gates[gi]
+		if !g.TwoQubit() {
+			continue
+		}
+		h := 0
+		for _, q := range [2]int{g.Q0, g.Q1} {
+			if r.nextCX[q] >= 0 && r.nextCX[q]+1 > h {
+				h = r.nextCX[q] + 1
+			}
+		}
+		r.heights[gi] = h
+		r.nextCX[g.Q0] = h
+		r.nextCX[g.Q1] = h
+	}
+}
+
+// initPending builds the per-qubit remaining two-qubit gate lists for the
+// adjuster, as views into one shared backing slice. The lists are then
+// maintained incrementally: when a gate executes, the router pops it off
+// the front of both operands' lists.
+func (r *router) initPending() {
+	c := r.c
+	r.pending = resizeSlices(r.pending, c.NumQubits)
+	r.pendingBack = r.pendingBack[:0]
+	r.pendingOffs = resizeZeroed(r.pendingOffs, c.NumQubits+1)
+	for q := 0; q < c.NumQubits; q++ {
+		r.pendingOffs[q] = len(r.pendingBack)
+		for _, gi := range r.ql.Lists[q][r.cursor[q]:] {
+			if c.Gates[gi].TwoQubit() {
+				r.pendingBack = append(r.pendingBack, gi)
+			}
+		}
+	}
+	r.pendingOffs[c.NumQubits] = len(r.pendingBack)
+	for q := 0; q < c.NumQubits; q++ {
+		r.pending[q] = r.pendingBack[r.pendingOffs[q]:r.pendingOffs[q+1]]
+	}
 }
 
 func tileInFlight(active []swapOp, t int) bool {
@@ -320,44 +497,35 @@ func tileInFlight(active []swapOp, t int) bool {
 	return false
 }
 
-// gateHeights computes, per two-qubit gate, the length of the longest
-// chain of dependent two-qubit gates below it — the priority the
-// CriticalPath ordering consumes. One backward sweep over the gate list.
-func gateHeights(c *circuit.Circuit, ql *circuit.QubitLists) []int {
-	heights := make([]int, len(c.Gates))
-	// nextCX[q] is the height of the next two-qubit gate after the sweep
-	// position on qubit q (-1 when none).
-	nextCX := make([]int, c.NumQubits)
-	for q := range nextCX {
-		nextCX[q] = -1
+// resizeZeroed returns s with length n and every element zero, reusing
+// capacity when possible.
+func resizeZeroed(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
 	}
-	for gi := len(c.Gates) - 1; gi >= 0; gi-- {
-		g := c.Gates[gi]
-		if !g.TwoQubit() {
-			continue
-		}
-		h := 0
-		for _, q := range [2]int{g.Q0, g.Q1} {
-			if nextCX[q] >= 0 && nextCX[q]+1 > h {
-				h = nextCX[q] + 1
-			}
-		}
-		heights[gi] = h
-		nextCX[g.Q0] = h
-		nextCX[g.Q1] = h
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
 	}
-	return heights
+	return s
 }
 
-// pendingLists returns, per qubit, the remaining two-qubit gate indices.
-func pendingLists(c *circuit.Circuit, ql *circuit.QubitLists, cursor []int) [][]int {
-	out := make([][]int, c.NumQubits)
-	for q := range out {
-		for _, gi := range ql.Lists[q][cursor[q]:] {
-			if c.Gates[gi].TwoQubit() {
-				out[q] = append(out[q], gi)
-			}
-		}
+// resizeFilled returns s with length n and every element set to fill.
+func resizeFilled(s []int, n, fill int) []int {
+	if cap(s) < n {
+		s = make([]int, n)
 	}
-	return out
+	s = s[:n]
+	for i := range s {
+		s[i] = fill
+	}
+	return s
+}
+
+// resizeSlices returns s with length n, reusing capacity when possible.
+func resizeSlices(s [][]int, n int) [][]int {
+	if cap(s) < n {
+		return make([][]int, n)
+	}
+	return s[:n]
 }

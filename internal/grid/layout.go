@@ -77,6 +77,18 @@ func (l *Layout) Clone() *Layout {
 	}
 }
 
+// CopyFrom overwrites l with src's assignment without allocating. The
+// two layouts must have the same qubit and tile counts; reusing a layout
+// across differently-sized grids is a caller bug and panics.
+func (l *Layout) CopyFrom(src *Layout) {
+	if len(l.QubitTile) != len(src.QubitTile) || len(l.TileQubit) != len(src.TileQubit) {
+		panic(fmt.Sprintf("grid: CopyFrom size mismatch (%d/%d qubits, %d/%d tiles)",
+			len(l.QubitTile), len(src.QubitTile), len(l.TileQubit), len(src.TileQubit)))
+	}
+	copy(l.QubitTile, src.QubitTile)
+	copy(l.TileQubit, src.TileQubit)
+}
+
 // Validate checks internal consistency against g: bijectivity between the
 // two directions, bounds, and reservation. Returns the first problem or
 // nil.

@@ -15,31 +15,33 @@ type LShape struct{}
 func (LShape) Name() string { return "l-shape" }
 
 // Find implements Finder.
-func (LShape) Find(g *grid.Grid, occ *Occupancy, ctlTile, tgtTile int) (Path, bool) {
-	for _, pr := range cornerPairsByDistance(g, ctlTile, tgtTile) {
+func (LShape) Find(g *grid.Grid, occ *Occupancy, ctlTile, tgtTile int, buf Path) (Path, bool) {
+	pairs := cornerPairsByDistance(g, ctlTile, tgtTile)
+	for _, pr := range pairs {
 		if occ.VertexUsed(pr.u) || occ.VertexUsed(pr.v) {
 			continue
 		}
 		if pr.u == pr.v {
-			return Path{pr.u}, true
+			return append(buf[:0], pr.u), true
 		}
-		if p, ok := lWalk(g, occ, pr.u, pr.v, true); ok {
+		if p, ok := lWalk(g, occ, pr.u, pr.v, true, buf); ok {
 			return p, true
 		}
-		if p, ok := lWalk(g, occ, pr.u, pr.v, false); ok {
+		if p, ok := lWalk(g, occ, pr.u, pr.v, false, buf); ok {
 			return p, true
 		}
 	}
 	return nil, false
 }
 
-// lWalk builds the two-bend path from src to dst, moving horizontally
-// first when hFirst is set. It fails on the first occupied vertex,
-// occupied channel, or unroutable (factory-interior) channel.
-func lWalk(g *grid.Grid, occ *Occupancy, src, dst int, hFirst bool) (Path, bool) {
+// lWalk builds the two-bend path from src to dst into buf's storage,
+// moving horizontally first when hFirst is set. It fails on the first
+// occupied vertex, occupied channel, or unroutable (factory-interior)
+// channel.
+func lWalk(g *grid.Grid, occ *Occupancy, src, dst int, hFirst bool, buf Path) (Path, bool) {
 	sx, sy := g.VertexXY(src)
 	dx, dy := g.VertexXY(dst)
-	p := Path{src}
+	p := append(buf[:0], src)
 	cur := src
 	step := func(nx, ny int) bool {
 		next := g.VertexID(nx, ny)

@@ -10,9 +10,9 @@ import (
 
 func TestLShapeBasicPath(t *testing.T) {
 	g := grid.New(5, 5)
-	occ := NewOccupancy()
+	occ := NewOccupancy(g)
 	var f LShape
-	p, ok := f.Find(g, occ, g.TileAt(0, 0), g.TileAt(4, 4))
+	p, ok := f.Find(g, occ, g.TileAt(0, 0), g.TileAt(4, 4), nil)
 	if !ok {
 		t.Fatal("no path on empty grid")
 	}
@@ -32,7 +32,7 @@ func TestLShapeBasicPath(t *testing.T) {
 func TestLShapeAdjacentTiles(t *testing.T) {
 	g := grid.New(3, 3)
 	var f LShape
-	p, ok := f.Find(g, NewOccupancy(), g.TileAt(0, 0), g.TileAt(1, 0))
+	p, ok := f.Find(g, NewOccupancy(g), g.TileAt(0, 0), g.TileAt(1, 0), nil)
 	if !ok || p.Len() != 0 {
 		t.Fatalf("adjacent tiles: ok=%v len=%d", ok, p.Len())
 	}
@@ -40,7 +40,7 @@ func TestLShapeAdjacentTiles(t *testing.T) {
 
 func TestLShapeDefersWhenBothBendsBlocked(t *testing.T) {
 	g := grid.New(5, 3)
-	occ := NewOccupancy()
+	occ := NewOccupancy(g)
 	// Wall the whole middle corner column except the top row: A* detours
 	// over the top, the two-bend router must give up.
 	var wall Path
@@ -49,18 +49,18 @@ func TestLShapeDefersWhenBothBendsBlocked(t *testing.T) {
 	}
 	occ.Add(g, wall)
 	var l LShape
-	if _, ok := l.Find(g, occ, g.TileAt(0, 1), g.TileAt(4, 1)); ok {
+	if _, ok := l.Find(g, occ, g.TileAt(0, 1), g.TileAt(4, 1), nil); ok {
 		t.Fatal("L-shape routed through a wall it cannot bend around")
 	}
 	var a AStar
-	if _, ok := a.Find(g, occ, g.TileAt(0, 1), g.TileAt(4, 1)); !ok {
+	if _, ok := a.Find(g, occ, g.TileAt(0, 1), g.TileAt(4, 1), nil); !ok {
 		t.Fatal("A* should still find the detour")
 	}
 }
 
 func TestLShapeTriesBothOrientations(t *testing.T) {
 	g := grid.New(4, 4)
-	occ := NewOccupancy()
+	occ := NewOccupancy(g)
 	// Block the horizontal-first bend between tiles (0,0) and (2,2) but
 	// leave the vertical-first one open: occupy the corner east of the
 	// source's closest corner.
@@ -68,7 +68,7 @@ func TestLShapeTriesBothOrientations(t *testing.T) {
 	tgt := g.TileAt(2, 2)
 	occ.Add(g, Path{g.VertexID(2, 1)})
 	var l LShape
-	p, ok := l.Find(g, occ, src, tgt)
+	p, ok := l.Find(g, occ, src, tgt, nil)
 	if !ok {
 		t.Fatal("no path despite open vertical-first bend")
 	}
@@ -86,14 +86,14 @@ func TestLShapePathProperty(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		g := grid.New(2+rng.Intn(7), 2+rng.Intn(7))
-		occ := NewOccupancy()
+		occ := NewOccupancy(g)
 		var l LShape
 		for i := 0; i < 10; i++ {
 			t1, t2 := rng.Intn(g.Tiles()), rng.Intn(g.Tiles())
 			if t1 == t2 {
 				continue
 			}
-			p, ok := l.Find(g, occ, t1, t2)
+			p, ok := l.Find(g, occ, t1, t2, nil)
 			if !ok {
 				continue
 			}
@@ -117,12 +117,12 @@ func TestLShapeInCoreRouter(t *testing.T) {
 	// across cycles). Checked through the route-level contract only here;
 	// core integration is exercised by the ablation experiment.
 	g := grid.New(6, 6)
-	occ := NewOccupancy()
+	occ := NewOccupancy(g)
 	var l LShape
 	routed := 0
 	for i := 0; i < 30; i++ {
 		occ.Reset()
-		if _, ok := l.Find(g, occ, i%g.Tiles(), (i*11+5)%g.Tiles()); ok {
+		if _, ok := l.Find(g, occ, i%g.Tiles(), (i*11+5)%g.Tiles(), nil); ok {
 			routed++
 		}
 	}

@@ -14,6 +14,13 @@
 // the same cycle conflict when they share any vertex or channel. Braiding
 // latency is independent of path length (a constant five-step topological
 // transformation), so each cycle executes a set of disjoint braids.
+//
+// The package is built for an allocation-free steady state: Occupancy is
+// a pair of dense epoch-stamped arrays (Reset is an O(1) epoch bump, the
+// per-probe cost is one slice load and compare), and Finder.Find writes
+// the result into a caller-owned buffer so the router's inner loop never
+// touches the heap. See the "Performance architecture" section of
+// DESIGN.md for the ownership rules.
 package route
 
 import (
@@ -65,38 +72,45 @@ func (p Path) Validate(g *grid.Grid) error {
 }
 
 // Occupancy tracks the routing vertices and channels consumed by the
-// braids of the current cycle. Reset starts a new cycle.
+// braids of the current cycle. It is a dense epoch-stamped set sized to
+// one grid: an entry is a member iff its stamp equals the current epoch,
+// so Reset — which starts a new cycle — is a single integer increment and
+// membership probes are one slice load and compare. An Occupancy is bound
+// to the grid it was created for and must not be shared across grids.
 type Occupancy struct {
-	vertices map[int]bool
-	edges    map[int]bool
+	vStamp []int
+	eStamp []int
+	epoch  int
 }
 
-// NewOccupancy returns an empty occupancy set.
-func NewOccupancy() *Occupancy {
-	return &Occupancy{vertices: map[int]bool{}, edges: map[int]bool{}}
+// NewOccupancy returns an empty occupancy set sized to g's routing
+// lattice.
+func NewOccupancy(g *grid.Grid) *Occupancy {
+	return &Occupancy{
+		vStamp: make([]int, g.NumVertices()),
+		eStamp: make([]int, g.NumEdges()),
+		epoch:  1,
+	}
 }
 
-// Reset clears the occupancy for a new cycle.
-func (o *Occupancy) Reset() {
-	clear(o.vertices)
-	clear(o.edges)
-}
+// Reset clears the occupancy for a new cycle in O(1).
+func (o *Occupancy) Reset() { o.epoch++ }
 
 // VertexUsed reports whether vertex v is taken this cycle.
-func (o *Occupancy) VertexUsed(v int) bool { return o.vertices[v] }
+func (o *Occupancy) VertexUsed(v int) bool { return o.vStamp[v] == o.epoch }
 
 // EdgeUsed reports whether the channel between adjacent u,v is taken.
 func (o *Occupancy) EdgeUsed(g *grid.Grid, u, v int) bool {
-	return o.edges[g.EdgeID(u, v)]
+	return o.eStamp[g.EdgeID(u, v)] == o.epoch
 }
 
 // Conflicts reports whether p overlaps any braid already added this cycle.
 func (o *Occupancy) Conflicts(g *grid.Grid, p Path) bool {
 	for i, v := range p {
-		if o.vertices[v] {
+		if o.vStamp[v] == o.epoch {
 			return true
 		}
-		if i > 0 && o.edges[g.EdgeID(p[i-1], v)] {
+		if i > 0 && o.eStamp[g.EdgeID(p[i-1], v)] == o.epoch {
 			return true
 		}
 	}
@@ -106,9 +120,9 @@ func (o *Occupancy) Conflicts(g *grid.Grid, p Path) bool {
 // Add marks p's vertices and channels as taken this cycle.
 func (o *Occupancy) Add(g *grid.Grid, p Path) {
 	for i, v := range p {
-		o.vertices[v] = true
+		o.vStamp[v] = o.epoch
 		if i > 0 {
-			o.edges[g.EdgeID(p[i-1], v)] = true
+			o.eStamp[g.EdgeID(p[i-1], v)] = o.epoch
 		}
 	}
 }
@@ -116,8 +130,15 @@ func (o *Occupancy) Add(g *grid.Grid, p Path) {
 // Finder searches for a braiding path between the tiles of a two-qubit
 // gate, avoiding the braids already placed this cycle. ok is false when
 // no path exists under the current occupancy (the gate waits a cycle).
+//
+// buf is a caller-owned path buffer: implementations write the result
+// into buf's storage (growing it only when capacity runs out) and return
+// the resulting slice, so a steady-state caller that recycles the
+// returned path as the next call's buf never allocates. Passing nil buf
+// yields a freshly allocated path. The returned path aliases buf — a
+// caller that retains it across Find calls must copy it first.
 type Finder interface {
-	Find(g *grid.Grid, occ *Occupancy, ctlTile, tgtTile int) (p Path, ok bool)
+	Find(g *grid.Grid, occ *Occupancy, ctlTile, tgtTile int, buf Path) (p Path, ok bool)
 	Name() string
 }
 
@@ -146,13 +167,13 @@ type AStar struct {
 func (a *AStar) Name() string { return "astar-closest" }
 
 // Find implements Finder.
-func (a *AStar) Find(g *grid.Grid, occ *Occupancy, ctlTile, tgtTile int) (Path, bool) {
+func (a *AStar) Find(g *grid.Grid, occ *Occupancy, ctlTile, tgtTile int, buf Path) (Path, bool) {
 	pairs := cornerPairsByDistance(g, ctlTile, tgtTile)
 	for _, pr := range pairs {
 		if occ.VertexUsed(pr.u) || occ.VertexUsed(pr.v) {
 			continue
 		}
-		if p, ok := a.search(g, occ, pr.u, pr.v); ok {
+		if p, ok := a.search(g, occ, pr.u, pr.v, buf); ok {
 			return p, true
 		}
 	}
@@ -164,8 +185,9 @@ type cornerPair struct {
 }
 
 // cornerPairsByDistance returns the 16 corner pairs of two tiles in
-// ascending Manhattan distance, stable within equal distances.
-func cornerPairsByDistance(g *grid.Grid, a, b int) []cornerPair {
+// ascending Manhattan distance, stable within equal distances. The array
+// is returned by value so the hot path never heap-allocates it.
+func cornerPairsByDistance(g *grid.Grid, a, b int) [16]cornerPair {
 	var pairs [16]cornerPair
 	i := 0
 	for _, u := range g.Corners(a) {
@@ -175,22 +197,33 @@ func cornerPairsByDistance(g *grid.Grid, a, b int) []cornerPair {
 		}
 	}
 	// Insertion sort: 16 elements, stable.
-	out := pairs[:]
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j].d < out[j-1].d; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
+	for i := 1; i < len(pairs); i++ {
+		for j := i; j > 0 && pairs[j].d < pairs[j-1].d; j-- {
+			pairs[j], pairs[j-1] = pairs[j-1], pairs[j]
 		}
 	}
-	return out
+	return pairs
 }
 
-// search runs A* from src to dst over unoccupied vertices and channels.
-func (a *AStar) search(g *grid.Grid, occ *Occupancy, src, dst int) (Path, bool) {
+// touch lazily re-initializes per-vertex search state for the current
+// epoch.
+func (a *AStar) touch(v int) {
+	if a.stamp[v] != a.epoch {
+		a.stamp[v] = a.epoch
+		a.gScore[v] = 1 << 30
+		a.cameFrom[v] = -1
+		a.closed[v] = false
+	}
+}
+
+// search runs A* from src to dst over unoccupied vertices and channels,
+// writing the path into buf's storage.
+func (a *AStar) search(g *grid.Grid, occ *Occupancy, src, dst int, buf Path) (Path, bool) {
 	if occ.VertexUsed(src) || occ.VertexUsed(dst) {
 		return nil, false
 	}
 	if src == dst {
-		return Path{src}, true
+		return append(buf[:0], src), true
 	}
 	n := g.NumVertices()
 	if len(a.gScore) < n {
@@ -201,30 +234,25 @@ func (a *AStar) search(g *grid.Grid, occ *Occupancy, src, dst int) (Path, bool) 
 	}
 	a.epoch++
 	a.open.Reset()
-	touch := func(v int) {
-		if a.stamp[v] != a.epoch {
-			a.stamp[v] = a.epoch
-			a.gScore[v] = 1 << 30
-			a.cameFrom[v] = -1
-			a.closed[v] = false
-		}
-	}
-	touch(src)
+	a.touch(src)
 	a.gScore[src] = 0
 	a.open.Push(src, g.VertexDist(src, dst))
 	for a.open.Len() > 0 {
 		cur, _ := a.open.Pop()
-		touch(cur)
 		if cur == dst {
-			return a.reconstruct(dst), true
+			return a.reconstruct(dst, buf), true
 		}
+		// Skip stale heap entries before touching any per-vertex state:
+		// every pushed vertex was touched when pushed, so a popped vertex
+		// is already initialized for this epoch and a closed pop needs no
+		// re-initialization at all.
 		if a.closed[cur] {
 			continue
 		}
 		a.closed[cur] = true
 		a.nbrBuf = g.VertexNeighbors(cur, a.nbrBuf[:0])
 		for _, nb := range a.nbrBuf {
-			touch(nb)
+			a.touch(nb)
 			if a.closed[nb] || occ.VertexUsed(nb) || occ.EdgeUsed(g, cur, nb) {
 				continue
 			}
@@ -239,46 +267,55 @@ func (a *AStar) search(g *grid.Grid, occ *Occupancy, src, dst int) (Path, bool) 
 	return nil, false
 }
 
-func (a *AStar) reconstruct(dst int) Path {
-	var rev Path
+// reconstruct writes the src→dst path into buf by walking the cameFrom
+// chain backwards and reversing in place.
+func (a *AStar) reconstruct(dst int, buf Path) Path {
+	buf = buf[:0]
 	for v := dst; v != -1; v = a.cameFrom[v] {
-		rev = append(rev, v)
+		buf = append(buf, v)
 	}
-	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
-		rev[i], rev[j] = rev[j], rev[i]
+	for i, j := 0, len(buf)-1; i < j; i, j = i+1, j-1 {
+		buf[i], buf[j] = buf[j], buf[i]
 	}
-	return rev
+	return buf
 }
 
 // --- exhaustive 16-pair search (Fig. 9 "baseline") --------------------------
 
 // Full16 searches every corner pair of the two tiles and returns the
 // shortest valid path, reproducing the heavyweight routing the paper's
-// scalability baseline uses. It shares the A* core.
+// scalability baseline uses. It shares the A* core and keeps one reusable
+// best-path buffer, so improvements during the 16-pair scan never
+// allocate.
 type Full16 struct {
-	astar AStar
+	astar   AStar
+	scratch Path // per-pair search buffer
+	best    Path // best path seen this Find
 }
 
 // Name implements Finder.
 func (f *Full16) Name() string { return "full-16" }
 
 // Find implements Finder.
-func (f *Full16) Find(g *grid.Grid, occ *Occupancy, ctlTile, tgtTile int) (Path, bool) {
-	var best Path
+func (f *Full16) Find(g *grid.Grid, occ *Occupancy, ctlTile, tgtTile int, buf Path) (Path, bool) {
 	found := false
 	for _, u := range g.Corners(ctlTile) {
 		for _, v := range g.Corners(tgtTile) {
-			p, ok := f.astar.search(g, occ, u, v)
+			p, ok := f.astar.search(g, occ, u, v, f.scratch[:0])
 			if !ok {
 				continue
 			}
-			if !found || p.Len() < best.Len() {
-				best = append(Path(nil), p...)
+			f.scratch = p // keep grown capacity for the next pair
+			if !found || p.Len() < f.best.Len() {
+				f.best = append(f.best[:0], p...)
 				found = true
 			}
 		}
 	}
-	return best, found
+	if !found {
+		return nil, false
+	}
+	return append(buf[:0], f.best...), true
 }
 
 // --- stack-based DFS (AutoBraid) ---------------------------------------------
@@ -294,28 +331,55 @@ type StackDFS struct {
 	stampV  []int
 	epoch   int
 	nbrBuf  []int
+	frames  []dfsFrame
+	stack   []int
+}
+
+// dfsFrame is one partial-path node: backtracking restores state by
+// walking parent indices.
+type dfsFrame struct {
+	vertex int
+	parent int // index of parent frame, -1 at root
 }
 
 // Name implements Finder.
 func (s *StackDFS) Name() string { return "stack-dfs" }
 
 // Find implements Finder.
-func (s *StackDFS) Find(g *grid.Grid, occ *Occupancy, ctlTile, tgtTile int) (Path, bool) {
-	for _, pr := range cornerPairsByDistance(g, ctlTile, tgtTile) {
+func (s *StackDFS) Find(g *grid.Grid, occ *Occupancy, ctlTile, tgtTile int, buf Path) (Path, bool) {
+	pairs := cornerPairsByDistance(g, ctlTile, tgtTile)
+	for _, pr := range pairs {
 		if occ.VertexUsed(pr.u) || occ.VertexUsed(pr.v) {
 			continue
 		}
-		if p, ok := s.dfs(g, occ, pr.u, pr.v); ok {
+		if p, ok := s.dfs(g, occ, pr.u, pr.v, buf); ok {
 			return p, true
 		}
 	}
 	return nil, false
 }
 
-// dfs runs one stack-based search between two free corners.
-func (s *StackDFS) dfs(g *grid.Grid, occ *Occupancy, src, dst int) (Path, bool) {
+// visit reports whether v was already visited this epoch, initializing
+// its state lazily.
+func (s *StackDFS) visit(v int) bool {
+	if s.stampV[v] != s.epoch {
+		s.stampV[v] = s.epoch
+		s.visited[v] = false
+	}
+	return s.visited[v]
+}
+
+// mark flags v as visited this epoch.
+func (s *StackDFS) mark(v int) {
+	s.stampV[v] = s.epoch
+	s.visited[v] = true
+}
+
+// dfs runs one stack-based search between two free corners, writing the
+// path into buf's storage.
+func (s *StackDFS) dfs(g *grid.Grid, occ *Occupancy, src, dst int, buf Path) (Path, bool) {
 	if src == dst {
-		return Path{src}, true
+		return append(buf[:0], src), true
 	}
 	n := g.NumVertices()
 	if len(s.visited) < n {
@@ -323,42 +387,27 @@ func (s *StackDFS) dfs(g *grid.Grid, occ *Occupancy, src, dst int) (Path, bool) 
 		s.stampV = make([]int, n)
 	}
 	s.epoch++
-	visit := func(v int) bool {
-		if s.stampV[v] != s.epoch {
-			s.stampV[v] = s.epoch
-			s.visited[v] = false
-		}
-		return s.visited[v]
-	}
-	mark := func(v int) {
-		s.stampV[v] = s.epoch
-		s.visited[v] = true
-	}
 
 	// Stack of partial paths; each frame stores the path so backtracking
 	// restores state trivially. Frames expand goal-ward neighbors last so
 	// they pop first.
-	type frame struct {
-		vertex int
-		parent int // index of parent frame, -1 at root
-	}
-	frames := []frame{{vertex: src, parent: -1}}
-	stack := []int{0}
-	mark(src)
-	for len(stack) > 0 {
-		fi := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		cur := frames[fi].vertex
+	s.frames = append(s.frames[:0], dfsFrame{vertex: src, parent: -1})
+	s.stack = append(s.stack[:0], 0)
+	s.mark(src)
+	for len(s.stack) > 0 {
+		fi := s.stack[len(s.stack)-1]
+		s.stack = s.stack[:len(s.stack)-1]
+		cur := s.frames[fi].vertex
 		if cur == dst {
 			// Reconstruct by walking parents.
-			var rev Path
-			for i := fi; i != -1; i = frames[i].parent {
-				rev = append(rev, frames[i].vertex)
+			buf = buf[:0]
+			for i := fi; i != -1; i = s.frames[i].parent {
+				buf = append(buf, s.frames[i].vertex)
 			}
-			for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
-				rev[i], rev[j] = rev[j], rev[i]
+			for i, j := 0, len(buf)-1; i < j; i, j = i+1, j-1 {
+				buf[i], buf[j] = buf[j], buf[i]
 			}
-			return rev, true
+			return buf, true
 		}
 		s.nbrBuf = g.VertexNeighbors(cur, s.nbrBuf[:0])
 		// Two passes: push distance-increasing neighbors first, then
@@ -370,12 +419,12 @@ func (s *StackDFS) dfs(g *grid.Grid, occ *Occupancy, src, dst int) (Path, bool) 
 				if (pass == 1) != goalward {
 					continue
 				}
-				if visit(nb) || occ.VertexUsed(nb) || occ.EdgeUsed(g, cur, nb) {
+				if s.visit(nb) || occ.VertexUsed(nb) || occ.EdgeUsed(g, cur, nb) {
 					continue
 				}
-				mark(nb)
-				frames = append(frames, frame{vertex: nb, parent: fi})
-				stack = append(stack, len(frames)-1)
+				s.mark(nb)
+				s.frames = append(s.frames, dfsFrame{vertex: nb, parent: fi})
+				s.stack = append(s.stack, len(s.frames)-1)
 			}
 		}
 	}

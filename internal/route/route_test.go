@@ -42,7 +42,7 @@ func TestPathValidate(t *testing.T) {
 
 func TestOccupancyConflicts(t *testing.T) {
 	g := grid.New(3, 3)
-	occ := NewOccupancy()
+	occ := NewOccupancy(g)
 	v := func(x, y int) int { return g.VertexID(x, y) }
 	p1 := Path{v(0, 0), v(1, 0), v(2, 0)}
 	occ.Add(g, p1)
@@ -61,6 +61,153 @@ func TestOccupancyConflicts(t *testing.T) {
 	}
 }
 
+// mapOccupancy is the original map-based occupancy, kept as a reference
+// implementation for the differential test against the epoch-stamped
+// version.
+type mapOccupancy struct {
+	vertices map[int]bool
+	edges    map[int]bool
+}
+
+func newMapOccupancy() *mapOccupancy {
+	return &mapOccupancy{vertices: map[int]bool{}, edges: map[int]bool{}}
+}
+
+func (o *mapOccupancy) Reset() {
+	clear(o.vertices)
+	clear(o.edges)
+}
+
+func (o *mapOccupancy) Conflicts(g *grid.Grid, p Path) bool {
+	for i, v := range p {
+		if o.vertices[v] {
+			return true
+		}
+		if i > 0 && o.edges[g.EdgeID(p[i-1], v)] {
+			return true
+		}
+	}
+	return false
+}
+
+func (o *mapOccupancy) Add(g *grid.Grid, p Path) {
+	for i, v := range p {
+		o.vertices[v] = true
+		if i > 0 {
+			o.edges[g.EdgeID(p[i-1], v)] = true
+		}
+	}
+}
+
+// TestOccupancyMatchesMapReference drives the epoch-stamped Occupancy and
+// the map-based reference through random add/reset/probe sequences and
+// requires bit-identical answers at every step.
+func TestOccupancyMatchesMapReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := grid.New(2+rng.Intn(7), 2+rng.Intn(7))
+		occ := NewOccupancy(g)
+		ref := newMapOccupancy()
+		// randomPath builds a short random lattice walk (not necessarily
+		// simple — occupancy must not care).
+		randomPath := func() Path {
+			v := rng.Intn(g.NumVertices())
+			p := Path{v}
+			var nbr []int
+			for i := 0; i < 1+rng.Intn(6); i++ {
+				nbr = g.VertexNeighbors(v, nbr[:0])
+				if len(nbr) == 0 {
+					break
+				}
+				v = nbr[rng.Intn(len(nbr))]
+				p = append(p, v)
+			}
+			return p
+		}
+		for step := 0; step < 200; step++ {
+			switch rng.Intn(5) {
+			case 0:
+				occ.Reset()
+				ref.Reset()
+			case 1:
+				p := randomPath()
+				occ.Add(g, p)
+				ref.Add(g, p)
+			default:
+				p := randomPath()
+				if occ.Conflicts(g, p) != ref.Conflicts(g, p) {
+					return false
+				}
+				v := p[0]
+				if occ.VertexUsed(v) != ref.vertices[v] {
+					return false
+				}
+				if len(p) > 1 {
+					if occ.EdgeUsed(g, p[0], p[1]) != ref.edges[g.EdgeID(p[0], p[1])] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOccupancyManyResets exercises the epoch counter across far more
+// cycles than any single mapping uses.
+func TestOccupancyManyResets(t *testing.T) {
+	g := grid.New(3, 3)
+	occ := NewOccupancy(g)
+	p := Path{g.VertexID(0, 0), g.VertexID(1, 0)}
+	for i := 0; i < 10000; i++ {
+		occ.Reset()
+		if occ.Conflicts(g, p) {
+			t.Fatalf("reset %d: stale occupancy", i)
+		}
+		occ.Add(g, p)
+		if !occ.Conflicts(g, p) {
+			t.Fatalf("reset %d: Add not visible", i)
+		}
+	}
+}
+
+// TestFinderBufferOwnership checks the Find buffer contract: results
+// written into a caller buffer alias it, nil-buf results own their
+// storage, and a finder's internal scratch never leaks into an earlier
+// result.
+func TestFinderBufferOwnership(t *testing.T) {
+	g := grid.New(6, 6)
+	for _, f := range append(finders(), LShape{}) {
+		occ := NewOccupancy(g)
+		p1, ok := f.Find(g, occ, g.TileAt(0, 0), g.TileAt(5, 5), nil)
+		if !ok {
+			t.Fatalf("%s: no path", f.Name())
+		}
+		snapshot := append(Path(nil), p1...)
+		// A second search with a different target must not mutate p1.
+		if _, ok := f.Find(g, occ, g.TileAt(5, 0), g.TileAt(0, 5), nil); !ok {
+			t.Fatalf("%s: no second path", f.Name())
+		}
+		for i := range p1 {
+			if p1[i] != snapshot[i] {
+				t.Fatalf("%s: nil-buf result mutated by later Find", f.Name())
+			}
+		}
+		// A caller-owned buffer must be reused when it has capacity.
+		buf := make(Path, 0, 64)
+		p2, ok := f.Find(g, occ, g.TileAt(0, 0), g.TileAt(5, 5), buf)
+		if !ok {
+			t.Fatalf("%s: no buffered path", f.Name())
+		}
+		if len(p2) > 0 && len(p2) <= cap(buf) && &p2[0] != &buf[:1][0] {
+			t.Errorf("%s: result did not reuse the caller's buffer", f.Name())
+		}
+	}
+}
+
 func finders() []Finder {
 	return []Finder{&AStar{}, &Full16{}, &StackDFS{}}
 }
@@ -68,8 +215,8 @@ func finders() []Finder {
 func TestFindersBasicPath(t *testing.T) {
 	g := grid.New(4, 4)
 	for _, f := range finders() {
-		occ := NewOccupancy()
-		p, ok := f.Find(g, occ, g.TileAt(0, 0), g.TileAt(3, 3))
+		occ := NewOccupancy(g)
+		p, ok := f.Find(g, occ, g.TileAt(0, 0), g.TileAt(3, 3), nil)
 		if !ok {
 			t.Fatalf("%s: no path on empty grid", f.Name())
 		}
@@ -95,8 +242,8 @@ func isCorner(g *grid.Grid, v, tile int) bool {
 func TestFindersAdjacentTilesShareCorner(t *testing.T) {
 	g := grid.New(4, 4)
 	for _, f := range finders() {
-		occ := NewOccupancy()
-		p, ok := f.Find(g, occ, g.TileAt(1, 1), g.TileAt(2, 1))
+		occ := NewOccupancy(g)
+		p, ok := f.Find(g, occ, g.TileAt(1, 1), g.TileAt(2, 1), nil)
 		if !ok {
 			t.Fatalf("%s: no path between adjacent tiles", f.Name())
 		}
@@ -108,9 +255,9 @@ func TestFindersAdjacentTilesShareCorner(t *testing.T) {
 
 func TestAStarFindsShortestPath(t *testing.T) {
 	g := grid.New(5, 5)
-	occ := NewOccupancy()
+	occ := NewOccupancy(g)
 	var a AStar
-	p, ok := a.Find(g, occ, g.TileAt(0, 0), g.TileAt(4, 0))
+	p, ok := a.Find(g, occ, g.TileAt(0, 0), g.TileAt(4, 0), nil)
 	if !ok {
 		t.Fatal("no path")
 	}
@@ -124,14 +271,14 @@ func TestFindersRouteAroundCongestion(t *testing.T) {
 	g := grid.New(5, 3)
 	// Occupy the whole middle corner column x=2 except the top row, forcing
 	// a detour over the top.
-	occ := NewOccupancy()
+	occ := NewOccupancy(g)
 	var wall Path
 	for y := 1; y <= g.H; y++ {
 		wall = append(wall, g.VertexID(2, y))
 	}
 	occ.Add(g, wall)
 	for _, f := range finders() {
-		p, ok := f.Find(g, occ, g.TileAt(0, 1), g.TileAt(4, 1))
+		p, ok := f.Find(g, occ, g.TileAt(0, 1), g.TileAt(4, 1), nil)
 		if !ok {
 			t.Fatalf("%s: no detour found", f.Name())
 		}
@@ -147,14 +294,14 @@ func TestFindersRouteAroundCongestion(t *testing.T) {
 func TestFindersFailWhenBlocked(t *testing.T) {
 	g := grid.New(5, 3)
 	// Occupy the entire corner column x=2: no path from left to right.
-	occ := NewOccupancy()
+	occ := NewOccupancy(g)
 	var wall Path
 	for y := 0; y <= g.H; y++ {
 		wall = append(wall, g.VertexID(2, y))
 	}
 	occ.Add(g, wall)
 	for _, f := range finders() {
-		if _, ok := f.Find(g, occ, g.TileAt(0, 1), g.TileAt(4, 1)); ok {
+		if _, ok := f.Find(g, occ, g.TileAt(0, 1), g.TileAt(4, 1), nil); ok {
 			t.Errorf("%s: found path through a full wall", f.Name())
 		}
 	}
@@ -164,7 +311,7 @@ func TestFull16NotWorseThanAStar(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		g := grid.New(3+rng.Intn(6), 3+rng.Intn(6))
-		occ := NewOccupancy()
+		occ := NewOccupancy(g)
 		// Random pre-existing braids.
 		var a AStar
 		for i := 0; i < 3; i++ {
@@ -172,7 +319,7 @@ func TestFull16NotWorseThanAStar(t *testing.T) {
 			if t1 == t2 {
 				continue
 			}
-			if p, ok := a.Find(g, occ, t1, t2); ok {
+			if p, ok := a.Find(g, occ, t1, t2, nil); ok {
 				occ.Add(g, p)
 			}
 		}
@@ -182,8 +329,8 @@ func TestFull16NotWorseThanAStar(t *testing.T) {
 		}
 		var full Full16
 		var one AStar
-		pf, okF := full.Find(g, occ, t1, t2)
-		p1, ok1 := one.Find(g, occ, t1, t2)
+		pf, okF := full.Find(g, occ, t1, t2, nil)
+		p1, ok1 := one.Find(g, occ, t1, t2, nil)
 		if ok1 && !okF {
 			return false // full search must find anything the single search finds
 		}
@@ -203,7 +350,7 @@ func TestFinderPathsAlwaysValid(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		g := grid.New(2+rng.Intn(7), 2+rng.Intn(7))
-		occ := NewOccupancy()
+		occ := NewOccupancy(g)
 		fs := finders()
 		for i := 0; i < 8; i++ {
 			t1, t2 := rng.Intn(g.Tiles()), rng.Intn(g.Tiles())
@@ -211,7 +358,7 @@ func TestFinderPathsAlwaysValid(t *testing.T) {
 				continue
 			}
 			fd := fs[rng.Intn(len(fs))]
-			p, ok := fd.Find(g, occ, t1, t2)
+			p, ok := fd.Find(g, occ, t1, t2, nil)
 			if !ok {
 				continue
 			}
@@ -236,8 +383,8 @@ func TestFindersRespectFactoryInterior(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, f := range finders() {
-		occ := NewOccupancy()
-		p, ok := f.Find(g, occ, g.TileAt(0, 2), g.TileAt(5, 2))
+		occ := NewOccupancy(g)
+		p, ok := f.Find(g, occ, g.TileAt(0, 2), g.TileAt(5, 2), nil)
 		if !ok {
 			t.Fatalf("%s: no path around factory", f.Name())
 		}
@@ -260,7 +407,7 @@ func TestFinderReuseAcrossSearches(t *testing.T) {
 	g := grid.New(6, 6)
 	var a AStar
 	var s StackDFS
-	occ := NewOccupancy()
+	occ := NewOccupancy(g)
 	for i := 0; i < 50; i++ {
 		t1 := i % g.Tiles()
 		t2 := (i*7 + 3) % g.Tiles()
@@ -268,10 +415,10 @@ func TestFinderReuseAcrossSearches(t *testing.T) {
 			continue
 		}
 		occ.Reset()
-		if p, ok := a.Find(g, occ, t1, t2); !ok || p.Validate(g) != nil {
+		if p, ok := a.Find(g, occ, t1, t2, nil); !ok || p.Validate(g) != nil {
 			t.Fatalf("astar iteration %d failed", i)
 		}
-		if p, ok := s.Find(g, occ, t1, t2); !ok || p.Validate(g) != nil {
+		if p, ok := s.Find(g, occ, t1, t2, nil); !ok || p.Validate(g) != nil {
 			t.Fatalf("dfs iteration %d failed", i)
 		}
 	}

@@ -115,7 +115,7 @@ func (s *Schedule) Validate(c *circuit.Circuit) error {
 	}
 	executed := make(map[int]bool, len(order))
 
-	occ := route.NewOccupancy()
+	occ := route.NewOccupancy(s.Grid)
 	for li, layer := range s.Layers {
 		occ.Reset()
 		qubitBusy := make(map[int]bool)
