@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-route golden check
+.PHONY: all build vet test race bench bench-route fuzz golden check
 
 all: check
 
@@ -28,6 +28,13 @@ bench-route:
 # Everything, including the paper-artifact benchmarks (slow).
 bench:
 	$(GO) test -bench . -benchmem ./...
+
+# Fuzz the hostile-input surfaces: the QASM parser and the schedule JSON
+# decoder. FUZZTIME=20s per target by default; raise it for deeper runs.
+FUZZTIME ?= 20s
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/qasm/
+	$(GO) test -run '^$$' -fuzz FuzzDecodeJSON -fuzztime $(FUZZTIME) ./internal/sched/
 
 # Refresh the behavior-preservation goldens after an *intentional* schedule
 # change (testdata/golden_schedules.json).

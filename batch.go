@@ -3,6 +3,7 @@ package hilight
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 )
 
@@ -25,6 +26,12 @@ type BatchResult struct {
 // worker builds its own framework state, so jobs never share mutable
 // router internals; identical seeds give identical per-job results
 // regardless of pool size or scheduling.
+//
+// A job that panics is isolated: the panic is recovered into that job's
+// Err while every other job runs to completion. When a WithContext
+// context is canceled mid-batch, the remaining jobs fail fast with
+// ErrCanceled (Compile checks the context before doing any work), so a
+// canceled batch drains promptly instead of compiling to the end.
 func CompileAll(jobs []BatchJob, parallelism int, opts ...Option) []BatchResult {
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
@@ -43,17 +50,7 @@ func CompileAll(jobs []BatchJob, parallelism int, opts ...Option) []BatchResult 
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				job := jobs[i]
-				if job.Circuit == nil {
-					results[i] = BatchResult{Err: fmt.Errorf("hilight: job %d has no circuit", i)}
-					continue
-				}
-				g := job.Grid
-				if g == nil {
-					g = RectGrid(job.Circuit.NumQubits)
-				}
-				res, err := Compile(job.Circuit, g, opts...)
-				results[i] = BatchResult{Result: res, Err: err}
+				results[i] = runBatchJob(i, jobs[i], opts)
 			}
 		}()
 	}
@@ -63,4 +60,24 @@ func CompileAll(jobs []BatchJob, parallelism int, opts ...Option) []BatchResult 
 	close(work)
 	wg.Wait()
 	return results
+}
+
+// runBatchJob compiles one job, converting a panic anywhere below (a
+// poisoned circuit, a placement bug) into that job's error instead of
+// killing the whole process.
+func runBatchJob(i int, job BatchJob, opts []Option) (br BatchResult) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			br = BatchResult{Err: fmt.Errorf("hilight: job %d panicked: %v\n%s", i, rec, debug.Stack())}
+		}
+	}()
+	if job.Circuit == nil {
+		return BatchResult{Err: fmt.Errorf("hilight: job %d has no circuit", i)}
+	}
+	g := job.Grid
+	if g == nil {
+		g = RectGrid(job.Circuit.NumQubits)
+	}
+	res, err := Compile(job.Circuit, g, opts...)
+	return BatchResult{Result: res, Err: err}
 }

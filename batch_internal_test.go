@@ -1,0 +1,91 @@
+package hilight
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"hilight/internal/circuit"
+	"hilight/internal/grid"
+	"hilight/internal/place"
+)
+
+// boomPlacement panics on circuits named "boom" — a stand-in for a buggy
+// placement hitting a pathological input — and otherwise defers to
+// identity placement.
+type boomPlacement struct{}
+
+func (boomPlacement) Name() string { return "boom" }
+
+func (boomPlacement) Place(c *circuit.Circuit, g *grid.Grid) *grid.Layout {
+	if c.Name == "boom" {
+		panic("placement exploded")
+	}
+	return place.Identity{}.Place(c, g)
+}
+
+// withPlacement is the white-box test hook: it swaps the method's
+// placement for an arbitrary implementation.
+func withPlacement(m place.Method) Option {
+	return func(o *options) { o.placement = m }
+}
+
+func mkJob(name string) BatchJob {
+	c := NewCircuit(name, 4)
+	c.Add2(CX, 0, 1)
+	c.Add2(CX, 2, 3)
+	return BatchJob{Circuit: c}
+}
+
+// A panicking job must surface as that job's Err while every other job
+// runs to completion.
+func TestCompileAllIsolatesPanics(t *testing.T) {
+	jobs := []BatchJob{mkJob("ok-0"), mkJob("boom"), mkJob("ok-2")}
+	results := CompileAll(jobs, 2, withPlacement(boomPlacement{}))
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3", len(results))
+	}
+	for _, i := range []int{0, 2} {
+		if results[i].Err != nil {
+			t.Fatalf("job %d failed: %v", i, results[i].Err)
+		}
+		if results[i].Result == nil || results[i].Result.Schedule == nil {
+			t.Fatalf("job %d has no schedule", i)
+		}
+	}
+	err := results[1].Err
+	if err == nil {
+		t.Fatal("poisoned job reported no error")
+	}
+	if !strings.Contains(err.Error(), "panicked") || !strings.Contains(err.Error(), "placement exploded") {
+		t.Fatalf("panic not reflected in error: %v", err)
+	}
+	if results[1].Result != nil {
+		t.Fatal("poisoned job has both Result and Err")
+	}
+}
+
+// A canceled context drains the batch promptly: every remaining job fails
+// fast with ErrCanceled instead of compiling to the end.
+func TestCompileAllCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	jobs := []BatchJob{mkJob("a"), mkJob("b"), mkJob("c"), mkJob("d")}
+	for i, r := range CompileAll(jobs, 2, WithContext(ctx)) {
+		if !errors.Is(r.Err, ErrCanceled) {
+			t.Fatalf("job %d: got %v, want ErrCanceled", i, r.Err)
+		}
+	}
+}
+
+// A nil-circuit job fails alone, without panicking the pool.
+func TestCompileAllNilCircuitJob(t *testing.T) {
+	results := CompileAll([]BatchJob{{}, mkJob("fine")}, 0)
+	if results[0].Err == nil || !strings.Contains(results[0].Err.Error(), "no circuit") {
+		t.Fatalf("nil-circuit job: got %v", results[0].Err)
+	}
+	if results[1].Err != nil {
+		t.Fatalf("healthy job failed: %v", results[1].Err)
+	}
+}

@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		run    = flag.String("run", "all", "comma-separated: table1,fig8a,fig8b,fig8c,fig9,fig10,threshold,finders or all")
+		run    = flag.String("run", "all", "comma-separated: table1,fig8a,fig8b,fig8c,fig9,fig10,threshold,finders,defects or all")
 		scale  = flag.String("scale", "small", "benchmark scale: small, medium, full")
 		trials = flag.Int("trials", 5, "trials for randomized arms (paper: 100)")
 		seed   = flag.Int64("seed", 1, "base seed")
@@ -32,7 +32,7 @@ func main() {
 	asCSV = *format == "csv"
 	names := strings.Split(*run, ",")
 	if *run == "all" {
-		names = []string{"table1", "fig8a", "fig8b", "fig8c", "fig9", "fig10", "threshold", "finders", "bounds", "modes"}
+		names = []string{"table1", "fig8a", "fig8b", "fig8c", "fig9", "fig10", "threshold", "finders", "bounds", "modes", "defects"}
 	}
 	for _, name := range names {
 		if err := runOne(strings.TrimSpace(name), o); err != nil {
@@ -115,8 +115,14 @@ func runOne(name string, o exp.Options) error {
 			return err
 		}
 		rep.Print(os.Stdout)
+	case "defects":
+		rep, err := exp.RunDefectYield(o)
+		if err != nil {
+			return err
+		}
+		rep.Print(os.Stdout)
 	default:
-		return fmt.Errorf("unknown experiment (table1, fig8a, fig8b, fig8c, fig9, fig10, threshold, finders, bounds, modes)")
+		return fmt.Errorf("unknown experiment (table1, fig8a, fig8b, fig8c, fig9, fig10, threshold, finders, bounds, modes, defects)")
 	}
 	return nil
 }

@@ -1,0 +1,101 @@
+// Defect-aware compilation: a fabricated surface-code chip rarely comes
+// out perfect, so the compiler must route around dead tiles, dead
+// routing vertices and broken channels — and fail loudly (typed errors,
+// bounded time) instead of spinning when the damage partitions the
+// lattice.
+//
+// This example runs a miniature yield study with the public API only:
+// for each defect rate it injects random defects into a grid one size
+// above the paper's M×(M−1) baseline, compiles QFT-16 with the hilight
+// method falling back to identity placement, and reports success rate,
+// fallback use and latency inflation. It then shows the failure path: a
+// deliberately partitioned grid returning ErrUnroutable, and a canceled
+// context returning ErrCanceled.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"hilight"
+)
+
+func main() {
+	c := hilight.QFT(16)
+	// One grid size above RectGrid(16)'s 5×4: slack for dead tiles.
+	g := hilight.NewGrid(5, 5)
+
+	pristine, err := hilight.Compile(c, g, hilight.WithSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pristine %s: latency %d cycles\n\n", g, pristine.Latency)
+
+	fmt.Println("rate   compiled  fallback  latency.x  (20 random chips per rate)")
+	for _, rate := range []float64{0.02, 0.05, 0.10} {
+		var ok, degraded int
+		var inflation float64
+		const chips = 20
+		for seed := int64(1); seed <= chips; seed++ {
+			_, dm := hilight.InjectDefects(g, rate, seed)
+			res, err := hilight.Compile(c, g,
+				hilight.WithSeed(1),
+				hilight.WithDefects(dm),
+				hilight.WithFallback("identity"),
+				hilight.WithTimeout(30*time.Second), // bound every attempt
+			)
+			if err != nil {
+				var unroutable *hilight.ErrUnroutable
+				var capacity *hilight.ErrInsufficientCapacity
+				switch {
+				case errors.As(err, &unroutable):
+					// Damage disconnected the qubits this chip needs.
+				case errors.As(err, &capacity):
+					// Too few live tiles left for 16 qubits.
+				default:
+					log.Fatalf("unexpected failure mode: %v", err)
+				}
+				continue
+			}
+			ok++
+			if res.Degraded {
+				degraded++
+			}
+			inflation += float64(res.Latency) / float64(pristine.Latency)
+		}
+		avg := 0.0
+		if ok > 0 {
+			avg = inflation / float64(ok)
+		}
+		fmt.Printf("%3.0f%%   %2d/%d     %d         %.3f\n", rate*100, ok, chips, degraded, avg)
+	}
+
+	// Failure path 1: defects that partition the lattice. Disabling the
+	// full vertex column at x=2 on a 4×1 strip cuts every braiding path
+	// between the left and right halves.
+	cut := &hilight.DefectMap{Vertices: []int{2, 7}} // (2,0) and (2,1) on the 5×2 vertex lattice
+	strip := hilight.NewGrid(4, 1)
+	pair := hilight.NewCircuit("cross-cut", 4)
+	pair.Add2(hilight.CX, 0, 3)
+	_, err = hilight.Compile(pair, strip, hilight.WithMethod("identity"), hilight.WithDefects(cut))
+	var unroutable *hilight.ErrUnroutable
+	if errors.As(err, &unroutable) {
+		fmt.Printf("\npartitioned grid: gate %d unroutable — %s\n", unroutable.Gate, unroutable.Reason)
+	} else {
+		log.Fatalf("expected ErrUnroutable, got %v", err)
+	}
+
+	// Failure path 2: cancellation. A canceled context aborts before the
+	// router does any work.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = hilight.Compile(c, g, hilight.WithContext(ctx))
+	if errors.Is(err, hilight.ErrCanceled) {
+		fmt.Println("canceled context: compile aborted with ErrCanceled")
+	} else {
+		log.Fatalf("expected ErrCanceled, got %v", err)
+	}
+}

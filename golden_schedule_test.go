@@ -43,6 +43,10 @@ type goldenFile struct {
 	ScheduleHash map[string]string `json:"schedule_hash"`
 	// Presets maps "<benchmark>/<method>" to "latency/resutil".
 	Presets map[string]string `json:"presets"`
+	// DefectHash maps "<benchmark>" to the schedule fingerprint of a
+	// compile on a defective grid (faultinject rate 5%, seed 1): pins
+	// defect-aware routing, not just the pristine path.
+	DefectHash map[string]string `json:"defect_hash"`
 }
 
 // goldenBenchmarks is the Table 1 subset the finder-identity test runs:
@@ -98,6 +102,7 @@ func computeGolden(t testing.TB) *goldenFile {
 	gf := &goldenFile{
 		ScheduleHash: map[string]string{},
 		Presets:      map[string]string{},
+		DefectHash:   map[string]string{},
 	}
 	for _, name := range goldenBenchmarks {
 		e, ok := bench.ByName(name)
@@ -137,6 +142,36 @@ func computeGolden(t testing.TB) *goldenFile {
 			gf.Presets[name+"/"+method] = fmt.Sprintf("%d/%.6f", res.Latency, res.ResUtil)
 		}
 	}
+	// Defect fixtures: the same compile with a fixed 5%-rate defect map on
+	// the next-larger grid must keep producing the identical schedule. The
+	// seeds are chosen so each sampled map hits all three defect classes
+	// (dead tile, dead vertex, broken channel).
+	for _, fix := range []struct {
+		name string
+		w, h int
+		seed int64
+	}{
+		{"QFT-16", 5, 4, 4},
+		{"Ising-10", 4, 4, 7},
+	} {
+		c, ok := hilight.Benchmark(fix.name)
+		if !ok {
+			t.Fatalf("unknown benchmark %s", fix.name)
+		}
+		g := hilight.NewGrid(fix.w, fix.h)
+		_, dm := hilight.InjectDefects(g, 0.05, fix.seed)
+		res, err := hilight.Compile(c, g, hilight.WithSeed(1), hilight.WithDefects(dm))
+		if err != nil {
+			t.Fatalf("defect golden %s: %v", fix.name, err)
+		}
+		if err := res.Schedule.Validate(res.Circuit); err != nil {
+			t.Fatalf("defect golden %s: invalid schedule: %v", fix.name, err)
+		}
+		if got := res.Schedule.Grid.Defects(); got.Empty() {
+			t.Fatalf("defect golden %s: schedule grid lost its defects", fix.name)
+		}
+		gf.DefectHash[fix.name] = hashSchedule(res.Schedule)
+	}
 	return gf
 }
 
@@ -173,6 +208,7 @@ func TestGoldenSchedules(t *testing.T) {
 	}
 	diffMaps(t, "schedule_hash", want.ScheduleHash, got.ScheduleHash)
 	diffMaps(t, "presets", want.Presets, got.Presets)
+	diffMaps(t, "defect_hash", want.DefectHash, got.DefectHash)
 }
 
 func diffMaps(t *testing.T, label string, want, got map[string]string) {

@@ -17,15 +17,19 @@
 package hilight
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
 	"sort"
+	"time"
 
 	"hilight/internal/autobraid"
 	"hilight/internal/bench"
 	"hilight/internal/circuit"
 	"hilight/internal/core"
+	"hilight/internal/faultinject"
 	"hilight/internal/grid"
 	"hilight/internal/hwopt"
 	"hilight/internal/order"
@@ -52,8 +56,35 @@ type (
 	Layout = grid.Layout
 	// Schedule is the braiding schedule produced by Compile.
 	Schedule = sched.Schedule
-	// Result carries the schedule and its latency/runtime/ResUtil metrics.
+	// Result carries the schedule and its latency/runtime/ResUtil metrics,
+	// plus Degraded/FallbackMethod when a WithFallback method produced it.
 	Result = core.Result
+	// DefectMap lists a grid's fabrication defects: dead tiles, dead
+	// routing vertices, and broken routing channels.
+	DefectMap = grid.DefectMap
+)
+
+// Error taxonomy. ErrUnroutable and ErrInsufficientCapacity are struct
+// types retrieved with errors.As; ErrCanceled, ErrNilCircuit and
+// ErrNilGrid are sentinels matched with errors.Is.
+type (
+	// ErrUnroutable means the router proved a gate cannot be braided:
+	// defects or reserved regions disconnect its operand tiles, so the
+	// compile failed fast instead of spinning.
+	ErrUnroutable = core.ErrUnroutable
+	// ErrInsufficientCapacity means the grid has fewer usable tiles than
+	// the circuit has program qubits.
+	ErrInsufficientCapacity = core.ErrInsufficientCapacity
+)
+
+var (
+	// ErrCanceled matches any compile abandoned because its context was
+	// canceled or its WithTimeout deadline fired.
+	ErrCanceled = core.ErrCanceled
+	// ErrNilCircuit is returned by Compile for a nil circuit.
+	ErrNilCircuit = errors.New("hilight: nil circuit")
+	// ErrNilGrid is returned by Compile for a nil grid.
+	ErrNilGrid = errors.New("hilight: nil grid")
 )
 
 // Common gate kinds.
@@ -89,6 +120,12 @@ func WriteQASM(w io.Writer, c *Circuit) error { return qasm.Write(w, c) }
 // FormatQASM returns a circuit's OpenQASM 2.0 source.
 func FormatQASM(c *Circuit) string { return qasm.Format(c) }
 
+// NewGrid returns an explicit w×h tile grid. Most callers want SquareGrid
+// or RectGrid, which size the grid from a qubit count; NewGrid exists for
+// shapes those don't produce — e.g. a grid one size larger than RectGrid
+// to leave slack for fabrication defects (see WithDefects).
+func NewGrid(w, h int) *Grid { return grid.New(w, h) }
+
 // SquareGrid returns the M×M grid for n qubits, M = ceil(sqrt(n)).
 func SquareGrid(n int) *Grid { return grid.Square(n) }
 
@@ -117,11 +154,16 @@ func EquivalentCircuits(a, b *Circuit, tol float64) (bool, error) {
 
 // options collects Compile configuration.
 type options struct {
-	method   string
-	seed     int64
-	qco      *bool
-	observer core.Observer
-	compact  bool
+	method    string
+	seed      int64
+	qco       *bool
+	observer  core.Observer
+	compact   bool
+	defects   *DefectMap
+	ctx       context.Context
+	timeout   time.Duration
+	fallback  []string
+	placement place.Method // test hook: overrides the method's placement
 }
 
 // Option configures Compile.
@@ -149,6 +191,59 @@ type CycleStats = core.CycleStats
 func WithObserver(fn func(CycleStats)) Option {
 	return func(o *options) { o.observer = core.ObserverFunc(fn) }
 }
+
+// WithDefects compiles against degraded hardware: the tiles, vertices and
+// channels of d are treated as permanently unusable. The caller's grid is
+// never mutated — Compile clones it before applying the defects, and the
+// returned Result.Grid is the degraded clone. An invalid map (out-of-range
+// ids, non-adjacent channel endpoints) fails the compile with a validation
+// error.
+func WithDefects(d *DefectMap) Option {
+	return func(o *options) { o.defects = d }
+}
+
+// WithContext attaches a context that is honored before placement and at
+// every cycle boundary of the routing loop. Once the context is done,
+// Compile returns an error matching ErrCanceled; with an already-canceled
+// context it returns before any routing work.
+func WithContext(ctx context.Context) Option {
+	return func(o *options) { o.ctx = ctx }
+}
+
+// WithTimeout bounds the whole compile (all fallback attempts included)
+// by d, layered on top of any WithContext context. A fired deadline
+// surfaces as ErrCanceled.
+func WithTimeout(d time.Duration) Option {
+	return func(o *options) { o.timeout = d }
+}
+
+// WithFallback configures graceful degradation: when the primary method
+// fails to route (typically ErrUnroutable on heavily-defective hardware),
+// the listed methods are tried in order and the first success is returned
+// with Result.Degraded set and Result.FallbackMethod naming the method
+// that succeeded. Cancellation and insufficient-capacity failures are
+// method-independent and abort the chain immediately. When every method
+// fails, the primary method's error is returned.
+func WithFallback(methods ...string) Option {
+	return func(o *options) { o.fallback = append(o.fallback, methods...) }
+}
+
+// InjectDefects samples a random defect map for g at the given rate (see
+// the fault-injection harness: tiles and channels fail at rate, vertices
+// at rate/4) and returns a degraded clone of g along with the map. The
+// sample is deterministic per (grid, rate, seed). The returned map can be
+// serialized with EncodeDefects or replayed via WithDefects on the
+// pristine grid.
+func InjectDefects(g *Grid, rate float64, seed int64) (*Grid, *DefectMap) {
+	return faultinject.Inject(g, rate, seed)
+}
+
+// EncodeDefects serializes a defect map as JSON.
+func EncodeDefects(d *DefectMap) ([]byte, error) { return grid.EncodeDefects(d) }
+
+// DecodeDefects parses EncodeDefects output; the map is validated against
+// the target grid when applied (WithDefects / Grid.ApplyDefects).
+func DecodeDefects(data []byte) (*DefectMap, error) { return grid.DecodeDefects(data) }
 
 // WithCompaction runs the post-routing compaction pass: braids are
 // hoisted into earlier cycles where dependencies and lattice occupancy
@@ -205,36 +300,105 @@ func Methods() []string {
 
 // Compile maps the circuit onto the grid and returns the braiding
 // schedule with its metrics. The schedule is guaranteed to validate
-// against the returned (possibly QCO-rewritten) circuit.
+// against the returned (possibly QCO-rewritten) circuit — including on
+// defective hardware (WithDefects), where every braid provably avoids
+// dead tiles, vertices and channels. Failures are typed: ErrNilCircuit /
+// ErrNilGrid for missing inputs, ErrInsufficientCapacity when the circuit
+// is wider than the grid's usable tiles, ErrUnroutable when defects
+// disconnect a gate's operands, and ErrCanceled when a WithContext /
+// WithTimeout deadline fires.
 func Compile(c *Circuit, g *Grid, opts ...Option) (*Result, error) {
 	o := options{method: "hilight", seed: 1}
 	for _, opt := range opts {
 		opt(&o)
 	}
-	cfgs := methodConfigs(rand.New(rand.NewSource(o.seed)))
-	cfg, ok := cfgs[o.method]
-	if !ok {
-		return nil, fmt.Errorf("hilight: unknown method %q (have %v)", o.method, Methods())
+	if c == nil {
+		return nil, ErrNilCircuit
 	}
-	if o.qco != nil {
-		cfg.QCO = *o.qco
+	if g == nil {
+		return nil, ErrNilGrid
 	}
-	cfg.Observer = o.observer
-	res, err := core.Map(c, g, cfg)
-	if err != nil {
-		return nil, err
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("hilight: invalid circuit: %w", err)
 	}
-	if o.compact {
-		res.Schedule = core.CompactSchedule(res.Schedule, res.Circuit, cfg.Finder)
-		res.Latency = res.Schedule.Latency()
-		res.PathLen = res.Schedule.TotalPathLength()
-		if res.Latency > 0 {
-			res.ResUtil = float64(res.PathLen) / (float64(g.Tiles()) * float64(res.Latency))
-		} else {
-			res.ResUtil = 0
+
+	ctx := o.ctx
+	if o.timeout > 0 {
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.timeout)
+		defer cancel()
+	}
+	if ctx != nil {
+		// Fail an already-dead context before any placement or routing.
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("hilight: %w (%v)", ErrCanceled, err)
 		}
 	}
-	return res, nil
+
+	chain := append([]string{o.method}, o.fallback...)
+	{
+		known := methodConfigs(rand.New(rand.NewSource(o.seed)))
+		for _, name := range chain {
+			if _, ok := known[name]; !ok {
+				return nil, fmt.Errorf("hilight: unknown method %q (have %v)", name, Methods())
+			}
+		}
+	}
+
+	if !o.defects.Empty() {
+		gg := g.Clone()
+		if err := gg.ApplyDefects(o.defects); err != nil {
+			return nil, err
+		}
+		g = gg
+	}
+
+	var firstErr error
+	for i, name := range chain {
+		// Rebuild the configs per attempt so each method sees the same
+		// seeded rng stream whether it runs as primary or as fallback.
+		cfg := methodConfigs(rand.New(rand.NewSource(o.seed)))[name]
+		if o.qco != nil {
+			cfg.QCO = *o.qco
+		}
+		cfg.Observer = o.observer
+		cfg.Ctx = ctx
+		if o.placement != nil {
+			cfg.Placement = o.placement
+		}
+		res, err := core.Map(c, g, cfg)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			// Cancellation and capacity failures are method-independent:
+			// no fallback can recover them, so abort the chain.
+			var capErr *ErrInsufficientCapacity
+			if errors.Is(err, ErrCanceled) || errors.As(err, &capErr) {
+				return nil, err
+			}
+			continue
+		}
+		if i > 0 {
+			res.Degraded = true
+			res.FallbackMethod = name
+		}
+		if o.compact {
+			res.Schedule = core.CompactSchedule(res.Schedule, res.Circuit, cfg.Finder)
+			res.Latency = res.Schedule.Latency()
+			res.PathLen = res.Schedule.TotalPathLength()
+			if res.Latency > 0 {
+				res.ResUtil = float64(res.PathLen) / (float64(g.Tiles()) * float64(res.Latency))
+			} else {
+				res.ResUtil = 0
+			}
+		}
+		return res, nil
+	}
+	return nil, firstErr
 }
 
 // Benchmark builds a named Table 1 benchmark circuit (see BenchmarkNames).

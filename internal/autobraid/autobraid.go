@@ -83,12 +83,12 @@ func (p PartitionPlacement) Place(c *circuit.Circuit, g *grid.Grid) *grid.Layout
 	return l
 }
 
-// capacity counts unreserved tiles in r.
+// capacity counts usable tiles in r.
 func capacity(g *grid.Grid, r region) int {
 	n := 0
 	for y := r.y0; y < r.y1; y++ {
 		for x := r.x0; x < r.x1; x++ {
-			if !g.Reserved(g.TileAt(x, y)) {
+			if g.Usable(g.TileAt(x, y)) {
 				n++
 			}
 		}
@@ -107,7 +107,7 @@ func (p PartitionPlacement) embed(ig *graph.Dense, g *grid.Grid, l *grid.Layout,
 		for y := r.y0; y < r.y1 && i < len(verts); y++ {
 			for x := r.x0; x < r.x1 && i < len(verts); x++ {
 				t := g.TileAt(x, y)
-				if !g.Reserved(t) && l.TileQubit[t] == -1 {
+				if g.Usable(t) && l.TileQubit[t] == -1 {
 					l.Assign(verts[i], t, g)
 					i++
 				}

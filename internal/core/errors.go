@@ -1,0 +1,44 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCanceled is the sentinel wrapped into every cancellation failure:
+// errors.Is(err, ErrCanceled) holds whether the context was canceled
+// before Compile started or a deadline fired mid-routing.
+var ErrCanceled = errors.New("compile canceled")
+
+// ErrUnroutable reports that the router proved a gate cannot be braided:
+// a full sweep on an otherwise-empty lattice placed nothing, so waiting
+// more cycles cannot help (defects, reserved regions, or a partitioned
+// lattice separate the operand tiles). Gate is the circuit gate index, or
+// -1 when no single gate could be blamed. Retrieve with errors.As.
+type ErrUnroutable struct {
+	Gate             int
+	CtlTile, TgtTile int
+	Reason           string
+}
+
+// Error implements error.
+func (e *ErrUnroutable) Error() string {
+	if e.Gate >= 0 {
+		return fmt.Sprintf("core: gate %d (tiles %d-%d) unroutable: %s", e.Gate, e.CtlTile, e.TgtTile, e.Reason)
+	}
+	return "core: unroutable: " + e.Reason
+}
+
+// ErrInsufficientCapacity reports that the grid has fewer usable tiles
+// than the circuit has program qubits, so no placement exists. Retrieve
+// with errors.As.
+type ErrInsufficientCapacity struct {
+	Need int // program qubits
+	Have int // usable tiles
+	Grid string
+}
+
+// Error implements error.
+func (e *ErrInsufficientCapacity) Error() string {
+	return fmt.Sprintf("core: %s has %d usable tiles for %d program qubits", e.Grid, e.Have, e.Need)
+}

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -91,6 +92,9 @@ type Config struct {
 	QCO bool
 	// Observer, when non-nil, receives per-cycle routing statistics.
 	Observer Observer
+	// Ctx, when non-nil, is honored at every cycle boundary of the
+	// routing loop: once done, Map returns an error wrapping ErrCanceled.
+	Ctx context.Context
 }
 
 func (cfg *Config) fillDefaults() {
@@ -117,6 +121,11 @@ type Result struct {
 	PathLen  int           // total braiding path length (ResUtil numerator)
 	Runtime  time.Duration // wall-clock mapping time
 	ResUtil  float64       // Eq. 1
+	// Degraded is set by the public Compile when the requested method
+	// failed and a WithFallback method produced this result instead;
+	// FallbackMethod then names the method that succeeded.
+	Degraded       bool
+	FallbackMethod string
 }
 
 // Map runs the full mapping flow: (optional QCO) → initial placement →
@@ -124,13 +133,16 @@ type Result struct {
 // the returned circuit.
 func Map(c *circuit.Circuit, g *grid.Grid, cfg Config) (*Result, error) {
 	cfg.fillDefaults()
+	if err := ctxErr(cfg.Ctx); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	work := c.DecomposeSWAPs()
 	if cfg.QCO {
 		work = OptimizeProgram(work)
 	}
-	if g.Capacity() < work.NumQubits {
-		return nil, fmt.Errorf("core: %s cannot hold %d qubits", g, work.NumQubits)
+	if have := g.Capacity(); have < work.NumQubits {
+		return nil, &ErrInsufficientCapacity{Need: work.NumQubits, Have: have, Grid: g.String()}
 	}
 	layout := cfg.Placement.Place(work, g)
 	s, err := routeCircuit(work, g, layout, cfg)
@@ -177,8 +189,11 @@ type router struct {
 	layout *grid.Layout
 	cfg    Config
 
-	// Per-grid state (reallocated when the grid changes).
+	// Per-grid state (reallocated when the grid changes). Keyed by grid
+	// identity, not tile count: two same-sized grids can carry different
+	// defect maps, and the occupancy bakes defects in at construction.
 	occ       *route.Occupancy
+	occGrid   *grid.Grid
 	busyTile  []int // tile -> epoch stamp; busy iff == busyEpoch
 	busyEpoch int
 
@@ -212,8 +227,9 @@ type router struct {
 func (r *router) init(c *circuit.Circuit, g *grid.Grid, layout *grid.Layout, cfg Config) {
 	r.c, r.g, r.layout, r.cfg = c, g, layout, cfg
 
-	if r.occ == nil || len(r.busyTile) != g.Tiles() {
+	if r.occ == nil || r.occGrid != g {
 		r.occ = route.NewOccupancy(g)
+		r.occGrid = g
 		r.busyTile = make([]int, g.Tiles())
 		r.busyEpoch = 0
 	}
@@ -262,8 +278,12 @@ func (r *router) route(c *circuit.Circuit, g *grid.Grid, layout *grid.Layout, cf
 	maxCycles := 16*(remaining+len(c.Gates)) + 4*g.Tiles() + 64
 
 	for remaining > 0 || len(r.active) > 0 {
+		if err := ctxErr(cfg.Ctx); err != nil {
+			return nil, fmt.Errorf("%w at cycle %d", err, cycle)
+		}
 		if guard++; guard > maxCycles {
-			return nil, fmt.Errorf("core: router exceeded %d cycles with %d gates left — scheduling deadlock", maxCycles, remaining)
+			return nil, &ErrUnroutable{Gate: -1, Reason: fmt.Sprintf(
+				"router exceeded %d cycles with %d gates left — scheduling livelock", maxCycles, remaining)}
 		}
 		r.occ.Reset()
 		r.busyEpoch++
@@ -369,11 +389,36 @@ func (r *router) route(c *circuit.Circuit, g *grid.Grid, layout *grid.Layout, cf
 			}
 		}
 
+		// Stuck-progress detection: this sweep started from an empty
+		// lattice (occupancy was reset, no in-flight SWAPs) and still
+		// placed nothing, so no amount of waiting will ever route the
+		// ready gates — the operand tiles are separated by defects or
+		// reserved regions. Fail with a typed, actionable error instead
+		// of spinning until the cycle guard trips.
 		if len(r.layerBuf) == 0 && len(r.active) == 0 && remaining > 0 {
-			return nil, fmt.Errorf("core: no progress with %d gates remaining", remaining)
+			if len(ready) > 0 {
+				rd := ready[0]
+				return nil, &ErrUnroutable{
+					Gate: rd.Gate, CtlTile: rd.CtlTile, TgtTile: rd.TgtTile,
+					Reason: fmt.Sprintf("no braiding path on an empty lattice (%d gates remaining); defects or reserved regions disconnect the tiles", remaining),
+				}
+			}
+			return nil, &ErrUnroutable{Gate: -1, Reason: fmt.Sprintf(
+				"%d gates remaining but none ready — dependency deadlock", remaining)}
 		}
 	}
 	return r.sch, nil
+}
+
+// ctxErr translates a done context into the typed cancellation error.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("core: %w (%v)", ErrCanceled, err)
+	}
+	return nil
 }
 
 // skip1Q advances qubit q's cursor past single-qubit gates.

@@ -1,0 +1,113 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"text/tabwriter"
+
+	"hilight"
+	"hilight/internal/grid"
+)
+
+// DefectPoint aggregates one defect rate over the benchmark set: how many
+// compiles succeeded, how often the fallback chain had to fire, and the
+// geometric-mean latency inflation of the successes relative to the same
+// method on the same (pristine) grid.
+type DefectPoint struct {
+	Rate             float64
+	Attempts         int
+	Successes        int
+	Fallbacks        int // successes produced by a fallback method
+	LatencyInflation float64
+}
+
+// SuccessRate returns Successes/Attempts (0 for an empty row).
+func (p DefectPoint) SuccessRate() float64 {
+	if p.Attempts == 0 {
+		return 0
+	}
+	return float64(p.Successes) / float64(p.Attempts)
+}
+
+// DefectYieldReport is the fault-injection yield study: compile success,
+// fallback frequency and latency inflation per random defect rate.
+type DefectYieldReport struct {
+	Method   string
+	Fallback []string
+	Points   []DefectPoint
+}
+
+// Print renders the study.
+func (r *DefectYieldReport) Print(w io.Writer) {
+	fmt.Fprintf(w, "Defect yield study — method %q, fallback %v, grid one size above M×(M−1)\n", r.Method, r.Fallback)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "rate\tcompiled\tsuccess\tfallback\tlatency.x")
+	for _, p := range r.Points {
+		fmt.Fprintf(tw, "%.0f%%\t%d/%d\t%.1f%%\t%d\t%.3f\n",
+			p.Rate*100, p.Successes, p.Attempts, 100*p.SuccessRate(), p.Fallbacks, p.LatencyInflation)
+	}
+	tw.Flush()
+}
+
+// NextLargerGrid returns the grid one step above the paper's M×(M−1)
+// progression for n qubits — the extra row/column of slack a defective
+// chip needs to stay mappable: M×(M−1) grows to M×M, and M×M to (M+1)×M.
+func NextLargerGrid(n int) *grid.Grid {
+	base := grid.Rect(n)
+	if base.W == base.H {
+		return grid.New(base.W+1, base.H)
+	}
+	return grid.New(base.W, base.W)
+}
+
+// RunDefectYield drives the fault-injection harness over the scaled
+// Table 1 set: for each defect rate it samples Trials random defect maps
+// per benchmark (seeds Seed..Seed+Trials−1), compiles with the hilight
+// method falling back to identity placement, validates every produced
+// schedule against the defective grid, and aggregates yield metrics.
+func RunDefectYield(o Options) (*DefectYieldReport, error) {
+	o = o.fill()
+	rates := []float64{0.02, 0.05, 0.10}
+	rep := &DefectYieldReport{Method: "hilight", Fallback: []string{"identity"}}
+	for _, rate := range rates {
+		p := DefectPoint{Rate: rate}
+		var logSum float64
+		var logN int
+		for _, e := range o.entries() {
+			c := e.Build()
+			g := NextLargerGrid(e.N)
+			pristine, err := hilight.Compile(c, g, hilight.WithSeed(o.Seed))
+			if err != nil {
+				return nil, fmt.Errorf("defects: pristine %s: %w", e.Name, err)
+			}
+			for t := 0; t < o.Trials; t++ {
+				_, dm := hilight.InjectDefects(g, rate, o.Seed+int64(t))
+				p.Attempts++
+				res, err := hilight.Compile(c, g,
+					hilight.WithSeed(o.Seed),
+					hilight.WithDefects(dm),
+					hilight.WithFallback(rep.Fallback...))
+				if err != nil {
+					continue
+				}
+				if err := res.Schedule.Validate(res.Circuit); err != nil {
+					return nil, fmt.Errorf("defects: %s rate %.0f%%: invalid schedule: %w", e.Name, rate*100, err)
+				}
+				p.Successes++
+				if res.Degraded {
+					p.Fallbacks++
+				}
+				if pristine.Latency > 0 && res.Latency > 0 {
+					logSum += math.Log(float64(res.Latency) / float64(pristine.Latency))
+					logN++
+				}
+			}
+		}
+		if logN > 0 {
+			p.LatencyInflation = math.Exp(logSum / float64(logN))
+		}
+		rep.Points = append(rep.Points, p)
+	}
+	return rep, nil
+}

@@ -1,0 +1,80 @@
+// Package faultinject samples random defect maps for robustness testing:
+// dead tiles, dead routing vertices and broken routing channels at
+// configurable rates, deterministically per seed. It drives the yield
+// study (internal/exp, examples/defects) that measures how compile
+// success, latency and fallback frequency degrade as hardware quality
+// drops.
+package faultinject
+
+import (
+	"math/rand"
+
+	"hilight/internal/grid"
+)
+
+// Rates sets the per-resource defect probabilities. The zero value
+// disables everything; Uniform builds the common single-rate profile.
+type Rates struct {
+	Tile    float64 // each unreserved tile dies independently
+	Channel float64 // each routable channel breaks independently
+	Vertex  float64 // each routing vertex dies independently
+}
+
+// Uniform is the profile the yield study uses for "an r% defect rate":
+// tiles and channels fail at r, vertices at r/4 (a dead vertex already
+// kills its four incident channels, so full-rate vertex kills would
+// double-count lattice damage).
+func Uniform(r float64) Rates {
+	return Rates{Tile: r, Channel: r, Vertex: r / 4}
+}
+
+// Sample draws a random defect map for g at the given rates,
+// deterministically for a fixed (grid, rates, seed). Reserved tiles are
+// never sampled (they are already closed), and only currently-routable
+// channels are candidates.
+func Sample(g *grid.Grid, r Rates, seed int64) *grid.DefectMap {
+	rng := rand.New(rand.NewSource(seed))
+	d := &grid.DefectMap{}
+	for t := 0; t < g.Tiles(); t++ {
+		if g.Reserved(t) {
+			continue
+		}
+		if rng.Float64() < r.Tile {
+			d.Tiles = append(d.Tiles, t)
+		}
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		if rng.Float64() < r.Vertex {
+			d.Vertices = append(d.Vertices, v)
+		}
+	}
+	// Channels in canonical order: each vertex's east then south edge.
+	for v := 0; v < g.NumVertices(); v++ {
+		x, y := g.VertexXY(v)
+		if x+1 < g.VW() {
+			u := g.VertexID(x+1, y)
+			if g.EdgeRoutable(v, u) && rng.Float64() < r.Channel {
+				d.Channels = append(d.Channels, [2]int{v, u})
+			}
+		}
+		if y+1 < g.VH() {
+			u := g.VertexID(x, y+1)
+			if g.EdgeRoutable(v, u) && rng.Float64() < r.Channel {
+				d.Channels = append(d.Channels, [2]int{v, u})
+			}
+		}
+	}
+	return d
+}
+
+// Inject clones g, applies a defect map sampled at the uniform rate, and
+// returns the degraded grid with the map. Sample output is valid for g by
+// construction, so Inject cannot fail.
+func Inject(g *grid.Grid, rate float64, seed int64) (*grid.Grid, *grid.DefectMap) {
+	d := Sample(g, Uniform(rate), seed)
+	out := g.Clone()
+	if err := out.ApplyDefects(d); err != nil {
+		panic("faultinject: sampled defect map invalid: " + err.Error())
+	}
+	return out, d
+}

@@ -1,0 +1,68 @@
+package faultinject
+
+import (
+	"reflect"
+	"testing"
+
+	"hilight/internal/grid"
+)
+
+func TestSampleDeterministic(t *testing.T) {
+	g := grid.New(6, 6)
+	a := Sample(g, Uniform(0.1), 7)
+	b := Sample(g, Uniform(0.1), 7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same (grid, rates, seed) produced different maps")
+	}
+	c := Sample(g, Uniform(0.1), 8)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical maps (astronomically unlikely)")
+	}
+}
+
+func TestSampleValidAndRespectsRates(t *testing.T) {
+	g := grid.New(8, 8)
+	for seed := int64(1); seed <= 10; seed++ {
+		d := Sample(g, Uniform(0.1), seed)
+		if err := d.Validate(g); err != nil {
+			t.Fatalf("seed %d: sampled map invalid: %v", seed, err)
+		}
+	}
+	if !Sample(g, Rates{}, 1).Empty() {
+		t.Fatal("zero rates produced defects")
+	}
+	// Rate 1 kills every unreserved tile.
+	d := Sample(g, Rates{Tile: 1}, 1)
+	if len(d.Tiles) != g.Tiles() {
+		t.Fatalf("tile rate 1 killed %d/%d tiles", len(d.Tiles), g.Tiles())
+	}
+	// Reserved tiles are never sampled.
+	gr := grid.New(4, 4)
+	gr.ReserveTile(5)
+	d = Sample(gr, Rates{Tile: 1}, 1)
+	for _, tile := range d.Tiles {
+		if tile == 5 {
+			t.Fatal("reserved tile sampled as defect")
+		}
+	}
+	if len(d.Tiles) != gr.Tiles()-1 {
+		t.Fatalf("expected all %d unreserved tiles dead, got %d", gr.Tiles()-1, len(d.Tiles))
+	}
+}
+
+func TestInject(t *testing.T) {
+	g := grid.New(6, 6)
+	dg, d := Inject(g, 0.2, 3)
+	if g.HasDefects() {
+		t.Fatal("Inject mutated the input grid")
+	}
+	if d.Empty() {
+		t.Fatal("20% rate on 36 tiles produced no defects (astronomically unlikely)")
+	}
+	if dg.Capacity() != g.Capacity()-len(d.Tiles) {
+		t.Fatalf("capacity %d, want %d minus %d dead tiles", dg.Capacity(), g.Capacity(), len(d.Tiles))
+	}
+	if !reflect.DeepEqual(dg.Defects(), d) {
+		t.Fatalf("injected grid reports %+v, sampled %+v", dg.Defects(), d)
+	}
+}

@@ -24,7 +24,8 @@ import "fmt"
 // New, Square, or Rect.
 type Grid struct {
 	W, H     int
-	reserved []bool // per tile; true = no program qubit, non-braiding
+	reserved []bool       // per tile; true = no program qubit, non-braiding
+	def      *defectState // fabrication defects; nil on a pristine grid
 }
 
 // New returns a w×h grid with no reserved tiles.
@@ -67,11 +68,12 @@ func isqrtCeil(n int) int {
 // Tiles returns the number of tiles (including reserved ones).
 func (g *Grid) Tiles() int { return g.W * g.H }
 
-// Capacity returns the number of tiles available to program qubits.
+// Capacity returns the number of tiles available to program qubits
+// (neither reserved nor defective).
 func (g *Grid) Capacity() int {
 	n := 0
-	for _, r := range g.reserved {
-		if !r {
+	for t := range g.reserved {
+		if g.Usable(t) {
 			n++
 		}
 	}
@@ -89,17 +91,17 @@ func (g *Grid) InBounds(x, y int) bool { return x >= 0 && x < g.W && y >= 0 && y
 
 // Center returns the tile closest to the geometric center of the grid —
 // the CalculateCenter(grid) seed of Alg. 1. When the center lands on a
-// reserved tile, the nearest free tile (by Manhattan distance, then index)
-// is returned instead.
+// reserved or defective tile, the nearest usable tile (by Manhattan
+// distance, then index) is returned instead.
 func (g *Grid) Center() int {
 	cx, cy := (g.W-1)/2, (g.H-1)/2
 	c := g.TileAt(cx, cy)
-	if !g.reserved[c] {
+	if g.Usable(c) {
 		return c
 	}
 	best, bestD := -1, 1<<30
 	for t := 0; t < g.Tiles(); t++ {
-		if g.reserved[t] {
+		if !g.Usable(t) {
 			continue
 		}
 		x, y := g.TileXY(t)
@@ -118,14 +120,14 @@ func (g *Grid) Dist(a, b int) int {
 	return abs(ax-bx) + abs(ay-by)
 }
 
-// CardinalNeighbors returns the in-bounds, unreserved tiles adjacent to t
+// CardinalNeighbors returns the in-bounds, usable tiles adjacent to t
 // in N, E, S, W order — the adjacentLoc candidates of Alg. 1.
 func (g *Grid) CardinalNeighbors(t int) []int {
 	x, y := g.TileXY(t)
 	var out []int
 	for _, d := range [4][2]int{{0, -1}, {1, 0}, {0, 1}, {-1, 0}} {
 		nx, ny := x+d[0], y+d[1]
-		if g.InBounds(nx, ny) && !g.reserved[g.TileAt(nx, ny)] {
+		if g.InBounds(nx, ny) && g.Usable(g.TileAt(nx, ny)) {
 			out = append(out, g.TileAt(nx, ny))
 		}
 	}
@@ -207,13 +209,19 @@ func (g *Grid) EdgeID(u, v int) int {
 }
 
 // EdgeRoutable reports whether the channel between adjacent vertices u and
-// v is usable: channels strictly interior to a reserved region (both
-// flanking tiles reserved, or one flanking tile reserved and the channel on
-// the array boundary) are closed. Boundary channels of a reserved region
-// shared with live tiles stay open.
+// v is usable: channels strictly interior to a reserved or defective
+// region (both flanking tiles closed, or one flanking tile closed and the
+// channel on the array boundary) are unroutable, as are channels marked
+// defective and channels incident to a dead vertex. Boundary channels of
+// a closed region shared with live tiles stay open.
 func (g *Grid) EdgeRoutable(u, v int) bool {
 	if u > v {
 		u, v = v, u
+	}
+	if g.def != nil {
+		if g.def.vertex[u] || g.def.vertex[v] || g.def.edge[g.EdgeID(u, v)] {
+			return false
+		}
 	}
 	ux, uy := g.VertexXY(u)
 	vx, _ := g.VertexXY(v)
@@ -228,7 +236,7 @@ func (g *Grid) EdgeRoutable(u, v int) bool {
 		t2x, t2y = ux, uy   // right
 	}
 	res := func(x, y int) bool {
-		return g.InBounds(x, y) && g.reserved[g.TileAt(x, y)]
+		return g.InBounds(x, y) && !g.Usable(g.TileAt(x, y))
 	}
 	in1, in2 := g.InBounds(t1x, t1y), g.InBounds(t2x, t2y)
 	r1, r2 := res(t1x, t1y), res(t2x, t2y)
@@ -285,7 +293,8 @@ func (g *Grid) ClosestCorners(a, b int) (pa, pb int) {
 	return pa, pb
 }
 
-// String renders the grid dimensions and reservation count.
+// String renders the grid dimensions and how many tiles are closed to
+// program qubits (reserved or defective).
 func (g *Grid) String() string {
 	return fmt.Sprintf("grid %dx%d (%d tiles, %d reserved)", g.W, g.H, g.Tiles(), g.Tiles()-g.Capacity())
 }

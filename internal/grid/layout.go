@@ -31,10 +31,11 @@ func NewLayout(n int, g *Grid) *Layout {
 }
 
 // Assign maps qubit q to tile t. It panics on double-assignment or on a
-// reserved tile; placements construct layouts and must not collide.
+// reserved or defective tile; placements construct layouts and must not
+// collide.
 func (l *Layout) Assign(q, t int, g *Grid) {
-	if g.Reserved(t) {
-		panic(fmt.Sprintf("grid: assign q%d to reserved tile %d", q, t))
+	if !g.Usable(t) {
+		panic(fmt.Sprintf("grid: assign q%d to unusable (reserved/defective) tile %d", q, t))
 	}
 	if l.QubitTile[q] != -1 {
 		panic(fmt.Sprintf("grid: qubit %d already mapped to tile %d", q, l.QubitTile[q]))
@@ -103,8 +104,8 @@ func (l *Layout) Validate(g *Grid) error {
 		if t < 0 || t >= g.Tiles() {
 			return fmt.Errorf("qubit %d mapped to out-of-range tile %d", q, t)
 		}
-		if g.Reserved(t) {
-			return fmt.Errorf("qubit %d mapped to reserved tile %d", q, t)
+		if !g.Usable(t) {
+			return fmt.Errorf("qubit %d mapped to unusable (reserved/defective) tile %d", q, t)
 		}
 		if l.TileQubit[t] != q {
 			return fmt.Errorf("qubit %d -> tile %d but tile holds %d", q, t, l.TileQubit[t])

@@ -30,11 +30,12 @@ type Method interface {
 	Name() string
 }
 
-// freeTiles returns the unreserved tiles of g in index order.
+// freeTiles returns the usable (unreserved, non-defective) tiles of g in
+// index order.
 func freeTiles(g *grid.Grid) []int {
 	var out []int
 	for t := 0; t < g.Tiles(); t++ {
-		if !g.Reserved(t) {
+		if g.Usable(t) {
 			out = append(out, t)
 		}
 	}
@@ -89,11 +90,11 @@ func (Proximity) Place(c *circuit.Circuit, g *grid.Grid) *grid.Layout {
 	m := circuit.NewInteractionMatrix(c)
 	queue := m.QueueByDegree()
 
-	// FindClosestUnmappedLoc: nearest free, unoccupied tile to ref.
+	// FindClosestUnmappedLoc: nearest usable, unoccupied tile to ref.
 	closestFree := func(ref int) int {
 		best, bestD := -1, 1<<30
 		for t := 0; t < g.Tiles(); t++ {
-			if g.Reserved(t) || l.TileQubit[t] != -1 {
+			if !g.Usable(t) || l.TileQubit[t] != -1 {
 				continue
 			}
 			if d := g.Dist(ref, t); d < bestD {
@@ -206,13 +207,13 @@ func (Pattern) linearLayout(chain []int, c *circuit.Circuit, g *grid.Grid) *grid
 	for y := 0; y < g.H; y++ {
 		if y%2 == 0 {
 			for x := 0; x < g.W; x++ {
-				if t := g.TileAt(x, y); !g.Reserved(t) {
+				if t := g.TileAt(x, y); g.Usable(t) {
 					snake = append(snake, t)
 				}
 			}
 		} else {
 			for x := g.W - 1; x >= 0; x-- {
-				if t := g.TileAt(x, y); !g.Reserved(t) {
+				if t := g.TileAt(x, y); g.Usable(t) {
 					snake = append(snake, t)
 				}
 			}

@@ -45,7 +45,7 @@ func Refine(l *grid.Layout, c *circuit.Circuit, g *grid.Grid, maxRounds int) *gr
 		bestDelta := 0
 		bestTile := -1
 		for t := 0; t < g.Tiles(); t++ {
-			if t == from || g.Reserved(t) {
+			if t == from || !g.Usable(t) {
 				continue
 			}
 			// Evaluate the move/swap by tentatively applying it, so every

@@ -44,7 +44,7 @@ func (p Path) Len() int {
 }
 
 // Validate checks that p is a non-empty simple lattice walk on g with
-// every channel routable.
+// every vertex alive and every channel routable.
 func (p Path) Validate(g *grid.Grid) error {
 	if len(p) == 0 {
 		return fmt.Errorf("route: empty path")
@@ -53,6 +53,9 @@ func (p Path) Validate(g *grid.Grid) error {
 	for i, v := range p {
 		if v < 0 || v >= g.NumVertices() {
 			return fmt.Errorf("route: vertex %d out of range", v)
+		}
+		if g.VertexDefective(v) {
+			return fmt.Errorf("route: vertex %d is defective", v)
 		}
 		if seen[v] {
 			return fmt.Errorf("route: vertex %d repeated", v)
@@ -73,44 +76,72 @@ func (p Path) Validate(g *grid.Grid) error {
 
 // Occupancy tracks the routing vertices and channels consumed by the
 // braids of the current cycle. It is a dense epoch-stamped set sized to
-// one grid: an entry is a member iff its stamp equals the current epoch,
-// so Reset — which starts a new cycle — is a single integer increment and
-// membership probes are one slice load and compare. An Occupancy is bound
-// to the grid it was created for and must not be shared across grids.
+// one grid: an entry is a member iff its stamp is at least the current
+// epoch, so Reset — which starts a new cycle — is a single integer
+// increment and membership probes are one slice load and compare.
+// Defective vertices and channels of the grid are stamped with a sentinel
+// greater than any epoch, so every Finder sees them as permanently
+// occupied without an extra branch in the probe. An Occupancy is bound to
+// the grid it was created for and must not be shared across grids.
 type Occupancy struct {
 	vStamp []int
 	eStamp []int
 	epoch  int
 }
 
-// NewOccupancy returns an empty occupancy set sized to g's routing
-// lattice.
+// defectEpoch outlives every real epoch: an entry stamped with it is
+// occupied forever.
+const defectEpoch = 1<<62 - 1
+
+// NewOccupancy returns an occupancy set sized to g's routing lattice,
+// with g's defects pre-stamped as permanently occupied.
 func NewOccupancy(g *grid.Grid) *Occupancy {
-	return &Occupancy{
+	o := &Occupancy{
 		vStamp: make([]int, g.NumVertices()),
 		eStamp: make([]int, g.NumEdges()),
 		epoch:  1,
 	}
+	if g.HasDefects() {
+		for v := range o.vStamp {
+			if g.VertexDefective(v) {
+				o.vStamp[v] = defectEpoch
+			}
+		}
+		// Stamp defective channels by scanning each vertex's east and
+		// south edges (the two ids EdgeID can produce for it).
+		for v := range o.vStamp {
+			x, y := g.VertexXY(v)
+			if x+1 < g.VW() && g.ChannelDefective(v, g.VertexID(x+1, y)) {
+				o.eStamp[2*v] = defectEpoch
+			}
+			if y+1 < g.VH() && g.ChannelDefective(v, g.VertexID(x, y+1)) {
+				o.eStamp[2*v+1] = defectEpoch
+			}
+		}
+	}
+	return o
 }
 
-// Reset clears the occupancy for a new cycle in O(1).
+// Reset clears the per-cycle occupancy in O(1); defect stamps persist.
 func (o *Occupancy) Reset() { o.epoch++ }
 
-// VertexUsed reports whether vertex v is taken this cycle.
-func (o *Occupancy) VertexUsed(v int) bool { return o.vStamp[v] == o.epoch }
+// VertexUsed reports whether vertex v is taken this cycle (or defective).
+func (o *Occupancy) VertexUsed(v int) bool { return o.vStamp[v] >= o.epoch }
 
-// EdgeUsed reports whether the channel between adjacent u,v is taken.
+// EdgeUsed reports whether the channel between adjacent u,v is taken
+// this cycle (or defective).
 func (o *Occupancy) EdgeUsed(g *grid.Grid, u, v int) bool {
-	return o.eStamp[g.EdgeID(u, v)] == o.epoch
+	return o.eStamp[g.EdgeID(u, v)] >= o.epoch
 }
 
-// Conflicts reports whether p overlaps any braid already added this cycle.
+// Conflicts reports whether p overlaps any braid already added this cycle
+// or any defective lattice resource.
 func (o *Occupancy) Conflicts(g *grid.Grid, p Path) bool {
 	for i, v := range p {
-		if o.vStamp[v] == o.epoch {
+		if o.vStamp[v] >= o.epoch {
 			return true
 		}
-		if i > 0 && o.eStamp[g.EdgeID(p[i-1], v)] == o.epoch {
+		if i > 0 && o.eStamp[g.EdgeID(p[i-1], v)] >= o.epoch {
 			return true
 		}
 	}

@@ -13,13 +13,14 @@ import (
 // layout, and every braid. The format is versioned so later extensions
 // stay decodable.
 type jsonSchedule struct {
-	Version  int           `json:"version"`
-	GridW    int           `json:"grid_w"`
-	GridH    int           `json:"grid_h"`
-	Reserved []int         `json:"reserved,omitempty"`
-	Qubits   int           `json:"qubits"`
-	Initial  []int         `json:"initial"` // qubit -> tile
-	Layers   [][]jsonBraid `json:"layers"`
+	Version  int             `json:"version"`
+	GridW    int             `json:"grid_w"`
+	GridH    int             `json:"grid_h"`
+	Reserved []int           `json:"reserved,omitempty"`
+	Defects  *grid.DefectMap `json:"defects,omitempty"`
+	Qubits   int             `json:"qubits"`
+	Initial  []int           `json:"initial"` // qubit -> tile
+	Layers   [][]jsonBraid   `json:"layers"`
 }
 
 type jsonBraid struct {
@@ -49,6 +50,9 @@ func EncodeJSON(s *Schedule) ([]byte, error) {
 			js.Reserved = append(js.Reserved, t)
 		}
 	}
+	if d := s.Grid.Defects(); !d.Empty() {
+		js.Defects = d
+	}
 	for _, layer := range s.Layers {
 		jl := make([]jsonBraid, len(layer))
 		for i, b := range layer {
@@ -73,7 +77,10 @@ func DecodeJSON(data []byte) (*Schedule, error) {
 	if js.Version != jsonVersion {
 		return nil, fmt.Errorf("sched: unsupported schedule version %d", js.Version)
 	}
-	if js.GridW <= 0 || js.GridH <= 0 {
+	// maxGridTiles bounds decoded grids so hostile input cannot force a
+	// huge allocation; the largest paper instance (QFT-500) uses 506 tiles.
+	const maxGridTiles = 1 << 22
+	if js.GridW <= 0 || js.GridH <= 0 || js.GridW > maxGridTiles || js.GridH > maxGridTiles || js.GridW*js.GridH > maxGridTiles {
 		return nil, fmt.Errorf("sched: bad grid dimensions %dx%d", js.GridW, js.GridH)
 	}
 	g := grid.New(js.GridW, js.GridH)
@@ -82,6 +89,9 @@ func DecodeJSON(data []byte) (*Schedule, error) {
 			return nil, fmt.Errorf("sched: reserved tile %d out of range", t)
 		}
 		g.ReserveTile(t)
+	}
+	if err := g.ApplyDefects(js.Defects); err != nil {
+		return nil, fmt.Errorf("sched: %w", err)
 	}
 	if js.Qubits < 0 || len(js.Initial) != js.Qubits {
 		return nil, fmt.Errorf("sched: initial layout has %d entries for %d qubits", len(js.Initial), js.Qubits)
@@ -97,8 +107,8 @@ func DecodeJSON(data []byte) (*Schedule, error) {
 		if t < 0 || t >= g.Tiles() {
 			return nil, fmt.Errorf("sched: qubit %d on out-of-range tile %d", q, t)
 		}
-		if g.Reserved(t) {
-			return nil, fmt.Errorf("sched: qubit %d on reserved tile %d", q, t)
+		if !g.Usable(t) {
+			return nil, fmt.Errorf("sched: qubit %d on unusable (reserved/defective) tile %d", q, t)
 		}
 		if l.TileQubit[t] != -1 {
 			return nil, fmt.Errorf("sched: tile %d assigned twice", t)

@@ -83,9 +83,11 @@ func (s *Schedule) InsertedBraids() int {
 // Validate replays the schedule against the circuit it claims to
 // implement and returns the first inconsistency, or nil. It checks that:
 //
-//   - every braid's path is a valid simple lattice walk;
+//   - every braid's path is a valid simple lattice walk avoiding
+//     defective vertices and channels;
 //   - braids within a layer are vertex- and channel-disjoint;
-//   - path endpoints are corners of the braid's recorded tiles;
+//   - path endpoints are corners of the braid's recorded tiles, and those
+//     tiles are usable (not reserved, not defective);
 //   - recorded tiles match the evolving layout (replaying SWAP braids);
 //   - every two-qubit gate of the circuit is executed exactly once;
 //   - gates sharing a qubit execute in program order, in distinct cycles.
@@ -122,6 +124,10 @@ func (s *Schedule) Validate(c *circuit.Circuit) error {
 		for bi, b := range layer {
 			if err := b.Path.Validate(s.Grid); err != nil {
 				return fmt.Errorf("sched: layer %d braid %d: %w", li, bi, err)
+			}
+			if !s.Grid.Usable(b.CtlTile) || !s.Grid.Usable(b.TgtTile) {
+				return fmt.Errorf("sched: layer %d braid %d: anchored on unusable (reserved/defective) tile %d or %d",
+					li, bi, b.CtlTile, b.TgtTile)
 			}
 			if occ.Conflicts(s.Grid, b.Path) {
 				return fmt.Errorf("sched: layer %d braid %d: path intersects another braid", li, bi)

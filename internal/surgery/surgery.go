@@ -98,8 +98,8 @@ func (s *Schedule) Validate(c *circuit.Circuit) error {
 					return fmt.Errorf("surgery: layer %d: tile %d used by two ops", li, t)
 				}
 				used[t] = true
-				if s.Grid.Reserved(t) {
-					return fmt.Errorf("surgery: layer %d op %d: reserved tile %d", li, oi, t)
+				if !s.Grid.Usable(t) {
+					return fmt.Errorf("surgery: layer %d op %d: unusable (reserved/defective) tile %d", li, oi, t)
 				}
 			}
 			for _, t := range op.Tiles[2:] {
@@ -194,7 +194,7 @@ func DilutedPlace(c *circuit.Circuit, g *grid.Grid) (*grid.Layout, error) {
 	var cells []int
 	for t := 0; t < g.Tiles(); t++ {
 		x, y := g.TileXY(t)
-		if x%2 == 0 && y%2 == 0 && !g.Reserved(t) {
+		if x%2 == 0 && y%2 == 0 && g.Usable(t) {
 			cells = append(cells, t)
 		}
 	}
@@ -303,7 +303,7 @@ func routeTiles(g *grid.Grid, layout *grid.Layout, used map[int]bool, ctl, tgt i
 	// BFS over free tiles using the shared min-heap for deterministic
 	// shortest paths (uniform weights make it Dijkstra ≡ BFS).
 	free := func(t int) bool {
-		return !g.Reserved(t) && layout.TileQubit[t] == -1 && !used[t]
+		return g.Usable(t) && layout.TileQubit[t] == -1 && !used[t]
 	}
 	prev := make(map[int]int)
 	var h graph.MinHeap
