@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-route fuzz golden check
+.PHONY: all build vet lint test race bench bench-route fuzz golden check
 
 all: check
 
@@ -9,6 +9,16 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis beyond vet. staticcheck is optional locally (CI installs
+# it); when absent the target degrades to a notice instead of failing.
+STATICCHECK ?= staticcheck
+lint: vet
+	@if command -v $(STATICCHECK) >/dev/null 2>&1; then \
+		$(STATICCHECK) ./...; \
+	else \
+		echo "lint: $(STATICCHECK) not installed, skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 test:
 	$(GO) test ./...

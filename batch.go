@@ -22,10 +22,11 @@ type BatchResult struct {
 }
 
 // CompileAll maps every job concurrently on a bounded worker pool and
-// returns results in job order. parallelism ≤ 0 uses GOMAXPROCS. Each
-// worker builds its own framework state, so jobs never share mutable
-// router internals; identical seeds give identical per-job results
-// regardless of pool size or scheduling.
+// returns results in job order. parallelism ≤ 0 uses GOMAXPROCS. Every
+// job runs the same pass pipeline Compile does — each builds its own
+// Pipeline with a fresh seeded rng, so jobs never share mutable router
+// internals; identical seeds give identical per-job results (including
+// per-job Result.Trace) regardless of pool size or scheduling.
 //
 // A job that panics is isolated: the panic is recovered into that job's
 // Err while every other job runs to completion. When a WithContext

@@ -14,7 +14,6 @@ import (
 	"hilight/internal/grid"
 	"hilight/internal/lattice"
 	"hilight/internal/place"
-	"hilight/internal/route"
 	"hilight/internal/surgery"
 )
 
@@ -26,7 +25,7 @@ func BenchmarkModeComparison(b *testing.B) {
 		g := grid.Rect(25)
 		var latency int
 		for i := 0; i < b.N; i++ {
-			res, err := core.Map(c, g, core.HilightMap(rand.New(rand.NewSource(1))))
+			res, err := core.Run(c, g, core.MustMethod("hilight-map"), core.RunOptions{Rng: rand.New(rand.NewSource(1))})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -58,9 +57,9 @@ func BenchmarkModeComparison(b *testing.B) {
 func BenchmarkCompaction(b *testing.B) {
 	c := bench.QFT(36)
 	g := grid.Rect(36)
-	cfg := core.HilightMap(rand.New(rand.NewSource(1)))
-	cfg.Finder = route.LShape{}
-	res, err := core.Map(c, g, cfg)
+	sp := core.MustMethod("hilight-map")
+	sp.Finder = "l-shape"
+	res, err := core.Run(c, g, sp, core.RunOptions{Rng: rand.New(rand.NewSource(1))})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -93,7 +92,7 @@ func BenchmarkRefinement(b *testing.B) {
 // several code distances.
 func BenchmarkLowering(b *testing.B) {
 	c := bench.QFT(25)
-	res, err := core.Map(c, grid.Rect(25), core.HilightMap(rand.New(rand.NewSource(1))))
+	res, err := core.Run(c, grid.Rect(25), core.MustMethod("hilight-map"), core.RunOptions{Rng: rand.New(rand.NewSource(1))})
 	if err != nil {
 		b.Fatal(err)
 	}

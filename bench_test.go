@@ -15,7 +15,8 @@ import (
 	"testing"
 
 	"hilight"
-	"hilight/internal/autobraid"
+	_ "hilight/internal/autobraid" // registers the autobraid-sp/-full method specs
+
 	"hilight/internal/bench"
 	"hilight/internal/core"
 	"hilight/internal/exp"
@@ -36,12 +37,8 @@ var table1Selection = []string{
 	"BWT-126", "QAOA-100",
 }
 
-func table1Frameworks() map[string]func(*rand.Rand) core.Config {
-	return map[string]func(*rand.Rand) core.Config{
-		"autobraid-sp":   func(*rand.Rand) core.Config { return autobraid.SP() },
-		"autobraid-full": autobraid.Full,
-		"hilight-map":    core.HilightMap,
-	}
+func table1Frameworks() []string {
+	return []string{"autobraid-sp", "autobraid-full", "hilight-map"}
 }
 
 // BenchmarkTable1 regenerates Table 1 rows: every selected benchmark
@@ -54,12 +51,13 @@ func BenchmarkTable1(b *testing.B) {
 		}
 		c := e.Build()
 		g := grid.Rect(e.N)
-		for fw, mk := range table1Frameworks() {
+		for _, fw := range table1Frameworks() {
+			sp := core.MustMethod(fw)
 			b.Run(fmt.Sprintf("%s/%s", name, fw), func(b *testing.B) {
 				var lastLatency int
 				var lastUtil float64
 				for i := 0; i < b.N; i++ {
-					res, err := core.Map(c, g, mk(rand.New(rand.NewSource(1))))
+					res, err := core.Run(c, g, sp, core.RunOptions{Rng: rand.New(rand.NewSource(1))})
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -76,27 +74,22 @@ func BenchmarkTable1(b *testing.B) {
 // BenchmarkFig8aPlacement regenerates Fig. 8a: the five initial-placement
 // methods with routing held fixed.
 func BenchmarkFig8aPlacement(b *testing.B) {
-	methods := map[string]func(*rand.Rand) place.Method{
-		"identity": func(*rand.Rand) place.Method { return place.Identity{} },
-		"random":   func(rng *rand.Rand) place.Method { return place.Random{Rng: rng} },
-		"gm":       func(rng *rand.Rand) place.Method { return place.GM{Rng: rng} },
-		"gmwp":     func(rng *rand.Rand) place.Method { return place.GMWP{Rng: rng} },
-		"proposed": func(rng *rand.Rand) place.Method { return place.HiLight{Rng: rng} },
+	methods := map[string]core.Spec{
+		"identity": {Placement: "identity"},
+		"random":   {Placement: "random"},
+		"gm":       {Placement: "gm"},
+		"gmwp":     {Placement: "gmwp"},
+		"proposed": {Placement: "hilight"},
 	}
 	for _, name := range []string{"sqrt8_260", "QFT-100", "Ising-500"} {
 		e, _ := bench.ByName(name)
 		c := e.Build()
 		g := grid.Rect(e.N)
-		for m, mk := range methods {
+		for m, sp := range methods {
 			b.Run(fmt.Sprintf("%s/%s", name, m), func(b *testing.B) {
 				var latency int
 				for i := 0; i < b.N; i++ {
-					cfg := core.Config{
-						Placement: mk(rand.New(rand.NewSource(1))),
-						Ordering:  order.Proposed{},
-						Finder:    &route.AStar{},
-					}
-					res, err := core.Map(c, g, cfg)
+					res, err := core.Run(c, g, sp, core.RunOptions{Rng: rand.New(rand.NewSource(1))})
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -111,28 +104,22 @@ func BenchmarkFig8aPlacement(b *testing.B) {
 // BenchmarkFig8bOrdering regenerates Fig. 8b: the five gate-ordering
 // strategies under the proposed placement and path-finder.
 func BenchmarkFig8bOrdering(b *testing.B) {
-	strategies := map[string]func(*rand.Rand) order.Strategy{
-		"random":     func(rng *rand.Rand) order.Strategy { return order.Random{Rng: rng} },
-		"ascending":  func(*rand.Rand) order.Strategy { return order.Ascending{} },
-		"descending": func(*rand.Rand) order.Strategy { return order.Descending{} },
-		"llg":        func(*rand.Rand) order.Strategy { return order.LLG{} },
-		"proposed":   func(*rand.Rand) order.Strategy { return order.Proposed{} },
+	strategies := map[string]core.Spec{
+		"random":     {Ordering: "random"},
+		"ascending":  {Ordering: "ascending"},
+		"descending": {Ordering: "descending"},
+		"llg":        {Ordering: "llg"},
+		"proposed":   {Ordering: "proposed"},
 	}
 	for _, name := range []string{"QFT-100", "QAOA-100"} {
 		e, _ := bench.ByName(name)
 		c := e.Build()
 		g := grid.Rect(e.N)
-		for s, mk := range strategies {
+		for s, sp := range strategies {
 			b.Run(fmt.Sprintf("%s/%s", name, s), func(b *testing.B) {
 				var latency int
 				for i := 0; i < b.N; i++ {
-					rng := rand.New(rand.NewSource(1))
-					cfg := core.Config{
-						Placement: place.HiLight{Rng: rng},
-						Ordering:  mk(rng),
-						Finder:    &route.AStar{},
-					}
-					res, err := core.Map(c, g, cfg)
+					res, err := core.Run(c, g, sp, core.RunOptions{Rng: rand.New(rand.NewSource(1))})
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -150,33 +137,19 @@ func BenchmarkFig8cAblation(b *testing.B) {
 	e, _ := bench.ByName("QFT-100")
 	c := e.Build()
 	g := grid.Rect(e.N)
-	rows := map[string]func(*rand.Rand) core.Config{
-		"identity+ours+ours": func(*rand.Rand) core.Config {
-			return core.Config{Placement: place.Identity{}}
-		},
-		"gm+ours+ours": func(rng *rand.Rand) core.Config {
-			return core.Config{Placement: place.GM{Rng: rng}}
-		},
-		"prox+ours+ours": func(*rand.Rand) core.Config {
-			return core.Config{Placement: place.Proximity{}}
-		},
-		"full-proposed": core.HilightMap,
-		"no-fast-braiding": func(rng *rand.Rand) core.Config {
-			cfg := core.HilightMap(rng)
-			cfg.Finder = &route.Full16{}
-			return cfg
-		},
-		"llg-ordering": func(rng *rand.Rand) core.Config {
-			cfg := core.HilightMap(rng)
-			cfg.Ordering = order.LLG{}
-			return cfg
-		},
+	rows := map[string]core.Spec{
+		"identity+ours+ours": {Placement: "identity"},
+		"gm+ours+ours":       {Placement: "gm"},
+		"prox+ours+ours":     {Placement: "proximity"},
+		"full-proposed":      core.MustMethod("hilight-map"),
+		"no-fast-braiding":   {Finder: "full-16"},
+		"llg-ordering":       {Ordering: "llg"},
 	}
-	for name, mk := range rows {
+	for name, sp := range rows {
 		b.Run(name, func(b *testing.B) {
 			var latency int
 			for i := 0; i < b.N; i++ {
-				res, err := core.Map(c, g, mk(rand.New(rand.NewSource(1))))
+				res, err := core.Run(c, g, sp, core.RunOptions{Rng: rand.New(rand.NewSource(1))})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -196,28 +169,14 @@ func BenchmarkFig9Scalability(b *testing.B) {
 		for _, method := range exp.Fig9Methods {
 			method := method
 			b.Run(fmt.Sprintf("QFT-%d/%s", n, method), func(b *testing.B) {
+				sp := core.MustMethod(method)
 				for i := 0; i < b.N; i++ {
-					cfg := fig9Config(method)
-					if _, err := core.Map(c, g, cfg); err != nil {
+					if _, err := core.Run(c, g, sp, core.RunOptions{Rng: rand.New(rand.NewSource(1))}); err != nil {
 						b.Fatal(err)
 					}
 				}
 			})
 		}
-	}
-}
-
-func fig9Config(method string) core.Config {
-	rng := rand.New(rand.NewSource(1))
-	switch method {
-	case "baseline":
-		return core.Fig9Baseline(rng)
-	case "autobraid-full":
-		return autobraid.Full(rng)
-	case "hilight-gm":
-		return core.HilightGM(rng)
-	default:
-		return core.HilightMap(rng)
 	}
 }
 
@@ -228,13 +187,13 @@ func BenchmarkFig10Levels(b *testing.B) {
 	c := e.Build()
 	arms := map[string]struct {
 		rect bool
-		mk   func(*rand.Rand) core.Config
+		sp   core.Spec
 	}{
-		"autobraid-full": {false, autobraid.Full},
-		"hilight-map":    {false, core.HilightMap},
-		"hilight-pg":     {false, core.HilightPG},
-		"hilight-hw":     {true, core.HilightMap},
-		"hilight-full":   {true, core.HilightPG},
+		"autobraid-full": {false, core.MustMethod("autobraid-full")},
+		"hilight-map":    {false, core.MustMethod("hilight-map")},
+		"hilight-pg":     {false, core.MustMethod("hilight-pg")},
+		"hilight-hw":     {true, core.MustMethod("hilight-map")},
+		"hilight-full":   {true, core.MustMethod("hilight-pg")},
 	}
 	for name, arm := range arms {
 		g := grid.Square(e.N)
@@ -245,7 +204,7 @@ func BenchmarkFig10Levels(b *testing.B) {
 			var latency int
 			var util float64
 			for i := 0; i < b.N; i++ {
-				res, err := core.Map(c, g, arm.mk(rand.New(rand.NewSource(1))))
+				res, err := core.Run(c, g, arm.sp, core.RunOptions{Rng: rand.New(rand.NewSource(1))})
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -19,6 +19,8 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"text/tabwriter"
+	"time"
 
 	"hilight"
 )
@@ -33,6 +35,7 @@ func main() {
 		factory = flag.String("factory", "", "reserve a WxH magic-state factory, e.g. 2x2")
 		seed    = flag.Int64("seed", 1, "seed for randomized components")
 		show    = flag.String("show", "metrics", "output: metrics, layers, viz, heat, svg, json, or qasm")
+		trace   = flag.Bool("trace", false, "print per-stage pipeline timing and counters")
 		magicP  = flag.Int("magic-period", 0, "analyze magic-state throughput: cycles per distilled state (0 = off)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file after compiling")
@@ -50,7 +53,7 @@ func main() {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	err := run(*inFile, *benchN, *list, *method, *gridKin, *factory, *seed, *show, *magicP)
+	err := run(*inFile, *benchN, *list, *method, *gridKin, *factory, *seed, *show, *magicP, *trace)
 	if *memProf != "" {
 		f, merr := os.Create(*memProf)
 		if merr != nil {
@@ -76,7 +79,7 @@ func exit(code int) {
 	os.Exit(code)
 }
 
-func run(inFile, benchName string, list bool, method, gridKind, factory string, seed int64, show string, magicPeriod int) error {
+func run(inFile, benchName string, list bool, method, gridKind, factory string, seed int64, show string, magicPeriod int, trace bool) error {
 	if list {
 		fmt.Println("methods:")
 		for _, m := range hilight.Methods() {
@@ -125,6 +128,9 @@ func run(inFile, benchName string, list bool, method, gridKind, factory string, 
 	}
 	if err := res.Schedule.Validate(res.Circuit); err != nil {
 		return fmt.Errorf("internal error: produced invalid schedule: %w", err)
+	}
+	if trace {
+		printTrace(res)
 	}
 
 	switch show {
@@ -183,6 +189,24 @@ func run(inFile, benchName string, list bool, method, gridKind, factory string, 
 		return fmt.Errorf("unknown -show %q (metrics, layers, viz, heat, svg, json, qasm)", show)
 	}
 	return nil
+}
+
+// printTrace renders Result.Trace as a per-stage table: one row per
+// executed pipeline pass with its wall-clock duration and counters.
+func printTrace(res *hilight.Result) {
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "stage\tduration\tcounters")
+	var total time.Duration
+	for _, st := range res.Trace {
+		total += st.Duration
+		parts := make([]string, 0, len(st.Counters))
+		for _, c := range st.Counters {
+			parts = append(parts, fmt.Sprintf("%s=%d", c.Name, c.Value))
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\n", st.Stage, st.Duration, strings.Join(parts, " "))
+	}
+	fmt.Fprintf(tw, "total\t%s\t(runtime %s)\n", total, res.Runtime)
+	tw.Flush()
 }
 
 func buildGrid(n int, kind, factory string) (*hilight.Grid, error) {

@@ -225,3 +225,52 @@ func TestDefectYieldAcceptance(t *testing.T) {
 		t.Fatal("yield study has no 5% point")
 	}
 }
+
+// The three options interact: WithDefects degrades the grid, WithFallback
+// swaps in a method the primary couldn't match, and WithCompaction runs
+// its pipeline pass on whatever schedule the winning attempt produced.
+// The compacted fallback schedule must still pass the defect-aware
+// validator and must never be slower than the uncompacted one.
+func TestCompactionOnFallbackDefectiveGrid(t *testing.T) {
+	g, cut := partitionCut()
+	c := hilight.NewCircuit("pairs", 4)
+	c.Add2(hilight.CX, 0, 1)
+	c.Add2(hilight.CX, 2, 3)
+
+	plain, err := hilight.Compile(c, g,
+		hilight.WithDefects(cut), hilight.WithFallback("identity"))
+	if err != nil {
+		t.Fatalf("fallback compile failed: %v", err)
+	}
+	res, err := hilight.Compile(c, g,
+		hilight.WithDefects(cut), hilight.WithFallback("identity"), hilight.WithCompaction())
+	if err != nil {
+		t.Fatalf("fallback+compaction compile failed: %v", err)
+	}
+	if !res.Degraded || res.FallbackMethod != "identity" {
+		t.Fatalf("Degraded=%v FallbackMethod=%q, want true/identity", res.Degraded, res.FallbackMethod)
+	}
+	if err := res.Schedule.Validate(res.Circuit); err != nil {
+		t.Fatalf("compacted fallback schedule invalid: %v", err)
+	}
+	if res.Schedule.Grid.Defects().Empty() {
+		t.Fatal("compacted schedule lost the grid's defect map")
+	}
+	if res.Latency > plain.Latency {
+		t.Errorf("compaction raised latency on defective grid: %d -> %d",
+			plain.Latency, res.Latency)
+	}
+	if res.Latency != res.Schedule.Latency() {
+		t.Errorf("Result.Latency %d describes a different schedule (latency %d)",
+			res.Latency, res.Schedule.Latency())
+	}
+	found := false
+	for _, st := range res.Trace {
+		if st.Stage == "compact" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("compact stage missing from trace of a WithCompaction compile")
+	}
+}

@@ -27,9 +27,6 @@ import (
 	"hilight/internal/bench"
 	"hilight/internal/core"
 	"hilight/internal/grid"
-	"hilight/internal/order"
-	"hilight/internal/place"
-	"hilight/internal/route"
 	"hilight/internal/sched"
 )
 
@@ -57,13 +54,9 @@ var goldenBenchmarks = []string{
 	"QFT-10", "QFT-16", "BV-10", "CC-11", "Ising-10",
 }
 
-func goldenFinders() []func() route.Finder {
-	return []func() route.Finder{
-		func() route.Finder { return &route.AStar{} },
-		func() route.Finder { return &route.Full16{} },
-		func() route.Finder { return &route.StackDFS{} },
-		func() route.Finder { return route.LShape{} },
-	}
+// goldenFinders are the registered path-finder names the sweep pins.
+func goldenFinders() []string {
+	return []string{"astar-closest", "full-16", "stack-dfs", "l-shape"}
 }
 
 // hashSchedule fingerprints every braid of every layer, in order.
@@ -111,21 +104,16 @@ func computeGolden(t testing.TB) *goldenFile {
 		}
 		c := e.Build()
 		g := grid.Rect(e.N)
-		for _, mk := range goldenFinders() {
-			f := mk()
-			cfg := core.Config{
-				Placement: place.HiLight{Rng: rand.New(rand.NewSource(1))},
-				Ordering:  order.Proposed{},
-				Finder:    f,
-			}
-			res, err := core.Map(c, g, cfg)
+		for _, finder := range goldenFinders() {
+			sp := core.Spec{Placement: "hilight", Ordering: "proposed", Finder: finder}
+			res, err := core.Run(c, g, sp, core.RunOptions{Rng: rand.New(rand.NewSource(1))})
 			if err != nil {
-				t.Fatalf("%s/%s: %v", name, f.Name(), err)
+				t.Fatalf("%s/%s: %v", name, finder, err)
 			}
 			if err := res.Schedule.Validate(res.Circuit); err != nil {
-				t.Fatalf("%s/%s: invalid schedule: %v", name, f.Name(), err)
+				t.Fatalf("%s/%s: invalid schedule: %v", name, finder, err)
 			}
-			gf.ScheduleHash[name+"/"+f.Name()] = hashSchedule(res.Schedule)
+			gf.ScheduleHash[name+"/"+finder] = hashSchedule(res.Schedule)
 		}
 	}
 	for _, name := range []string{"sqrt8_260", "QFT-16", "Ising-10"} {

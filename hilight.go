@@ -22,21 +22,18 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
-	"sort"
 	"time"
 
-	"hilight/internal/autobraid"
+	_ "hilight/internal/autobraid" // registers the autobraid-sp/-full method specs
 	"hilight/internal/bench"
 	"hilight/internal/circuit"
 	"hilight/internal/core"
 	"hilight/internal/faultinject"
 	"hilight/internal/grid"
 	"hilight/internal/hwopt"
-	"hilight/internal/order"
 	"hilight/internal/place"
 	"hilight/internal/qasm"
 	"hilight/internal/qco"
-	"hilight/internal/route"
 	"hilight/internal/sched"
 	"hilight/internal/sim"
 )
@@ -58,7 +55,15 @@ type (
 	Schedule = sched.Schedule
 	// Result carries the schedule and its latency/runtime/ResUtil metrics,
 	// plus Degraded/FallbackMethod when a WithFallback method produced it.
+	// Result.Trace records the compile's per-stage timing and counters
+	// (see StageTrace).
 	Result = core.Result
+	// StageTrace is one entry of Result.Trace: a compiler pass's name,
+	// wall-clock duration, and key counters (gates after rewrites, cycles
+	// routed, braids compacted). Stage durations sum to ≈ Result.Runtime.
+	StageTrace = core.StageTrace
+	// TraceCounter is one named counter of a StageTrace.
+	TraceCounter = core.TraceCounter
 	// DefectMap lists a grid's fabrication defects: dead tiles, dead
 	// routing vertices, and broken routing channels.
 	DefectMap = grid.DefectMap
@@ -245,68 +250,38 @@ func EncodeDefects(d *DefectMap) ([]byte, error) { return grid.EncodeDefects(d) 
 // the target grid when applied (WithDefects / Grid.ApplyDefects).
 func DecodeDefects(data []byte) (*DefectMap, error) { return grid.DecodeDefects(data) }
 
-// WithCompaction runs the post-routing compaction pass: braids are
-// hoisted into earlier cycles where dependencies and lattice occupancy
-// allow, so latency never increases and often shrinks on schedules
-// produced by weaker orderings. Schedules with inserted SWAPs (the
-// AutoBraid baseline) pass through unchanged.
+// WithCompaction inserts the compact pass into the compile pipeline,
+// between route and finalize-metrics: braids are hoisted into earlier
+// cycles where dependencies and lattice occupancy allow, so latency
+// never increases and often shrinks on schedules produced by weaker
+// orderings. Schedules with inserted SWAPs (the AutoBraid baseline)
+// pass through unchanged. Metrics are computed after compaction by the
+// finalize pass, so Result.Latency always describes the returned
+// schedule.
 func WithCompaction() Option {
 	return func(o *options) { o.compact = true }
 }
 
-// methodConfigs maps public method names to framework configurations.
-func methodConfigs(rng *rand.Rand) map[string]core.Config {
-	return map[string]core.Config{
-		"hilight":        core.HilightPG(rng), // mapping + program level
-		"hilight-map":    core.HilightMap(rng),
-		"hilight-pg":     core.HilightPG(rng),
-		"hilight-gm":     core.HilightGM(rng),
-		"baseline":       core.Fig9Baseline(rng),
-		"autobraid-sp":   autobraid.SP(),
-		"autobraid-full": autobraid.Full(rng),
-		"identity": {
-			Placement: place.Identity{},
-			Ordering:  order.Proposed{},
-			Finder:    &route.AStar{},
-		},
-		"random": {
-			Placement: place.Random{Rng: rng},
-			Ordering:  order.Proposed{},
-			Finder:    &route.AStar{},
-		},
-		"hilight-refined": {
-			Placement: place.Refined{Base: place.HiLight{Rng: rng}},
-			Ordering:  order.Proposed{},
-			Finder:    &route.AStar{},
-		},
-		"hilight-cp": {
-			Placement: place.HiLight{Rng: rng},
-			Ordering:  order.CriticalPath{},
-			Finder:    &route.AStar{},
-		},
-	}
-}
-
 // Methods returns the method names accepted by WithMethod, sorted.
-func Methods() []string {
-	cfgs := methodConfigs(rand.New(rand.NewSource(1)))
-	names := make([]string, 0, len(cfgs))
-	for name := range cfgs {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	return names
-}
+// Every name resolves to a declarative pipeline spec in core's static
+// registry, so enumeration instantiates no components and draws no
+// random state.
+func Methods() []string { return core.MethodNames() }
 
 // Compile maps the circuit onto the grid and returns the braiding
-// schedule with its metrics. The schedule is guaranteed to validate
-// against the returned (possibly QCO-rewritten) circuit — including on
-// defective hardware (WithDefects), where every braid provably avoids
-// dead tiles, vertices and channels. Failures are typed: ErrNilCircuit /
-// ErrNilGrid for missing inputs, ErrInsufficientCapacity when the circuit
-// is wider than the grid's usable tiles, ErrUnroutable when defects
-// disconnect a gate's operands, and ErrCanceled when a WithContext /
-// WithTimeout deadline fires.
+// schedule with its metrics. The selected method resolves to a
+// declarative pipeline spec (validate → decompose-swaps → qco →
+// capacity → place → route → adjust → compact → finalize-metrics, with
+// the optional stages present only when enabled); Result.Trace records
+// each executed stage's duration and counters. The schedule is
+// guaranteed to validate against the returned (possibly QCO-rewritten)
+// circuit — including on defective hardware (WithDefects), where every
+// braid provably avoids dead tiles, vertices and channels. Failures are
+// typed: ErrNilCircuit / ErrNilGrid for missing inputs,
+// ErrInsufficientCapacity when the circuit is wider than the grid's
+// usable tiles, ErrUnroutable when defects disconnect a gate's
+// operands, and ErrCanceled when a WithContext / WithTimeout deadline
+// fires.
 func Compile(c *Circuit, g *Grid, opts ...Option) (*Result, error) {
 	o := options{method: "hilight", seed: 1}
 	for _, opt := range opts {
@@ -339,13 +314,13 @@ func Compile(c *Circuit, g *Grid, opts ...Option) (*Result, error) {
 	}
 
 	chain := append([]string{o.method}, o.fallback...)
-	{
-		known := methodConfigs(rand.New(rand.NewSource(o.seed)))
-		for _, name := range chain {
-			if _, ok := known[name]; !ok {
-				return nil, fmt.Errorf("hilight: unknown method %q (have %v)", name, Methods())
-			}
+	specs := make([]core.Spec, len(chain))
+	for i, name := range chain {
+		sp, ok := core.LookupMethod(name)
+		if !ok {
+			return nil, fmt.Errorf("hilight: unknown method %q (have %v)", name, Methods())
 		}
+		specs[i] = sp
 	}
 
 	if !o.defects.Empty() {
@@ -358,18 +333,16 @@ func Compile(c *Circuit, g *Grid, opts ...Option) (*Result, error) {
 
 	var firstErr error
 	for i, name := range chain {
-		// Rebuild the configs per attempt so each method sees the same
-		// seeded rng stream whether it runs as primary or as fallback.
-		cfg := methodConfigs(rand.New(rand.NewSource(o.seed)))[name]
-		if o.qco != nil {
-			cfg.QCO = *o.qco
-		}
-		cfg.Observer = o.observer
-		cfg.Ctx = ctx
-		if o.placement != nil {
-			cfg.Placement = o.placement
-		}
-		res, err := core.Map(c, g, cfg)
+		// Each attempt gets a fresh seeded rng, so a method sees the same
+		// random stream whether it runs as primary or as fallback.
+		res, err := core.Run(c, g, specs[i], core.RunOptions{
+			Rng:       rand.New(rand.NewSource(o.seed)),
+			QCO:       o.qco,
+			Observer:  o.observer,
+			Ctx:       ctx,
+			Compact:   o.compact,
+			Placement: o.placement,
+		})
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err
@@ -385,16 +358,6 @@ func Compile(c *Circuit, g *Grid, opts ...Option) (*Result, error) {
 		if i > 0 {
 			res.Degraded = true
 			res.FallbackMethod = name
-		}
-		if o.compact {
-			res.Schedule = core.CompactSchedule(res.Schedule, res.Circuit, cfg.Finder)
-			res.Latency = res.Schedule.Latency()
-			res.PathLen = res.Schedule.TotalPathLength()
-			if res.Latency > 0 {
-				res.ResUtil = float64(res.PathLen) / (float64(g.Tiles()) * float64(res.Latency))
-			} else {
-				res.ResUtil = 0
-			}
 		}
 		return res, nil
 	}

@@ -10,9 +10,13 @@
 //     adjacent tiles, which is exactly the gate overhead the paper's
 //     SWAP-less placement avoids.
 //
-// Both variants run on HiLight's router loop (internal/core) with
+// Both variants run on HiLight's pass pipeline (internal/core) with
 // AutoBraid's pieces plugged in, so latency/ResUtil accounting is
-// identical across frameworks and only the algorithms differ.
+// identical across frameworks and only the algorithms differ. The
+// package registers its components (the "autobraid-partition" placement
+// and the "autobraid-swap" adjuster) and its method specs in core's
+// static registries at init time; importing it — even blank — makes
+// "autobraid-sp" and "autobraid-full" resolvable method names.
 package autobraid
 
 import (
@@ -22,32 +26,23 @@ import (
 	"hilight/internal/core"
 	"hilight/internal/graph"
 	"hilight/internal/grid"
-	"hilight/internal/order"
 	"hilight/internal/place"
-	"hilight/internal/route"
 )
 
-// SP returns the "autobraid-sp" configuration.
-func SP() core.Config {
-	return core.Config{
-		Placement: place.Identity{},
-		Ordering:  order.LLG{},
-		Finder:    &route.StackDFS{},
-	}
-}
-
-// Full returns the "autobraid-full" configuration. rng seeds the
-// partitioner; nil uses a fixed seed.
-func Full(rng *rand.Rand) core.Config {
-	if rng == nil {
-		rng = rand.New(rand.NewSource(1))
-	}
-	return core.Config{
-		Placement: PartitionPlacement{Rng: rng},
-		Ordering:  order.LLG{},
-		Finder:    &route.StackDFS{},
-		Adjuster:  NewSwapAdjuster(0, 0),
-	}
+func init() {
+	core.RegisterPlacement("autobraid-partition", func(rng *rand.Rand) place.Method {
+		return PartitionPlacement{Rng: rng}
+	})
+	core.RegisterAdjuster("autobraid-swap", func() core.LayoutAdjuster {
+		return NewSwapAdjuster(0, 0)
+	})
+	core.RegisterMethod("autobraid-sp", core.Spec{
+		Placement: "identity", Ordering: "llg", Finder: "stack-dfs",
+	})
+	core.RegisterMethod("autobraid-full", core.Spec{
+		Placement: "autobraid-partition", Ordering: "llg", Finder: "stack-dfs",
+		Adjuster: "autobraid-swap",
+	})
 }
 
 // PartitionPlacement is AutoBraid's initial placement: recursively bisect

@@ -93,10 +93,9 @@ func TestSPAndFullProduceValidSchedules(t *testing.T) {
 	for _, n := range []int{6, 10, 16} {
 		c := qftCircuit(n)
 		g := grid.Rect(n)
-		for name, cfg := range map[string]core.Config{
-			"sp": SP(), "full": Full(rand.New(rand.NewSource(2))),
-		} {
-			res, err := core.Map(c, g, cfg)
+		for _, name := range []string{"autobraid-sp", "autobraid-full"} {
+			res, err := core.Run(c, g, core.MustMethod(name),
+				core.RunOptions{Rng: rand.New(rand.NewSource(2))})
 			if err != nil {
 				t.Fatalf("%s n=%d: %v", name, n, err)
 			}
@@ -117,7 +116,7 @@ func TestFullInsertsSwapsOnSpreadWorkload(t *testing.T) {
 		c.Add2(circuit.CX, 1, n-2)
 	}
 	g := grid.Square(n)
-	res, err := core.Map(c, g, core.Config{
+	res, err := core.Run(c, g, core.Spec{}, core.RunOptions{
 		Placement: identityMethod{},
 		Adjuster:  NewSwapAdjuster(2, 3),
 	})
@@ -194,8 +193,8 @@ func TestAutoBraidScheduleProperty(t *testing.T) {
 			}
 		}
 		g := grid.Rect(n)
-		for _, cfg := range []core.Config{SP(), Full(rng)} {
-			res, err := core.Map(c, g, cfg)
+		for _, name := range []string{"autobraid-sp", "autobraid-full"} {
+			res, err := core.Run(c, g, core.MustMethod(name), core.RunOptions{Rng: rng})
 			if err != nil || res.Schedule.Validate(res.Circuit) != nil {
 				return false
 			}

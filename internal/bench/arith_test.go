@@ -81,7 +81,7 @@ func TestCuccaroAdderAdds(t *testing.T) {
 
 func TestCuccaroAdderMaps(t *testing.T) {
 	c := CuccaroAdder(4)
-	res, err := core.Map(c, grid.Rect(c.NumQubits), core.HilightMap(nil))
+	res, err := core.Run(c, grid.Rect(c.NumQubits), core.MustMethod("hilight-map"), core.RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +118,7 @@ func TestGroverStructure(t *testing.T) {
 	if p11 < 0.999 {
 		t.Errorf("Grover(2,1) P(|11⟩) = %g, want ~1", p11)
 	}
-	res, err := core.Map(c, grid.Rect(5), core.HilightMap(nil))
+	res, err := core.Run(c, grid.Rect(5), core.MustMethod("hilight-map"), core.RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +141,7 @@ func TestHiddenShiftStructure(t *testing.T) {
 	if xs != 2*5 { // popcount(0b10110101)=5, applied twice
 		t.Errorf("X count = %d, want 10", xs)
 	}
-	res, err := core.Map(c, grid.Rect(8), core.HilightMap(nil))
+	res, err := core.Run(c, grid.Rect(8), core.MustMethod("hilight-map"), core.RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

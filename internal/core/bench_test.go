@@ -4,9 +4,10 @@ package core
 // the package-internal router with every piece of scratch state reused
 // across iterations — the steady-state regime of batch compilation — and
 // must report 0 allocs/op after the allocation-free rewrite.
-// BenchmarkCompileQFT{64,256} measure the full Map pipeline (placement +
-// routing + metrics); their alloc counts are tracked against the
-// pre-rewrite baseline in BENCH_route.json at the repo root.
+// BenchmarkCompileQFT{64,256} measure the full compile pipeline
+// (placement + routing + metrics); their alloc counts are tracked
+// against the pre-rewrite baseline in BENCH_route.json at the repo
+// root.
 
 import (
 	"fmt"
@@ -22,7 +23,7 @@ import (
 func BenchmarkRouteCircuit(b *testing.B) {
 	c := bench.QFT(64).DecomposeSWAPs()
 	g := grid.Rect(64)
-	var cfg Config
+	var cfg config
 	cfg.fillDefaults()
 	// The default configuration has no adjuster, so the router never
 	// mutates the layout and one placement serves every iteration.
@@ -48,14 +49,14 @@ func BenchmarkCompileQFT(b *testing.B) {
 		b.Run(fmt.Sprintf("QFT%d", n), func(b *testing.B) {
 			c := bench.QFT(n)
 			g := grid.Rect(n)
-			cfg := HilightMap(nil)
-			if _, err := Map(c, g, cfg); err != nil {
+			sp := MustMethod("hilight-map")
+			if _, err := Run(c, g, sp, RunOptions{}); err != nil {
 				b.Fatal(err)
 			}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := Map(c, g, HilightMap(nil)); err != nil {
+				if _, err := Run(c, g, sp, RunOptions{}); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -7,7 +7,6 @@ import (
 
 	"hilight/internal/circuit"
 	"hilight/internal/grid"
-	"hilight/internal/order"
 	"hilight/internal/route"
 )
 
@@ -17,9 +16,9 @@ func TestCompactHoistsBubbles(t *testing.T) {
 	// with A* must strictly reduce latency on a dense circuit.
 	c := qftCircuit(25)
 	g := grid.Rect(25)
-	cfg := HilightMap(nil)
-	cfg.Finder = route.LShape{}
-	res, err := Map(c, g, cfg)
+	sp := MustMethod("hilight-map")
+	sp.Finder = "l-shape"
+	res, err := Run(c, g, sp, RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +38,7 @@ func TestCompactPreservesAlreadyTight(t *testing.T) {
 		c.Add2(circuit.CX, i, i+1)
 	}
 	g := grid.Rect(5)
-	res, err := Map(c, g, HilightMap(nil))
+	res, err := Run(c, g, MustMethod("hilight-map"), RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,9 +54,7 @@ func TestCompactPreservesAlreadyTight(t *testing.T) {
 func TestCompactSkipsSwapSchedules(t *testing.T) {
 	c := qftCircuit(6)
 	g := grid.Square(6)
-	cfg := HilightMap(nil)
-	cfg.Adjuster = &swapHappyAdjuster{}
-	res, err := Map(c, g, cfg)
+	res, err := Run(c, g, MustMethod("hilight-map"), RunOptions{Adjuster: &swapHappyAdjuster{}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,9 +70,7 @@ func TestCompactSkipsSwapSchedules(t *testing.T) {
 // Property: compaction always yields a valid schedule with latency no
 // greater than the input, across random circuits and orderings.
 func TestCompactProperty(t *testing.T) {
-	orderings := []order.Strategy{
-		order.Descending{}, order.Ascending{}, order.Proposed{},
-	}
+	orderings := []string{"descending", "ascending", "proposed"}
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		n := 4 + rng.Intn(10)
@@ -87,10 +82,10 @@ func TestCompactProperty(t *testing.T) {
 			}
 		}
 		g := grid.Rect(n)
-		cfg := HilightMap(rng)
-		cfg.Ordering = orderings[rng.Intn(len(orderings))]
-		cfg.OrderingThreshold = 1 + rng.Intn(4)
-		res, err := Map(c, g, cfg)
+		sp := MustMethod("hilight-map")
+		sp.Ordering = orderings[rng.Intn(len(orderings))]
+		sp.OrderingThreshold = 1 + rng.Intn(4)
+		res, err := Run(c, g, sp, RunOptions{Rng: rng})
 		if err != nil {
 			return false
 		}

@@ -10,9 +10,9 @@ func TestObserverReceivesEveryCycle(t *testing.T) {
 	c := qftCircuit(10)
 	g := grid.Rect(10)
 	var stats []CycleStats
-	cfg := HilightMap(nil)
-	cfg.Observer = ObserverFunc(func(s CycleStats) { stats = append(stats, s) })
-	res, err := Map(c, g, cfg)
+	res, err := Run(c, g, MustMethod("hilight-map"), RunOptions{
+		Observer: ObserverFunc(func(s CycleStats) { stats = append(stats, s) }),
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,11 +44,11 @@ func TestObserverReceivesEveryCycle(t *testing.T) {
 func TestObserverSeesSwapBraids(t *testing.T) {
 	c := qftCircuit(6)
 	g := grid.Square(6)
-	cfg := HilightMap(nil)
-	cfg.Adjuster = &swapHappyAdjuster{}
 	swaps := 0
-	cfg.Observer = ObserverFunc(func(s CycleStats) { swaps += s.SwapBraids })
-	if _, err := Map(c, g, cfg); err != nil {
+	if _, err := Run(c, g, MustMethod("hilight-map"), RunOptions{
+		Adjuster: &swapHappyAdjuster{},
+		Observer: ObserverFunc(func(s CycleStats) { swaps += s.SwapBraids }),
+	}); err != nil {
 		t.Fatal(err)
 	}
 	if swaps != 3 {
@@ -58,7 +58,7 @@ func TestObserverSeesSwapBraids(t *testing.T) {
 
 func TestObserverNilIsSilent(t *testing.T) {
 	c := qftCircuit(5)
-	if _, err := Map(c, grid.Square(5), Config{}); err != nil {
+	if _, err := Run(c, grid.Square(5), Spec{}, RunOptions{}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,0 +1,372 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"hilight/internal/circuit"
+	"hilight/internal/grid"
+	"hilight/internal/place"
+	"hilight/internal/sched"
+)
+
+// State is the shared mutable state a Pipeline threads through its
+// passes: the working circuit (rewritten by decompose-swaps and qco),
+// the grid, the layout produced by place, the schedule produced by
+// route, and the resolved components the passes consume. Passes
+// communicate only through State, so a stage can be swapped, removed,
+// or instrumented without touching its neighbors.
+type State struct {
+	// Input is the caller's circuit, untouched.
+	Input *circuit.Circuit
+	// Circuit is the working circuit: Input after SWAP decomposition
+	// and (when enabled) the program-level optimization. The schedule
+	// validates against this circuit, not Input.
+	Circuit *circuit.Circuit
+	Grid    *grid.Grid
+	Layout  *grid.Layout
+	// Schedule is produced by the route pass and refined by compact.
+	Schedule *sched.Schedule
+	// Result accumulates the pipeline outcome; finalize-metrics fills
+	// the metric fields from Schedule.
+	Result *Result
+
+	cfg config          // resolved components (placement, ordering, finder, …)
+	cur *StageTrace     // trace entry of the running pass, for Count
+}
+
+// Count attaches a named counter to the currently running pass's trace
+// entry — gate totals after a rewrite, cycles routed, braids hoisted.
+// Outside a pass execution it is a no-op.
+func (st *State) Count(name string, v int64) {
+	if st.cur == nil {
+		return
+	}
+	st.cur.Counters = append(st.cur.Counters, TraceCounter{Name: name, Value: v})
+}
+
+// Pass is one named stage of a compile pipeline. Run mutates the shared
+// State and returns a typed error to abort the pipeline.
+type Pass struct {
+	Name string
+	Run  func(*State) error
+}
+
+// TraceCounter is one named counter of a stage trace.
+type TraceCounter struct {
+	Name  string
+	Value int64
+}
+
+// StageTrace records one executed pipeline pass: its name, wall-clock
+// duration, and the counters the pass reported. The sum of stage
+// durations accounts for (almost all of) Result.Runtime; the remainder
+// is runner bookkeeping between passes.
+type StageTrace struct {
+	Stage    string
+	Duration time.Duration
+	Counters []TraceCounter
+}
+
+// Counter returns the named counter's value, if the stage recorded it.
+func (t StageTrace) Counter(name string) (int64, bool) {
+	for _, c := range t.Counters {
+		if c.Name == name {
+			return c.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Result is the outcome of compiling a circuit onto a grid.
+type Result struct {
+	Schedule *sched.Schedule
+	Circuit  *circuit.Circuit // the routed circuit (post SWAP-decomposition/QCO)
+	Grid     *grid.Grid
+	Latency  int
+	PathLen  int           // total braiding path length (ResUtil numerator)
+	Runtime  time.Duration // wall-clock pipeline time
+	ResUtil  float64       // Eq. 1
+	// Method names the pipeline spec that produced this result ("" for
+	// an anonymous spec).
+	Method string
+	// Trace records every executed pass in order: stage name, duration,
+	// and key counters (gates after rewrites, cycles routed, braids
+	// compacted). Stage durations sum to ≈ Runtime.
+	Trace []StageTrace
+	// Degraded is set by the public Compile when the requested method
+	// failed and a WithFallback method produced this result instead;
+	// FallbackMethod then names the method that succeeded.
+	Degraded       bool
+	FallbackMethod string
+}
+
+// RunOptions carries the per-compile knobs that are not part of a
+// method's identity: the seeded rng, overrides, cancellation, and the
+// optional compact pass.
+type RunOptions struct {
+	// Rng drives the randomized components; nil means seed 1. Every
+	// component of one pipeline shares this stream.
+	Rng *rand.Rand
+	// QCO, when non-nil, overrides the spec's QCO flag.
+	QCO *bool
+	// Observer receives per-cycle routing statistics.
+	Observer Observer
+	// Ctx, when non-nil, is honored before every pass and at every
+	// cycle boundary of the routing loop.
+	Ctx context.Context
+	// Compact inserts the compact pass between route and
+	// finalize-metrics.
+	Compact bool
+	// Placement, when non-nil, replaces the spec's placement (test
+	// hook, mirrored from the public options).
+	Placement place.Method
+	// Adjuster, when non-nil, replaces the spec's adjuster.
+	Adjuster LayoutAdjuster
+}
+
+// Pipeline is an executable sequence of named passes with its resolved
+// components. Build one with NewPipeline; a Pipeline is single-shot —
+// stateful components (seeded rngs, swap adjusters) make a second
+// Execute diverge, so build a fresh Pipeline per compile.
+type Pipeline struct {
+	// Spec is the declarative description the pipeline was built from.
+	Spec Spec
+	// Passes run in order; the slice is the pipeline's full definition
+	// and may be inspected or rewrapped before Execute.
+	Passes []Pass
+
+	cfg config
+}
+
+// NewPipeline resolves the spec's component names and assembles the
+// pass sequence:
+//
+//	validate → decompose-swaps → [qco] → capacity → place → route →
+//	[adjust] → [compact] → finalize-metrics
+//
+// qco runs only when enabled, adjust only when the spec names a layout
+// adjuster, compact only when opt.Compact is set. Unknown component
+// names fail here, before any compile work.
+func NewPipeline(sp Spec, opt RunOptions) (*Pipeline, error) {
+	rng := opt.Rng
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	if opt.QCO != nil {
+		sp.QCO = *opt.QCO
+	}
+	cfg, err := sp.components(rng)
+	if err != nil {
+		return nil, err
+	}
+	if opt.Placement != nil {
+		cfg.Placement = opt.Placement
+	}
+	if opt.Adjuster != nil {
+		cfg.Adjuster = opt.Adjuster
+	}
+	cfg.Observer = opt.Observer
+	cfg.Ctx = opt.Ctx
+
+	p := &Pipeline{Spec: sp, cfg: cfg}
+	p.Passes = append(p.Passes, passValidate, passDecomposeSwaps)
+	if cfg.QCO {
+		p.Passes = append(p.Passes, passQCO)
+	}
+	p.Passes = append(p.Passes, passCapacity, passPlace, passRoute)
+	if cfg.Adjuster != nil {
+		p.Passes = append(p.Passes, passAdjust)
+	}
+	if opt.Compact {
+		p.Passes = append(p.Passes, passCompact)
+	}
+	p.Passes = append(p.Passes, passFinalizeMetrics)
+	return p, nil
+}
+
+// Execute runs the pipeline on (c, g). Each pass is timed into
+// Result.Trace; the context (when set) is checked before every pass and
+// inside the routing loop. The returned schedule always validates
+// against the returned circuit.
+func (p *Pipeline) Execute(c *circuit.Circuit, g *grid.Grid) (*Result, error) {
+	st := &State{
+		Input:  c,
+		Grid:   g,
+		Result: &Result{Grid: g, Method: p.Spec.Method},
+		cfg:    p.cfg,
+	}
+	start := time.Now()
+	for _, pass := range p.Passes {
+		if err := ctxErr(st.cfg.Ctx); err != nil {
+			return nil, err
+		}
+		st.Result.Trace = append(st.Result.Trace, StageTrace{Stage: pass.Name})
+		st.cur = &st.Result.Trace[len(st.Result.Trace)-1]
+		t0 := time.Now()
+		err := pass.Run(st)
+		st.cur.Duration = time.Since(t0)
+		st.cur = nil
+		if err != nil {
+			return nil, err
+		}
+	}
+	st.Result.Runtime = time.Since(start)
+	return st.Result, nil
+}
+
+// Run builds the pipeline for sp and executes it on (c, g) — the
+// one-call entry every consumer (public Compile, experiment harness,
+// factory-placement search) drives compiles through.
+func Run(c *circuit.Circuit, g *grid.Grid, sp Spec, opt RunOptions) (*Result, error) {
+	p, err := NewPipeline(sp, opt)
+	if err != nil {
+		return nil, err
+	}
+	return p.Execute(c, g)
+}
+
+// The standard passes. Each is a plain value so pipeline definitions
+// stay declarative and inspectable.
+var (
+	// passValidate rejects nil or structurally invalid inputs before
+	// any rewriting happens.
+	passValidate = Pass{Name: "validate", Run: func(st *State) error {
+		if st.Input == nil {
+			return fmt.Errorf("core: nil circuit")
+		}
+		if st.Grid == nil {
+			return fmt.Errorf("core: nil grid")
+		}
+		if err := st.Input.Validate(); err != nil {
+			return fmt.Errorf("core: invalid circuit: %w", err)
+		}
+		st.Count("gates", int64(len(st.Input.Gates)))
+		return nil
+	}}
+
+	// passDecomposeSwaps rewrites explicit SWAP gates into CX triples so
+	// the router only ever sees braidable two-qubit gates.
+	passDecomposeSwaps = Pass{Name: "decompose-swaps", Run: func(st *State) error {
+		st.Circuit = st.Input.DecomposeSWAPs()
+		st.Count("gates", int64(len(st.Circuit.Gates)))
+		return nil
+	}}
+
+	// passQCO applies the program-level commuting-CX optimization (§3.3).
+	passQCO = Pass{Name: "qco", Run: func(st *State) error {
+		before := st.Circuit.CXCount()
+		st.Circuit = OptimizeProgram(st.Circuit)
+		st.Count("gates", int64(len(st.Circuit.Gates)))
+		st.Count("cx-delta", int64(st.Circuit.CXCount()-before))
+		return nil
+	}}
+
+	// passCapacity fails fast when the grid has fewer usable tiles than
+	// the circuit has program qubits.
+	passCapacity = Pass{Name: "capacity", Run: func(st *State) error {
+		have := st.Grid.Capacity()
+		st.Count("capacity", int64(have))
+		if have < st.Circuit.NumQubits {
+			return &ErrInsufficientCapacity{
+				Need: st.Circuit.NumQubits, Have: have, Grid: st.Grid.String(),
+			}
+		}
+		return nil
+	}}
+
+	// passPlace produces the initial layout.
+	passPlace = Pass{Name: "place", Run: func(st *State) error {
+		st.Layout = st.cfg.Placement.Place(st.Circuit, st.Grid)
+		st.Count("qubits", int64(st.Circuit.NumQubits))
+		return nil
+	}}
+
+	// passRoute is the Alg. 2 main loop: per-cycle ready-set collection,
+	// gate ordering, braiding path-finding, and (when an adjuster is
+	// configured) in-flight SWAP insertion.
+	passRoute = Pass{Name: "route", Run: func(st *State) error {
+		s, err := routeCircuit(st.Circuit, st.Grid, st.Layout, st.cfg)
+		if err != nil {
+			return err
+		}
+		st.Schedule = s
+		st.Count("cycles", int64(s.Latency()))
+		st.Count("braids", int64(braidCount(s)))
+		return nil
+	}}
+
+	// passAdjust reconciles the layout adjustment that ran interleaved
+	// with routing: the inserted-SWAP braids are already in the
+	// schedule (Alg. 2 executes them between cycles), so this stage
+	// accounts for their cost — the overhead Table 1 charges the
+	// AutoBraid baseline for.
+	passAdjust = Pass{Name: "adjust", Run: func(st *State) error {
+		st.Count("swap-braids", int64(st.Schedule.InsertedBraids()))
+		return nil
+	}}
+
+	// passCompact hoists braids into earlier cycles where dependencies
+	// and occupancy allow (no-op on schedules with inserted SWAPs).
+	passCompact = Pass{Name: "compact", Run: func(st *State) error {
+		before := st.Schedule.Latency()
+		compacted := CompactSchedule(st.Schedule, st.Circuit, st.cfg.Finder)
+		st.Count("cycles-saved", int64(before-compacted.Latency()))
+		st.Count("braids-hoisted", int64(hoistedBraids(st.Schedule, compacted)))
+		st.Schedule = compacted
+		return nil
+	}}
+
+	// passFinalizeMetrics derives Latency, PathLen and ResUtil (Eq. 1)
+	// from the final schedule — the single place these metrics are
+	// computed, whatever passes ran before it.
+	passFinalizeMetrics = Pass{Name: "finalize-metrics", Run: func(st *State) error {
+		res := st.Result
+		res.Schedule = st.Schedule
+		res.Circuit = st.Circuit
+		res.Grid = st.Grid
+		res.Latency = st.Schedule.Latency()
+		res.PathLen = st.Schedule.TotalPathLength()
+		if res.Latency > 0 {
+			res.ResUtil = float64(res.PathLen) / (float64(st.Grid.Tiles()) * float64(res.Latency))
+		} else {
+			res.ResUtil = 0
+		}
+		st.Count("latency", int64(res.Latency))
+		st.Count("pathlen", int64(res.PathLen))
+		return nil
+	}}
+)
+
+// braidCount counts the braids of every layer.
+func braidCount(s *sched.Schedule) int {
+	n := 0
+	for _, l := range s.Layers {
+		n += len(l)
+	}
+	return n
+}
+
+// hoistedBraids counts the gates whose cycle changed between the
+// pre-compaction and post-compaction schedules.
+func hoistedBraids(before, after *sched.Schedule) int {
+	layerOf := map[int]int{}
+	for li, l := range before.Layers {
+		for _, b := range l {
+			if b.Gate >= 0 {
+				layerOf[b.Gate] = li
+			}
+		}
+	}
+	moved := 0
+	for li, l := range after.Layers {
+		for _, b := range l {
+			if b.Gate >= 0 && layerOf[b.Gate] != li {
+				moved++
+			}
+		}
+	}
+	return moved
+}

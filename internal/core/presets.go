@@ -1,63 +1,33 @@
 package core
 
 import (
-	"math/rand"
-
 	"hilight/internal/circuit"
-	"hilight/internal/order"
-	"hilight/internal/place"
 	"hilight/internal/qco"
-	"hilight/internal/route"
 )
 
 // OptimizeProgram applies the program-level optimization (§3.3) and
 // returns the rewritten circuit.
 func OptimizeProgram(c *circuit.Circuit) *circuit.Circuit { return qco.Optimize(c) }
 
-// HilightMap is the paper's "hilight-map": pattern+proximity placement,
-// proposed ordering, closest-corner A* path-finding. rng drives the
-// random layout of pattern matching (QFT-like circuits); nil uses a fixed
-// seed.
-func HilightMap(rng *rand.Rand) Config {
-	if rng == nil {
-		rng = rand.New(rand.NewSource(1))
-	}
-	return Config{
-		Placement: place.HiLight{Rng: rng},
-		Ordering:  order.Proposed{},
-		Finder:    &route.AStar{},
-	}
-}
-
-// HilightPG is "hilight-pg": HilightMap plus program-level optimization.
-func HilightPG(rng *rand.Rand) Config {
-	cfg := HilightMap(rng)
-	cfg.QCO = true
-	return cfg
-}
-
-// HilightGM is "hilight-gm" from Fig. 9: the graph-inspired GM placement
-// combined with HiLight's routing.
-func HilightGM(rng *rand.Rand) Config {
-	if rng == nil {
-		rng = rand.New(rand.NewSource(1))
-	}
-	return Config{
-		Placement: place.GM{Rng: rng},
-		Ordering:  order.Proposed{},
-		Finder:    &route.AStar{},
-	}
-}
-
-// Fig9Baseline is the scalability baseline of Fig. 9: GM placement with
-// exhaustive 16-corner-pair path-finding.
-func Fig9Baseline(rng *rand.Rand) Config {
-	if rng == nil {
-		rng = rand.New(rand.NewSource(1))
-	}
-	return Config{
-		Placement: place.GM{Rng: rng},
-		Ordering:  order.Proposed{},
-		Finder:    &route.Full16{},
-	}
+// Built-in method specs: every configuration the paper evaluates that
+// is built from this package's own components. The AutoBraid baselines
+// ("autobraid-sp", "autobraid-full") register themselves from
+// internal/autobraid, whose placement and adjuster they contribute.
+func init() {
+	// "hilight" is the paper's full configuration: pattern-matching +
+	// qubit-proximity placement, ASAP ordering, closest-corner A*, with
+	// the program-level optimization on — the same spec as "hilight-pg".
+	RegisterMethod("hilight", Spec{Placement: "hilight", Ordering: "proposed", Finder: "astar-closest", QCO: true})
+	RegisterMethod("hilight-pg", Spec{Placement: "hilight", Ordering: "proposed", Finder: "astar-closest", QCO: true})
+	RegisterMethod("hilight-map", Spec{Placement: "hilight", Ordering: "proposed", Finder: "astar-closest"})
+	// "hilight-gm" from Fig. 9: the graph-inspired GM placement combined
+	// with HiLight's routing.
+	RegisterMethod("hilight-gm", Spec{Placement: "gm", Ordering: "proposed", Finder: "astar-closest"})
+	// The Fig. 9 scalability baseline: GM placement with exhaustive
+	// 16-corner-pair path-finding.
+	RegisterMethod("baseline", Spec{Placement: "gm", Ordering: "proposed", Finder: "full-16"})
+	RegisterMethod("identity", Spec{Placement: "identity", Ordering: "proposed", Finder: "astar-closest"})
+	RegisterMethod("random", Spec{Placement: "random", Ordering: "proposed", Finder: "astar-closest"})
+	RegisterMethod("hilight-refined", Spec{Placement: "hilight+refine", Ordering: "proposed", Finder: "astar-closest"})
+	RegisterMethod("hilight-cp", Spec{Placement: "hilight", Ordering: "critical-path", Finder: "astar-closest"})
 }

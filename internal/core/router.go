@@ -1,15 +1,19 @@
-// Package core implements the HiLight mapping pipeline: the fast-routing
-// main loop of Alg. 2 with pluggable initial placement, gate ordering and
-// braiding path-finding, plus the configuration presets for every variant
-// the paper evaluates (hilight-map/-pg/-hw/-full, hilight-gm, the Fig. 9
-// baseline, and the hooks the AutoBraid baseline plugs its SWAP-inserting
-// layout adjustment into).
+// Package core implements the HiLight compiler as an explicit pass
+// pipeline: a Pipeline of named Pass stages (validate → decompose-swaps
+// → qco → capacity → place → route → adjust → compact →
+// finalize-metrics) threading a shared State, with per-stage wall-clock
+// and counter tracing in Result.Trace. Methods are declarative Specs in
+// a static registry — component names resolved against registered
+// placement/ordering/finder/adjuster factories — covering every variant
+// the paper evaluates (hilight-map/-pg/-gm, the Fig. 9 baseline) plus
+// the hooks the AutoBraid baseline plugs its SWAP-inserting layout
+// adjustment into. This file holds the route pass's engine: the Alg. 2
+// main loop, kept allocation-free in steady state.
 package core
 
 import (
 	"context"
 	"fmt"
-	"time"
 
 	"hilight/internal/circuit"
 	"hilight/internal/grid"
@@ -75,10 +79,12 @@ type ObserverFunc func(CycleStats)
 // OnCycle implements Observer.
 func (f ObserverFunc) OnCycle(s CycleStats) { f(s) }
 
-// Config selects the pieces of the mapping flow. Zero-value fields get
-// the HiLight defaults (pattern+proximity placement, proposed ordering,
-// closest-corner A*, threshold 4).
-type Config struct {
+// config is the resolved component bundle a pipeline threads into the
+// router: the materialized form of a Spec. Zero-value fields get the
+// HiLight defaults (pattern+proximity placement, proposed ordering,
+// closest-corner A*, threshold 4). External callers never build one —
+// they go through Spec and the registries.
+type config struct {
 	Placement place.Method
 	Ordering  order.Strategy
 	Finder    route.Finder
@@ -97,7 +103,7 @@ type Config struct {
 	Ctx context.Context
 }
 
-func (cfg *Config) fillDefaults() {
+func (cfg *config) fillDefaults() {
 	if cfg.Placement == nil {
 		cfg.Placement = place.HiLight{}
 	}
@@ -112,57 +118,6 @@ func (cfg *Config) fillDefaults() {
 	}
 }
 
-// Result is the outcome of mapping a circuit onto a grid.
-type Result struct {
-	Schedule *sched.Schedule
-	Circuit  *circuit.Circuit // the routed circuit (post SWAP-decomposition/QCO)
-	Grid     *grid.Grid
-	Latency  int
-	PathLen  int           // total braiding path length (ResUtil numerator)
-	Runtime  time.Duration // wall-clock mapping time
-	ResUtil  float64       // Eq. 1
-	// Degraded is set by the public Compile when the requested method
-	// failed and a WithFallback method produced this result instead;
-	// FallbackMethod then names the method that succeeded.
-	Degraded       bool
-	FallbackMethod string
-}
-
-// Map runs the full mapping flow: (optional QCO) → initial placement →
-// the Alg. 2 routing loop. The returned schedule always validates against
-// the returned circuit.
-func Map(c *circuit.Circuit, g *grid.Grid, cfg Config) (*Result, error) {
-	cfg.fillDefaults()
-	if err := ctxErr(cfg.Ctx); err != nil {
-		return nil, err
-	}
-	start := time.Now()
-	work := c.DecomposeSWAPs()
-	if cfg.QCO {
-		work = OptimizeProgram(work)
-	}
-	if have := g.Capacity(); have < work.NumQubits {
-		return nil, &ErrInsufficientCapacity{Need: work.NumQubits, Have: have, Grid: g.String()}
-	}
-	layout := cfg.Placement.Place(work, g)
-	s, err := routeCircuit(work, g, layout, cfg)
-	if err != nil {
-		return nil, err
-	}
-	res := &Result{
-		Schedule: s,
-		Circuit:  work,
-		Grid:     g,
-		Latency:  s.Latency(),
-		PathLen:  s.TotalPathLength(),
-		Runtime:  time.Since(start),
-	}
-	if res.Latency > 0 {
-		res.ResUtil = float64(res.PathLen) / (float64(g.Tiles()) * float64(res.Latency))
-	}
-	return res, nil
-}
-
 // swapOp tracks an in-flight inserted SWAP: three braids between two
 // adjacent tiles, the last of which exchanges the occupants.
 type swapOp struct {
@@ -171,7 +126,7 @@ type swapOp struct {
 }
 
 // routeCircuit is the Alg. 2 main loop on a one-shot router.
-func routeCircuit(c *circuit.Circuit, g *grid.Grid, layout *grid.Layout, cfg Config) (*sched.Schedule, error) {
+func routeCircuit(c *circuit.Circuit, g *grid.Grid, layout *grid.Layout, cfg config) (*sched.Schedule, error) {
 	var rt router
 	return rt.route(c, g, layout, cfg)
 }
@@ -187,7 +142,7 @@ type router struct {
 	c      *circuit.Circuit
 	g      *grid.Grid
 	layout *grid.Layout
-	cfg    Config
+	cfg    config
 
 	// Per-grid state (reallocated when the grid changes). Keyed by grid
 	// identity, not tile count: two same-sized grids can carry different
@@ -224,7 +179,7 @@ type router struct {
 
 // init sizes the scratch for a (circuit, grid, layout) triple and resets
 // all per-call state.
-func (r *router) init(c *circuit.Circuit, g *grid.Grid, layout *grid.Layout, cfg Config) {
+func (r *router) init(c *circuit.Circuit, g *grid.Grid, layout *grid.Layout, cfg config) {
 	r.c, r.g, r.layout, r.cfg = c, g, layout, cfg
 
 	if r.occ == nil || r.occGrid != g {
@@ -263,7 +218,7 @@ func (r *router) init(c *circuit.Circuit, g *grid.Grid, layout *grid.Layout, cfg
 
 // route runs the Alg. 2 main loop. The returned schedule is owned by the
 // router and valid until the next route call.
-func (r *router) route(c *circuit.Circuit, g *grid.Grid, layout *grid.Layout, cfg Config) (*sched.Schedule, error) {
+func (r *router) route(c *circuit.Circuit, g *grid.Grid, layout *grid.Layout, cfg config) (*sched.Schedule, error) {
 	r.init(c, g, layout, cfg)
 
 	// skip1Q advances each qubit's cursor past single-qubit gates: they

@@ -7,9 +7,6 @@ import (
 
 	"hilight/internal/circuit"
 	"hilight/internal/grid"
-	"hilight/internal/order"
-	"hilight/internal/place"
-	"hilight/internal/route"
 )
 
 func bvCircuit(n int) *circuit.Circuit {
@@ -41,11 +38,11 @@ func isingStep(n int) *circuit.Circuit {
 	return c
 }
 
-func mustMap(t *testing.T, c *circuit.Circuit, g *grid.Grid, cfg Config) *Result {
+func mustMap(t *testing.T, c *circuit.Circuit, g *grid.Grid, sp Spec) *Result {
 	t.Helper()
-	res, err := Map(c, g, cfg)
+	res, err := Run(c, g, sp, RunOptions{})
 	if err != nil {
-		t.Fatalf("Map(%s): %v", c.Name, err)
+		t.Fatalf("Run(%s): %v", c.Name, err)
 	}
 	if err := res.Schedule.Validate(res.Circuit); err != nil {
 		t.Fatalf("schedule invalid for %s: %v", c.Name, err)
@@ -56,7 +53,7 @@ func mustMap(t *testing.T, c *circuit.Circuit, g *grid.Grid, cfg Config) *Result
 func TestMapBVSerializes(t *testing.T) {
 	c := bvCircuit(10)
 	g := grid.Rect(10)
-	res := mustMap(t, c, g, HilightMap(nil))
+	res := mustMap(t, c, g, MustMethod("hilight-map"))
 	// All 9 CXs share the ancilla: latency must be exactly 9 (Table 1).
 	if res.Latency != 9 {
 		t.Errorf("BV-10 latency = %d, want 9", res.Latency)
@@ -70,7 +67,7 @@ func TestMapIsingStepLatency(t *testing.T) {
 	for _, n := range []int{8, 16, 30} {
 		c := isingStep(n)
 		g := grid.Rect(n)
-		res := mustMap(t, c, g, HilightMap(nil))
+		res := mustMap(t, c, g, MustMethod("hilight-map"))
 		if res.Latency != 4 {
 			t.Errorf("Ising step n=%d latency = %d, want 4", n, res.Latency)
 		}
@@ -85,7 +82,7 @@ func TestMapGHZChainWithPattern(t *testing.T) {
 		c.Add2(circuit.CX, i, i+1)
 	}
 	g := grid.Square(n)
-	res := mustMap(t, c, g, HilightMap(nil))
+	res := mustMap(t, c, g, MustMethod("hilight-map"))
 	// The chain serializes (each CX depends on the previous through the
 	// shared qubit): latency = n-1 regardless of placement.
 	if res.Latency != n-1 {
@@ -106,31 +103,30 @@ func TestMapParallelPairs(t *testing.T) {
 		c.Add2(circuit.CX, i, i+1)
 	}
 	g := grid.Square(8)
-	res := mustMap(t, c, g, HilightMap(nil))
+	res := mustMap(t, c, g, MustMethod("hilight-map"))
 	if res.Latency != 1 {
 		t.Errorf("parallel pairs latency = %d, want 1", res.Latency)
 	}
 }
 
 func TestMapAllConfigVariants(t *testing.T) {
-	rng := func() *rand.Rand { return rand.New(rand.NewSource(5)) }
 	c := qftCircuit(8)
 	g := grid.Rect(8)
-	cfgs := map[string]Config{
-		"hilight-map":  HilightMap(rng()),
-		"hilight-pg":   HilightPG(rng()),
-		"hilight-gm":   HilightGM(rng()),
-		"baseline":     Fig9Baseline(rng()),
-		"random-order": {Ordering: order.Random{Rng: rng()}},
-		"llg-order":    {Ordering: order.LLG{}},
-		"asc":          {Ordering: order.Ascending{}},
-		"desc":         {Ordering: order.Descending{}},
-		"identity":     {Placement: place.Identity{}},
-		"full16":       {Finder: &route.Full16{}},
-		"stackdfs":     {Finder: &route.StackDFS{}},
+	specs := map[string]Spec{
+		"hilight-map":  MustMethod("hilight-map"),
+		"hilight-pg":   MustMethod("hilight-pg"),
+		"hilight-gm":   MustMethod("hilight-gm"),
+		"baseline":     MustMethod("baseline"),
+		"random-order": {Ordering: "random"},
+		"llg-order":    {Ordering: "llg"},
+		"asc":          {Ordering: "ascending"},
+		"desc":         {Ordering: "descending"},
+		"identity":     {Placement: "identity"},
+		"full16":       {Finder: "full-16"},
+		"stackdfs":     {Finder: "stack-dfs"},
 	}
-	for name, cfg := range cfgs {
-		res, err := Map(c, g, cfg)
+	for name, sp := range specs {
+		res, err := Run(c, g, sp, RunOptions{Rng: rand.New(rand.NewSource(5))})
 		if err != nil {
 			t.Errorf("%s: %v", name, err)
 			continue
@@ -157,13 +153,13 @@ func qftCircuit(n int) *circuit.Circuit {
 
 func TestMapEmptyAndOneGateCircuits(t *testing.T) {
 	e := circuit.New("empty", 4)
-	res := mustMap(t, e, grid.Square(4), HilightMap(nil))
+	res := mustMap(t, e, grid.Square(4), MustMethod("hilight-map"))
 	if res.Latency != 0 || res.ResUtil != 0 {
 		t.Errorf("empty circuit latency=%d resutil=%g", res.Latency, res.ResUtil)
 	}
 	one := circuit.New("one", 2)
 	one.Add2(circuit.CX, 0, 1)
-	res = mustMap(t, one, grid.Square(2), HilightMap(nil))
+	res = mustMap(t, one, grid.Square(2), MustMethod("hilight-map"))
 	if res.Latency != 1 {
 		t.Errorf("single gate latency = %d", res.Latency)
 	}
@@ -172,7 +168,7 @@ func TestMapEmptyAndOneGateCircuits(t *testing.T) {
 func TestMapRejectsOversizedCircuit(t *testing.T) {
 	c := circuit.New("big", 10)
 	g := grid.New(2, 2)
-	if _, err := Map(c, g, Config{}); err == nil {
+	if _, err := Run(c, g, Spec{}, RunOptions{}); err == nil {
 		t.Error("oversized circuit accepted")
 	}
 }
@@ -184,8 +180,8 @@ func TestMapQCOPreservesSemanticsAndHelps(t *testing.T) {
 	c.Add2(circuit.CX, 0, 2)
 	c.Add2(circuit.CX, 3, 2)
 	g := grid.Square(4)
-	plain := mustMap(t, c, g, HilightMap(nil))
-	pg := mustMap(t, c, g, HilightPG(nil))
+	plain := mustMap(t, c, g, MustMethod("hilight-map"))
+	pg := mustMap(t, c, g, MustMethod("hilight-pg"))
 	if pg.Latency > plain.Latency {
 		t.Errorf("QCO increased latency: %d -> %d", plain.Latency, pg.Latency)
 	}
@@ -195,7 +191,7 @@ func TestMapWithFactoryReservation(t *testing.T) {
 	c := qftCircuit(6)
 	g := grid.New(3, 3)
 	g.ReserveTile(g.TileAt(2, 2))
-	res := mustMap(t, c, g, HilightMap(nil))
+	res := mustMap(t, c, g, MustMethod("hilight-map"))
 	// No braid endpoint may live on the reserved tile.
 	for _, layer := range res.Schedule.Layers {
 		for _, b := range layer {
@@ -228,9 +224,7 @@ func (a *swapHappyAdjuster) Propose(st *RouterState) []TileSwap {
 func TestMapWithAdjusterSwaps(t *testing.T) {
 	c := qftCircuit(6)
 	g := grid.Square(6)
-	cfg := HilightMap(nil)
-	cfg.Adjuster = &swapHappyAdjuster{}
-	res, err := Map(c, g, cfg)
+	res, err := Run(c, g, MustMethod("hilight-map"), RunOptions{Adjuster: &swapHappyAdjuster{}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,9 +244,7 @@ func (badAdjuster) Propose(st *RouterState) []TileSwap {
 
 func TestMapRejectsNonAdjacentSwap(t *testing.T) {
 	c := qftCircuit(6)
-	cfg := HilightMap(nil)
-	cfg.Adjuster = badAdjuster{}
-	if _, err := Map(c, grid.Square(6), cfg); err == nil {
+	if _, err := Run(c, grid.Square(6), MustMethod("hilight-map"), RunOptions{Adjuster: badAdjuster{}}); err == nil {
 		t.Error("non-adjacent swap accepted")
 	}
 }
@@ -261,7 +253,7 @@ func TestMapRejectsNonAdjacentSwap(t *testing.T) {
 // and latency is bounded below by the per-qubit serialization and above
 // by total CX count (plus swap stalls, absent here).
 func TestMapScheduleProperty(t *testing.T) {
-	presets := []func(*rand.Rand) Config{HilightMap, HilightPG, HilightGM}
+	presets := []Spec{MustMethod("hilight-map"), MustMethod("hilight-pg"), MustMethod("hilight-gm")}
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		n := 2 + rng.Intn(12)
@@ -277,7 +269,7 @@ func TestMapScheduleProperty(t *testing.T) {
 		}
 		g := grid.Rect(n)
 		for _, preset := range presets {
-			res, err := Map(c, g, preset(rng))
+			res, err := Run(c, g, preset, RunOptions{Rng: rng})
 			if err != nil {
 				return false
 			}

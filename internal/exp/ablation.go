@@ -3,13 +3,10 @@ package exp
 import (
 	"fmt"
 	"io"
-	"math/rand"
 	"text/tabwriter"
 
 	"hilight/internal/core"
 	"hilight/internal/grid"
-	"hilight/internal/place"
-	"hilight/internal/route"
 )
 
 // ThresholdPoint is one row of the ordering-threshold sweep: the ready-set
@@ -50,12 +47,9 @@ func RunThresholdSweep(o Options) (*ThresholdReport, error) {
 		c := e.Build()
 		g := grid.Rect(e.N)
 		for i, th := range thresholds {
-			mk := func(rng *rand.Rand) core.Config {
-				cfg := core.HilightMap(rng)
-				cfg.OrderingThreshold = th
-				return cfg
-			}
-			m, err := average(c, g, mk, o.Seed, 1)
+			sp := core.MustMethod("hilight-map")
+			sp.OrderingThreshold = th
+			m, err := average(c, g, sp, o.Seed, 1)
 			if err != nil {
 				return nil, fmt.Errorf("%s/threshold %d: %w", e.Name, th, err)
 			}
@@ -116,15 +110,7 @@ func (r *FinderReport) Print(w io.Writer) {
 // L-shape — across the scaled benchmark set.
 func RunFinderAblation(o Options) (*FinderReport, error) {
 	o = o.fill()
-	finders := []struct {
-		name string
-		mk   func() route.Finder
-	}{
-		{"astar-closest", func() route.Finder { return &route.AStar{} }},
-		{"full-16", func() route.Finder { return &route.Full16{} }},
-		{"stack-dfs", func() route.Finder { return &route.StackDFS{} }},
-		{"l-shape", func() route.Finder { return route.LShape{} }},
-	}
+	finders := []string{"astar-closest", "full-16", "stack-dfs", "l-shape"}
 	lat := make([][]float64, len(finders))
 	rt := make([][]float64, len(finders))
 	util := make([][]float64, len(finders))
@@ -132,15 +118,10 @@ func RunFinderAblation(o Options) (*FinderReport, error) {
 		c := e.Build()
 		g := grid.Rect(e.N)
 		for i, f := range finders {
-			mk := func(rng *rand.Rand) core.Config {
-				return core.Config{
-					Placement: place.HiLight{Rng: rng},
-					Finder:    f.mk(),
-				}
-			}
-			m, err := average(c, g, mk, o.Seed, 1)
+			sp := core.Spec{Placement: "hilight", Finder: f}
+			m, err := average(c, g, sp, o.Seed, 1)
 			if err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", e.Name, f.name, err)
+				return nil, fmt.Errorf("%s/%s: %w", e.Name, f, err)
 			}
 			lat[i] = append(lat[i], float64(m.Latency))
 			rt[i] = append(rt[i], seconds(m.Runtime))
@@ -151,7 +132,7 @@ func RunFinderAblation(o Options) (*FinderReport, error) {
 	rep := &FinderReport{}
 	for i, f := range finders {
 		rep.Arms = append(rep.Arms, FinderArm{
-			Name:    f.name,
+			Name:    f,
 			Latency: geomeanRatio(lat[i], lat[0], 1),
 			Runtime: geomeanRatio(rt[i], rt[0], rtFloor),
 			ResUtil: geomeanRatio(util[i], util[0], 1e-6),

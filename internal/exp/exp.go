@@ -82,10 +82,12 @@ type Measurement struct {
 }
 
 // runOn maps a circuit on its paper grid (rectangular M×(M−1), per §4.6)
-// and returns the measurement. The schedule is validated — a harness that
-// reports metrics for unexecutable schedules would be meaningless.
-func runOn(c *circuit.Circuit, g *grid.Grid, cfg core.Config) (Measurement, error) {
-	res, err := core.Map(c, g, cfg)
+// through the sp pipeline and returns the measurement. rng drives the
+// spec's randomized components (nil = seed 1). The schedule is
+// validated — a harness that reports metrics for unexecutable schedules
+// would be meaningless.
+func runOn(c *circuit.Circuit, g *grid.Grid, sp core.Spec, rng *rand.Rand) (Measurement, error) {
+	res, err := core.Run(c, g, sp, core.RunOptions{Rng: rng})
 	if err != nil {
 		return Measurement{}, err
 	}
@@ -95,12 +97,13 @@ func runOn(c *circuit.Circuit, g *grid.Grid, cfg core.Config) (Measurement, erro
 	return Measurement{Latency: res.Latency, Runtime: res.Runtime, ResUtil: res.ResUtil}, nil
 }
 
-// average runs cfg trials times with distinct seeds and averages.
-func average(c *circuit.Circuit, g *grid.Grid, mk func(*rand.Rand) core.Config, seed int64, trials int) (Measurement, error) {
+// average runs the sp pipeline trials times with distinct seeds and
+// averages.
+func average(c *circuit.Circuit, g *grid.Grid, sp core.Spec, seed int64, trials int) (Measurement, error) {
 	var sumL, sumU float64
 	var sumR time.Duration
 	for t := 0; t < trials; t++ {
-		m, err := runOn(c, g, mk(rand.New(rand.NewSource(seed+int64(t)))))
+		m, err := runOn(c, g, sp, rand.New(rand.NewSource(seed+int64(t))))
 		if err != nil {
 			return Measurement{}, err
 		}

@@ -3,10 +3,8 @@ package exp
 import (
 	"fmt"
 	"io"
-	"math/rand"
 	"text/tabwriter"
 
-	"hilight/internal/autobraid"
 	"hilight/internal/core"
 	"hilight/internal/hwopt"
 )
@@ -56,14 +54,14 @@ func RunFig10(o Options) (*Fig10Report, error) {
 	type arm struct {
 		name   string
 		hwGrid bool
-		mk     func(*rand.Rand) core.Config
+		sp     core.Spec
 	}
 	arms := []arm{
-		{"autobraid-full", false, func(rng *rand.Rand) core.Config { return autobraid.Full(rng) }},
-		{"hilight-map", false, func(rng *rand.Rand) core.Config { return core.HilightMap(rng) }},
-		{"hilight-pg", false, func(rng *rand.Rand) core.Config { return core.HilightPG(rng) }},
-		{"hilight-hw", true, func(rng *rand.Rand) core.Config { return core.HilightMap(rng) }},
-		{"hilight-full", true, func(rng *rand.Rand) core.Config { return core.HilightPG(rng) }},
+		{"autobraid-full", false, core.MustMethod("autobraid-full")},
+		{"hilight-map", false, core.MustMethod("hilight-map")},
+		{"hilight-pg", false, core.MustMethod("hilight-pg")},
+		{"hilight-hw", true, core.MustMethod("hilight-map")},
+		{"hilight-full", true, core.MustMethod("hilight-pg")},
 	}
 	entries := o.entries()
 	lat := make([][]float64, len(arms))
@@ -73,7 +71,7 @@ func RunFig10(o Options) (*Fig10Report, error) {
 		c := e.Build()
 		for i, a := range arms {
 			g := hwopt.GridFor(e.N, a.hwGrid)
-			m, err := average(c, g, a.mk, o.Seed, 1)
+			m, err := average(c, g, a.sp, o.Seed, 1)
 			if err != nil {
 				return nil, fmt.Errorf("%s/%s: %w", e.Name, a.name, err)
 			}

@@ -3,14 +3,10 @@ package exp
 import (
 	"fmt"
 	"io"
-	"math/rand"
 	"text/tabwriter"
 
 	"hilight/internal/core"
 	"hilight/internal/grid"
-	"hilight/internal/order"
-	"hilight/internal/place"
-	"hilight/internal/route"
 )
 
 // ArmResult is one bar of Fig. 8a/8b: a method's latency and runtime
@@ -50,7 +46,7 @@ func (r *FigReport) Arm(name string) (ArmResult, bool) {
 
 // runArms measures every arm over the scaled benchmark set and
 // normalizes to the arm named ref.
-func runArms(o Options, title, ref string, arms map[string]func(*rand.Rand) core.Config, trials map[string]int) (*FigReport, error) {
+func runArms(o Options, title, ref string, arms map[string]core.Spec, trials map[string]int) (*FigReport, error) {
 	o = o.fill()
 	entries := o.entries()
 	lat := map[string][]float64{}
@@ -58,12 +54,12 @@ func runArms(o Options, title, ref string, arms map[string]func(*rand.Rand) core
 	for _, e := range entries {
 		c := e.Build()
 		g := grid.Rect(e.N)
-		for name, mk := range arms {
+		for name, sp := range arms {
 			t := 1
 			if trials[name] > 0 {
 				t = trials[name]
 			}
-			m, err := average(c, g, mk, o.Seed, t)
+			m, err := average(c, g, sp, o.Seed, t)
 			if err != nil {
 				return nil, fmt.Errorf("%s/%s: %w", e.Name, name, err)
 			}
@@ -96,21 +92,14 @@ func sortArms(arms []ArmResult) {
 // fixed to the proposed gate ordering and path-finder.
 func RunFig8a(o Options) (*FigReport, error) {
 	o = o.fill()
-	withPlacement := func(mk func(*rand.Rand) place.Method) func(*rand.Rand) core.Config {
-		return func(rng *rand.Rand) core.Config {
-			return core.Config{
-				Placement: mk(rng),
-				Ordering:  order.Proposed{},
-				Finder:    &route.AStar{},
-			}
-		}
-	}
-	arms := map[string]func(*rand.Rand) core.Config{
-		"identity": withPlacement(func(*rand.Rand) place.Method { return place.Identity{} }),
-		"random":   withPlacement(func(rng *rand.Rand) place.Method { return place.Random{Rng: rng} }),
-		"gm":       withPlacement(func(rng *rand.Rand) place.Method { return place.GM{Rng: rng} }),
-		"gmwp":     withPlacement(func(rng *rand.Rand) place.Method { return place.GMWP{Rng: rng} }),
-		"proposed": withPlacement(func(rng *rand.Rand) place.Method { return place.HiLight{Rng: rng} }),
+	// Spec zero values default to the proposed ordering and path-finder,
+	// so each arm varies placement only.
+	arms := map[string]core.Spec{
+		"identity": {Placement: "identity"},
+		"random":   {Placement: "random"},
+		"gm":       {Placement: "gm"},
+		"gmwp":     {Placement: "gmwp"},
+		"proposed": {Placement: "hilight"},
 	}
 	return runArms(o, "Fig. 8a — initial placement (normalized to proposed)", "proposed",
 		arms, map[string]int{"random": o.Trials, "proposed": o.Trials})
@@ -120,21 +109,14 @@ func RunFig8a(o Options) (*FigReport, error) {
 // placement and path-finder.
 func RunFig8b(o Options) (*FigReport, error) {
 	o = o.fill()
-	withOrdering := func(mk func(*rand.Rand) order.Strategy) func(*rand.Rand) core.Config {
-		return func(rng *rand.Rand) core.Config {
-			return core.Config{
-				Placement: place.HiLight{Rng: rng},
-				Ordering:  mk(rng),
-				Finder:    &route.AStar{},
-			}
-		}
-	}
-	arms := map[string]func(*rand.Rand) core.Config{
-		"random":     withOrdering(func(rng *rand.Rand) order.Strategy { return order.Random{Rng: rng} }),
-		"ascending":  withOrdering(func(*rand.Rand) order.Strategy { return order.Ascending{} }),
-		"descending": withOrdering(func(*rand.Rand) order.Strategy { return order.Descending{} }),
-		"llg":        withOrdering(func(*rand.Rand) order.Strategy { return order.LLG{} }),
-		"proposed":   withOrdering(func(*rand.Rand) order.Strategy { return order.Proposed{} }),
+	// Placement defaults to the proposed ("hilight") method, so each arm
+	// varies gate ordering only.
+	arms := map[string]core.Spec{
+		"random":     {Ordering: "random"},
+		"ascending":  {Ordering: "ascending"},
+		"descending": {Ordering: "descending"},
+		"llg":        {Ordering: "llg"},
+		"proposed":   {Ordering: "proposed"},
 	}
 	return runArms(o, "Fig. 8b — gate ordering (normalized to proposed)", "proposed",
 		arms, map[string]int{"random": o.Trials})
@@ -167,33 +149,17 @@ func (r *Fig8cReport) Print(w io.Writer) {
 // pattern matching, gate ordering and fast braiding.
 func RunFig8c(o Options) (*Fig8cReport, error) {
 	o = o.fill()
-	type spec struct {
+	type row struct {
 		placement, pattern, ordering, braiding string
-		mk                                     func(*rand.Rand) core.Config
+		sp                                     core.Spec
 	}
-	specs := []spec{
-		{"identity", "-", "ours", "ours", func(rng *rand.Rand) core.Config {
-			return core.Config{Placement: place.Identity{}}
-		}},
-		{"gm", "-", "ours", "ours", func(rng *rand.Rand) core.Config {
-			return core.Config{Placement: place.GM{Rng: rng}}
-		}},
-		{"ours", "-", "ours", "ours", func(rng *rand.Rand) core.Config {
-			return core.Config{Placement: place.Proximity{}}
-		}},
-		{"ours", "ours", "ours", "ours", func(rng *rand.Rand) core.Config {
-			return core.HilightMap(rng)
-		}},
-		{"ours", "ours", "ours", "-", func(rng *rand.Rand) core.Config {
-			cfg := core.HilightMap(rng)
-			cfg.Finder = &route.Full16{}
-			return cfg
-		}},
-		{"ours", "ours", "llg", "ours", func(rng *rand.Rand) core.Config {
-			cfg := core.HilightMap(rng)
-			cfg.Ordering = order.LLG{}
-			return cfg
-		}},
+	specs := []row{
+		{"identity", "-", "ours", "ours", core.Spec{Placement: "identity"}},
+		{"gm", "-", "ours", "ours", core.Spec{Placement: "gm"}},
+		{"ours", "-", "ours", "ours", core.Spec{Placement: "proximity"}},
+		{"ours", "ours", "ours", "ours", core.MustMethod("hilight-map")},
+		{"ours", "ours", "ours", "-", core.Spec{Finder: "full-16"}},
+		{"ours", "ours", "llg", "ours", core.Spec{Ordering: "llg"}},
 	}
 	entries := o.entries()
 	lat := make([][]float64, len(specs))
@@ -201,8 +167,8 @@ func RunFig8c(o Options) (*Fig8cReport, error) {
 	for _, e := range entries {
 		c := e.Build()
 		g := grid.Rect(e.N)
-		for i, sp := range specs {
-			m, err := average(c, g, sp.mk, o.Seed, 1)
+		for i, r := range specs {
+			m, err := average(c, g, r.sp, o.Seed, 1)
 			if err != nil {
 				return nil, fmt.Errorf("%s/row%d: %w", e.Name, i, err)
 			}
@@ -213,10 +179,10 @@ func RunFig8c(o Options) (*Fig8cReport, error) {
 	const refRow = 3 // the full proposed stack
 	const rtFloor = 50e-6
 	rep := &Fig8cReport{}
-	for i, sp := range specs {
+	for i, r := range specs {
 		rep.Rows = append(rep.Rows, Fig8cRow{
-			Placement: sp.placement, Pattern: sp.pattern,
-			Ordering: sp.ordering, Braiding: sp.braiding,
+			Placement: r.placement, Pattern: r.pattern,
+			Ordering: r.ordering, Braiding: r.braiding,
 			Latency: geomeanRatio(lat[i], lat[refRow], 1),
 			Runtime: geomeanRatio(rt[i], rt[refRow], rtFloor),
 		})

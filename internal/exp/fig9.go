@@ -6,7 +6,8 @@ import (
 	"math/rand"
 	"text/tabwriter"
 
-	"hilight/internal/autobraid"
+	_ "hilight/internal/autobraid" // registers the autobraid-sp/-full method specs
+
 	"hilight/internal/bench"
 	"hilight/internal/circuit"
 	"hilight/internal/core"
@@ -49,21 +50,9 @@ func (r *Fig9Report) Print(w io.Writer) {
 	tw.Flush()
 }
 
-// Fig9Methods are the four curves of Fig. 9.
+// Fig9Methods are the four curves of Fig. 9; each is a registered method
+// spec, resolved by name.
 var Fig9Methods = []string{"baseline", "autobraid-full", "hilight-gm", "hilight-map"}
-
-func fig9Config(method string, rng *rand.Rand) core.Config {
-	switch method {
-	case "baseline":
-		return core.Fig9Baseline(rng)
-	case "autobraid-full":
-		return autobraid.Full(rng)
-	case "hilight-gm":
-		return core.HilightGM(rng)
-	default:
-		return core.HilightMap(rng)
-	}
-}
 
 // RunFig9 reproduces the scalability analysis: QFT, BV, CC and Ising
 // sweeps mapped by the four methods. Scale bounds the largest instances
@@ -109,7 +98,7 @@ func RunFig9(o Options) (*Fig9Report, error) {
 		for _, n := range sizes[name] {
 			c := builders[name](n)
 			for _, method := range Fig9Methods {
-				m, err := runOn(c, grid.Rect(n), fig9Config(method, rand.New(rand.NewSource(o.Seed))))
+				m, err := runOn(c, grid.Rect(n), core.MustMethod(method), rand.New(rand.NewSource(o.Seed)))
 				if err != nil {
 					return nil, fmt.Errorf("%s-%d/%s: %w", name, n, method, err)
 				}

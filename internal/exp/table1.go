@@ -3,10 +3,8 @@ package exp
 import (
 	"fmt"
 	"io"
-	"math/rand"
 	"text/tabwriter"
 
-	"hilight/internal/autobraid"
 	"hilight/internal/core"
 	"hilight/internal/grid"
 )
@@ -37,11 +35,10 @@ func RunTable1(o Options) (*Table1Report, error) {
 		c := e.Build()
 		row := Table1Row{Type: e.Type, Function: e.Function, Name: e.Name, N: e.N, Gates: e.Gates}
 		var err error
-		if row.SP, err = runOn(c, grid.Rect(e.N), autobraid.SP()); err != nil {
+		if row.SP, err = runOn(c, grid.Rect(e.N), core.MustMethod("autobraid-sp"), nil); err != nil {
 			return nil, fmt.Errorf("%s/autobraid-sp: %w", e.Name, err)
 		}
-		mkFull := func(rng *rand.Rand) core.Config { return autobraid.Full(rng) }
-		if row.Full, err = average(c, grid.Rect(e.N), mkFull, o.Seed, 1); err != nil {
+		if row.Full, err = average(c, grid.Rect(e.N), core.MustMethod("autobraid-full"), o.Seed, 1); err != nil {
 			return nil, fmt.Errorf("%s/autobraid-full: %w", e.Name, err)
 		}
 		// QFT rows average the pattern-matched random layout (§3.1.2).
@@ -49,8 +46,7 @@ func RunTable1(o Options) (*Table1Report, error) {
 		if c.NumQubits >= 4 && isQFTLike(e.Name) {
 			trials = o.Trials
 		}
-		mkOurs := func(rng *rand.Rand) core.Config { return core.HilightMap(rng) }
-		if row.HiLight, err = average(c, grid.Rect(e.N), mkOurs, o.Seed, trials); err != nil {
+		if row.HiLight, err = average(c, grid.Rect(e.N), core.MustMethod("hilight-map"), o.Seed, trials); err != nil {
 			return nil, fmt.Errorf("%s/hilight-map: %w", e.Name, err)
 		}
 		rep.Rows = append(rep.Rows, row)

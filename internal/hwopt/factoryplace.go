@@ -68,18 +68,19 @@ func CandidateFactoryGrids(n, fw, fh int, hwOpt bool) ([]FactoryPlacement, error
 // BestFactoryPlacement maps the circuit on every candidate factory
 // position and returns all evaluated placements sorted answer-first: the
 // winner (lowest latency, ties by lowest ResUtil then position order)
-// is element 0. mkConfig builds the mapping configuration per attempt;
-// nil uses HilightMap.
-func BestFactoryPlacement(c *circuit.Circuit, fw, fh int, hwOpt bool, mkConfig func(*rand.Rand) core.Config, seed int64) ([]FactoryPlacement, error) {
-	if mkConfig == nil {
-		mkConfig = core.HilightMap
-	}
+// is element 0. sp selects the compile pipeline per attempt; the zero
+// Spec is the "hilight-map" stack. Every candidate compiles with a
+// fresh rng seeded from seed, so positions are compared under identical
+// random streams.
+func BestFactoryPlacement(c *circuit.Circuit, fw, fh int, hwOpt bool, sp core.Spec, seed int64) ([]FactoryPlacement, error) {
 	cands, err := CandidateFactoryGrids(c.NumQubits, fw, fh, hwOpt)
 	if err != nil {
 		return nil, err
 	}
 	for i := range cands {
-		res, err := core.Map(c, cands[i].Grid, mkConfig(rand.New(rand.NewSource(seed))))
+		res, err := core.Run(c, cands[i].Grid, sp, core.RunOptions{
+			Rng: rand.New(rand.NewSource(seed)),
+		})
 		if err != nil {
 			return nil, fmt.Errorf("hwopt: factory at (%d,%d): %w", cands[i].X, cands[i].Y, err)
 		}

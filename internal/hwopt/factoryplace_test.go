@@ -5,6 +5,7 @@ import (
 
 	"hilight/internal/bench"
 	"hilight/internal/circuit"
+	"hilight/internal/core"
 )
 
 func TestCandidateFactoryGrids(t *testing.T) {
@@ -53,7 +54,7 @@ func TestBestFactoryPlacement(t *testing.T) {
 		t.Fatal("benchmark missing")
 	}
 	c := e.Build()
-	placements, err := BestFactoryPlacement(c, 1, 1, false, nil, 3)
+	placements, err := BestFactoryPlacement(c, 1, 1, false, core.Spec{}, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func TestBestFactoryPlacement(t *testing.T) {
 func TestBestFactoryPlacementTinyCircuit(t *testing.T) {
 	c := circuit.New("pair", 2)
 	c.Add2(circuit.CX, 0, 1)
-	placements, err := BestFactoryPlacement(c, 1, 1, true, nil, 1)
+	placements, err := BestFactoryPlacement(c, 1, 1, true, core.Spec{}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -70,7 +70,7 @@ func mapQFT(t *testing.T, n int, g *grid.Grid) *core.Result {
 			c.Add2(circuit.CX, j, i)
 		}
 	}
-	res, err := core.Map(c, g, core.HilightMap(nil))
+	res, err := core.Run(c, g, core.MustMethod("hilight-map"), core.RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,12 +100,12 @@ func TestRectRaisesUtilization(t *testing.T) {
 	const trials = 25
 	for seed := int64(0); seed < trials; seed++ {
 		rng := rand.New(rand.NewSource(seed))
-		sq, err := core.Map(c, grid.Square(12), core.HilightMap(rng))
+		sq, err := core.Run(c, grid.Square(12), core.MustMethod("hilight-map"), core.RunOptions{Rng: rng})
 		if err != nil {
 			t.Fatal(err)
 		}
 		rng = rand.New(rand.NewSource(seed))
-		rc, err := core.Map(c, grid.Rect(12), core.HilightMap(rng))
+		rc, err := core.Run(c, grid.Rect(12), core.MustMethod("hilight-map"), core.RunOptions{Rng: rng})
 		if err != nil {
 			t.Fatal(err)
 		}

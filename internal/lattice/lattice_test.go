@@ -99,7 +99,7 @@ func TestLowerFullPipeline(t *testing.T) {
 		}
 	}
 	g := grid.Rect(9)
-	res, err := core.Map(c, g, core.HilightMap(nil))
+	res, err := core.Run(c, g, core.MustMethod("hilight-map"), core.RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +135,7 @@ func TestLoweringSoundnessProperty(t *testing.T) {
 			}
 		}
 		g := grid.Rect(n)
-		res, err := core.Map(c, g, core.HilightMap(rng))
+		res, err := core.Run(c, g, core.MustMethod("hilight-map"), core.RunOptions{Rng: rng})
 		if err != nil || res.Schedule.Validate(res.Circuit) != nil {
 			return false
 		}

@@ -26,7 +26,7 @@ func tCircuit(braids, nT int) *circuit.Circuit {
 
 func mapIt(t *testing.T, c *circuit.Circuit) *core.Result {
 	t.Helper()
-	res, err := core.Map(c, grid.Square(c.NumQubits), core.HilightMap(nil))
+	res, err := core.Run(c, grid.Square(c.NumQubits), core.MustMethod("hilight-map"), core.RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +206,7 @@ func TestMonotoneFactoryProperty(t *testing.T) {
 				}
 			}
 		}
-		res, err := core.Map(c, grid.Square(4), core.HilightMap(nil))
+		res, err := core.Run(c, grid.Square(4), core.MustMethod("hilight-map"), core.RunOptions{})
 		if err != nil || res.Schedule.Validate(res.Circuit) != nil {
 			return false
 		}

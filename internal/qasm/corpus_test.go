@@ -49,7 +49,7 @@ func TestCorpusEndToEnd(t *testing.T) {
 				t.Fatalf("round trip changed gate count %d -> %d", c.Len(), c2.Len())
 			}
 			// Full mapping flow.
-			res, err := core.Map(c, grid.Rect(c.NumQubits), core.HilightMap(nil))
+			res, err := core.Run(c, grid.Rect(c.NumQubits), core.MustMethod("hilight-map"), core.RunOptions{})
 			if err != nil {
 				t.Fatalf("map: %v", err)
 			}

@@ -105,7 +105,7 @@ t5 a b c d e
 		t.Error("no CX structure emitted")
 	}
 	// The expansion must be mappable end to end.
-	res, err := core.Map(c, grid.Rect(5), core.HilightMap(nil))
+	res, err := core.Run(c, grid.Rect(5), core.MustMethod("hilight-map"), core.RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,41 @@
+package route
+
+import (
+	"testing"
+
+	"hilight/internal/grid"
+)
+
+// TestFinderFindZeroAllocs is the CI guard for the allocation-free
+// routing hot path: after the warm-up call has sized the per-grid
+// scratch and the path buffer, Finder.Find must not allocate. This pins
+// the steady-state behavior BenchmarkFinderFind measures, so a
+// regression fails `go test` instead of only drifting a benchmark
+// number.
+func TestFinderFindZeroAllocs(t *testing.T) {
+	g := grid.New(24, 24)
+	finders := []Finder{&AStar{}, &Full16{}, &StackDFS{}, LShape{}}
+	for _, f := range finders {
+		f := f
+		t.Run(f.Name(), func(t *testing.T) {
+			occ := NewOccupancy(g)
+			var buf Path
+			p, ok := f.Find(g, occ, 0, g.Tiles()-1, buf)
+			if !ok {
+				t.Fatal("no path on empty grid")
+			}
+			buf = p
+			allocs := testing.AllocsPerRun(20, func() {
+				p, ok := f.Find(g, occ, 0, g.Tiles()-1, buf[:0])
+				if !ok {
+					t.Error("no path on empty grid")
+					return
+				}
+				buf = p
+			})
+			if allocs != 0 {
+				t.Errorf("%s: %.1f allocs/op in steady state, want 0", f.Name(), allocs)
+			}
+		})
+	}
+}

@@ -14,7 +14,7 @@ import (
 func TestHeatRendersUsage(t *testing.T) {
 	c := bench.BV(10)
 	g := grid.Rect(10)
-	res, err := core.Map(c, g, core.HilightMap(nil))
+	res, err := core.Run(c, g, core.MustMethod("hilight-map"), core.RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -14,7 +14,7 @@ import (
 func compileFixture(t *testing.T) *core.Result {
 	t.Helper()
 	c := bench.QFT(9)
-	res, err := core.Map(c, grid.Rect(9), core.HilightMap(nil))
+	res, err := core.Run(c, grid.Rect(9), core.MustMethod("hilight-map"), core.RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -83,7 +83,7 @@ func TestScheduleRendersEndToEnd(t *testing.T) {
 	c.Add2(circuit.CX, 2, 3)
 	c.Add2(circuit.CX, 4, 5)
 	g := grid.Rect(6)
-	res, err := core.Map(c, g, core.HilightMap(nil))
+	res, err := core.Run(c, g, core.MustMethod("hilight-map"), core.RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
