@@ -23,11 +23,10 @@ lint: vet
 test:
 	$(GO) test ./...
 
-# The concurrency-bearing paths: the CompileAll worker pool and the root
-# integration/batch tests.
+# The full suite under the race detector: the CompileAll worker pool,
+# the shared metrics registry, and every package that touches them.
 race:
-	$(GO) test -race -run 'Batch|CompileAll|Concurrent|Parallel' .
-	$(GO) test -race ./internal/core/
+	$(GO) test -race ./...
 
 # Hot-path microbenchmarks tracked in BENCH_route.json. BenchmarkRouteCircuit
 # and BenchmarkFinderFind must report 0 allocs/op in steady state.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"strings"
+	"sync"
 	"testing"
 
 	"hilight/internal/circuit"
@@ -75,6 +76,38 @@ func TestCompileAllCanceled(t *testing.T) {
 	for i, r := range CompileAll(jobs, 2, WithContext(ctx)) {
 		if !errors.Is(r.Err, ErrCanceled) {
 			t.Fatalf("job %d: got %v, want ErrCanceled", i, r.Err)
+		}
+	}
+}
+
+// A panicking job reports the JobPanic terminal event (not JobFinish)
+// and lands in the batch/jobs-panicked counter.
+func TestCompileAllPanicEventAndMetrics(t *testing.T) {
+	jobs := []BatchJob{mkJob("ok-0"), mkJob("boom")}
+	m := NewMetrics()
+	var mu sync.Mutex
+	kinds := make(map[int][]EventKind)
+	CompileAll(jobs, 1, withPlacement(boomPlacement{}),
+		WithMetrics(m),
+		WithEvents(func(e CompileEvent) {
+			mu.Lock()
+			kinds[e.Job] = append(kinds[e.Job], e.Kind)
+			mu.Unlock()
+		}))
+	if got := kinds[0]; len(got) != 2 || got[0] != EventJobStart || got[1] != EventJobFinish {
+		t.Fatalf("healthy job events = %v, want [job-start job-finish]", got)
+	}
+	if got := kinds[1]; len(got) != 2 || got[0] != EventJobStart || got[1] != EventJobPanic {
+		t.Fatalf("poisoned job events = %v, want [job-start job-panic]", got)
+	}
+	snap := m.Snapshot()
+	for name, want := range map[string]int64{
+		"batch/jobs-panicked":  1,
+		"batch/jobs-succeeded": 1,
+		"batch/jobs-failed":    0,
+	} {
+		if got, ok := snap.Counter(name); !ok || got != want {
+			t.Errorf("%s = %d (ok=%v), want %d", name, got, ok, want)
 		}
 	}
 }

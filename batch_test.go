@@ -1,7 +1,12 @@
 package hilight_test
 
 import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"hilight"
 )
@@ -60,5 +65,247 @@ func TestCompileAllEmptyAndDefaults(t *testing.T) {
 	}
 	if res[0].Result.Grid.Tiles() != hilight.RectGrid(5).Tiles() {
 		t.Error("nil grid did not default to the rectangular grid")
+	}
+}
+
+// pairsCircuit routes within each half of the partitionCut grid, so the
+// identity fallback succeeds where the hilight placement straddles the
+// cut; wideCircuit adds a cross-cut gate no placement can satisfy.
+func pairsCircuit() *hilight.Circuit {
+	c := hilight.NewCircuit("pairs", 4)
+	c.Add2(hilight.CX, 0, 1)
+	c.Add2(hilight.CX, 2, 3)
+	return c
+}
+
+func wideCircuit() *hilight.Circuit {
+	c := hilight.NewCircuit("wide", 4)
+	c.Add2(hilight.CX, 0, 1)
+	c.Add2(hilight.CX, 2, 3)
+	c.Add2(hilight.CX, 0, 3)
+	return c
+}
+
+// A batch whose context died before CompileAll was even called must drain
+// promptly: the dispatcher hands out no work at all (zero start events),
+// and every job reports ErrCanceled.
+func TestCompileAllPromptDrainOnPreCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	jobs := make([]hilight.BatchJob, 5000)
+	for i := range jobs {
+		jobs[i] = hilight.BatchJob{Circuit: hilight.QFT(16)}
+	}
+	var starts atomic.Int64
+	t0 := time.Now()
+	results := hilight.CompileAll(jobs, 4,
+		hilight.WithContext(ctx),
+		hilight.WithEvents(func(e hilight.CompileEvent) {
+			if e.Kind == hilight.EventJobStart {
+				starts.Add(1)
+			}
+		}))
+	elapsed := time.Since(t0)
+	if len(results) != len(jobs) {
+		t.Fatalf("got %d results, want %d", len(results), len(jobs))
+	}
+	for i, r := range results {
+		if !errors.Is(r.Err, hilight.ErrCanceled) {
+			t.Fatalf("job %d: got %v, want ErrCanceled", i, r.Err)
+		}
+		if r.Result != nil {
+			t.Fatalf("job %d carries both Result and Err", i)
+		}
+	}
+	if n := starts.Load(); n != 0 {
+		t.Fatalf("%d jobs were dispatched under a pre-canceled context", n)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("pre-canceled batch of %d jobs took %v to drain", len(jobs), elapsed)
+	}
+}
+
+// Cancelling mid-batch stops the dispatcher: the select race against
+// Done plus the Err() check at the loop top allow at most one extra job
+// to be handed out after cancellation, so with parallelism 1 no more
+// than two jobs ever start.
+func TestCompileAllCancelShortCircuitsDispatch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	jobs := make([]hilight.BatchJob, 8)
+	for i := range jobs {
+		jobs[i] = hilight.BatchJob{Circuit: hilight.QFT(8)}
+	}
+	var starts atomic.Int64
+	results := hilight.CompileAll(jobs, 1,
+		hilight.WithContext(ctx),
+		hilight.WithEvents(func(e hilight.CompileEvent) {
+			if e.Kind == hilight.EventJobStart {
+				starts.Add(1)
+				cancel()
+			}
+		}))
+	// The started job's Compile sees the dead context; the rest are
+	// failed by the dispatcher without ever reaching a worker.
+	for i, r := range results {
+		if !errors.Is(r.Err, hilight.ErrCanceled) {
+			t.Fatalf("job %d: got %v, want ErrCanceled", i, r.Err)
+		}
+	}
+	if n := starts.Load(); n == 0 || n > 2 {
+		t.Fatalf("%d jobs started, want 1 or 2 (dispatcher kept dispatching after cancel)", n)
+	}
+}
+
+// Every BatchResult carries exactly one of Result and Err — including a
+// job degraded to a fallback method (Result only, Degraded set) and a job
+// whose every chain entry failed (Err only, no partial Result).
+func TestCompileAllBatchResultInvariant(t *testing.T) {
+	g, cut := partitionCut()
+	jobs := []hilight.BatchJob{
+		{Circuit: pairsCircuit(), Grid: g}, // degrades to the identity fallback
+		{Circuit: wideCircuit(), Grid: g},  // unroutable under every chain entry
+		{Circuit: nil},                     // rejected before compiling
+	}
+	results := hilight.CompileAll(jobs, 2,
+		hilight.WithDefects(cut), hilight.WithFallback("identity"))
+	for i, r := range results {
+		if (r.Result == nil) == (r.Err == nil) {
+			t.Fatalf("job %d violates the exactly-one invariant: Result=%v Err=%v",
+				i, r.Result, r.Err)
+		}
+	}
+	if results[0].Err != nil {
+		t.Fatalf("degradable job failed: %v", results[0].Err)
+	}
+	if !results[0].Result.Degraded || results[0].Result.FallbackMethod != "identity" {
+		t.Fatalf("job 0: Degraded=%v FallbackMethod=%q, want true/identity",
+			results[0].Result.Degraded, results[0].Result.FallbackMethod)
+	}
+	if results[1].Err == nil {
+		t.Fatal("unroutable job succeeded")
+	}
+	if results[2].Err == nil {
+		t.Fatal("nil-circuit job succeeded")
+	}
+}
+
+// The batch/... metric family reconciles with the batch outcome: the
+// outcome counters are disjoint and sum to batch/jobs, the histograms
+// record one observation per picked-up job, the inflight gauge returns
+// to zero, and the compile/... fallback counters match the degradation
+// chain activity.
+func TestCompileAllMetricsAccounting(t *testing.T) {
+	g, cut := partitionCut()
+	jobs := []hilight.BatchJob{
+		{Circuit: pairsCircuit(), Grid: g}, // succeeds via fallback (degraded)
+		{Circuit: wideCircuit(), Grid: g},  // fails after trying the fallback
+		{Circuit: nil},                     // fails without compiling
+	}
+	m := hilight.NewMetrics()
+	hilight.CompileAll(jobs, 2,
+		hilight.WithMetrics(m), hilight.WithDefects(cut), hilight.WithFallback("identity"))
+	snap := m.Snapshot()
+	counter := func(name string) int64 {
+		t.Helper()
+		v, ok := snap.Counter(name)
+		if !ok {
+			t.Fatalf("counter %q missing from snapshot", name)
+		}
+		return v
+	}
+	want := map[string]int64{
+		"batch/jobs":           3,
+		"batch/jobs-succeeded": 1,
+		"batch/jobs-failed":    2,
+		"batch/jobs-panicked":  0,
+		"batch/jobs-canceled":  0,
+		"batch/jobs-degraded":  1,
+		// Jobs 0 and 1 each activate the fallback chain once; only job 0
+		// recovers.
+		"compile/fallback-activations": 2,
+		"compile/fallback-recovered":   1,
+	}
+	for name, v := range want {
+		if got := counter(name); got != v {
+			t.Errorf("%s = %d, want %d", name, got, v)
+		}
+	}
+	if sum := counter("batch/jobs-succeeded") + counter("batch/jobs-failed") +
+		counter("batch/jobs-panicked") + counter("batch/jobs-canceled"); sum != counter("batch/jobs") {
+		t.Errorf("outcome counters sum to %d, want batch/jobs = %d", sum, counter("batch/jobs"))
+	}
+	if v, ok := snap.Gauge("batch/inflight"); !ok || v != 0 {
+		t.Errorf("batch/inflight = %d (ok=%v), want 0 after the batch returns", v, ok)
+	}
+	for _, h := range []string{"batch/queue-wait-seconds", "batch/job-seconds"} {
+		hs, ok := snap.Histogram(h)
+		if !ok || hs.Count != 3 {
+			t.Errorf("%s count = %d (ok=%v), want one observation per picked-up job", h, hs.Count, ok)
+		}
+	}
+}
+
+// Event stream invariants: every job emits exactly one terminal event,
+// a start precedes it when a worker picked the job up, and a degraded
+// job additionally reports JobDegraded (naming the fallback method)
+// before its finish.
+func TestCompileAllEventInvariants(t *testing.T) {
+	g, cut := partitionCut()
+	jobs := []hilight.BatchJob{
+		{Circuit: pairsCircuit(), Grid: g},
+		{Circuit: wideCircuit(), Grid: g},
+		{Circuit: nil},
+	}
+	var mu sync.Mutex
+	perJob := make(map[int][]hilight.CompileEvent)
+	hilight.CompileAll(jobs, 1,
+		hilight.WithDefects(cut), hilight.WithFallback("identity"),
+		hilight.WithEvents(func(e hilight.CompileEvent) {
+			mu.Lock()
+			perJob[e.Job] = append(perJob[e.Job], e)
+			mu.Unlock()
+		}))
+	if len(perJob) != len(jobs) {
+		t.Fatalf("events for %d jobs, want %d", len(perJob), len(jobs))
+	}
+	for i := range jobs {
+		evs := perJob[i]
+		if len(evs) == 0 || evs[0].Kind != hilight.EventJobStart {
+			t.Fatalf("job %d: first event %v, want JobStart", i, evs)
+		}
+		last := evs[len(evs)-1]
+		if last.Kind != hilight.EventJobFinish && last.Kind != hilight.EventJobPanic {
+			t.Fatalf("job %d: last event %v is not terminal", i, last.Kind)
+		}
+		terminals := 0
+		for _, e := range evs {
+			if e.Kind == hilight.EventJobFinish || e.Kind == hilight.EventJobPanic {
+				terminals++
+			}
+		}
+		if terminals != 1 {
+			t.Fatalf("job %d emitted %d terminal events, want exactly one", i, terminals)
+		}
+	}
+	// Job 0 degraded: JobDegraded with the fallback method, then a clean
+	// finish.
+	evs := perJob[0]
+	if len(evs) != 3 || evs[1].Kind != hilight.EventJobDegraded {
+		t.Fatalf("degraded job events = %v, want [start degraded finish]", evs)
+	}
+	if evs[1].Method != "identity" {
+		t.Errorf("JobDegraded.Method = %q, want identity", evs[1].Method)
+	}
+	if evs[2].Err != nil {
+		t.Errorf("degraded job finished with Err: %v", evs[2].Err)
+	}
+	// Failed jobs carry their error on the finish event and no degraded
+	// event.
+	for _, i := range []int{1, 2} {
+		evs := perJob[i]
+		if len(evs) != 2 || evs[1].Err == nil {
+			t.Fatalf("failed job %d events = %v, want [start finish(err)]", i, evs)
+		}
 	}
 }

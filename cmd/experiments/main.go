@@ -17,18 +17,23 @@ import (
 	"strings"
 
 	"hilight/internal/exp"
+	"hilight/internal/obs"
 )
 
 func main() {
 	var (
-		run    = flag.String("run", "all", "comma-separated: table1,fig8a,fig8b,fig8c,fig9,fig10,threshold,finders,defects or all")
-		scale  = flag.String("scale", "small", "benchmark scale: small, medium, full")
-		trials = flag.Int("trials", 5, "trials for randomized arms (paper: 100)")
-		seed   = flag.Int64("seed", 1, "base seed")
-		format = flag.String("format", "table", "output format: table or csv (table1 and fig9 only)")
+		run     = flag.String("run", "all", "comma-separated: table1,fig8a,fig8b,fig8c,fig9,fig10,threshold,finders,defects or all")
+		scale   = flag.String("scale", "small", "benchmark scale: small, medium, full")
+		trials  = flag.Int("trials", 5, "trials for randomized arms (paper: 100)")
+		seed    = flag.Int64("seed", 1, "base seed")
+		format  = flag.String("format", "table", "output format: table or csv (table1 and fig9 only)")
+		metrics = flag.Bool("metrics", false, "print aggregated compile metrics (Prometheus text format) after the runs")
 	)
 	flag.Parse()
 	o := exp.Options{Scale: exp.Scale(*scale), Trials: *trials, Seed: *seed}
+	if *metrics {
+		o.Metrics = obs.NewRegistry()
+	}
 	asCSV = *format == "csv"
 	names := strings.Split(*run, ",")
 	if *run == "all" {
@@ -40,6 +45,12 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println()
+	}
+	if o.Metrics != nil {
+		if err := o.Metrics.WriteMetrics(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
 	}
 }
 

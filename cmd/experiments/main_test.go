@@ -1,9 +1,11 @@
 package main
 
 import (
+	"strings"
 	"testing"
 
 	"hilight/internal/exp"
+	"hilight/internal/obs"
 )
 
 func TestRunOneUnknown(t *testing.T) {
@@ -21,5 +23,29 @@ func TestRunOneSmallExperiments(t *testing.T) {
 		if err := runOne(name, o); err != nil {
 			t.Errorf("%s: %v", name, err)
 		}
+	}
+}
+
+// With a registry attached, an experiment's compiles aggregate into the
+// pipeline/... metric families.
+func TestRunOneFeedsMetrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real experiment")
+	}
+	o := exp.Options{Scale: exp.ScaleSmall, Trials: 1, Seed: 3, Metrics: obs.NewRegistry()}
+	if err := runOne("bounds", o); err != nil {
+		t.Fatal(err)
+	}
+	snap := o.Metrics.Snapshot()
+	runs, ok := snap.Counter("pipeline/route/runs")
+	if !ok || runs <= 0 {
+		t.Fatalf("pipeline/route/runs = %d (ok=%v), want > 0", runs, ok)
+	}
+	var buf strings.Builder
+	if err := snap.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "pipeline_route_runs_total") {
+		t.Errorf("exposition missing route runs:\n%s", buf.String())
 	}
 }

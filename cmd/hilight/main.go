@@ -36,6 +36,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "seed for randomized components")
 		show    = flag.String("show", "metrics", "output: metrics, layers, viz, heat, svg, json, or qasm")
 		trace   = flag.Bool("trace", false, "print per-stage pipeline timing and counters")
+		metrics = flag.Bool("metrics", false, "print aggregated compile metrics (Prometheus text format) after the output")
 		magicP  = flag.Int("magic-period", 0, "analyze magic-state throughput: cycles per distilled state (0 = off)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file after compiling")
@@ -53,7 +54,7 @@ func main() {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	err := run(*inFile, *benchN, *list, *method, *gridKin, *factory, *seed, *show, *magicP, *trace)
+	err := run(*inFile, *benchN, *list, *method, *gridKin, *factory, *seed, *show, *magicP, *trace, *metrics)
 	if *memProf != "" {
 		f, merr := os.Create(*memProf)
 		if merr != nil {
@@ -79,7 +80,7 @@ func exit(code int) {
 	os.Exit(code)
 }
 
-func run(inFile, benchName string, list bool, method, gridKind, factory string, seed int64, show string, magicPeriod int, trace bool) error {
+func run(inFile, benchName string, list bool, method, gridKind, factory string, seed int64, show string, magicPeriod int, trace, metrics bool) error {
 	if list {
 		fmt.Println("methods:")
 		for _, m := range hilight.Methods() {
@@ -122,7 +123,13 @@ func run(inFile, benchName string, list bool, method, gridKind, factory string, 
 	if err != nil {
 		return err
 	}
-	res, err := hilight.Compile(c, g, hilight.WithMethod(method), hilight.WithSeed(seed))
+	copts := []hilight.Option{hilight.WithMethod(method), hilight.WithSeed(seed)}
+	var reg *hilight.Metrics
+	if metrics {
+		reg = hilight.NewMetrics()
+		copts = append(copts, hilight.WithMetrics(reg))
+	}
+	res, err := hilight.Compile(c, g, copts...)
 	if err != nil {
 		return err
 	}
@@ -187,6 +194,12 @@ func run(inFile, benchName string, list bool, method, gridKind, factory string, 
 		fmt.Print(hilight.FormatQASM(res.Circuit))
 	default:
 		return fmt.Errorf("unknown -show %q (metrics, layers, viz, heat, svg, json, qasm)", show)
+	}
+	if reg != nil {
+		fmt.Println()
+		if err := reg.WriteMetrics(os.Stdout); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -39,7 +39,7 @@ func capture(t *testing.T, f func() error) (string, error) {
 
 func TestRunList(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run("", "", true, "hilight", "rect", "", 1, "metrics", 0, false)
+		return run("", "", true, "hilight", "rect", "", 1, "metrics", 0, false, false)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -51,7 +51,7 @@ func TestRunList(t *testing.T) {
 
 func TestRunBenchMetrics(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run("", "BV-10", false, "hilight-map", "rect", "", 1, "metrics", 0, false)
+		return run("", "BV-10", false, "hilight-map", "rect", "", 1, "metrics", 0, false, false)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -69,7 +69,7 @@ func TestRunQASMFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	out, err := capture(t, func() error {
-		return run(path, "", false, "hilight-map", "square", "", 1, "metrics", 0, false)
+		return run(path, "", false, "hilight-map", "square", "", 1, "metrics", 0, false, false)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -87,7 +87,7 @@ func TestRunRealFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	out, err := capture(t, func() error {
-		return run(path, "", false, "hilight-map", "rect", "", 1, "metrics", 0, false)
+		return run(path, "", false, "hilight-map", "rect", "", 1, "metrics", 0, false, false)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -100,7 +100,7 @@ func TestRunRealFile(t *testing.T) {
 func TestRunShowVariants(t *testing.T) {
 	for _, show := range []string{"layers", "viz", "heat", "svg", "json", "qasm"} {
 		out, err := capture(t, func() error {
-			return run("", "CC-11", false, "hilight-map", "rect", "", 1, show, 0, false)
+			return run("", "CC-11", false, "hilight-map", "rect", "", 1, show, 0, false, false)
 		})
 		if err != nil {
 			t.Fatalf("%s: %v", show, err)
@@ -113,7 +113,7 @@ func TestRunShowVariants(t *testing.T) {
 
 func TestRunWithFactoryAndMagic(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run("", "sqrt8_260", false, "hilight-map", "rect", "1x1", 1, "metrics", 10, false)
+		return run("", "sqrt8_260", false, "hilight-map", "rect", "1x1", 1, "metrics", 10, false, false)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -125,13 +125,15 @@ func TestRunWithFactoryAndMagic(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	cases := []func() error{
-		func() error { return run("", "", false, "hilight", "rect", "", 1, "metrics", 0, false) },       // no input
-		func() error { return run("", "nope", false, "hilight", "rect", "", 1, "metrics", 0, false) },   // bad bench
-		func() error { return run("", "BV-10", false, "nope", "rect", "", 1, "metrics", 0, false) },     // bad method
-		func() error { return run("", "BV-10", false, "hilight", "hex", "", 1, "metrics", 0, false) },   // bad grid
-		func() error { return run("", "BV-10", false, "hilight", "rect", "x", 1, "metrics", 0, false) }, // bad factory
-		func() error { return run("", "BV-10", false, "hilight", "rect", "", 1, "nope", 0, false) },     // bad show
-		func() error { return run("/no/such/file.qasm", "", false, "hilight", "rect", "", 1, "metrics", 0, false) },
+		func() error { return run("", "", false, "hilight", "rect", "", 1, "metrics", 0, false, false) },       // no input
+		func() error { return run("", "nope", false, "hilight", "rect", "", 1, "metrics", 0, false, false) },   // bad bench
+		func() error { return run("", "BV-10", false, "nope", "rect", "", 1, "metrics", 0, false, false) },     // bad method
+		func() error { return run("", "BV-10", false, "hilight", "hex", "", 1, "metrics", 0, false, false) },   // bad grid
+		func() error { return run("", "BV-10", false, "hilight", "rect", "x", 1, "metrics", 0, false, false) }, // bad factory
+		func() error { return run("", "BV-10", false, "hilight", "rect", "", 1, "nope", 0, false, false) },     // bad show
+		func() error {
+			return run("/no/such/file.qasm", "", false, "hilight", "rect", "", 1, "metrics", 0, false, false)
+		},
 	}
 	for i, f := range cases {
 		if _, err := capture(t, f); err == nil {
@@ -142,7 +144,7 @@ func TestRunErrors(t *testing.T) {
 
 func TestRunTraceTable(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run("", "QFT-10", false, "hilight", "rect", "", 1, "metrics", 0, true)
+		return run("", "QFT-10", false, "hilight", "rect", "", 1, "metrics", 0, true, false)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -150,6 +152,34 @@ func TestRunTraceTable(t *testing.T) {
 	for _, stage := range []string{"validate", "decompose-swaps", "qco", "place", "route", "finalize-metrics", "total"} {
 		if !strings.Contains(out, stage) {
 			t.Errorf("trace table missing stage %q:\n%s", stage, out)
+		}
+	}
+}
+
+// -metrics appends the Prometheus text exposition to the output, and its
+// pipeline counters reconcile with the human-readable metrics above it:
+// one run per executed pass, and the route pass's cycle total equals the
+// reported latency.
+func TestRunMetricsFlag(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("", "BV-10", false, "hilight-map", "rect", "", 1, "metrics", 0, false, true)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "latency   9 cycles") {
+		t.Fatalf("human metrics missing:\n%s", out)
+	}
+	for _, want := range []string{
+		"# TYPE pipeline_route_runs_total counter",
+		"pipeline_route_runs_total 1",
+		"pipeline_route_cycles_total 9", // reconciles with the latency line
+		"pipeline_place_runs_total 1",
+		"route_braids_routed_total",
+		"pipeline_route_seconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics exposition missing %q:\n%s", want, out)
 		}
 	}
 }

@@ -125,7 +125,11 @@ func DefaultErrorModel() ErrorModelParams { return errmodel.Default() }
 
 // EstimateResources sizes the surface-code distance so the whole
 // schedule completes within the given logical-error budget, and reports
-// the implied physical qubit count and wall-clock time.
+// the implied physical qubit count and wall-clock time. Factory-reserved
+// tiles carry no schedule volume — they don't drive the distance up —
+// but their physical qubits are included in PhysicalQubits and broken
+// out in ReservedQubits.
 func EstimateResources(s *Schedule, budget float64, p ErrorModelParams) (ResourceReport, error) {
-	return errmodel.Estimate(s.Grid.Tiles(), s.Latency(), budget, p)
+	reserved := s.Grid.ReservedTiles()
+	return errmodel.EstimateReserved(s.Grid.Tiles()-reserved, reserved, s.Latency(), budget, p)
 }

@@ -1,10 +1,12 @@
 package hilight_test
 
 import (
+	"math"
 	"strings"
 	"testing"
 
 	"hilight"
+	"hilight/internal/errmodel"
 )
 
 func TestCompileSurgeryThroughAPI(t *testing.T) {
@@ -95,6 +97,57 @@ func TestEstimateResourcesThroughAPI(t *testing.T) {
 	}
 	if worse.Latency >= res.Latency && repWorse.Distance < rep.Distance {
 		t.Errorf("higher-latency schedule got smaller distance: %d vs %d", repWorse.Distance, rep.Distance)
+	}
+}
+
+// Regression: factory-reserved tiles must not count as compute tiles in
+// the failure-volume that sizes the code distance — the factory runs its
+// own distillation protocol with its own budget. Reserved tiles still
+// cost physical qubits, reported separately in ReservedQubits.
+func TestEstimateResourcesReservedFactoryTiles(t *testing.T) {
+	g, err := hilight.GridWithFactory(10, 3, 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reserved := g.ReservedTiles()
+	if reserved != 6 {
+		t.Fatalf("factory grid reserves %d tiles, want 6 (test premise)", reserved)
+	}
+	res, err := hilight.Compile(hilight.QFT(10), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := hilight.EstimateResources(res.Schedule, 1e-3, hilight.DefaultErrorModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The distance (and therefore the failure probability) must match an
+	// estimate over the compute tiles alone.
+	compute := g.Tiles() - reserved
+	base, err := errmodel.Estimate(compute, res.Latency, 1e-3, errmodel.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Distance != base.Distance {
+		t.Errorf("reserved tiles changed the code distance: %d, want %d", rep.Distance, base.Distance)
+	}
+	if rep.LogicalError != base.LogicalError {
+		t.Errorf("reserved tiles changed the failure probability: %g, want %g",
+			rep.LogicalError, base.LogicalError)
+	}
+
+	// Reserved tiles still cost d²-scaled physical qubits.
+	perTile := hilight.DefaultErrorModel().QubitsPerTileFactor * float64(rep.Distance*rep.Distance)
+	if want := int(math.Ceil(perTile * float64(reserved))); rep.ReservedQubits != want {
+		t.Errorf("ReservedQubits = %d, want %d", rep.ReservedQubits, want)
+	}
+	if want := int(math.Ceil(perTile * float64(g.Tiles()))); rep.PhysicalQubits != want {
+		t.Errorf("PhysicalQubits = %d, want %d (compute + reserved)", rep.PhysicalQubits, want)
+	}
+	if rep.PhysicalQubits <= rep.ReservedQubits {
+		t.Errorf("PhysicalQubits %d does not dominate ReservedQubits %d",
+			rep.PhysicalQubits, rep.ReservedQubits)
 	}
 }
 

@@ -31,6 +31,7 @@ import (
 	"hilight/internal/faultinject"
 	"hilight/internal/grid"
 	"hilight/internal/hwopt"
+	"hilight/internal/obs"
 	"hilight/internal/place"
 	"hilight/internal/qasm"
 	"hilight/internal/qco"
@@ -163,6 +164,8 @@ type options struct {
 	seed      int64
 	qco       *bool
 	observer  core.Observer
+	metrics   *obs.Registry
+	events    obs.EventObserver
 	compact   bool
 	defects   *DefectMap
 	ctx       context.Context
@@ -333,12 +336,18 @@ func Compile(c *Circuit, g *Grid, opts ...Option) (*Result, error) {
 
 	var firstErr error
 	for i, name := range chain {
+		if i > 0 && o.metrics != nil {
+			// A fallback method is being activated: the primary (or an
+			// earlier fallback) failed with a recoverable error.
+			o.metrics.Counter("compile/fallback-activations").Inc()
+		}
 		// Each attempt gets a fresh seeded rng, so a method sees the same
 		// random stream whether it runs as primary or as fallback.
 		res, err := core.Run(c, g, specs[i], core.RunOptions{
 			Rng:       rand.New(rand.NewSource(o.seed)),
 			QCO:       o.qco,
 			Observer:  o.observer,
+			Metrics:   o.metrics,
 			Ctx:       ctx,
 			Compact:   o.compact,
 			Placement: o.placement,
@@ -358,6 +367,9 @@ func Compile(c *Circuit, g *Grid, opts ...Option) (*Result, error) {
 		if i > 0 {
 			res.Degraded = true
 			res.FallbackMethod = name
+			if o.metrics != nil {
+				o.metrics.Counter("compile/fallback-recovered").Inc()
+			}
 		}
 		return res, nil
 	}

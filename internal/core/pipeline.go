@@ -8,7 +8,9 @@ import (
 
 	"hilight/internal/circuit"
 	"hilight/internal/grid"
+	"hilight/internal/obs"
 	"hilight/internal/place"
+	"hilight/internal/route"
 	"hilight/internal/sched"
 )
 
@@ -33,8 +35,8 @@ type State struct {
 	// the metric fields from Schedule.
 	Result *Result
 
-	cfg config          // resolved components (placement, ordering, finder, …)
-	cur *StageTrace     // trace entry of the running pass, for Count
+	cfg config      // resolved components (placement, ordering, finder, …)
+	cur *StageTrace // trace entry of the running pass, for Count
 }
 
 // Count attaches a named counter to the currently running pass's trace
@@ -114,6 +116,13 @@ type RunOptions struct {
 	QCO *bool
 	// Observer receives per-cycle routing statistics.
 	Observer Observer
+	// Metrics, when non-nil, aggregates this compile into a process-wide
+	// registry: every executed pass feeds its StageTrace under
+	// pipeline/<pass>/... names (runs, errors, a seconds histogram, and
+	// every trace counter), and the route pass additionally emits
+	// route/... totals (braids routed, search pops). One registry may be
+	// shared by any number of concurrent compiles.
+	Metrics *obs.Registry
 	// Ctx, when non-nil, is honored before every pass and at every
 	// cycle boundary of the routing loop.
 	Ctx context.Context
@@ -169,6 +178,7 @@ func NewPipeline(sp Spec, opt RunOptions) (*Pipeline, error) {
 		cfg.Adjuster = opt.Adjuster
 	}
 	cfg.Observer = opt.Observer
+	cfg.Metrics = opt.Metrics
 	cfg.Ctx = opt.Ctx
 
 	p := &Pipeline{Spec: sp, cfg: cfg}
@@ -208,6 +218,9 @@ func (p *Pipeline) Execute(c *circuit.Circuit, g *grid.Grid) (*Result, error) {
 		t0 := time.Now()
 		err := pass.Run(st)
 		st.cur.Duration = time.Since(t0)
+		if m := p.cfg.Metrics; m != nil {
+			feedStage(m, st.cur, err)
+		}
 		st.cur = nil
 		if err != nil {
 			return nil, err
@@ -215,6 +228,35 @@ func (p *Pipeline) Execute(c *circuit.Circuit, g *grid.Grid) (*Result, error) {
 	}
 	st.Result.Runtime = time.Since(start)
 	return st.Result, nil
+}
+
+// signedTraceCounters lists the trace counters that carry signed deltas
+// (the qco pass reports cx-delta ≤ 0). They accumulate as gauges so the
+// Prometheus exposition stays well-typed; everything else is a monotone
+// counter.
+var signedTraceCounters = map[string]bool{"cx-delta": true}
+
+// feedStage mirrors one executed pass's StageTrace into the registry
+// under pipeline/<stage>/... names: runs and errors counters, a
+// wall-clock seconds histogram, and one counter or gauge per trace
+// counter. For a single traced compile the registry deltas reconcile
+// exactly with Result.Trace. The errors counter is registered even on
+// clean runs so scrapes always see it (at zero) next to runs.
+func feedStage(m *obs.Registry, tr *StageTrace, err error) {
+	prefix := "pipeline/" + tr.Stage + "/"
+	m.Counter(prefix + "runs").Inc()
+	errs := m.Counter(prefix + "errors")
+	if err != nil {
+		errs.Inc()
+	}
+	m.Histogram(prefix+"seconds", obs.DurationBuckets).ObserveDuration(tr.Duration)
+	for _, c := range tr.Counters {
+		if c.Value < 0 || signedTraceCounters[c.Name] {
+			m.Gauge(prefix + c.Name).Add(c.Value)
+		} else {
+			m.Counter(prefix + c.Name).Add(c.Value)
+		}
+	}
 }
 
 // Run builds the pipeline for sp and executes it on (c, g) — the
@@ -293,8 +335,24 @@ var (
 			return err
 		}
 		st.Schedule = s
+		braids := int64(braidCount(s))
 		st.Count("cycles", int64(s.Latency()))
-		st.Count("braids", int64(braidCount(s)))
+		st.Count("braids", braids)
+		// Search-effort stats (A* pops, DFS stack pops), when the finder
+		// tracks them: surfaced both as trace counters and, with a
+		// registry attached, as routing-layer totals.
+		var stats route.SearchStats
+		if sr, ok := st.cfg.Finder.(route.StatsReporter); ok {
+			stats = sr.Stats()
+			st.Count("search-pops", stats.Pops)
+			st.Count("searches", stats.Searches)
+		}
+		if m := st.cfg.Metrics; m != nil {
+			m.Counter("route/braids-routed").Add(braids)
+			m.Counter("route/cycles").Add(int64(s.Latency()))
+			m.Counter("route/search-pops").Add(stats.Pops)
+			m.Counter("route/searches").Add(stats.Searches)
+		}
 		return nil
 	}}
 

@@ -17,6 +17,7 @@ import (
 
 	"hilight/internal/circuit"
 	"hilight/internal/grid"
+	"hilight/internal/obs"
 	"hilight/internal/order"
 	"hilight/internal/place"
 	"hilight/internal/route"
@@ -98,6 +99,9 @@ type config struct {
 	QCO bool
 	// Observer, when non-nil, receives per-cycle routing statistics.
 	Observer Observer
+	// Metrics, when non-nil, aggregates pipeline and routing counters
+	// across compiles (see RunOptions.Metrics).
+	Metrics *obs.Registry
 	// Ctx, when non-nil, is honored at every cycle boundary of the
 	// routing loop: once done, Map returns an error wrapping ErrCanceled.
 	Ctx context.Context

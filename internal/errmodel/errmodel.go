@@ -97,7 +97,8 @@ func (p Params) LogicalErrorPerTileCycle(d int) float64 {
 // Report is a physical resource estimate for one schedule.
 type Report struct {
 	Distance       int           // selected code distance (odd)
-	PhysicalQubits int           // total physical qubits for the grid
+	PhysicalQubits int           // total physical qubits for the grid (compute + reserved)
+	ReservedQubits int           // physical qubits on reserved (factory) tiles
 	CodeCycles     int64         // latency × d code cycles
 	WallClock      time.Duration // CodeCycles × code-cycle time
 	LogicalError   float64       // expected failure probability of the run
@@ -107,26 +108,43 @@ type Report struct {
 // Estimate sizes the code distance so the whole schedule (tiles ×
 // latency braiding cycles, each d code cycles long) fails with
 // probability at most budget, then derives physical qubits and wall
-// clock. Latency zero (no braids) yields the minimum distance 3.
+// clock. Latency zero (no braids) yields the minimum distance 3. All
+// tiles are treated as compute tiles; for grids with factory-reserved
+// regions use EstimateReserved.
 func Estimate(tiles, latency int, budget float64, p Params) (Report, error) {
+	return EstimateReserved(tiles, 0, latency, budget, p)
+}
+
+// EstimateReserved is Estimate for a grid split into computeTiles
+// program/routing tiles and reservedTiles factory tiles. Reserved tiles
+// hold no program state and run their own distillation protocol with
+// its own error budget, so they contribute no space-time volume to the
+// schedule's failure probability — counting them would inflate the
+// computed distance. They do cost hardware: the report's PhysicalQubits
+// covers both tile classes, with the factory share broken out in
+// ReservedQubits.
+func EstimateReserved(computeTiles, reservedTiles, latency int, budget float64, p Params) (Report, error) {
 	p = p.fill()
 	if err := p.validate(); err != nil {
 		return Report{}, err
 	}
-	if tiles <= 0 || latency < 0 {
-		return Report{}, fmt.Errorf("errmodel: bad volume %d tiles × %d cycles", tiles, latency)
+	if computeTiles <= 0 || reservedTiles < 0 || latency < 0 {
+		return Report{}, fmt.Errorf("errmodel: bad volume %d+%d tiles × %d cycles",
+			computeTiles, reservedTiles, latency)
 	}
 	if budget <= 0 || budget >= 1 {
 		return Report{}, fmt.Errorf("errmodel: budget %g outside (0,1)", budget)
 	}
 	for d := 3; d <= p.MaxDistance; d += 2 {
 		codeCycles := int64(latency) * int64(d)
-		volume := float64(tiles) * math.Max(float64(codeCycles), 1)
+		volume := float64(computeTiles) * math.Max(float64(codeCycles), 1)
 		fail := volume * p.LogicalErrorPerTileCycle(d)
 		if fail <= budget {
+			qubitsPerTile := p.QubitsPerTileFactor * float64(d*d)
 			return Report{
 				Distance:       d,
-				PhysicalQubits: int(math.Ceil(p.QubitsPerTileFactor * float64(d*d) * float64(tiles))),
+				PhysicalQubits: int(math.Ceil(qubitsPerTile * float64(computeTiles+reservedTiles))),
+				ReservedQubits: int(math.Ceil(qubitsPerTile * float64(reservedTiles))),
 				CodeCycles:     codeCycles,
 				WallClock:      time.Duration(codeCycles) * p.CodeCycle,
 				LogicalError:   fail,
@@ -135,5 +153,5 @@ func Estimate(tiles, latency int, budget float64, p Params) (Report, error) {
 		}
 	}
 	return Report{}, fmt.Errorf("errmodel: no distance ≤ %d meets budget %g for %d tiles × %d cycles",
-		p.MaxDistance, budget, tiles, latency)
+		p.MaxDistance, budget, computeTiles, latency)
 }

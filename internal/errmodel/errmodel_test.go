@@ -118,3 +118,41 @@ func TestEstimateMonotoneProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Reserved tiles contribute no failure volume — the distance and failure
+// probability match the compute-only estimate — but they do cost
+// physical qubits, broken out in ReservedQubits.
+func TestEstimateReservedTiles(t *testing.T) {
+	base, err := Estimate(20, 100, 1e-6, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := EstimateReserved(20, 12, 100, 1e-6, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Distance != base.Distance || rep.LogicalError != base.LogicalError {
+		t.Errorf("reserved tiles changed the sizing: d=%d err=%g, want d=%d err=%g",
+			rep.Distance, rep.LogicalError, base.Distance, base.LogicalError)
+	}
+	if rep.ReservedQubits <= 0 || rep.PhysicalQubits <= base.PhysicalQubits {
+		t.Errorf("reserved tiles cost no qubits: %+v (base %d)", rep, base.PhysicalQubits)
+	}
+	// Estimate is the reserved=0 special case.
+	if base.ReservedQubits != 0 {
+		t.Errorf("Estimate reports %d reserved qubits, want 0", base.ReservedQubits)
+	}
+	// A whole-grid (pre-fix) estimate at the same tile count must never
+	// report a smaller distance than the compute-only one.
+	whole, err := Estimate(32, 100, 1e-6, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if whole.Distance < rep.Distance {
+		t.Errorf("inflated volume shrank the distance: %d < %d", whole.Distance, rep.Distance)
+	}
+	// Negative reserved counts are rejected.
+	if _, err := EstimateReserved(20, -1, 100, 1e-6, Params{}); err == nil {
+		t.Error("negative reserved tile count accepted")
+	}
+}

@@ -49,7 +49,7 @@ func RunThresholdSweep(o Options) (*ThresholdReport, error) {
 		for i, th := range thresholds {
 			sp := core.MustMethod("hilight-map")
 			sp.OrderingThreshold = th
-			m, err := average(c, g, sp, o.Seed, 1)
+			m, err := average(c, g, sp, o.Seed, 1, o.Metrics)
 			if err != nil {
 				return nil, fmt.Errorf("%s/threshold %d: %w", e.Name, th, err)
 			}
@@ -119,7 +119,7 @@ func RunFinderAblation(o Options) (*FinderReport, error) {
 		g := grid.Rect(e.N)
 		for i, f := range finders {
 			sp := core.Spec{Placement: "hilight", Finder: f}
-			m, err := average(c, g, sp, o.Seed, 1)
+			m, err := average(c, g, sp, o.Seed, 1, o.Metrics)
 			if err != nil {
 				return nil, fmt.Errorf("%s/%s: %w", e.Name, f, err)
 			}

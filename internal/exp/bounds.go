@@ -58,7 +58,7 @@ func RunBounds(o Options) (*BoundsReport, error) {
 		work := c.DecomposeSWAPs()
 		_, depth := circuit.Layers(work)
 		_, qcoDepth := circuit.Layers(qco.Optimize(work))
-		m, err := runOn(c, grid.Rect(e.N), core.MustMethod("hilight-map"), rand.New(rand.NewSource(o.Seed)))
+		m, err := runOn(c, grid.Rect(e.N), core.MustMethod("hilight-map"), rand.New(rand.NewSource(o.Seed)), o.Metrics)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", e.Name, err)
 		}

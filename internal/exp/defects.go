@@ -77,7 +77,7 @@ func RunDefectYield(o Options) (*DefectYieldReport, error) {
 		for _, e := range o.entries() {
 			c := e.Build()
 			g := NextLargerGrid(e.N)
-			pristine, err := hilight.Compile(c, g, hilight.WithSeed(o.Seed))
+			pristine, err := hilight.Compile(c, g, hilight.WithSeed(o.Seed), hilight.WithMetrics(o.Metrics))
 			if err != nil {
 				return nil, fmt.Errorf("defects: pristine %s: %w", e.Name, err)
 			}
@@ -87,7 +87,8 @@ func RunDefectYield(o Options) (*DefectYieldReport, error) {
 				res, err := hilight.Compile(c, g,
 					hilight.WithSeed(o.Seed),
 					hilight.WithDefects(dm),
-					hilight.WithFallback(rep.Fallback...))
+					hilight.WithFallback(rep.Fallback...),
+					hilight.WithMetrics(o.Metrics))
 				if err != nil {
 					continue
 				}

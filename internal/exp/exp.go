@@ -17,6 +17,7 @@ import (
 	"hilight/internal/circuit"
 	"hilight/internal/core"
 	"hilight/internal/grid"
+	"hilight/internal/obs"
 )
 
 // Scale bounds how much of Table 1 an experiment runs.
@@ -47,6 +48,10 @@ type Options struct {
 	// Trials averages the random-placement / random-ordering arms; the
 	// paper uses 100, the default here is 5 to keep runs quick.
 	Trials int
+	// Metrics, when non-nil, aggregates every compile of the experiment
+	// into the registry (pipeline pass counters, latency histograms,
+	// routing totals) — the process-wide view of what a run actually did.
+	Metrics *obs.Registry
 }
 
 func (o Options) fill() Options {
@@ -83,11 +88,12 @@ type Measurement struct {
 
 // runOn maps a circuit on its paper grid (rectangular M×(M−1), per §4.6)
 // through the sp pipeline and returns the measurement. rng drives the
-// spec's randomized components (nil = seed 1). The schedule is
+// spec's randomized components (nil = seed 1); reg (may be nil)
+// aggregates the compile into a metrics registry. The schedule is
 // validated — a harness that reports metrics for unexecutable schedules
 // would be meaningless.
-func runOn(c *circuit.Circuit, g *grid.Grid, sp core.Spec, rng *rand.Rand) (Measurement, error) {
-	res, err := core.Run(c, g, sp, core.RunOptions{Rng: rng})
+func runOn(c *circuit.Circuit, g *grid.Grid, sp core.Spec, rng *rand.Rand, reg *obs.Registry) (Measurement, error) {
+	res, err := core.Run(c, g, sp, core.RunOptions{Rng: rng, Metrics: reg})
 	if err != nil {
 		return Measurement{}, err
 	}
@@ -99,11 +105,11 @@ func runOn(c *circuit.Circuit, g *grid.Grid, sp core.Spec, rng *rand.Rand) (Meas
 
 // average runs the sp pipeline trials times with distinct seeds and
 // averages.
-func average(c *circuit.Circuit, g *grid.Grid, sp core.Spec, seed int64, trials int) (Measurement, error) {
+func average(c *circuit.Circuit, g *grid.Grid, sp core.Spec, seed int64, trials int, reg *obs.Registry) (Measurement, error) {
 	var sumL, sumU float64
 	var sumR time.Duration
 	for t := 0; t < trials; t++ {
-		m, err := runOn(c, g, sp, rand.New(rand.NewSource(seed+int64(t))))
+		m, err := runOn(c, g, sp, rand.New(rand.NewSource(seed+int64(t))), reg)
 		if err != nil {
 			return Measurement{}, err
 		}

@@ -71,7 +71,7 @@ func RunFig10(o Options) (*Fig10Report, error) {
 		c := e.Build()
 		for i, a := range arms {
 			g := hwopt.GridFor(e.N, a.hwGrid)
-			m, err := average(c, g, a.sp, o.Seed, 1)
+			m, err := average(c, g, a.sp, o.Seed, 1, o.Metrics)
 			if err != nil {
 				return nil, fmt.Errorf("%s/%s: %w", e.Name, a.name, err)
 			}

@@ -59,7 +59,7 @@ func runArms(o Options, title, ref string, arms map[string]core.Spec, trials map
 			if trials[name] > 0 {
 				t = trials[name]
 			}
-			m, err := average(c, g, sp, o.Seed, t)
+			m, err := average(c, g, sp, o.Seed, t, o.Metrics)
 			if err != nil {
 				return nil, fmt.Errorf("%s/%s: %w", e.Name, name, err)
 			}
@@ -168,7 +168,7 @@ func RunFig8c(o Options) (*Fig8cReport, error) {
 		c := e.Build()
 		g := grid.Rect(e.N)
 		for i, r := range specs {
-			m, err := average(c, g, r.sp, o.Seed, 1)
+			m, err := average(c, g, r.sp, o.Seed, 1, o.Metrics)
 			if err != nil {
 				return nil, fmt.Errorf("%s/row%d: %w", e.Name, i, err)
 			}

@@ -98,7 +98,7 @@ func RunFig9(o Options) (*Fig9Report, error) {
 		for _, n := range sizes[name] {
 			c := builders[name](n)
 			for _, method := range Fig9Methods {
-				m, err := runOn(c, grid.Rect(n), core.MustMethod(method), rand.New(rand.NewSource(o.Seed)))
+				m, err := runOn(c, grid.Rect(n), core.MustMethod(method), rand.New(rand.NewSource(o.Seed)), o.Metrics)
 				if err != nil {
 					return nil, fmt.Errorf("%s-%d/%s: %w", name, n, method, err)
 				}

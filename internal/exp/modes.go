@@ -59,7 +59,7 @@ func RunModes(o Options) (*ModeReport, error) {
 	for _, e := range o.entries() {
 		c := e.Build()
 		bg := grid.Rect(e.N)
-		braid, err := runOn(c, bg, core.MustMethod("hilight-map"), rand.New(rand.NewSource(o.Seed)))
+		braid, err := runOn(c, bg, core.MustMethod("hilight-map"), rand.New(rand.NewSource(o.Seed)), o.Metrics)
 		if err != nil {
 			return nil, fmt.Errorf("%s/braiding: %w", e.Name, err)
 		}

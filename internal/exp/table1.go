@@ -35,10 +35,10 @@ func RunTable1(o Options) (*Table1Report, error) {
 		c := e.Build()
 		row := Table1Row{Type: e.Type, Function: e.Function, Name: e.Name, N: e.N, Gates: e.Gates}
 		var err error
-		if row.SP, err = runOn(c, grid.Rect(e.N), core.MustMethod("autobraid-sp"), nil); err != nil {
+		if row.SP, err = runOn(c, grid.Rect(e.N), core.MustMethod("autobraid-sp"), nil, o.Metrics); err != nil {
 			return nil, fmt.Errorf("%s/autobraid-sp: %w", e.Name, err)
 		}
-		if row.Full, err = average(c, grid.Rect(e.N), core.MustMethod("autobraid-full"), o.Seed, 1); err != nil {
+		if row.Full, err = average(c, grid.Rect(e.N), core.MustMethod("autobraid-full"), o.Seed, 1, o.Metrics); err != nil {
 			return nil, fmt.Errorf("%s/autobraid-full: %w", e.Name, err)
 		}
 		// QFT rows average the pattern-matched random layout (§3.1.2).
@@ -46,7 +46,7 @@ func RunTable1(o Options) (*Table1Report, error) {
 		if c.NumQubits >= 4 && isQFTLike(e.Name) {
 			trials = o.Trials
 		}
-		if row.HiLight, err = average(c, grid.Rect(e.N), core.MustMethod("hilight-map"), o.Seed, trials); err != nil {
+		if row.HiLight, err = average(c, grid.Rect(e.N), core.MustMethod("hilight-map"), o.Seed, trials, o.Metrics); err != nil {
 			return nil, fmt.Errorf("%s/hilight-map: %w", e.Name, err)
 		}
 		rep.Rows = append(rep.Rows, row)

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"fmt"
+	"time"
+)
+
+// EventKind enumerates the structured events the batch compiler emits.
+type EventKind uint8
+
+// Batch job lifecycle. Every job ends with exactly one terminal event —
+// JobFinish (Err nil or not) or JobPanic — and JobStart is emitted only
+// for jobs a worker actually picked up (a job failed by the dispatcher
+// after cancellation reports JobFinish with no preceding JobStart and a
+// zero Duration). JobDegraded is emitted in addition to JobFinish when a
+// WithFallback method produced the job's result.
+const (
+	JobStart EventKind = iota + 1
+	JobFinish
+	JobPanic
+	JobDegraded
+)
+
+// String returns the kind's stable lowercase name.
+func (k EventKind) String() string {
+	switch k {
+	case JobStart:
+		return "job-start"
+	case JobFinish:
+		return "job-finish"
+	case JobPanic:
+		return "job-panic"
+	case JobDegraded:
+		return "job-degraded"
+	default:
+		return fmt.Sprintf("event-kind-%d", uint8(k))
+	}
+}
+
+// Event is one structured observation of a long compile: a batch job
+// starting, finishing, panicking, or degrading to a fallback method.
+type Event struct {
+	Kind EventKind
+	// Job is the job's index in the CompileAll slice.
+	Job int
+	// Method names the compile method involved: the fallback method that
+	// produced a degraded result for JobDegraded, "" otherwise.
+	Method string
+	// Err is the job's error for terminal events (nil on success).
+	Err error
+	// QueueWait is how long the job sat in the batch queue before a
+	// worker picked it up (JobStart and terminal events of started jobs).
+	QueueWait time.Duration
+	// Duration is the job's compile wall-clock time (terminal events;
+	// zero for jobs the dispatcher failed without starting).
+	Duration time.Duration
+}
+
+// EventObserver receives structured events as a batch runs. Observers may
+// be invoked concurrently from multiple worker goroutines and must be
+// safe for concurrent use; they should return quickly — a slow observer
+// stalls its worker.
+type EventObserver interface {
+	OnEvent(Event)
+}
+
+// EventObserverFunc adapts a function to the EventObserver interface.
+type EventObserverFunc func(Event)
+
+// OnEvent implements EventObserver.
+func (f EventObserverFunc) OnEvent(e Event) { f(e) }

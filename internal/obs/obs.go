@@ -1,0 +1,299 @@
+// Package obs is the process-wide observability layer: a concurrency-safe
+// metrics registry (counters, gauges and fixed-bucket histograms) plus a
+// structured event API for batch compilation.
+//
+// The registry is built for hot compile loops: an increment on a Counter,
+// Gauge or Histogram handle is a single atomic operation and performs no
+// allocation, so metering the router or the batch worker pool never
+// perturbs the allocation-free steady state the performance architecture
+// guarantees. Handle lookup (Registry.Counter and friends) takes a
+// read-locked map hit; callers on a hot path should look a handle up once
+// and increment through it.
+//
+// Metric names are free-form slash-separated paths ("pipeline/route/cycles",
+// "batch/jobs"). The Prometheus exposition (WriteMetrics) sanitizes them
+// into legal metric names (slashes and dashes become underscores, counters
+// gain the conventional _total suffix); Snapshot reports the raw names.
+//
+// Reads are weakly consistent: a Snapshot taken while writers are active
+// is a near-point-in-time view — each individual value is atomically read,
+// but values observed together may straddle a concurrent update. Histogram
+// bucket counts are read with the same guarantee, and the exposition
+// derives _count from the bucket sum so the Prometheus invariant
+// (cumulative +Inf bucket == count) always holds.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DurationBuckets are the default histogram bounds for wall-clock
+// latencies, in seconds: 10 µs to 10 s on a rough 1-2.5-5 logarithmic
+// ladder. Values above the last bound land in the implicit +Inf bucket.
+var DurationBuckets = []float64{
+	1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3,
+	1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Counter is a cumulative monotone total. The zero value is ready to use.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by d. Negative deltas are a programming
+// error (use a Gauge for signed totals) and panic.
+func (c *Counter) Add(d int64) {
+	if d < 0 {
+		panic(fmt.Sprintf("obs: negative Counter.Add(%d); use a Gauge for signed totals", d))
+	}
+	c.v.Add(d)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current total.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous signed value (in-flight jobs, signed deltas).
+// The zero value is ready to use.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by d (d may be negative).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket distribution with Prometheus "le"
+// (less-or-equal) semantics: an observation v lands in the first bucket
+// whose upper bound is ≥ v; observations above every bound land in the
+// implicit +Inf bucket. Bounds are fixed at creation — there is no
+// resizing, so Observe is a lock-free binary search plus two atomic adds.
+type Histogram struct {
+	bounds  []float64      // ascending upper bounds; +Inf is implicit
+	buckets []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	sum     atomic.Uint64  // float64 bits of the running sum
+}
+
+// newHistogram validates bounds (non-empty, strictly ascending, finite)
+// and builds the bucket array.
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	for i, b := range bounds {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			panic(fmt.Sprintf("obs: non-finite histogram bound %g", b))
+		}
+		if i > 0 && bounds[i-1] >= b {
+			panic(fmt.Sprintf("obs: histogram bounds not strictly ascending at %g", b))
+		}
+	}
+	return &Histogram{
+		bounds:  append([]float64(nil), bounds...),
+		buckets: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Inline binary search (first bound ≥ v) so the hot path stays
+	// allocation-free regardless of how sort.SearchFloat64s is compiled.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.buckets[lo].Add(1)
+	for {
+		old := h.sum.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records d in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the total number of observations (sum over buckets).
+func (h *Histogram) Count() int64 {
+	var n int64
+	for i := range h.buckets {
+		n += h.buckets[i].Load()
+	}
+	return n
+}
+
+// Sum returns the running sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Registry is a named collection of counters, gauges and histograms.
+// All methods are safe for concurrent use; the zero value is ready.
+// Handles returned by Counter/Gauge/Histogram remain valid for the life
+// of the registry and may be cached and incremented from any goroutine.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c := r.counters[name]; c != nil {
+		return c
+	}
+	if r.counters == nil {
+		r.counters = map[string]*Counter{}
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g := r.gauges[name]; g != nil {
+		return g
+	}
+	if r.gauges == nil {
+		r.gauges = map[string]*Gauge{}
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket bounds on first use. An existing histogram is returned as-is —
+// the first creation pins the bounds; later calls may pass nil.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.RLock()
+	h := r.histograms[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h := r.histograms[name]; h != nil {
+		return h
+	}
+	if r.histograms == nil {
+		r.histograms = map[string]*Histogram{}
+	}
+	h = newHistogram(bounds)
+	r.histograms[name] = h
+	return h
+}
+
+// Sample is one named counter or gauge value of a Snapshot.
+type Sample struct {
+	Name  string
+	Value int64
+}
+
+// HistogramSample is one histogram of a Snapshot. Counts are per-bucket
+// (not cumulative); Counts[len(Bounds)] is the +Inf bucket.
+type HistogramSample struct {
+	Name   string
+	Bounds []float64
+	Counts []int64
+	Count  int64 // total observations (sum of Counts)
+	Sum    float64
+}
+
+// Snapshot is a stable, name-sorted view of a registry's current values.
+type Snapshot struct {
+	Counters   []Sample
+	Gauges     []Sample
+	Histograms []HistogramSample
+}
+
+// Counter returns the snapshotted value of the named counter.
+func (s Snapshot) Counter(name string) (int64, bool) { return findSample(s.Counters, name) }
+
+// Gauge returns the snapshotted value of the named gauge.
+func (s Snapshot) Gauge(name string) (int64, bool) { return findSample(s.Gauges, name) }
+
+// Histogram returns the snapshotted state of the named histogram.
+func (s Snapshot) Histogram(name string) (HistogramSample, bool) {
+	i := sort.Search(len(s.Histograms), func(i int) bool { return s.Histograms[i].Name >= name })
+	if i < len(s.Histograms) && s.Histograms[i].Name == name {
+		return s.Histograms[i], true
+	}
+	return HistogramSample{}, false
+}
+
+func findSample(samples []Sample, name string) (int64, bool) {
+	i := sort.Search(len(samples), func(i int) bool { return samples[i].Name >= name })
+	if i < len(samples) && samples[i].Name == name {
+		return samples[i].Value, true
+	}
+	return 0, false
+}
+
+// Snapshot captures every metric, sorted by name within each kind.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var s Snapshot
+	s.Counters = make([]Sample, 0, len(r.counters))
+	for name, c := range r.counters {
+		s.Counters = append(s.Counters, Sample{Name: name, Value: c.Value()})
+	}
+	s.Gauges = make([]Sample, 0, len(r.gauges))
+	for name, g := range r.gauges {
+		s.Gauges = append(s.Gauges, Sample{Name: name, Value: g.Value()})
+	}
+	s.Histograms = make([]HistogramSample, 0, len(r.histograms))
+	for name, h := range r.histograms {
+		hs := HistogramSample{
+			Name:   name,
+			Bounds: append([]float64(nil), h.bounds...),
+			Counts: make([]int64, len(h.buckets)),
+			Sum:    h.Sum(),
+		}
+		for i := range h.buckets {
+			hs.Counts[i] = h.buckets[i].Load()
+			hs.Count += hs.Counts[i]
+		}
+		s.Histograms = append(s.Histograms, hs)
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}

@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	var r Registry // zero value must be usable
+	c := r.Counter("batch/jobs")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("batch/jobs") != c {
+		t.Fatal("second lookup returned a different counter handle")
+	}
+
+	g := r.Gauge("batch/inflight")
+	g.Add(3)
+	g.Add(-2)
+	if got := g.Value(); got != 1 {
+		t.Fatalf("gauge = %d, want 1", got)
+	}
+	g.Set(-7)
+	if got := g.Value(); got != -7 {
+		t.Fatalf("gauge = %d, want -7", got)
+	}
+}
+
+func TestCounterRejectsNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Counter.Add did not panic")
+		}
+	}()
+	new(Counter).Add(-1)
+}
+
+// Bucket boundaries follow Prometheus le semantics: a value equal to a
+// bound lands in that bound's bucket, the first value above it in the
+// next, and values above every bound in the implicit +Inf bucket.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 2.5, 5})
+
+	cases := []struct {
+		v      float64
+		bucket int
+	}{
+		{0, 0}, {0.999, 0}, {1, 0}, // at the bound → that bucket
+		{math.Nextafter(1, 2), 1}, {2.5, 1},
+		{2.500001, 2}, {5, 2},
+		{5.000001, 3}, {1e9, 3}, // above every bound → +Inf
+	}
+	want := make([]int64, 4)
+	var wantSum float64
+	for _, tc := range cases {
+		h.Observe(tc.v)
+		want[tc.bucket]++
+		wantSum += tc.v
+	}
+
+	hs, ok := r.Snapshot().Histogram("lat")
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	for i, w := range want {
+		if hs.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, hs.Counts[i], w)
+		}
+	}
+	if hs.Count != int64(len(cases)) {
+		t.Errorf("count = %d, want %d", hs.Count, len(cases))
+	}
+	if math.Abs(hs.Sum-wantSum) > 1e-9 {
+		t.Errorf("sum = %g, want %g", hs.Sum, wantSum)
+	}
+	if h.Count() != int64(len(cases)) {
+		t.Errorf("Count() = %d, want %d", h.Count(), len(cases))
+	}
+}
+
+func TestHistogramObserveDuration(t *testing.T) {
+	h := NewRegistry().Histogram("d", DurationBuckets)
+	h.ObserveDuration(30 * time.Millisecond) // between 2.5e-2 and 5e-2
+	hs := findBucket(t, h, 30e-3)
+	if hs != 11 { // DurationBuckets[11] == 5e-2 is the first bound ≥ 0.03
+		t.Fatalf("0.03s landed in bucket %d, want 11", hs)
+	}
+}
+
+// findBucket returns the index of the single non-empty bucket.
+func findBucket(t *testing.T, h *Histogram, v float64) int {
+	t.Helper()
+	idx := -1
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			if idx != -1 {
+				t.Fatalf("multiple non-empty buckets (%d and %d)", idx, i)
+			}
+			idx = i
+		}
+	}
+	if idx == -1 {
+		t.Fatal("no bucket recorded the observation")
+	}
+	return idx
+}
+
+func TestHistogramBoundsPinnedAtCreation(t *testing.T) {
+	r := NewRegistry()
+	h1 := r.Histogram("h", []float64{1, 2})
+	h2 := r.Histogram("h", nil) // later callers may pass nil
+	if h1 != h2 {
+		t.Fatal("second lookup returned a different histogram")
+	}
+}
+
+func TestHistogramBadBoundsPanic(t *testing.T) {
+	for _, bounds := range [][]float64{nil, {}, {2, 1}, {1, 1}, {math.Inf(1)}, {math.NaN()}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bounds %v did not panic", bounds)
+				}
+			}()
+			NewRegistry().Histogram("bad", bounds)
+		}()
+	}
+}
+
+func TestSnapshotSortedAndLookup(t *testing.T) {
+	r := NewRegistry()
+	for _, name := range []string{"z/last", "a/first", "m/middle"} {
+		r.Counter(name).Inc()
+		r.Gauge(name + "/g").Set(2)
+	}
+	r.Histogram("b/h", []float64{1}).Observe(0.5)
+
+	s := r.Snapshot()
+	if !sort.SliceIsSorted(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name }) {
+		t.Error("counters not sorted")
+	}
+	if !sort.SliceIsSorted(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name }) {
+		t.Error("gauges not sorted")
+	}
+	if v, ok := s.Counter("m/middle"); !ok || v != 1 {
+		t.Errorf("Counter lookup = %d,%v", v, ok)
+	}
+	if v, ok := s.Gauge("a/first/g"); !ok || v != 2 {
+		t.Errorf("Gauge lookup = %d,%v", v, ok)
+	}
+	if _, ok := s.Counter("missing"); ok {
+		t.Error("missing counter reported present")
+	}
+	if _, ok := s.Histogram("missing"); ok {
+		t.Error("missing histogram reported present")
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	for k, want := range map[EventKind]string{
+		JobStart: "job-start", JobFinish: "job-finish",
+		JobPanic: "job-panic", JobDegraded: "job-degraded",
+		EventKind(99): "event-kind-99",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("EventKind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}

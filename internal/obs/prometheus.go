@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteMetrics renders the registry in the Prometheus text exposition
+// format (version 0.0.4): one `# TYPE` comment per metric family followed
+// by its samples, counters first, then gauges, then histograms, each
+// sorted by name. Registry names are sanitized into legal Prometheus
+// metric names — every character outside [a-zA-Z0-9_:] becomes an
+// underscore — and counters gain the conventional `_total` suffix.
+// Histograms expand into cumulative `_bucket{le="..."}` samples plus
+// `_sum` and `_count`, with the +Inf bucket equal to `_count`.
+func (r *Registry) WriteMetrics(w io.Writer) error {
+	return r.Snapshot().WriteMetrics(w)
+}
+
+// WriteMetrics renders the snapshot in the Prometheus text format; see
+// Registry.WriteMetrics.
+func (s Snapshot) WriteMetrics(w io.Writer) error {
+	for _, c := range s.Counters {
+		name := SanitizeMetricName(c.Name) + "_total"
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		name := SanitizeMetricName(g.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, g.Value); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		name := SanitizeMetricName(h.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+			return err
+		}
+		cum := int64(0)
+		for i, b := range h.Bounds {
+			cum += h.Counts[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(b), cum); err != nil {
+				return err
+			}
+		}
+		cum += h.Counts[len(h.Bounds)]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, formatFloat(h.Sum), name, cum); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatFloat renders a float the shortest way that round-trips.
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// SanitizeMetricName maps a registry name onto a legal Prometheus metric
+// name: characters outside [a-zA-Z0-9_:] become underscores, and a
+// leading digit gains an underscore prefix.
+func SanitizeMetricName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"bufio"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The exposition format is pinned byte-for-byte: dashboards and scrapers
+// parse it, so a change here is a breaking change to the exposition and
+// must be deliberate.
+func TestWriteMetricsGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pipeline/route/cycles").Add(7)
+	r.Counter("batch/jobs").Add(12)
+	r.Gauge("batch/inflight").Set(2)
+	h := r.Histogram("batch/job-seconds", []float64{0.1, 1})
+	h.Observe(0.0625) // binary-exact values keep the _sum stable
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var sb strings.Builder
+	if err := r.WriteMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE batch_jobs_total counter
+batch_jobs_total 12
+# TYPE pipeline_route_cycles_total counter
+pipeline_route_cycles_total 7
+# TYPE batch_inflight gauge
+batch_inflight 2
+# TYPE batch_job_seconds histogram
+batch_job_seconds_bucket{le="0.1"} 1
+batch_job_seconds_bucket{le="1"} 2
+batch_job_seconds_bucket{le="+Inf"} 3
+batch_job_seconds_sum 5.5625
+batch_job_seconds_count 3
+`
+	if sb.String() != want {
+		t.Errorf("exposition drifted:\n--- got ---\n%s--- want ---\n%s", sb.String(), want)
+	}
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := map[string]string{
+		"pipeline/route/cycles": "pipeline_route_cycles",
+		"batch/queue-wait":      "batch_queue_wait",
+		"simple":                "simple",
+		"0leading":              "_0leading",
+		"a:b_c9":                "a:b_c9",
+		"π/τ":                   "___", // multi-byte runes collapse to one underscore each
+	}
+	for in, want := range cases {
+		if got := SanitizeMetricName(in); got != want {
+			t.Errorf("SanitizeMetricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestWriteMetricsParsesAsPrometheus validates the output of a realistic
+// registry against the text-format grammar: every sample line is
+// `name[{le="bound"}] value`, every family is announced by a single
+// `# TYPE` line before its samples, histogram buckets are cumulative and
+// end in a +Inf bucket equal to _count.
+func TestWriteMetricsParsesAsPrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pipeline/route/braids").Add(41)
+	r.Counter("route/astar-pops").Add(1234)
+	r.Gauge("pipeline/qco/cx-delta").Add(-5)
+	h := r.Histogram("pipeline/route/seconds", DurationBuckets)
+	for _, v := range []float64{1e-6, 3e-4, 0.02, 0.7, 42} {
+		h.Observe(v)
+	}
+	var sb strings.Builder
+	if err := r.WriteMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+
+	types := map[string]string{} // family -> declared type
+	bucketCum := map[string]int64{}
+	lastLine := ""
+	sc := bufio.NewScanner(strings.NewReader(sb.String()))
+	for sc.Scan() {
+		line := sc.Text()
+		lastLine = line
+		if line == "" {
+			t.Fatal("blank line in exposition")
+		}
+		if strings.HasPrefix(line, "#") {
+			f := strings.Fields(line)
+			if len(f) != 4 || f[1] != "TYPE" {
+				t.Fatalf("malformed comment line %q", line)
+			}
+			switch f[3] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("unknown metric type in %q", line)
+			}
+			if _, dup := types[f[2]]; dup {
+				t.Fatalf("family %s declared twice", f[2])
+			}
+			types[f[2]] = f[3]
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 2 {
+			t.Fatalf("sample line %q does not split into name and value", line)
+		}
+		val, err := strconv.ParseFloat(f[1], 64)
+		if err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		name := f[0]
+		switch {
+		case strings.Contains(name, "_bucket{le="):
+			base := name[:strings.Index(name, "_bucket{")]
+			if types[base] != "histogram" {
+				t.Fatalf("bucket sample %q has no histogram TYPE declaration", line)
+			}
+			le := name[strings.Index(name, `{le="`)+5 : len(name)-2]
+			if le != "+Inf" {
+				if _, err := strconv.ParseFloat(le, 64); err != nil {
+					t.Fatalf("unparseable le bound in %q", line)
+				}
+			}
+			if int64(val) < bucketCum[base] {
+				t.Fatalf("bucket counts not cumulative at %q", line)
+			}
+			bucketCum[base] = int64(val)
+		case strings.HasSuffix(name, "_sum"):
+			if types[strings.TrimSuffix(name, "_sum")] != "histogram" {
+				t.Fatalf("_sum sample %q outside a histogram family", line)
+			}
+		case strings.HasSuffix(name, "_count"):
+			base := strings.TrimSuffix(name, "_count")
+			if types[base] != "histogram" {
+				t.Fatalf("_count sample %q outside a histogram family", line)
+			}
+			if int64(val) != bucketCum[base] {
+				t.Fatalf("%s_count %d != +Inf bucket %d", base, int64(val), bucketCum[base])
+			}
+		default:
+			if _, ok := types[name]; !ok {
+				t.Fatalf("sample %q has no TYPE declaration", line)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(lastLine, "pipeline_route_seconds_count ") {
+		t.Errorf("unexpected final line %q", lastLine)
+	}
+	if types["route_astar_pops_total"] != "counter" {
+		t.Error("route/astar-pops not exposed as a counter")
+	}
+	if types["pipeline_qco_cx_delta"] != "gauge" {
+		t.Error("pipeline/qco/cx-delta not exposed as a gauge")
+	}
+}

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"io"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrentAccess hammers one registry from many writers
+// (counters, gauges, histograms — mixing cached handles and by-name
+// lookups) while readers snapshot and expose it concurrently. Run under
+// -race this is the registry's data-race proof; the final totals prove
+// no increment was lost.
+func TestRegistryConcurrentAccess(t *testing.T) {
+	const (
+		writers = 8
+		iters   = 2000
+	)
+	r := NewRegistry()
+	hot := r.Counter("hot") // shared cached handle
+
+	// Readers: snapshot and expose continuously while the writers run.
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := r.Snapshot()
+				if v, ok := s.Counter("hot"); ok && (v < 0 || v > writers*iters) {
+					t.Errorf("impossible mid-run counter value %d", v)
+					return
+				}
+				if err := s.WriteMetrics(io.Discard); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := r.Histogram("lat", []float64{0.001, 0.01, 0.1})
+			for i := 0; i < iters; i++ {
+				hot.Inc()
+				r.Counter("by-name").Inc() // exercises the lookup path
+				r.Gauge("inflight").Add(1)
+				r.Gauge("inflight").Add(-1)
+				h.Observe(float64(i%200) / 1000)
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	s := r.Snapshot()
+	if v, _ := s.Counter("hot"); v != writers*iters {
+		t.Errorf("hot = %d, want %d", v, writers*iters)
+	}
+	if v, _ := s.Counter("by-name"); v != writers*iters {
+		t.Errorf("by-name = %d, want %d", v, writers*iters)
+	}
+	if v, _ := s.Gauge("inflight"); v != 0 {
+		t.Errorf("inflight = %d, want 0", v)
+	}
+	hs, ok := s.Histogram("lat")
+	if !ok || hs.Count != writers*iters {
+		t.Errorf("histogram count = %d (ok=%v), want %d", hs.Count, ok, writers*iters)
+	}
+}

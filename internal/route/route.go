@@ -173,6 +173,25 @@ type Finder interface {
 	Name() string
 }
 
+// SearchStats counts a finder's cumulative search effort since it was
+// created — the router-level cost the paper's Fig. 8c runtime comparison
+// is really measuring. Counting is plain field arithmetic on the finder,
+// so it adds no allocation to the Find hot path.
+type SearchStats struct {
+	// Searches is the number of point-to-point searches started (a
+	// single Find may start several: one per corner pair probed).
+	Searches int64
+	// Pops is the number of frontier nodes expanded across all searches
+	// (A* open-heap pops, DFS stack pops).
+	Pops int64
+}
+
+// StatsReporter is implemented by finders that track search effort; the
+// pipeline surfaces the stats as route-stage trace counters and metrics.
+type StatsReporter interface {
+	Stats() SearchStats
+}
+
 // --- A* between the closest corner pair (HiLight) ---------------------------
 
 // AStar is the paper's fast path-finder (FindMinManhattanDistPoint +
@@ -192,7 +211,11 @@ type AStar struct {
 	stamp    []int
 	epoch    int
 	nbrBuf   []int
+	stats    SearchStats
 }
+
+// Stats implements StatsReporter.
+func (a *AStar) Stats() SearchStats { return a.stats }
 
 // Name implements Finder.
 func (a *AStar) Name() string { return "astar-closest" }
@@ -263,6 +286,7 @@ func (a *AStar) search(g *grid.Grid, occ *Occupancy, src, dst int, buf Path) (Pa
 		a.closed = make([]bool, n)
 		a.stamp = make([]int, n)
 	}
+	a.stats.Searches++
 	a.epoch++
 	a.open.Reset()
 	a.touch(src)
@@ -270,6 +294,7 @@ func (a *AStar) search(g *grid.Grid, occ *Occupancy, src, dst int, buf Path) (Pa
 	a.open.Push(src, g.VertexDist(src, dst))
 	for a.open.Len() > 0 {
 		cur, _ := a.open.Pop()
+		a.stats.Pops++
 		if cur == dst {
 			return a.reconstruct(dst, buf), true
 		}
@@ -327,6 +352,10 @@ type Full16 struct {
 // Name implements Finder.
 func (f *Full16) Name() string { return "full-16" }
 
+// Stats implements StatsReporter: Full16 drives the shared A* core, so
+// its effort is the underlying searcher's.
+func (f *Full16) Stats() SearchStats { return f.astar.Stats() }
+
 // Find implements Finder.
 func (f *Full16) Find(g *grid.Grid, occ *Occupancy, ctlTile, tgtTile int, buf Path) (Path, bool) {
 	found := false
@@ -364,7 +393,11 @@ type StackDFS struct {
 	nbrBuf  []int
 	frames  []dfsFrame
 	stack   []int
+	stats   SearchStats
 }
+
+// Stats implements StatsReporter.
+func (s *StackDFS) Stats() SearchStats { return s.stats }
 
 // dfsFrame is one partial-path node: backtracking restores state by
 // walking parent indices.
@@ -417,6 +450,7 @@ func (s *StackDFS) dfs(g *grid.Grid, occ *Occupancy, src, dst int, buf Path) (Pa
 		s.visited = make([]bool, n)
 		s.stampV = make([]int, n)
 	}
+	s.stats.Searches++
 	s.epoch++
 
 	// Stack of partial paths; each frame stores the path so backtracking
@@ -428,6 +462,7 @@ func (s *StackDFS) dfs(g *grid.Grid, occ *Occupancy, src, dst int, buf Path) (Pa
 	for len(s.stack) > 0 {
 		fi := s.stack[len(s.stack)-1]
 		s.stack = s.stack[:len(s.stack)-1]
+		s.stats.Pops++
 		cur := s.frames[fi].vertex
 		if cur == dst {
 			// Reconstruct by walking parents.

@@ -1,0 +1,81 @@
+package hilight
+
+import "hilight/internal/obs"
+
+// Metrics is a process-wide, concurrency-safe metrics registry: named
+// counters, gauges and fixed-bucket latency histograms with
+// allocation-free atomic increments. One registry is typically shared by
+// every Compile and CompileAll in the process (pass it with WithMetrics)
+// and scraped with Snapshot or WriteMetrics.
+//
+// Metric families, by emit point:
+//
+//   - pipeline/<pass>/... — per compiler pass: runs, errors, a seconds
+//     histogram, and every Result.Trace counter of that pass (signed
+//     deltas such as qco/cx-delta accumulate as gauges). For a single
+//     compile the deltas reconcile exactly with Result.Trace.
+//   - route/... — routing-layer totals: braids-routed, cycles,
+//     searches and search-pops (A* open-heap pops / DFS stack pops).
+//   - compile/... — fallback-activations and fallback-recovered from
+//     the WithFallback degradation chain.
+//   - batch/... — CompileAll job accounting: jobs, jobs-succeeded,
+//     jobs-failed, jobs-panicked, jobs-canceled, jobs-degraded counters,
+//     queue-wait-seconds and job-seconds histograms, and an inflight
+//     gauge. jobs = succeeded + failed + panicked + canceled.
+type Metrics = obs.Registry
+
+// MetricsSnapshot is a stable, name-sorted point-in-time view of a
+// Metrics registry (see Metrics and Snapshot).
+type MetricsSnapshot = obs.Snapshot
+
+// MetricSample is one named counter or gauge value of a MetricsSnapshot.
+type MetricSample = obs.Sample
+
+// MetricHistogram is one histogram of a MetricsSnapshot.
+type MetricHistogram = obs.HistogramSample
+
+// NewMetrics returns an empty metrics registry. Its Snapshot method
+// returns a MetricsSnapshot; WriteMetrics renders the Prometheus text
+// exposition format.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// WithMetrics aggregates the compile (or every job of a CompileAll
+// batch) into m: pipeline pass counters and latency histograms, routing
+// totals, fallback activations, and batch job accounting. The registry
+// is safe to share across concurrent compiles and to scrape while
+// compiles run. Metering costs two atomic operations per counter update
+// and never allocates on the increment path, so hot paths (and the
+// routing layer's zero-allocation guarantee) are unaffected.
+func WithMetrics(m *Metrics) Option {
+	return func(o *options) { o.metrics = m }
+}
+
+// CompileEvent is one structured observation of a CompileAll batch: a
+// job starting, finishing, panicking, or degrading to a fallback method.
+type CompileEvent = obs.Event
+
+// EventKind enumerates CompileEvent kinds.
+type EventKind = obs.EventKind
+
+// CompileEvent kinds. Every batch job emits exactly one terminal event —
+// EventJobFinish (Err nil or not) or EventJobPanic — and EventJobStart
+// only when a worker picked the job up: a job failed by the dispatcher
+// after cancellation reports EventJobFinish with zero Duration and no
+// preceding EventJobStart. EventJobDegraded is emitted in addition to
+// EventJobFinish when a WithFallback method produced the job's result.
+const (
+	EventJobStart    = obs.JobStart
+	EventJobFinish   = obs.JobFinish
+	EventJobPanic    = obs.JobPanic
+	EventJobDegraded = obs.JobDegraded
+)
+
+// WithEvents streams per-job lifecycle events from CompileAll: start
+// (with queue wait), finish (with wall time and error), panic, and
+// degraded-to-fallback. fn may be invoked concurrently from multiple
+// worker goroutines and must be safe for concurrent use; it should
+// return quickly — a slow observer stalls its worker. Compile ignores
+// the option: events describe batch jobs.
+func WithEvents(fn func(CompileEvent)) Option {
+	return func(o *options) { o.events = obs.EventObserverFunc(fn) }
+}

@@ -1,0 +1,131 @@
+package hilight_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"hilight"
+)
+
+// For a single compile on a fresh registry, the pipeline/... deltas must
+// reconcile exactly with Result.Trace: one run per executed pass, one
+// seconds observation per pass, and every trace counter mirrored under
+// its pass prefix. The route/... totals mirror the route stage counters.
+func TestMetricsReconcileWithTrace(t *testing.T) {
+	m := hilight.NewMetrics()
+	res, err := hilight.Compile(hilight.QFT(10), hilight.RectGrid(10), hilight.WithMetrics(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+
+	for _, st := range res.Trace {
+		prefix := "pipeline/" + st.Stage + "/"
+		if runs, ok := snap.Counter(prefix + "runs"); !ok || runs != 1 {
+			t.Errorf("%sruns = %d (ok=%v), want 1", prefix, runs, ok)
+		}
+		if hs, ok := snap.Histogram(prefix + "seconds"); !ok || hs.Count != 1 {
+			t.Errorf("%sseconds count = %d (ok=%v), want 1", prefix, hs.Count, ok)
+		}
+		if errs, ok := snap.Counter(prefix + "errors"); !ok || errs != 0 {
+			t.Errorf("%serrors = %d (ok=%v), want 0", prefix, errs, ok)
+		}
+		for _, c := range st.Counters {
+			got, ok := snap.Counter(prefix + c.Name)
+			if !ok {
+				// Signed deltas land in gauges instead.
+				got, ok = snap.Gauge(prefix + c.Name)
+			}
+			if !ok || got != c.Value {
+				t.Errorf("%s%s = %d (ok=%v), want trace value %d", prefix, c.Name, got, ok, c.Value)
+			}
+		}
+	}
+
+	// The route stage's counters are also rolled up as route/... totals,
+	// and the cycle count is the schedule latency.
+	var routeTrace *hilight.StageTrace
+	for i := range res.Trace {
+		if res.Trace[i].Stage == "route" {
+			routeTrace = &res.Trace[i]
+		}
+	}
+	if routeTrace == nil {
+		t.Fatal("trace has no route stage")
+	}
+	for trace, total := range map[string]string{
+		"cycles":      "route/cycles",
+		"braids":      "route/braids-routed",
+		"searches":    "route/searches",
+		"search-pops": "route/search-pops",
+	} {
+		want, ok := routeTrace.Counter(trace)
+		if !ok {
+			t.Fatalf("route trace has no %q counter", trace)
+		}
+		if got, ok := snap.Counter(total); !ok || got != want {
+			t.Errorf("%s = %d (ok=%v), want trace %s = %d", total, got, ok, trace, want)
+		}
+	}
+	if cycles, _ := snap.Counter("route/cycles"); cycles != int64(res.Latency) {
+		t.Errorf("route/cycles = %d, want Result.Latency %d", cycles, res.Latency)
+	}
+}
+
+// One registry shared by a parallel batch and scraped concurrently: the
+// totals must come out exact (no lost updates) and scraping must never
+// observe a torn state — exercised under -race by `make race`.
+func TestMetricsConcurrentCompileAllAndSnapshot(t *testing.T) {
+	m := hilight.NewMetrics()
+	jobs := make([]hilight.BatchJob, 24)
+	for i := range jobs {
+		jobs[i] = hilight.BatchJob{Circuit: hilight.GHZ(6)}
+	}
+
+	stop := make(chan struct{})
+	var scrapers sync.WaitGroup
+	for s := 0; s < 2; s++ {
+		scrapers.Add(1)
+		go func() {
+			defer scrapers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := m.Snapshot()
+				if v, ok := snap.Gauge("batch/inflight"); ok && v < 0 {
+					t.Errorf("negative inflight gauge %d observed mid-batch", v)
+					return
+				}
+				var sb strings.Builder
+				if err := snap.WriteMetrics(&sb); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+
+	results := hilight.CompileAll(jobs, 8, hilight.WithMetrics(m))
+	close(stop)
+	scrapers.Wait()
+
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("job %d: %v", i, r.Err)
+		}
+	}
+	snap := m.Snapshot()
+	if runs, ok := snap.Counter("pipeline/route/runs"); !ok || runs != int64(len(jobs)) {
+		t.Errorf("pipeline/route/runs = %d (ok=%v), want %d", runs, ok, len(jobs))
+	}
+	if n, ok := snap.Counter("batch/jobs-succeeded"); !ok || n != int64(len(jobs)) {
+		t.Errorf("batch/jobs-succeeded = %d (ok=%v), want %d", n, ok, len(jobs))
+	}
+	if v, ok := snap.Gauge("batch/inflight"); !ok || v != 0 {
+		t.Errorf("batch/inflight = %d (ok=%v), want 0", v, ok)
+	}
+}
