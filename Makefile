@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-route fuzz golden check
+.PHONY: all build vet lint test race bench bench-route fuzz golden check serve smoke
 
 all: check
 
@@ -49,5 +49,17 @@ fuzz:
 # change (testdata/golden_schedules.json).
 golden:
 	$(GO) test -run TestGoldenSchedules -update .
+
+# Run the compile service locally (POST /v1/compile, /v1/jobs; see
+# `hilightd -h` for flags). SERVE_ADDR=:9000 picks a different port.
+SERVE_ADDR ?= :8753
+serve:
+	$(GO) run ./cmd/hilightd -addr $(SERVE_ADDR)
+
+# The daemon end-to-end smoke: boots hilightd on an ephemeral port,
+# compiles over HTTP (asserting a cache hit via /metrics), forces a 429
+# off a full queue, and SIGTERMs the daemon mid-compile to check drain.
+smoke:
+	$(GO) test -run 'TestE2E' -v ./cmd/hilightd/
 
 check: build vet test

@@ -1,0 +1,124 @@
+// Command hilightd serves the HiLight compiler over HTTP: a
+// compile-as-a-service daemon with a content-addressed schedule cache
+// and admission control.
+//
+// Usage:
+//
+//	hilightd [-addr :8753] [-workers N] [-queue N] [-cache-bytes N]
+//
+// Endpoints:
+//
+//	POST /v1/compile      synchronous compile (cached by fingerprint)
+//	POST /v1/jobs         submit an async batch (CompileAll semantics)
+//	GET  /v1/jobs/{id}    poll a batch; results once done
+//	GET  /v1/methods      mapping methods accepted by "method"
+//	GET  /v1/benchmarks   built-in benchmark circuits
+//	GET  /healthz         liveness (always 200 while the process runs)
+//	GET  /readyz          readiness (503 once draining)
+//	GET  /metrics         Prometheus text exposition
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: readiness flips, new
+// compile work is rejected with 503, and in-flight compiles and async
+// batches drain (bounded by -drain-timeout) before the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hilight/internal/obs"
+	"hilight/internal/service"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the daemon body, separated from main so the e2e test can boot
+// it in-process on an ephemeral port and drive it with real signals.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hilightd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr         = fs.String("addr", ":8753", "listen address (host:port; port 0 picks an ephemeral port)")
+		workers      = fs.Int("workers", 0, "max concurrent compiles (0 = GOMAXPROCS)")
+		queue        = fs.Int("queue", 64, "max compiles queued beyond the workers (negative disables queueing; a full queue answers 429)")
+		cacheBytes   = fs.Int64("cache-bytes", 64<<20, "schedule cache capacity in bytes (negative disables)")
+		maxJobs      = fs.Int("max-jobs", 64, "max retained async batches")
+		timeout      = fs.Duration("timeout", 60*time.Second, "default per-compile deadline")
+		maxTimeout   = fs.Duration("max-timeout", 10*time.Minute, "cap on request-supplied deadlines")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight work")
+		logEvents    = fs.Bool("log-events", true, "log async batch job lifecycle events to stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	cfg := service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheBytes:     *cacheBytes,
+		MaxStoredJobs:  *maxJobs,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+	}
+	if *logEvents {
+		cfg.Events = obs.NewLogObserver(stderr)
+	}
+	srv := service.New(cfg)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "hilightd:", err)
+		return 1
+	}
+	// The resolved address line is machine-readable on purpose: with
+	// -addr :0 it is how callers (the e2e smoke test, scripts) learn the
+	// ephemeral port.
+	fmt.Fprintf(stdout, "hilightd listening on http://%s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+	case err := <-serveErr:
+		fmt.Fprintln(stderr, "hilightd:", err)
+		return 1
+	}
+	stop() // restore default signal handling: a second signal kills hard
+
+	fmt.Fprintln(stderr, "hilightd: draining...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Order matters: flip readiness and reject new compile work first,
+	// then wait for in-flight HTTP requests, then for async batches.
+	srv.Drain()
+	code := 0
+	if err := hs.Shutdown(drainCtx); err != nil {
+		fmt.Fprintln(stderr, "hilightd: http drain:", err)
+		code = 1
+	}
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintln(stderr, "hilightd:", err)
+		code = 1
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(stderr, "hilightd:", err)
+		code = 1
+	}
+	fmt.Fprintln(stderr, "hilightd: shutdown complete")
+	return code
+}

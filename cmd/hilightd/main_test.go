@@ -1,0 +1,291 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a goroutine-safe buffer for the daemon's stdout/stderr.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+var listenRe = regexp.MustCompile(`hilightd listening on (http://\S+)`)
+
+// bootDaemon runs the daemon in-process on an ephemeral port and returns
+// its base URL plus a channel carrying run's exit code.
+func bootDaemon(t *testing.T, args ...string) (string, *syncBuffer, chan int) {
+	t.Helper()
+	var stdout, stderr syncBuffer
+	exit := make(chan int, 1)
+	go func() {
+		exit <- run(append([]string{"-addr", "127.0.0.1:0"}, args...), &stdout, &stderr)
+	}()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if m := listenRe.FindStringSubmatch(stdout.String()); m != nil {
+			return m[1], &stderr, exit
+		}
+		select {
+		case code := <-exit:
+			t.Fatalf("daemon exited early with %d\nstderr: %s", code, stderr.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never announced its address\nstdout: %s", stdout.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func waitReady(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == 200 {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never became ready: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func postCompile(t *testing.T, base, body string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/compile", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("non-JSON response (%d): %s", resp.StatusCode, data)
+	}
+	return resp.StatusCode, out
+}
+
+func scrapeMetrics(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestE2ESmoke is the end-to-end acceptance path: boot hilightd on an
+// ephemeral port, compile a built-in benchmark twice over HTTP, assert
+// the second response came from the schedule cache (via /metrics), force
+// a 429 off a full queue, then SIGTERM the daemon mid-compile and check
+// the in-flight request drains before exit.
+func TestE2ESmoke(t *testing.T) {
+	base, stderr, exit := bootDaemon(t, "-workers", "2", "-queue", "-1", "-drain-timeout", "2m")
+	waitReady(t, base)
+
+	// First compile: a miss that fills the cache.
+	status, first := postCompile(t, base, `{"benchmark":"QFT-16"}`)
+	if status != 200 {
+		t.Fatalf("first compile status %d: %v", status, first)
+	}
+	if first["cached"] != false || first["schedule"] == nil {
+		t.Fatalf("malformed first response: cached=%v", first["cached"])
+	}
+
+	// Second identical compile: answered from cache.
+	status, second := postCompile(t, base, `{"benchmark":"QFT-16"}`)
+	if status != 200 || second["cached"] != true {
+		t.Fatalf("second compile not a cache hit (status %d, cached=%v)", status, second["cached"])
+	}
+	if second["fingerprint"] != first["fingerprint"] {
+		t.Error("fingerprint changed between identical requests")
+	}
+	metrics := scrapeMetrics(t, base)
+	if !strings.Contains(metrics, "cache_hits_total 1") {
+		t.Errorf("metrics missing cache_hits_total 1:\n%s", metrics)
+	}
+
+	// Saturate the two workers (queue depth 0) with slow compiles; an
+	// extra request must bounce with 429 + Retry-After.
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Best-effort: these finish after the SIGTERM below, proving
+			// drain; errors are checked through the status codes.
+			resp, err := http.Post(base+"/v1/compile", "application/json",
+				strings.NewReader(`{"benchmark":"QFT-150","no_cache":true}`))
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					t.Errorf("in-flight compile finished with %d, want 200", resp.StatusCode)
+				}
+			} else {
+				t.Errorf("in-flight compile failed: %v", err)
+			}
+		}()
+	}
+	// Wait until both slow compiles are admitted.
+	deadline := time.Now().Add(10 * time.Second)
+	for !strings.Contains(scrapeMetrics(t, base), "service_inflight 2") {
+		if time.Now().After(deadline) {
+			t.Fatal("slow compiles never became in-flight")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	resp, err := http.Post(base+"/v1/compile", "application/json",
+		strings.NewReader(`{"benchmark":"QFT-100","no_cache":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overload request got %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 missing Retry-After")
+	}
+
+	// SIGTERM with two compiles in flight: the daemon must flip
+	// readiness, let both finish (asserted in the goroutines above), and
+	// exit 0.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("daemon exit code %d\nstderr: %s", code, stderr.String())
+		}
+	case <-time.After(2 * time.Minute): // generous: -race slows compiles ~15x
+		t.Fatalf("daemon never exited after SIGTERM\nstderr: %s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "shutdown complete") {
+		t.Errorf("missing shutdown log:\nstderr: %s", stderr.String())
+	}
+	// The listener is gone: further requests fail to connect.
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Error("daemon still serving after shutdown")
+	}
+}
+
+// TestE2EAsyncJobs drives the async path end to end: submit a batch,
+// poll to completion, fetch the schedules, then shut down cleanly.
+func TestE2EAsyncJobs(t *testing.T) {
+	base, stderr, exit := bootDaemon(t)
+	waitReady(t, base)
+
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(
+		`{"jobs":[{"benchmark":"QFT-10"},{"benchmark":"CC-11"}],"compact":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", resp.StatusCode, data)
+	}
+	var sub struct{ ID string }
+	if err := json.Unmarshal(data, &sub); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + sub.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var st struct {
+			Status  string
+			Results []struct {
+				Error  string
+				Result map[string]any
+			}
+		}
+		if err := json.Unmarshal(data, &st); err != nil {
+			t.Fatalf("bad poll body: %s", data)
+		}
+		if st.Status == "done" {
+			for i, r := range st.Results {
+				if r.Error != "" || r.Result["schedule"] == nil {
+					t.Fatalf("job %d: err=%q", i, r.Error)
+				}
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("batch never finished")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Batch lifecycle events reached the log bridge.
+	if !strings.Contains(stderr.String(), "kind=job-finish") {
+		t.Errorf("stderr missing job lifecycle events:\n%s", stderr.String())
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("exit code %d\nstderr: %s", code, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never exited")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var out syncBuffer
+	if code := run([]string{"-bogus"}, &out, &out); code != 2 {
+		t.Errorf("bad flag exit = %d, want 2", code)
+	}
+	if code := run([]string{"-addr", "256.0.0.1:bad"}, &out, &out); code != 1 {
+		t.Errorf("bad addr exit = %d, want 1", code)
+	}
+}

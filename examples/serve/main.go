@@ -1,0 +1,117 @@
+// Compile-as-a-service from the client side: submit an async batch to
+// hilightd, poll the job until it finishes, and fetch the schedules.
+//
+// By default the example boots the service in-process on an ephemeral
+// port so `go run ./examples/serve` works standalone; point -addr at a
+// running daemon (e.g. `make serve`, then -addr http://localhost:8753)
+// to drive a real one. Either way everything past the boot is plain
+// HTTP — exactly what a non-Go client would do.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"hilight/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", "", "base URL of a running hilightd (empty boots one in-process)")
+	flag.Parse()
+
+	base := *addr
+	if base == "" {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv := service.New(service.Config{})
+		hs := &http.Server{Handler: srv.Handler()}
+		go hs.Serve(ln)
+		defer hs.Close()
+		base = "http://" + ln.Addr().String()
+		fmt.Printf("booted in-process hilightd at %s\n\n", base)
+	}
+
+	// 1. Submit a batch. Options (method, compact, seed...) are
+	// batch-level, matching CompileAll: one option list, many circuits.
+	submit := map[string]any{
+		"jobs": []map[string]any{
+			{"benchmark": "QFT-16"},
+			{"benchmark": "CC-11"},
+			{"benchmark": "BV-10"},
+		},
+		"compact": true,
+		"seed":    7,
+	}
+	body, _ := json.Marshal(submit)
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		log.Fatalf("submit: %d: %s", resp.StatusCode, data)
+	}
+	var sub struct {
+		ID    string `json:"id"`
+		Count int    `json:"count"`
+	}
+	if err := json.Unmarshal(data, &sub); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("submitted batch %s (%d jobs)\n", sub.ID, sub.Count)
+
+	// 2. Poll until the batch reports "done". The poll body carries a
+	// live finished-count while running and the full results when done.
+	var status struct {
+		Status   string `json:"status"`
+		Finished int    `json:"finished"`
+		Results  []struct {
+			Error  string `json:"error"`
+			Result *struct {
+				Fingerprint   string          `json:"fingerprint"`
+				Method        string          `json:"method"`
+				LatencyCycles int             `json:"latency_cycles"`
+				PathLen       int             `json:"path_len"`
+				Schedule      json.RawMessage `json:"schedule"`
+			} `json:"result"`
+		} `json:"results"`
+	}
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + sub.ID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err := json.Unmarshal(data, &status); err != nil {
+			log.Fatalf("poll: %s", data)
+		}
+		fmt.Printf("  poll: %s (%d/%d finished)\n", status.Status, status.Finished, sub.Count)
+		if status.Status == "done" {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// 3. Read the schedules out of the final poll.
+	fmt.Println("\nresults:")
+	for i, r := range status.Results {
+		if r.Error != "" {
+			fmt.Printf("  job %d: FAILED: %s\n", i, r.Error)
+			continue
+		}
+		fmt.Printf("  job %d: method=%s latency=%d cycles, path=%d, schedule=%d bytes, fp=%s...\n",
+			i, r.Result.Method, r.Result.LatencyCycles, r.Result.PathLen,
+			len(r.Result.Schedule), r.Result.Fingerprint[:12])
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sort"
 	"time"
 
 	_ "hilight/internal/autobraid" // registers the autobraid-sp/-full method specs
@@ -268,7 +269,8 @@ func WithCompaction() Option {
 // Methods returns the method names accepted by WithMethod, sorted.
 // Every name resolves to a declarative pipeline spec in core's static
 // registry, so enumeration instantiates no components and draws no
-// random state.
+// random state. The slice is a fresh copy on every call: mutating it
+// cannot corrupt the registry or later calls.
 func Methods() []string { return core.MethodNames() }
 
 // Compile maps the circuit onto the grid and returns the braiding
@@ -385,13 +387,16 @@ func Benchmark(name string) (*Circuit, bool) {
 	return e.Build(), true
 }
 
-// BenchmarkNames lists the built-in Table 1 benchmarks in table order.
+// BenchmarkNames lists the built-in Table 1 benchmarks, sorted. The
+// slice is a fresh copy on every call — like Methods, callers may keep
+// or mutate it without corrupting the registry.
 func BenchmarkNames() []string {
 	entries := bench.Table1()
 	names := make([]string, len(entries))
 	for i, e := range entries {
 		names[i] = e.Name
 	}
+	sort.Strings(names)
 	return names
 }
 

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// LogObserver bridges structured events onto a log stream: every event
+// becomes one logfmt-style line (`kind=job-finish job=3 duration=1.2ms`)
+// on the underlying writer. It is safe for concurrent use — lines from
+// concurrent workers never interleave — which makes it directly usable
+// as the EventObserver of a CompileAll batch or of the hilightd daemon.
+type LogObserver struct {
+	mu  sync.Mutex
+	w   io.Writer
+	now func() time.Time // test hook; nil means time.Now
+}
+
+// NewLogObserver returns a LogObserver writing to w. A nil w discards
+// every event.
+func NewLogObserver(w io.Writer) *LogObserver {
+	if w == nil {
+		w = io.Discard
+	}
+	return &LogObserver{w: w}
+}
+
+// OnEvent implements EventObserver: it renders e as one line. Fields
+// that carry no information for the event kind (zero durations on a
+// start, empty methods, nil errors) are omitted.
+func (l *LogObserver) OnEvent(e Event) {
+	var b strings.Builder
+	now := time.Now
+	if l.now != nil {
+		now = l.now
+	}
+	fmt.Fprintf(&b, "ts=%s kind=%s job=%d", now().UTC().Format(time.RFC3339Nano), e.Kind, e.Job)
+	if e.Method != "" {
+		fmt.Fprintf(&b, " method=%s", e.Method)
+	}
+	if e.QueueWait > 0 {
+		fmt.Fprintf(&b, " queue_wait=%s", e.QueueWait)
+	}
+	if e.Duration > 0 {
+		fmt.Fprintf(&b, " duration=%s", e.Duration)
+	}
+	if e.Err != nil {
+		fmt.Fprintf(&b, " err=%q", e.Err.Error())
+	}
+	b.WriteByte('\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	io.WriteString(l.w, b.String())
+}

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLogObserverRendering(t *testing.T) {
+	var sb strings.Builder
+	l := NewLogObserver(&sb)
+	l.now = func() time.Time { return time.Unix(0, 0).UTC() }
+	l.OnEvent(Event{Kind: JobStart, Job: 3, QueueWait: 2 * time.Millisecond})
+	l.OnEvent(Event{Kind: JobFinish, Job: 3, Duration: 5 * time.Millisecond, Err: errors.New("boom \"q\"")})
+	l.OnEvent(Event{Kind: JobDegraded, Job: 4, Method: "autobraid-sp"})
+	got := sb.String()
+	want := `ts=1970-01-01T00:00:00Z kind=job-start job=3 queue_wait=2ms
+ts=1970-01-01T00:00:00Z kind=job-finish job=3 duration=5ms err="boom \"q\""
+ts=1970-01-01T00:00:00Z kind=job-degraded job=4 method=autobraid-sp
+`
+	if got != want {
+		t.Errorf("log output:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestLogObserverConcurrent(t *testing.T) {
+	var sb safeBuilder
+	l := NewLogObserver(&sb)
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			l.OnEvent(Event{Kind: JobFinish, Job: i, Duration: time.Millisecond})
+		}(i)
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSuffix(sb.String(), "\n"), "\n")
+	if len(lines) != 32 {
+		t.Fatalf("got %d lines, want 32", len(lines))
+	}
+	for _, ln := range lines {
+		if !strings.Contains(ln, "kind=job-finish") || !strings.Contains(ln, "duration=1ms") {
+			t.Errorf("interleaved or malformed line: %q", ln)
+		}
+	}
+}
+
+func TestLogObserverNilWriter(t *testing.T) {
+	NewLogObserver(nil).OnEvent(Event{Kind: JobStart}) // must not panic
+}
+
+// safeBuilder is a mutex-guarded strings.Builder: LogObserver serializes
+// its own writes, but the test's final read still needs the fence.
+type safeBuilder struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *safeBuilder) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *safeBuilder) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}

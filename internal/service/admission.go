@@ -1,0 +1,94 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+
+	"hilight/internal/obs"
+)
+
+// Admission-control outcomes. errQueueFull maps to 429 + Retry-After,
+// errDraining to 503 (the server is shutting down and readyz already
+// reports it).
+var (
+	errQueueFull = errors.New("service: compile queue full")
+	errDraining  = errors.New("service: server draining")
+)
+
+// admission is the server's admission controller: a bounded worker pool
+// (slots) fronted by a bounded wait queue (tickets). A request first
+// claims a ticket — immediately, or it is rejected with errQueueFull —
+// then waits on a worker slot, honoring its context. The two-stage
+// design keeps the wait set bounded: at most workers+queue requests are
+// inside the controller, everyone else gets instant backpressure
+// instead of an unbounded goroutine pileup.
+//
+// States: accepting → draining (terminal). Draining rejects new work
+// while already-admitted requests run to completion; in-flight work is
+// tracked by the inflight gauge and drained by Server.Shutdown.
+type admission struct {
+	tickets  chan struct{} // cap = workers + queue depth
+	slots    chan struct{} // cap = workers
+	draining atomic.Bool
+
+	queued   *obs.Gauge
+	inflight *obs.Gauge
+	admitted *obs.Counter
+	rejected *obs.Counter
+}
+
+func newAdmission(workers, queue int, m *obs.Registry) *admission {
+	return &admission{
+		tickets:  make(chan struct{}, workers+queue),
+		slots:    make(chan struct{}, workers),
+		queued:   m.Gauge("service/queued"),
+		inflight: m.Gauge("service/inflight"),
+		admitted: m.Counter("service/admitted"),
+		rejected: m.Counter("service/rejected"),
+	}
+}
+
+// acquire claims a compile slot, queueing (up to the queue bound) when
+// all workers are busy. It returns a release func on success, and
+// errQueueFull / errDraining / the context's error otherwise. release
+// must be called exactly once.
+func (a *admission) acquire(ctx context.Context) (release func(), err error) {
+	if a.draining.Load() {
+		a.rejected.Inc()
+		return nil, errDraining
+	}
+	select {
+	case a.tickets <- struct{}{}:
+	default:
+		a.rejected.Inc()
+		return nil, errQueueFull
+	}
+	a.queued.Add(1)
+	defer a.queued.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+	case <-ctx.Done():
+		<-a.tickets
+		return nil, ctx.Err()
+	}
+	// Re-check after a possible queue wait so a drain that started while
+	// this request was queued still wins.
+	if a.draining.Load() {
+		<-a.slots
+		<-a.tickets
+		a.rejected.Inc()
+		return nil, errDraining
+	}
+	a.admitted.Inc()
+	a.inflight.Add(1)
+	return func() {
+		a.inflight.Add(-1)
+		<-a.slots
+		<-a.tickets
+	}, nil
+}
+
+// drain moves the controller to its terminal state: every subsequent
+// acquire fails with errDraining. Idempotent.
+func (a *admission) drain() { a.draining.Store(true) }

@@ -1,0 +1,115 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"hilight/internal/obs"
+)
+
+func TestAdmissionPoolAndQueueBounds(t *testing.T) {
+	m := obs.NewRegistry()
+	a := newAdmission(2, 1, m) // 2 workers, 1 queued
+
+	rel1, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Third request queues; run it in a goroutine since it blocks. Wait
+	// for its ticket claim to land (the queued gauge) before probing.
+	got3 := make(chan error, 1)
+	var rel3 func()
+	go func() {
+		r, err := a.acquire(context.Background())
+		rel3 = r
+		got3 <- err
+	}()
+	waitGauge(t, m, "service/queued", 1)
+
+	// Workers and queue are now both full: a fourth acquire bounces
+	// immediately with errQueueFull.
+	if _, err := a.acquire(context.Background()); !errors.Is(err, errQueueFull) {
+		t.Fatalf("fourth acquire returned %v, want errQueueFull", err)
+	}
+
+	rel1() // frees a worker slot; the queued request proceeds
+	if err := <-got3; err != nil {
+		t.Fatalf("queued acquire failed: %v", err)
+	}
+	rel2()
+	rel3()
+
+	snap := m.Snapshot()
+	if v, _ := snap.Counter("service/admitted"); v != 3 {
+		t.Errorf("admitted = %d, want 3", v)
+	}
+	if v, _ := snap.Counter("service/rejected"); v < 1 {
+		t.Errorf("rejected = %d, want >= 1", v)
+	}
+	if v, _ := snap.Gauge("service/inflight"); v != 0 {
+		t.Errorf("inflight = %d after all releases, want 0", v)
+	}
+	if v, _ := snap.Gauge("service/queued"); v != 0 {
+		t.Errorf("queued = %d after all releases, want 0", v)
+	}
+}
+
+// waitGauge polls the registry until the named gauge reaches want.
+func waitGauge(t *testing.T, m *obs.Registry, name string, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if v, _ := m.Snapshot().Gauge(name); v == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			v, _ := m.Snapshot().Gauge(name)
+			t.Fatalf("gauge %s = %d, want %d (timed out)", name, v, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestAdmissionCanceledWhileQueued(t *testing.T) {
+	m := obs.NewRegistry()
+	a := newAdmission(1, 4, m)
+	rel, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.acquire(ctx)
+		done <- err
+	}()
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued acquire returned %v, want context.Canceled", err)
+	}
+	rel()
+	// The canceled waiter must have returned its ticket: the queue is
+	// empty again and a fresh acquire succeeds immediately.
+	rel2, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire after canceled waiter: %v", err)
+	}
+	rel2()
+}
+
+func TestAdmissionDrain(t *testing.T) {
+	m := obs.NewRegistry()
+	a := newAdmission(1, 1, m)
+	a.drain()
+	if _, err := a.acquire(context.Background()); !errors.Is(err, errDraining) {
+		t.Fatalf("acquire on draining controller returned %v", err)
+	}
+	a.drain() // idempotent
+}

@@ -1,0 +1,121 @@
+// Package service implements the hilightd compile-as-a-service layer: an
+// HTTP API over the public hilight compiler with a content-addressed
+// schedule cache in front and admission control (bounded worker pool,
+// bounded queue, backpressure, graceful drain) behind it.
+//
+// Surface-code compilation is deterministic — the same circuit on the
+// same grid with the same options always yields the same schedule — so
+// results are cached under the hilight.Fingerprint content address and
+// identical requests are served without recompiling.
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"hilight/internal/obs"
+)
+
+// scheduleCache is a bounded, size-capped LRU of compile responses keyed
+// by their hilight.Fingerprint digest. Entries are immutable once
+// inserted; Get returns the shared pointer and callers must copy before
+// mutating (the handlers copy to flip the Cached flag).
+//
+// The cache meters itself under the cache/... family: hits, misses and
+// evictions counters plus bytes and entries gauges.
+type scheduleCache struct {
+	mu    sync.Mutex
+	max   int64 // capacity in bytes; <= 0 disables the cache
+	size  int64
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+
+	hits, misses, evictions *obs.Counter
+	bytes, entries          *obs.Gauge
+}
+
+// cacheItem is one LRU entry: the key (so eviction can unlink the map
+// entry), the cached response, and its accounted size.
+type cacheItem struct {
+	key  string
+	resp *compileResponse
+	size int64
+}
+
+func newScheduleCache(maxBytes int64, m *obs.Registry) *scheduleCache {
+	return &scheduleCache{
+		max:       maxBytes,
+		ll:        list.New(),
+		items:     make(map[string]*list.Element),
+		hits:      m.Counter("cache/hits"),
+		misses:    m.Counter("cache/misses"),
+		evictions: m.Counter("cache/evictions"),
+		bytes:     m.Gauge("cache/bytes"),
+		entries:   m.Gauge("cache/entries"),
+	}
+}
+
+// Get returns the cached response for key, bumping its recency. The
+// returned pointer is shared: callers must treat it as read-only.
+func (c *scheduleCache) Get(key string) (*compileResponse, bool) {
+	if c.max <= 0 {
+		c.misses.Inc()
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses.Inc()
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits.Inc()
+	return el.Value.(*cacheItem).resp, true
+}
+
+// Put inserts resp under key, accounting size bytes against the cap and
+// evicting least-recently-used entries until the insert fits. An entry
+// larger than the whole cache is not stored. Re-inserting an existing
+// key refreshes its recency and keeps the first value (responses are
+// deterministic per key, so the values are interchangeable).
+func (c *scheduleCache) Put(key string, resp *compileResponse, size int64) {
+	if c.max <= 0 || size > c.max {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		return
+	}
+	for c.size+size > c.max {
+		last := c.ll.Back()
+		if last == nil {
+			break
+		}
+		c.removeLocked(last)
+		c.evictions.Inc()
+	}
+	el := c.ll.PushFront(&cacheItem{key: key, resp: resp, size: size})
+	c.items[key] = el
+	c.size += size
+	c.bytes.Add(size)
+	c.entries.Add(1)
+}
+
+// Len returns the number of cached entries.
+func (c *scheduleCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
+
+func (c *scheduleCache) removeLocked(el *list.Element) {
+	it := el.Value.(*cacheItem)
+	c.ll.Remove(el)
+	delete(c.items, it.key)
+	c.size -= it.size
+	c.bytes.Add(-it.size)
+	c.entries.Add(-1)
+}

@@ -1,0 +1,103 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+
+	"hilight/internal/obs"
+)
+
+func respOfSize(n int) *compileResponse {
+	return &compileResponse{Schedule: make([]byte, n)}
+}
+
+func TestCacheHitMissEvict(t *testing.T) {
+	m := obs.NewRegistry()
+	c := newScheduleCache(3000, m)
+
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("a", respOfSize(100), 1000)
+	c.Put("b", respOfSize(200), 1000)
+	if r, ok := c.Get("a"); !ok || len(r.Schedule) != 100 {
+		t.Fatal("miss after insert")
+	}
+	// "a" is now most recent; inserting two more evicts "b" first.
+	c.Put("c", respOfSize(300), 1000)
+	c.Put("d", respOfSize(400), 1000)
+	if _, ok := c.Get("b"); ok {
+		t.Error("LRU entry b survived eviction")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("recently-used entry a evicted")
+	}
+
+	snap := m.Snapshot()
+	if v, _ := snap.Counter("cache/hits"); v != 2 {
+		t.Errorf("cache/hits = %d, want 2", v)
+	}
+	if v, _ := snap.Counter("cache/misses"); v != 2 {
+		t.Errorf("cache/misses = %d, want 2", v)
+	}
+	if v, _ := snap.Counter("cache/evictions"); v != 1 {
+		t.Errorf("cache/evictions = %d, want 1", v)
+	}
+	if v, _ := snap.Gauge("cache/bytes"); v != 3000 {
+		t.Errorf("cache/bytes = %d, want 3000", v)
+	}
+	if v, _ := snap.Gauge("cache/entries"); v != 3 {
+		t.Errorf("cache/entries = %d, want 3", v)
+	}
+}
+
+func TestCacheOversizedEntrySkipped(t *testing.T) {
+	m := obs.NewRegistry()
+	c := newScheduleCache(100, m)
+	c.Put("huge", respOfSize(1), 101)
+	if c.Len() != 0 {
+		t.Error("entry larger than the cache was stored")
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	m := obs.NewRegistry()
+	c := newScheduleCache(-1, m)
+	c.Put("a", respOfSize(1), 10)
+	if _, ok := c.Get("a"); ok {
+		t.Error("disabled cache served a hit")
+	}
+	if v, _ := m.Snapshot().Counter("cache/misses"); v != 1 {
+		t.Error("disabled cache should still meter misses")
+	}
+}
+
+func TestCacheDuplicatePutKeepsAccounting(t *testing.T) {
+	m := obs.NewRegistry()
+	c := newScheduleCache(1000, m)
+	c.Put("a", respOfSize(1), 400)
+	c.Put("a", respOfSize(2), 400)
+	if c.Len() != 1 {
+		t.Fatalf("duplicate key stored twice")
+	}
+	if v, _ := m.Snapshot().Gauge("cache/bytes"); v != 400 {
+		t.Errorf("cache/bytes = %d after duplicate put, want 400", v)
+	}
+}
+
+func TestCacheManyKeys(t *testing.T) {
+	m := obs.NewRegistry()
+	c := newScheduleCache(10*256, m)
+	for i := 0; i < 100; i++ {
+		c.Put(fmt.Sprint("k", i), respOfSize(i), 256)
+	}
+	if c.Len() != 10 {
+		t.Fatalf("len = %d, want 10 (size-capped)", c.Len())
+	}
+	// The survivors are exactly the 10 most recent.
+	for i := 90; i < 100; i++ {
+		if _, ok := c.Get(fmt.Sprint("k", i)); !ok {
+			t.Errorf("recent key k%d missing", i)
+		}
+	}
+}

@@ -1,0 +1,286 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hilight"
+	"hilight/internal/obs"
+)
+
+// jobsRequest is the JSON body of POST /v1/jobs: a batch of circuits
+// compiled asynchronously through hilight.CompileAll. Mirroring
+// CompileAll's semantics, the options (method, seed, qco, compact,
+// defects, fallback) are batch-level and shared by every entry; entries
+// select only the circuit and grid.
+type jobsRequest struct {
+	// Jobs lists the batch's circuit/grid pairs.
+	Jobs []batchEntry `json:"jobs"`
+	// Method, Seed, QCO, Compact, Defects and Fallback apply to every
+	// job, exactly as one option list applies to a whole CompileAll.
+	Method   string             `json:"method,omitempty"`
+	Seed     *int64             `json:"seed,omitempty"`
+	QCO      *bool              `json:"qco,omitempty"`
+	Compact  bool               `json:"compact,omitempty"`
+	Defects  *hilight.DefectMap `json:"defects,omitempty"`
+	Fallback []string           `json:"fallback,omitempty"`
+	// Parallelism bounds the batch's worker pool; 0 (or values above the
+	// server's worker count) use the server's worker count.
+	Parallelism int `json:"parallelism,omitempty"`
+	// TimeoutMS bounds the whole batch; 0 uses the server default scaled
+	// by the batch's depth per worker.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// batchEntry is one async job: a circuit (QASM or benchmark) and its
+// grid.
+type batchEntry struct {
+	QASM      string    `json:"qasm,omitempty"`
+	Benchmark string    `json:"benchmark,omitempty"`
+	Grid      *gridSpec `json:"grid,omitempty"`
+}
+
+// jobStatus is the JSON body of GET /v1/jobs/{id}.
+type jobStatus struct {
+	ID     string `json:"id"`
+	Status string `json:"status"` // "running" or "done"
+	Count  int    `json:"count"`
+	// Finished counts terminally-finished jobs, live-updated while the
+	// batch runs (fed by the batch's lifecycle events).
+	Finished int `json:"finished"`
+	// Results is present once Status is "done", in job order.
+	Results []jobResult `json:"results,omitempty"`
+}
+
+// jobResult is one batch entry's outcome: a compile response or an
+// error, never both (the BatchResult invariant on the wire).
+type jobResult struct {
+	Error  string           `json:"error,omitempty"`
+	Result *compileResponse `json:"result,omitempty"`
+}
+
+// batchJob is one stored async batch.
+type batchJob struct {
+	id       string
+	count    int
+	done     chan struct{} // closed when results are ready
+	finished atomic.Int64  // terminally-finished jobs, for live polls
+
+	mu      sync.Mutex
+	results []jobResult
+}
+
+// jobStore owns the async batches: it runs each through CompileAll on a
+// background goroutine, serves status polls, and bounds memory by
+// evicting the oldest completed batches beyond maxStored. Shutdown
+// cancels the store context and waits for running batches to drain.
+type jobStore struct {
+	mu        sync.Mutex
+	seq       int
+	jobs      map[string]*batchJob
+	order     []string // insertion order, for eviction
+	maxStored int
+
+	wg      sync.WaitGroup
+	ctx     context.Context
+	cancel  context.CancelFunc
+	metrics *obs.Registry
+	// events, when non-nil, additionally receives every batch job's
+	// lifecycle events (the log bridge in hilightd).
+	events obs.EventObserver
+
+	submitted *obs.Counter
+	completed *obs.Counter
+	active    *obs.Gauge
+}
+
+func newJobStore(maxStored int, m *obs.Registry) *jobStore {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &jobStore{
+		jobs:      make(map[string]*batchJob),
+		maxStored: maxStored,
+		ctx:       ctx,
+		cancel:    cancel,
+		metrics:   m,
+		submitted: m.Counter("jobs/batches"),
+		completed: m.Counter("jobs/batches-completed"),
+		active:    m.Gauge("jobs/batches-active"),
+	}
+}
+
+// submit validates the batch, registers it, and launches its CompileAll
+// run. It returns the batch id immediately.
+func (s *jobStore) submit(req *jobsRequest, workers int, defTimeout, maxTimeout time.Duration) (string, error) {
+	if len(req.Jobs) == 0 {
+		return "", badRequest("jobs batch is empty")
+	}
+	const maxBatch = 4096
+	if len(req.Jobs) > maxBatch {
+		return "", badRequest("jobs batch has %d entries (max %d)", len(req.Jobs), maxBatch)
+	}
+	// Resolve every entry up front so a malformed entry fails the submit
+	// synchronously with a 400 instead of surfacing later in a poll. The
+	// per-entry compileRequest carries the batch-level options, so each
+	// fingerprint describes exactly the compile CompileAll will run.
+	batch := make([]hilight.BatchJob, len(req.Jobs))
+	fps := make([]string, len(req.Jobs))
+	var shared []hilight.Option
+	for i, e := range req.Jobs {
+		cr := compileRequest{
+			QASM: e.QASM, Benchmark: e.Benchmark, Grid: e.Grid,
+			Method: req.Method, Seed: req.Seed, QCO: req.QCO,
+			Compact: req.Compact, Defects: req.Defects, Fallback: req.Fallback,
+		}
+		c, g, opts, err := cr.build()
+		if err != nil {
+			if ae, ok := err.(*apiError); ok {
+				return "", &apiError{Status: ae.Status, Message: fmt.Sprintf("job %d: %s", i, ae.Message)}
+			}
+			return "", err
+		}
+		fp, err := hilight.Fingerprint(c, g, opts...)
+		if err != nil {
+			return "", badRequest("job %d: %v", i, err)
+		}
+		fps[i] = fp
+		batch[i] = hilight.BatchJob{Circuit: c, Grid: g}
+		if i == 0 {
+			shared = opts
+		}
+	}
+
+	parallelism := req.Parallelism
+	if parallelism <= 0 || parallelism > workers {
+		parallelism = workers
+	}
+	// One deadline for the whole batch: the per-compile default scaled by
+	// the batch's depth per worker, unless the request asks for less.
+	waves := (len(batch) + parallelism - 1) / parallelism
+	timeout := clampTimeout(req.TimeoutMS, time.Duration(waves)*defTimeout, time.Duration(waves)*maxTimeout)
+
+	s.mu.Lock()
+	s.seq++
+	id := fmt.Sprintf("job-%06d", s.seq)
+	j := &batchJob{id: id, count: len(batch), done: make(chan struct{})}
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.evictLocked()
+	s.mu.Unlock()
+
+	s.submitted.Inc()
+	s.active.Add(1)
+	s.wg.Add(1)
+	go s.run(j, batch, fps, shared, parallelism, timeout)
+	return id, nil
+}
+
+// run executes the batch and publishes its results.
+func (s *jobStore) run(j *batchJob, batch []hilight.BatchJob, fps []string, shared []hilight.Option, parallelism int, timeout time.Duration) {
+	defer s.wg.Done()
+	opts := append([]hilight.Option{}, shared...)
+	opts = append(opts,
+		hilight.WithContext(s.ctx),
+		hilight.WithTimeout(timeout),
+		hilight.WithMetrics(s.metrics),
+		hilight.WithEvents(func(e hilight.CompileEvent) {
+			if e.Kind == hilight.EventJobFinish || e.Kind == hilight.EventJobPanic {
+				j.finished.Add(1)
+			}
+			if s.events != nil {
+				s.events.OnEvent(e)
+			}
+		}),
+	)
+	results := hilight.CompileAll(batch, parallelism, opts...)
+
+	wire := make([]jobResult, len(results))
+	for i, br := range results {
+		if br.Err != nil {
+			wire[i] = jobResult{Error: br.Err.Error()}
+			continue
+		}
+		resp, err := newCompileResponse(fps[i], br.Result)
+		if err != nil {
+			wire[i] = jobResult{Error: err.Error()}
+			continue
+		}
+		wire[i] = jobResult{Result: resp}
+	}
+	j.mu.Lock()
+	j.results = wire
+	j.mu.Unlock()
+	close(j.done)
+	s.completed.Inc()
+	s.active.Add(-1)
+}
+
+// status returns the batch's poll view.
+func (s *jobStore) status(id string) (*jobStatus, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	st := &jobStatus{ID: j.id, Count: j.count}
+	select {
+	case <-j.done:
+		st.Status = "done"
+		st.Finished = j.count
+		j.mu.Lock()
+		st.Results = j.results
+		j.mu.Unlock()
+	default:
+		st.Status = "running"
+		st.Finished = int(j.finished.Load())
+	}
+	return st, true
+}
+
+// evictLocked drops the oldest completed batches beyond maxStored.
+// Running batches are never evicted — their goroutine still needs the
+// entry, and a poller would lose a batch it just submitted.
+func (s *jobStore) evictLocked() {
+	for len(s.jobs) > s.maxStored {
+		evicted := false
+		for i, id := range s.order {
+			j := s.jobs[id]
+			select {
+			case <-j.done:
+				delete(s.jobs, id)
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				evicted = true
+			default:
+				continue
+			}
+			break
+		}
+		if !evicted {
+			return // everything is still running; allow the overshoot
+		}
+	}
+}
+
+// shutdown drains running batches: it first waits for them to finish
+// naturally, and only when ctx expires cancels the remainder (CompileAll
+// then drains promptly — undispatched jobs fail ErrCanceled directly)
+// and waits for the goroutines to exit.
+func (s *jobStore) shutdown(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.cancel()
+		return nil
+	case <-ctx.Done():
+		s.cancel()
+		<-done
+		return fmt.Errorf("service: job store drain cut short: %w", ctx.Err())
+	}
+}

@@ -1,0 +1,245 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"slices"
+	"time"
+
+	"hilight"
+)
+
+// compileRequest is the JSON body of POST /v1/compile and each entry of
+// POST /v1/jobs. Exactly one of QASM and Benchmark selects the circuit;
+// the rest mirrors the hilight.Compile option surface that participates
+// in the result (and therefore in the cache fingerprint).
+type compileRequest struct {
+	// QASM is OpenQASM 2.0 source for the circuit.
+	QASM string `json:"qasm,omitempty"`
+	// Benchmark names a built-in Table 1 benchmark instead of QASM.
+	Benchmark string `json:"benchmark,omitempty"`
+	// Grid selects the grid; nil means the rectangular M×(M−1) grid for
+	// the circuit's width.
+	Grid *gridSpec `json:"grid,omitempty"`
+	// Method is the mapping method ("" = "hilight"; see GET /v1/methods).
+	Method string `json:"method,omitempty"`
+	// Seed seeds the randomized components (default 1).
+	Seed *int64 `json:"seed,omitempty"`
+	// QCO overrides the method's program-level-optimization preset.
+	QCO *bool `json:"qco,omitempty"`
+	// Compact enables the schedule-compaction pass.
+	Compact bool `json:"compact,omitempty"`
+	// Defects compiles against degraded hardware.
+	Defects *hilight.DefectMap `json:"defects,omitempty"`
+	// Fallback lists degradation methods tried in order when the primary
+	// method cannot route.
+	Fallback []string `json:"fallback,omitempty"`
+	// TimeoutMS bounds the compile; 0 uses the server default, and values
+	// above the server maximum are clamped.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// NoCache skips the schedule cache for this request (both lookup and
+	// fill) — for benchmarking the cold path.
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// gridSpec selects the target grid.
+type gridSpec struct {
+	// Kind is "rect" (M×(M−1), the default) or "square" when W/H are
+	// zero; ignored when explicit dimensions are given.
+	Kind string `json:"kind,omitempty"`
+	// W, H give explicit grid dimensions (both or neither).
+	W int `json:"w,omitempty"`
+	H int `json:"h,omitempty"`
+	// FactoryW/FactoryH reserve a magic-state factory corner.
+	FactoryW int `json:"factory_w,omitempty"`
+	FactoryH int `json:"factory_h,omitempty"`
+}
+
+// build resolves the request into compile inputs: the parsed circuit,
+// the grid, and the option list for Compile/Fingerprint. Request errors
+// are returned as *apiError with a 4xx status.
+func (cr *compileRequest) build() (*hilight.Circuit, *hilight.Grid, []hilight.Option, error) {
+	var c *hilight.Circuit
+	switch {
+	case cr.QASM != "" && cr.Benchmark != "":
+		return nil, nil, nil, badRequest("request has both qasm and benchmark; pick one")
+	case cr.QASM != "":
+		var err error
+		c, err = hilight.ParseQASM("request", cr.QASM)
+		if err != nil {
+			return nil, nil, nil, badRequest("invalid qasm: %v", err)
+		}
+	case cr.Benchmark != "":
+		var ok bool
+		c, ok = hilight.Benchmark(cr.Benchmark)
+		if !ok {
+			return nil, nil, nil, badRequest("unknown benchmark %q (see /v1/benchmarks)", cr.Benchmark)
+		}
+	default:
+		return nil, nil, nil, badRequest("request needs qasm or benchmark")
+	}
+
+	g, err := cr.buildGrid(c.NumQubits)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	known := hilight.Methods()
+	opts := []hilight.Option{}
+	if cr.Method != "" {
+		if !slices.Contains(known, cr.Method) {
+			return nil, nil, nil, badRequest("unknown method %q (see /v1/methods)", cr.Method)
+		}
+		opts = append(opts, hilight.WithMethod(cr.Method))
+	}
+	if cr.Seed != nil {
+		opts = append(opts, hilight.WithSeed(*cr.Seed))
+	}
+	if cr.QCO != nil {
+		opts = append(opts, hilight.WithQCO(*cr.QCO))
+	}
+	if cr.Compact {
+		opts = append(opts, hilight.WithCompaction())
+	}
+	if !cr.Defects.Empty() {
+		opts = append(opts, hilight.WithDefects(cr.Defects))
+	}
+	if len(cr.Fallback) > 0 {
+		for _, m := range cr.Fallback {
+			if !slices.Contains(known, m) {
+				return nil, nil, nil, badRequest("unknown fallback method %q (see /v1/methods)", m)
+			}
+		}
+		opts = append(opts, hilight.WithFallback(cr.Fallback...))
+	}
+	return c, g, opts, nil
+}
+
+func (cr *compileRequest) buildGrid(qubits int) (*hilight.Grid, error) {
+	gs := cr.Grid
+	if gs == nil {
+		gs = &gridSpec{}
+	}
+	if (gs.W > 0) != (gs.H > 0) {
+		return nil, badRequest("grid needs both w and h (got %dx%d)", gs.W, gs.H)
+	}
+	if (gs.FactoryW > 0) != (gs.FactoryH > 0) {
+		return nil, badRequest("factory needs both factory_w and factory_h")
+	}
+	if gs.W > 0 {
+		if gs.FactoryW > 0 {
+			return nil, badRequest("explicit w/h and a factory reservation are mutually exclusive; use kind with factory_w/factory_h")
+		}
+		const maxDim = 1 << 11 // matches the decoder's hostile-input bound
+		if gs.W > maxDim || gs.H > maxDim {
+			return nil, badRequest("grid %dx%d too large (max %dx%d)", gs.W, gs.H, maxDim, maxDim)
+		}
+		return hilight.NewGrid(gs.W, gs.H), nil
+	}
+	rect := true
+	switch gs.Kind {
+	case "", "rect":
+	case "square":
+		rect = false
+	default:
+		return nil, badRequest("unknown grid kind %q (rect, square)", gs.Kind)
+	}
+	if gs.FactoryW > 0 {
+		g, err := hilight.GridWithFactory(qubits, gs.FactoryW, gs.FactoryH, rect)
+		if err != nil {
+			return nil, badRequest("factory: %v", err)
+		}
+		return g, nil
+	}
+	if rect {
+		return hilight.RectGrid(qubits), nil
+	}
+	return hilight.SquareGrid(qubits), nil
+}
+
+// stageTrace is the wire form of one Result.Trace entry.
+type stageTrace struct {
+	Stage      string           `json:"stage"`
+	DurationNS int64            `json:"duration_ns"`
+	Counters   map[string]int64 `json:"counters,omitempty"`
+}
+
+// compileResponse is the JSON body of a successful compile: the content
+// address, the schedule, and the metrics/trace of the compile that
+// produced it. Cached responses carry the original compile's runtime and
+// trace with Cached set.
+type compileResponse struct {
+	Fingerprint    string          `json:"fingerprint"`
+	Cached         bool            `json:"cached"`
+	Method         string          `json:"method"`
+	Degraded       bool            `json:"degraded,omitempty"`
+	FallbackMethod string          `json:"fallback_method,omitempty"`
+	LatencyCycles  int             `json:"latency_cycles"`
+	PathLen        int             `json:"path_len"`
+	ResUtil        float64         `json:"resutil"`
+	RuntimeNS      int64           `json:"runtime_ns"`
+	Trace          []stageTrace    `json:"trace,omitempty"`
+	Schedule       json.RawMessage `json:"schedule"`
+}
+
+// newCompileResponse converts a compile result to its wire form.
+func newCompileResponse(fingerprint string, res *hilight.Result) (*compileResponse, error) {
+	schedJSON, err := hilight.EncodeScheduleJSON(res.Schedule)
+	if err != nil {
+		return nil, fmt.Errorf("encode schedule: %w", err)
+	}
+	resp := &compileResponse{
+		Fingerprint:    fingerprint,
+		Method:         res.Method,
+		Degraded:       res.Degraded,
+		FallbackMethod: res.FallbackMethod,
+		LatencyCycles:  res.Latency,
+		PathLen:        res.PathLen,
+		ResUtil:        res.ResUtil,
+		RuntimeNS:      res.Runtime.Nanoseconds(),
+		Schedule:       schedJSON,
+	}
+	for _, st := range res.Trace {
+		wire := stageTrace{Stage: st.Stage, DurationNS: st.Duration.Nanoseconds()}
+		if len(st.Counters) > 0 {
+			wire.Counters = make(map[string]int64, len(st.Counters))
+			for _, c := range st.Counters {
+				wire.Counters[c.Name] = c.Value
+			}
+		}
+		resp.Trace = append(resp.Trace, wire)
+	}
+	return resp, nil
+}
+
+// sizeOf approximates the response's cache footprint: the dominant
+// schedule payload plus a fixed overhead for the metadata.
+func (r *compileResponse) sizeOf() int64 {
+	const overhead = 512
+	return int64(len(r.Schedule)) + overhead
+}
+
+// apiError is an error with an HTTP status; handlers render it as the
+// JSON error envelope.
+type apiError struct {
+	Status  int
+	Message string
+}
+
+func (e *apiError) Error() string { return e.Message }
+
+func badRequest(format string, args ...any) *apiError {
+	return &apiError{Status: 400, Message: fmt.Sprintf(format, args...)}
+}
+
+// clampTimeout resolves a request's timeout against the server bounds.
+func clampTimeout(reqMS int64, def, max time.Duration) time.Duration {
+	d := def
+	if reqMS > 0 {
+		d = time.Duration(reqMS) * time.Millisecond
+	}
+	if max > 0 && d > max {
+		d = max
+	}
+	return d
+}

@@ -1,0 +1,357 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"time"
+
+	"hilight"
+	"hilight/internal/obs"
+)
+
+// Config sizes a Server. The zero value is usable: every field has a
+// production-shaped default.
+type Config struct {
+	// Workers bounds concurrent compiles (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds compiles waiting for a worker beyond Workers
+	// (default 64; negative means no queue — a busy server rejects
+	// immediately). A full queue answers 429 with Retry-After.
+	QueueDepth int
+	// CacheBytes caps the content-addressed schedule cache (default
+	// 64 MiB; negative disables caching).
+	CacheBytes int64
+	// MaxStoredJobs bounds retained async batches (default 64; completed
+	// batches beyond the bound are evicted oldest-first).
+	MaxStoredJobs int
+	// MaxBodyBytes caps request bodies (default 8 MiB).
+	MaxBodyBytes int64
+	// DefaultTimeout bounds a compile when the request doesn't (default
+	// 60s); MaxTimeout clamps request-supplied timeouts (default 10m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// RetryAfter is the hint returned with 429 responses (default 1s).
+	RetryAfter time.Duration
+	// Metrics receives the service's metric families (service/...,
+	// cache/..., jobs/...) alongside the compiler's own (pipeline/...,
+	// route/..., batch/...). Nil creates a private registry; either way
+	// it is served at GET /metrics.
+	Metrics *obs.Registry
+	// Events, when non-nil, observes async batch job lifecycles (wire it
+	// to obs.NewLogObserver for an access-log-style stream).
+	Events obs.EventObserver
+}
+
+func (c *Config) fillDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	} else if c.QueueDepth < 0 {
+		c.QueueDepth = 0
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 64 << 20
+	}
+	if c.MaxStoredJobs <= 0 {
+		c.MaxStoredJobs = 64
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 60 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 10 * time.Minute
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewRegistry()
+	}
+}
+
+// Server is the hilightd HTTP service: compile endpoints in front of the
+// hilight compiler, with the schedule cache and admission control
+// between them. Create with New, expose via Handler, stop with Shutdown.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	cache *scheduleCache
+	admit *admission
+	jobs  *jobStore
+
+	requests  *obs.Counter
+	succeeded *obs.Counter
+	failed    *obs.Counter
+	canceled  *obs.Counter
+	seconds   *obs.Histogram
+}
+
+// New returns a configured Server.
+func New(cfg Config) *Server {
+	cfg.fillDefaults()
+	m := cfg.Metrics
+	s := &Server{
+		cfg:       cfg,
+		mux:       http.NewServeMux(),
+		cache:     newScheduleCache(cfg.CacheBytes, m),
+		admit:     newAdmission(cfg.Workers, cfg.QueueDepth, m),
+		jobs:      newJobStore(cfg.MaxStoredJobs, m),
+		requests:  m.Counter("service/requests"),
+		succeeded: m.Counter("service/requests-ok"),
+		failed:    m.Counter("service/requests-failed"),
+		canceled:  m.Counter("service/requests-canceled"),
+		seconds:   m.Histogram("service/request-seconds", obs.DurationBuckets),
+	}
+	s.jobs.events = cfg.Events
+	s.mux.HandleFunc("POST /v1/compile", s.handleCompile)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleJobsSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobsStatus)
+	s.mux.HandleFunc("GET /v1/methods", s.handleMethods)
+	s.mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics returns the registry the server meters into (and serves at
+// GET /metrics).
+func (s *Server) Metrics() *obs.Registry { return s.cfg.Metrics }
+
+// Drain flips the server to its terminal draining state: readyz starts
+// failing and new compile work is rejected with 503 while already-
+// admitted requests finish. Idempotent.
+func (s *Server) Drain() { s.admit.drain() }
+
+// Shutdown gracefully stops the server's own work: it drains admission,
+// then waits — bounded by ctx — for running async batches. In-flight
+// HTTP requests are the http.Server's to drain; call its Shutdown after
+// (or concurrently with) this one.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.Drain()
+	return s.jobs.shutdown(ctx)
+}
+
+// handleCompile serves POST /v1/compile: fingerprint, cache lookup,
+// admission, compile, cache fill.
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	t0 := time.Now()
+	defer func() { s.seconds.ObserveDuration(time.Since(t0)) }()
+
+	var req compileRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		s.fail(w, err)
+		return
+	}
+	c, g, opts, err := req.build()
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	fp, err := hilight.Fingerprint(c, g, opts...)
+	if err != nil {
+		s.fail(w, badRequest("%v", err))
+		return
+	}
+
+	if !req.NoCache {
+		if resp, ok := s.cache.Get(fp); ok {
+			hit := *resp // shallow copy; Schedule bytes are immutable
+			hit.Cached = true
+			s.succeeded.Inc()
+			writeJSON(w, http.StatusOK, &hit)
+			return
+		}
+	}
+
+	release, err := s.admit.acquire(r.Context())
+	if err != nil {
+		s.failAdmission(w, r, err)
+		return
+	}
+	defer release()
+
+	ctx := r.Context()
+	timeout := clampTimeout(req.TimeoutMS, s.cfg.DefaultTimeout, s.cfg.MaxTimeout)
+	opts = append(opts,
+		hilight.WithContext(ctx),
+		hilight.WithTimeout(timeout),
+		hilight.WithMetrics(s.cfg.Metrics),
+	)
+	res, err := hilight.Compile(c, g, opts...)
+	if err != nil {
+		s.failCompile(w, r, err)
+		return
+	}
+	resp, err := newCompileResponse(fp, res)
+	if err != nil {
+		s.fail(w, &apiError{Status: 500, Message: err.Error()})
+		return
+	}
+	if !req.NoCache {
+		s.cache.Put(fp, resp, resp.sizeOf())
+	}
+	s.succeeded.Inc()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleJobsSubmit serves POST /v1/jobs.
+func (s *Server) handleJobsSubmit(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	if s.admit.draining.Load() {
+		s.failAdmission(w, r, errDraining)
+		return
+	}
+	var req jobsRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		s.fail(w, err)
+		return
+	}
+	id, err := s.jobs.submit(&req, s.cfg.Workers, s.cfg.DefaultTimeout, s.cfg.MaxTimeout)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	s.succeeded.Inc()
+	writeJSON(w, http.StatusAccepted, map[string]any{"id": id, "count": len(req.Jobs)})
+}
+
+// handleJobsStatus serves GET /v1/jobs/{id}.
+func (s *Server) handleJobsStatus(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	st, ok := s.jobs.status(r.PathValue("id"))
+	if !ok {
+		s.fail(w, &apiError{Status: 404, Message: fmt.Sprintf("unknown job %q", r.PathValue("id"))})
+		return
+	}
+	s.succeeded.Inc()
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleMethods(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	s.succeeded.Inc()
+	writeJSON(w, http.StatusOK, map[string]any{"methods": hilight.Methods()})
+}
+
+func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	s.succeeded.Inc()
+	writeJSON(w, http.StatusOK, map[string]any{"benchmarks": hilight.BenchmarkNames()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.admit.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ready")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.cfg.Metrics.WriteMetrics(w); err != nil {
+		// The write failed mid-stream; nothing recoverable to send.
+		return
+	}
+}
+
+// decodeBody parses the JSON request body with the configured size cap.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, into any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return &apiError{Status: http.StatusRequestEntityTooLarge,
+				Message: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit)}
+		}
+		return badRequest("invalid request body: %v", err)
+	}
+	return nil
+}
+
+// failAdmission renders admission-control rejections: 429 + Retry-After
+// for a full queue, 503 for a draining server, and a canceled wait as a
+// client cancellation.
+func (s *Server) failAdmission(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, errQueueFull):
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+		s.fail(w, &apiError{Status: http.StatusTooManyRequests, Message: "compile queue full; retry later"})
+	case errors.Is(err, errDraining):
+		s.fail(w, &apiError{Status: http.StatusServiceUnavailable, Message: "server is draining"})
+	default: // context canceled while queued
+		s.failCompile(w, r, fmt.Errorf("%w: %v", hilight.ErrCanceled, err))
+	}
+}
+
+// failCompile maps compile errors onto HTTP statuses: client disconnects
+// and deadlines to 499/504, semantic failures to 422.
+func (s *Server) failCompile(w http.ResponseWriter, r *http.Request, err error) {
+	var capErr *hilight.ErrInsufficientCapacity
+	var routeErr *hilight.ErrUnroutable
+	switch {
+	case errors.Is(err, hilight.ErrCanceled):
+		if r.Context().Err() != nil {
+			// The client went away mid-compile; nobody will read the
+			// response, but the status code keeps logs/metrics honest.
+			s.canceled.Inc()
+			s.failed.Inc()
+			writeJSON(w, statusClientClosedRequest, errorBody(err.Error()))
+			return
+		}
+		s.fail(w, &apiError{Status: http.StatusGatewayTimeout, Message: err.Error()})
+	case errors.As(err, &capErr), errors.As(err, &routeErr):
+		s.fail(w, &apiError{Status: http.StatusUnprocessableEntity, Message: err.Error()})
+	default:
+		s.fail(w, &apiError{Status: http.StatusInternalServerError, Message: err.Error()})
+	}
+}
+
+// statusClientClosedRequest is nginx's conventional status for a client
+// that disconnected before the response; there is no standard code.
+const statusClientClosedRequest = 499
+
+// fail renders err as the JSON error envelope and counts it.
+func (s *Server) fail(w http.ResponseWriter, err error) {
+	s.failed.Inc()
+	ae, ok := err.(*apiError)
+	if !ok {
+		ae = &apiError{Status: 500, Message: err.Error()}
+	}
+	writeJSON(w, ae.Status, errorBody(ae.Message))
+}
+
+func errorBody(msg string) map[string]string { return map[string]string{"error": msg} }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// A mid-stream encode failure means the client is gone; nothing to do.
+	_ = enc.Encode(v)
+}

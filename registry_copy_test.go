@@ -1,0 +1,62 @@
+package hilight_test
+
+import (
+	"sort"
+	"testing"
+
+	"hilight"
+)
+
+// The registry enumerators hand out sorted defensive copies: a caller
+// that sorts, truncates, or scribbles over the returned slice must not
+// corrupt later calls or the registries behind them.
+func TestMethodsDefensiveCopy(t *testing.T) {
+	a := hilight.Methods()
+	if len(a) == 0 {
+		t.Fatal("no methods registered")
+	}
+	if !sort.StringsAreSorted(a) {
+		t.Errorf("Methods not sorted: %v", a)
+	}
+	want := append([]string(nil), a...)
+	for i := range a {
+		a[i] = "corrupted"
+	}
+	b := hilight.Methods()
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("mutating Methods() result leaked into later call: %v", b)
+		}
+	}
+	// The registry itself still resolves every name.
+	for _, m := range b {
+		if _, err := hilight.Compile(hilight.GHZ(3), hilight.SquareGrid(3), hilight.WithMethod(m)); err != nil {
+			t.Errorf("method %q broken after mutation: %v", m, err)
+		}
+	}
+}
+
+func TestBenchmarkNamesDefensiveCopy(t *testing.T) {
+	a := hilight.BenchmarkNames()
+	if len(a) == 0 {
+		t.Fatal("no benchmarks registered")
+	}
+	if !sort.StringsAreSorted(a) {
+		t.Errorf("BenchmarkNames not sorted: %v", a)
+	}
+	want := append([]string(nil), a...)
+	for i := range a {
+		a[i] = "corrupted"
+	}
+	b := hilight.BenchmarkNames()
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("mutating BenchmarkNames() result leaked into later call: %v", b)
+		}
+	}
+	for _, name := range b {
+		if _, ok := hilight.Benchmark(name); !ok {
+			t.Errorf("benchmark %q no longer resolves after mutation", name)
+		}
+	}
+}
