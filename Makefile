@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-route fuzz golden check serve smoke
+.PHONY: all build vet lint test race bench bench-route bench-smoke fuzz golden check serve smoke
 
 all: check
 
@@ -33,6 +33,13 @@ race:
 bench-route:
 	$(GO) test -bench 'BenchmarkFinderFind|BenchmarkOccupancy' -benchmem -benchtime 1000x ./internal/route/
 	$(GO) test -bench 'BenchmarkRouteCircuit|BenchmarkCompileQFT' -benchmem -benchtime 5x ./internal/core/
+
+# Fast benchmark regression gate for CI: one iteration of the QFT64
+# compile (sequential + the parallel worker sweep), failing only past 5x
+# of the BENCH_route.json snapshot — order-of-magnitude protection, not
+# precision tracking.
+bench-smoke:
+	$(GO) run ./cmd/benchsmoke
 
 # Everything, including the paper-artifact benchmarks (slow).
 bench:

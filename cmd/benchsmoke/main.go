@@ -1,0 +1,132 @@
+// Command benchsmoke is the CI benchmark regression gate: it runs a
+// small, fast subset of the tracked benchmarks once and fails when a
+// result lands more than -factor slower than the snapshot recorded in
+// BENCH_route.json.
+//
+// Usage:
+//
+//	benchsmoke [-baseline BENCH_route.json] [-factor 5] [-bench regex] [-pkg ./internal/core/]
+//
+// The gate is deliberately loose: with -benchtime 1x on shared CI
+// runners the noise floor is high, so the factor defaults to 5×. The
+// point is to catch order-of-magnitude regressions (an accidental
+// quadratic loop, a lost fast path) the moment they land — precision
+// tracking stays with `make bench-route` on a quiet machine.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// snapshot mirrors the per-benchmark record in BENCH_route.json.
+type snapshot struct {
+	NsOp float64 `json:"ns_op"`
+}
+
+// benchFile mirrors the sections of BENCH_route.json the gate reads:
+// "current" holds the sequential-path snapshots, "parallel" the
+// route-worker sweeps. Both are gated the same way.
+type benchFile struct {
+	CPU      string              `json:"cpu"`
+	Current  map[string]snapshot `json:"current"`
+	Parallel map[string]snapshot `json:"parallel"`
+}
+
+// benchLine matches one `go test -bench` result line:
+// BenchmarkCompileQFT/QFT64-8  1  9549907 ns/op  ...
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op`)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("benchsmoke", flag.ContinueOnError)
+	var (
+		baseline = fs.String("baseline", "BENCH_route.json", "snapshot file with the reference ns/op values")
+		factor   = fs.Float64("factor", 5, "fail when measured ns/op exceeds the snapshot by this factor")
+		// "BenchmarkCompileQFT/QFT64" also matches the Parallel variant
+		// (go test -bench splits the regex per slash, each part
+		// unanchored), so one run covers the sequential compile and the
+		// whole worker sweep at QFT64 size.
+		bench     = fs.String("bench", "BenchmarkCompileQFT/QFT64", "benchmark regex passed to go test -bench")
+		pkg       = fs.String("pkg", "./internal/core/", "package holding the benchmarks")
+		benchtime = fs.String("benchtime", "1x", "go test -benchtime value")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	data, err := os.ReadFile(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsmoke:", err)
+		return 1
+	}
+	var ref benchFile
+	if err := json.Unmarshal(data, &ref); err != nil {
+		fmt.Fprintf(os.Stderr, "benchsmoke: %s: %v\n", *baseline, err)
+		return 1
+	}
+	want := make(map[string]float64, len(ref.Current)+len(ref.Parallel))
+	for name, s := range ref.Current {
+		want[name] = s.NsOp
+	}
+	for name, s := range ref.Parallel {
+		want[name] = s.NsOp
+	}
+
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", *bench, "-benchtime", *benchtime, *pkg)
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsmoke: go test:", err)
+		return 1
+	}
+
+	matched, failed := 0, 0
+	sc := bufio.NewScanner(&out)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		got, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		ns, ok := want[name]
+		if !ok {
+			fmt.Printf("?    %-45s %12.0f ns/op (no snapshot in %s)\n", name, got, *baseline)
+			continue
+		}
+		matched++
+		ratio := got / ns
+		verdict := "ok  "
+		if ratio > *factor {
+			verdict = "FAIL"
+			failed++
+		}
+		fmt.Printf("%s %-45s %12.0f ns/op  %5.2fx of snapshot %.0f\n", verdict, name, got, ratio, ns)
+	}
+	if matched == 0 {
+		fmt.Fprintf(os.Stderr, "benchsmoke: -bench %q matched no snapshotted benchmarks — gate is vacuous\n", *bench)
+		return 1
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "benchsmoke: %d of %d benchmarks regressed past %.1fx\n", failed, matched, *factor)
+		return 1
+	}
+	fmt.Printf("benchsmoke: %d benchmarks within %.1fx of %s\n", matched, *factor, *baseline)
+	return 0
+}

@@ -38,6 +38,8 @@ func main() {
 		trace   = flag.Bool("trace", false, "print per-stage pipeline timing and counters")
 		metrics = flag.Bool("metrics", false, "print aggregated compile metrics (Prometheus text format) after the output")
 		magicP  = flag.Int("magic-period", 0, "analyze magic-state throughput: cycles per distilled state (0 = off)")
+		routeW  = flag.Int("route-workers", 0, "worker pool for *-parallel route methods (0 = method preset, negative = GOMAXPROCS); the schedule is identical at any setting")
+		lookahd = flag.Int("lookahead", -1, "dependency-layer lookahead window for *-parallel route methods (-1 = method preset, 0 = off); tie-breaks equal-length paths only")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file after compiling")
 	)
@@ -54,7 +56,7 @@ func main() {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	err := run(*inFile, *benchN, *list, *method, *gridKin, *factory, *seed, *show, *magicP, *trace, *metrics)
+	err := run(*inFile, *benchN, *list, *method, *gridKin, *factory, *seed, *show, *magicP, *routeW, *lookahd, *trace, *metrics)
 	if *memProf != "" {
 		f, merr := os.Create(*memProf)
 		if merr != nil {
@@ -80,7 +82,7 @@ func exit(code int) {
 	os.Exit(code)
 }
 
-func run(inFile, benchName string, list bool, method, gridKind, factory string, seed int64, show string, magicPeriod int, trace, metrics bool) error {
+func run(inFile, benchName string, list bool, method, gridKind, factory string, seed int64, show string, magicPeriod, routeWorkers, lookahead int, trace, metrics bool) error {
 	if list {
 		fmt.Println("methods:")
 		for _, m := range hilight.Methods() {
@@ -124,6 +126,12 @@ func run(inFile, benchName string, list bool, method, gridKind, factory string, 
 		return err
 	}
 	copts := []hilight.Option{hilight.WithMethod(method), hilight.WithSeed(seed)}
+	if routeWorkers != 0 {
+		copts = append(copts, hilight.WithRouteWorkers(routeWorkers))
+	}
+	if lookahead >= 0 {
+		copts = append(copts, hilight.WithLookahead(lookahead))
+	}
 	var reg *hilight.Metrics
 	if metrics {
 		reg = hilight.NewMetrics()

@@ -39,7 +39,7 @@ func capture(t *testing.T, f func() error) (string, error) {
 
 func TestRunList(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run("", "", true, "hilight", "rect", "", 1, "metrics", 0, false, false)
+		return run("", "", true, "hilight", "rect", "", 1, "metrics", 0, 0, -1, false, false)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -51,7 +51,7 @@ func TestRunList(t *testing.T) {
 
 func TestRunBenchMetrics(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run("", "BV-10", false, "hilight-map", "rect", "", 1, "metrics", 0, false, false)
+		return run("", "BV-10", false, "hilight-map", "rect", "", 1, "metrics", 0, 0, -1, false, false)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -69,7 +69,7 @@ func TestRunQASMFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	out, err := capture(t, func() error {
-		return run(path, "", false, "hilight-map", "square", "", 1, "metrics", 0, false, false)
+		return run(path, "", false, "hilight-map", "square", "", 1, "metrics", 0, 0, -1, false, false)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -87,7 +87,7 @@ func TestRunRealFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	out, err := capture(t, func() error {
-		return run(path, "", false, "hilight-map", "rect", "", 1, "metrics", 0, false, false)
+		return run(path, "", false, "hilight-map", "rect", "", 1, "metrics", 0, 0, -1, false, false)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -100,7 +100,7 @@ func TestRunRealFile(t *testing.T) {
 func TestRunShowVariants(t *testing.T) {
 	for _, show := range []string{"layers", "viz", "heat", "svg", "json", "qasm"} {
 		out, err := capture(t, func() error {
-			return run("", "CC-11", false, "hilight-map", "rect", "", 1, show, 0, false, false)
+			return run("", "CC-11", false, "hilight-map", "rect", "", 1, show, 0, 0, -1, false, false)
 		})
 		if err != nil {
 			t.Fatalf("%s: %v", show, err)
@@ -113,7 +113,7 @@ func TestRunShowVariants(t *testing.T) {
 
 func TestRunWithFactoryAndMagic(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run("", "sqrt8_260", false, "hilight-map", "rect", "1x1", 1, "metrics", 10, false, false)
+		return run("", "sqrt8_260", false, "hilight-map", "rect", "1x1", 1, "metrics", 10, 0, -1, false, false)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -125,14 +125,20 @@ func TestRunWithFactoryAndMagic(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	cases := []func() error{
-		func() error { return run("", "", false, "hilight", "rect", "", 1, "metrics", 0, false, false) },       // no input
-		func() error { return run("", "nope", false, "hilight", "rect", "", 1, "metrics", 0, false, false) },   // bad bench
-		func() error { return run("", "BV-10", false, "nope", "rect", "", 1, "metrics", 0, false, false) },     // bad method
-		func() error { return run("", "BV-10", false, "hilight", "hex", "", 1, "metrics", 0, false, false) },   // bad grid
-		func() error { return run("", "BV-10", false, "hilight", "rect", "x", 1, "metrics", 0, false, false) }, // bad factory
-		func() error { return run("", "BV-10", false, "hilight", "rect", "", 1, "nope", 0, false, false) },     // bad show
+		func() error { return run("", "", false, "hilight", "rect", "", 1, "metrics", 0, 0, -1, false, false) }, // no input
 		func() error {
-			return run("/no/such/file.qasm", "", false, "hilight", "rect", "", 1, "metrics", 0, false, false)
+			return run("", "nope", false, "hilight", "rect", "", 1, "metrics", 0, 0, -1, false, false)
+		}, // bad bench
+		func() error { return run("", "BV-10", false, "nope", "rect", "", 1, "metrics", 0, 0, -1, false, false) }, // bad method
+		func() error {
+			return run("", "BV-10", false, "hilight", "hex", "", 1, "metrics", 0, 0, -1, false, false)
+		}, // bad grid
+		func() error {
+			return run("", "BV-10", false, "hilight", "rect", "x", 1, "metrics", 0, 0, -1, false, false)
+		}, // bad factory
+		func() error { return run("", "BV-10", false, "hilight", "rect", "", 1, "nope", 0, 0, -1, false, false) }, // bad show
+		func() error {
+			return run("/no/such/file.qasm", "", false, "hilight", "rect", "", 1, "metrics", 0, 0, -1, false, false)
 		},
 	}
 	for i, f := range cases {
@@ -144,7 +150,7 @@ func TestRunErrors(t *testing.T) {
 
 func TestRunTraceTable(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run("", "QFT-10", false, "hilight", "rect", "", 1, "metrics", 0, true, false)
+		return run("", "QFT-10", false, "hilight", "rect", "", 1, "metrics", 0, 0, -1, true, false)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -162,7 +168,7 @@ func TestRunTraceTable(t *testing.T) {
 // reported latency.
 func TestRunMetricsFlag(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run("", "BV-10", false, "hilight-map", "rect", "", 1, "metrics", 0, false, true)
+		return run("", "BV-10", false, "hilight-map", "rect", "", 1, "metrics", 0, 0, -1, false, true)
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -58,6 +58,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		maxTimeout   = fs.Duration("max-timeout", 10*time.Minute, "cap on request-supplied deadlines")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight work")
 		logEvents    = fs.Bool("log-events", true, "log async batch job lifecycle events to stderr")
+		routeWorkers = fs.Int("route-workers", 0, "route-pass worker pool for *-parallel methods when a request doesn't set route_workers (0 = method preset, negative = GOMAXPROCS); schedules are identical at any setting")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -70,6 +71,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		MaxStoredJobs:  *maxJobs,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
+		RouteWorkers:   *routeWorkers,
 	}
 	if *logEvents {
 		cfg.Events = obs.NewLogObserver(stderr)

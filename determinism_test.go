@@ -1,0 +1,66 @@
+package hilight_test
+
+// Determinism suite for the parallel route pass (ISSUE 6): across worker
+// counts AND across GOMAXPROCS settings, the *-parallel methods must
+// emit byte-identical encoded schedules on the Table-1 circuit set. The
+// suite runs under `go test -race`, so it also proves the speculation
+// rounds are data-race-free while pinning the determinism contract that
+// lets Fingerprint exclude WithRouteWorkers.
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"hilight"
+)
+
+// determinismBenchmarks is the Table-1 subset the suite compiles: small
+// enough to sweep 3 worker counts × 3 GOMAXPROCS settings per circuit,
+// varied enough to cover chain-, block-, and all-to-all-shaped DAGs.
+var determinismBenchmarks = []string{"QFT-16", "Ising-10", "sqrt8_260"}
+
+func compileParallel(t *testing.T, name string, workers int) []byte {
+	t.Helper()
+	c, ok := hilight.Benchmark(name)
+	if !ok {
+		t.Fatalf("unknown benchmark %s", name)
+	}
+	g := hilight.RectGrid(c.NumQubits)
+	res, err := hilight.Compile(c, g,
+		hilight.WithMethod("hilight-parallel"),
+		hilight.WithRouteWorkers(workers))
+	if err != nil {
+		t.Fatalf("%s workers=%d: %v", name, workers, err)
+	}
+	if err := res.Schedule.Validate(res.Circuit); err != nil {
+		t.Fatalf("%s workers=%d: invalid schedule: %v", name, workers, err)
+	}
+	enc, err := hilight.EncodeScheduleJSON(res.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enc
+}
+
+func TestParallelDeterminismAcrossWorkersAndGOMAXPROCS(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, name := range determinismBenchmarks {
+		t.Run(name, func(t *testing.T) {
+			var want []byte
+			for _, procs := range []int{1, 2, 8} {
+				runtime.GOMAXPROCS(procs)
+				for _, workers := range []int{1, 2, 8} {
+					enc := compileParallel(t, name, workers)
+					if want == nil {
+						want = enc
+						continue
+					}
+					if !bytes.Equal(want, enc) {
+						t.Fatalf("schedule differs at GOMAXPROCS=%d workers=%d", procs, workers)
+					}
+				}
+			}
+		})
+	}
+}

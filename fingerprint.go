@@ -25,6 +25,16 @@ const fingerprintVersion = "hilight-fp-v1"
 // excluded, so a cache keyed by the fingerprint may serve a result
 // compiled under different instrumentation.
 //
+// The parallel-routing execution knobs are excluded too. WithRouteWorkers
+// never changes the output at all: for a fixed method the parallel route
+// pass emits byte-identical schedules at every pool size (pinned by the
+// determinism suite), and on sequential methods the option is inert.
+// WithLookahead selects only among equally-short braiding paths — it
+// never changes which gates route or how many braids execute — so a
+// fingerprint-keyed cache may serve a schedule compiled under any
+// concurrency settings: the result is an equivalent, fully valid
+// schedule for the same compile.
+//
 // The circuit is canonicalized through its OpenQASM rendering (gate list
 // and width; the circuit's display name does not participate), and
 // defect maps are canonicalized by sorting, so permuted but equal maps

@@ -39,6 +39,35 @@ func TestFingerprintStable(t *testing.T) {
 	}
 }
 
+// TestFingerprintExcludesParallelKnobs pins the cache-key contract for
+// the parallel route pass: worker count and lookahead depth are
+// execution knobs, so compiles differing only in them share a
+// fingerprint — on parallel and sequential methods alike.
+func TestFingerprintExcludesParallelKnobs(t *testing.T) {
+	c := hilight.QFT(8)
+	g := hilight.RectGrid(8)
+	for _, method := range []string{"hilight", "hilight-parallel"} {
+		base := fp(t, c, g, hilight.WithMethod(method))
+		for name, d := range map[string]string{
+			"workers-8":    fp(t, c, g, hilight.WithMethod(method), hilight.WithRouteWorkers(8)),
+			"workers-1":    fp(t, c, g, hilight.WithMethod(method), hilight.WithRouteWorkers(1)),
+			"workers-auto": fp(t, c, g, hilight.WithMethod(method), hilight.WithRouteWorkers(0)),
+			"lookahead-0":  fp(t, c, g, hilight.WithMethod(method), hilight.WithLookahead(0)),
+			"lookahead-9":  fp(t, c, g, hilight.WithMethod(method), hilight.WithLookahead(9)),
+			"both":         fp(t, c, g, hilight.WithMethod(method), hilight.WithRouteWorkers(4), hilight.WithLookahead(2)),
+		} {
+			if d != base {
+				t.Errorf("%s: option set %q changed the fingerprint", method, name)
+			}
+		}
+	}
+	// The method itself still participates: sequential vs parallel presets
+	// are distinct cache keys.
+	if fp(t, c, g, hilight.WithMethod("hilight")) == fp(t, c, g, hilight.WithMethod("hilight-parallel")) {
+		t.Error("hilight and hilight-parallel methods collide")
+	}
+}
+
 func TestFingerprintSensitivity(t *testing.T) {
 	c := hilight.QFT(8)
 	g := hilight.RectGrid(8)

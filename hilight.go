@@ -161,18 +161,20 @@ func EquivalentCircuits(a, b *Circuit, tol float64) (bool, error) {
 
 // options collects Compile configuration.
 type options struct {
-	method    string
-	seed      int64
-	qco       *bool
-	observer  core.Observer
-	metrics   *obs.Registry
-	events    obs.EventObserver
-	compact   bool
-	defects   *DefectMap
-	ctx       context.Context
-	timeout   time.Duration
-	fallback  []string
-	placement place.Method // test hook: overrides the method's placement
+	method       string
+	seed         int64
+	qco          *bool
+	observer     core.Observer
+	metrics      *obs.Registry
+	events       obs.EventObserver
+	compact      bool
+	defects      *DefectMap
+	ctx          context.Context
+	timeout      time.Duration
+	fallback     []string
+	routeWorkers *int
+	lookahead    *int
+	placement    place.Method // test hook: overrides the method's placement
 }
 
 // Option configures Compile.
@@ -266,6 +268,35 @@ func WithCompaction() Option {
 	return func(o *options) { o.compact = true }
 }
 
+// WithRouteWorkers sets the speculative worker-pool size of the parallel
+// route pass used by the *-parallel methods (see Methods): n goroutines
+// path-find each cycle's ready gates concurrently against an immutable
+// snapshot, and a deterministic commit order makes the emitted schedule
+// byte-identical for every pool size. Any n ≤ 0 selects GOMAXPROCS at
+// route time. Methods that route sequentially ignore the option, so a
+// process-wide default is always safe to set. Because the output never
+// depends on the value, the option is excluded from Fingerprint.
+func WithRouteWorkers(n int) Option {
+	return func(o *options) {
+		if n <= 0 {
+			n = -1 // auto: GOMAXPROCS at route time
+		}
+		o.routeWorkers = &n
+	}
+}
+
+// WithLookahead sets the windowed-lookahead depth of the parallel route
+// pass: equal-length path ties break toward vertices that the next k
+// pending two-qubit gates per qubit are least likely to need, reducing
+// future serialization stalls. The depth never changes which gates route
+// or how many braids execute — only which of the equally-short paths
+// each braid takes — so schedules compiled under different depths are
+// equivalent, and the option is excluded from Fingerprint. Methods that
+// route sequentially ignore the option.
+func WithLookahead(k int) Option {
+	return func(o *options) { o.lookahead = &k }
+}
+
 // Methods returns the method names accepted by WithMethod, sorted.
 // Every name resolves to a declarative pipeline spec in core's static
 // registry, so enumeration instantiates no components and draws no
@@ -345,7 +376,7 @@ func Compile(c *Circuit, g *Grid, opts ...Option) (*Result, error) {
 		}
 		// Each attempt gets a fresh seeded rng, so a method sees the same
 		// random stream whether it runs as primary or as fallback.
-		res, err := core.Run(c, g, specs[i], core.RunOptions{
+		ro := core.RunOptions{
 			Rng:       rand.New(rand.NewSource(o.seed)),
 			QCO:       o.qco,
 			Observer:  o.observer,
@@ -353,7 +384,17 @@ func Compile(c *Circuit, g *Grid, opts ...Option) (*Result, error) {
 			Ctx:       ctx,
 			Compact:   o.compact,
 			Placement: o.placement,
-		})
+		}
+		// The execution knobs apply only to methods that already route in
+		// parallel: overriding them can then never change which route pass
+		// runs, which keeps both options inert on sequential methods and
+		// output-stable on parallel ones — the contract that lets
+		// Fingerprint exclude them.
+		if specs[i].RouteWorkers != 0 {
+			ro.RouteWorkers = o.routeWorkers
+			ro.Lookahead = o.lookahead
+		}
+		res, err := core.Run(c, g, specs[i], ro)
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err

@@ -63,3 +63,30 @@ func BenchmarkCompileQFT(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkCompileQFTParallel measures the parallel route pass
+// (hilight-map-parallel: speculative workers + windowed lookahead +
+// component pruning) at fixed pool sizes, for the worker-scaling table
+// in BENCH_route.json. The schedule is identical across arms.
+func BenchmarkCompileQFTParallel(b *testing.B) {
+	for _, n := range []int{64, 256} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("QFT%d/workers%d", n, workers), func(b *testing.B) {
+				c := bench.QFT(n)
+				g := grid.Rect(n)
+				sp := MustMethod("hilight-map-parallel")
+				sp.RouteWorkers = workers
+				if _, err := Run(c, g, sp, RunOptions{}); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := Run(c, g, sp, RunOptions{}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

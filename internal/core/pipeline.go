@@ -134,6 +134,13 @@ type RunOptions struct {
 	Placement place.Method
 	// Adjuster, when non-nil, replaces the spec's adjuster.
 	Adjuster LayoutAdjuster
+	// RouteWorkers, when non-nil, overrides the spec's worker count for
+	// the parallel route pass (0 sequential, n ≥ 1 workers, negative =
+	// GOMAXPROCS). The schedule is byte-identical for every n ≥ 1.
+	RouteWorkers *int
+	// Lookahead, when non-nil, overrides the spec's windowed-lookahead
+	// depth (≤ 0 disables congestion tie-breaking).
+	Lookahead *int
 }
 
 // Pipeline is an executable sequence of named passes with its resolved
@@ -180,13 +187,23 @@ func NewPipeline(sp Spec, opt RunOptions) (*Pipeline, error) {
 	cfg.Observer = opt.Observer
 	cfg.Metrics = opt.Metrics
 	cfg.Ctx = opt.Ctx
+	if opt.RouteWorkers != nil {
+		cfg.RouteWorkers = *opt.RouteWorkers
+	}
+	if opt.Lookahead != nil {
+		cfg.Lookahead = *opt.Lookahead
+	}
 
 	p := &Pipeline{Spec: sp, cfg: cfg}
 	p.Passes = append(p.Passes, passValidate, passDecomposeSwaps)
 	if cfg.QCO {
 		p.Passes = append(p.Passes, passQCO)
 	}
-	p.Passes = append(p.Passes, passCapacity, passPlace, passRoute)
+	routePass := passRoute
+	if cfg.RouteWorkers != 0 && parallelCompatible(cfg) {
+		routePass = passRouteParallel
+	}
+	p.Passes = append(p.Passes, passCapacity, passPlace, routePass)
 	if cfg.Adjuster != nil {
 		p.Passes = append(p.Passes, passAdjust)
 	}
@@ -352,6 +369,48 @@ var (
 			m.Counter("route/cycles").Add(int64(s.Latency()))
 			m.Counter("route/search-pops").Add(stats.Pops)
 			m.Counter("route/searches").Add(stats.Searches)
+		}
+		return nil
+	}}
+
+	// passRouteParallel is the parallel Alg. 2 variant: per cycle, the
+	// independent braids of the dependency layer are speculated by a
+	// worker pool against a shared occupancy snapshot (with free-component
+	// pruning and windowed-lookahead tie-breaking) and committed in the
+	// deterministic ordered-ready sequence, retrying conflicts in further
+	// rounds. Emits the same route counters as passRoute plus the
+	// parallel-engine contention stats.
+	passRouteParallel = Pass{Name: "route-parallel", Run: func(st *State) error {
+		var pr parallelRouter
+		s, err := pr.route(st.Circuit, st.Grid, st.Layout, st.cfg)
+		if err != nil {
+			return err
+		}
+		st.Schedule = s
+		braids := int64(braidCount(s))
+		st.Count("cycles", int64(s.Latency()))
+		st.Count("braids", braids)
+		var stats route.SearchStats
+		for _, f := range pr.finders {
+			fs := f.Stats()
+			stats.Pops += fs.Pops
+			stats.Searches += fs.Searches
+		}
+		st.Count("search-pops", stats.Pops)
+		st.Count("searches", stats.Searches)
+		st.Count("workers", int64(pr.workers))
+		st.Count("conflicts", pr.stats.Conflicts)
+		st.Count("retries", pr.stats.Retries)
+		st.Count("stall-cycles", pr.stats.StallCycles)
+		if m := st.cfg.Metrics; m != nil {
+			m.Counter("route/braids-routed").Add(braids)
+			m.Counter("route/cycles").Add(int64(s.Latency()))
+			m.Counter("route/search-pops").Add(stats.Pops)
+			m.Counter("route/searches").Add(stats.Searches)
+			m.Gauge("route/parallel/workers").Set(int64(pr.workers))
+			m.Counter("route/parallel/conflicts").Add(pr.stats.Conflicts)
+			m.Counter("route/parallel/retries").Add(pr.stats.Retries)
+			m.Counter("route/parallel/stall-cycles").Add(pr.stats.StallCycles)
 		}
 		return nil
 	}}

@@ -99,6 +99,20 @@ type config struct {
 	QCO bool
 	// Observer, when non-nil, receives per-cycle routing statistics.
 	Observer Observer
+	// FinderName is the registry name Finder was resolved from ("" when
+	// the default applied). The pipeline uses it to decide whether the
+	// parallel route pass — which substitutes the windowed finder — may
+	// take over without changing which gates are routable.
+	FinderName string
+	// RouteWorkers selects the parallel route pass: 0 keeps the
+	// sequential Alg. 2 loop, n ≥ 1 routes each dependency layer with n
+	// speculative workers, and negative means GOMAXPROCS. The schedule is
+	// deterministic for any n ≥ 1.
+	RouteWorkers int
+	// Lookahead is the windowed-lookahead depth of the parallel pass:
+	// congestion from the next k pending two-qubit gates per qubit breaks
+	// equal-cost path ties. ≤ 0 disables the field.
+	Lookahead int
 	// Metrics, when non-nil, aggregates pipeline and routing counters
 	// across compiles (see RunOptions.Metrics).
 	Metrics *obs.Registry

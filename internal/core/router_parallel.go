@@ -1,0 +1,521 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"hilight/internal/circuit"
+	"hilight/internal/grid"
+	"hilight/internal/order"
+	"hilight/internal/route"
+	"hilight/internal/sched"
+)
+
+// This file holds the route-parallel pass engine: Alg. 2 with the
+// independent braids of each dependency layer routed speculatively in
+// parallel and committed in a deterministic order.
+//
+// Each cycle runs three phases:
+//
+//   - Speculation: a worker pool path-finds every ready gate against the
+//     cycle's empty-lattice snapshot (the occupancy is simply not mutated
+//     while workers run) through per-worker Windowed finders sharing one
+//     free-component labeling and one windowed-lookahead congestion
+//     field. On an empty lattice the corridor fast path answers almost
+//     every query, so speculation is cheap even single-threaded.
+//   - Commit: the single-threaded walk of the *ordered ready sequence* —
+//     never worker completion order — commits each speculative path that
+//     is disjoint from those committed before it. Conflicting candidates
+//     fall through; candidates whose speculation found no path are
+//     deferred to the next cycle (occupancy only grows within a cycle,
+//     so failure against the cycle-start snapshot is monotone).
+//   - Finish: conflicting candidates re-route one by one against the
+//     live occupancy, exactly like the sequential router but with the
+//     component labeling refreshed after every commit — so a gate that
+//     cannot route under this cycle's braids is deferred by two label
+//     loads instead of a full-lattice search flood, and each gate costs
+//     at most two path-finds per cycle.
+//
+// Determinism: the speculation snapshot is a pure function of the
+// committed schedule prefix, the commit and finish orders are the
+// ordered ready sequence, and each Find is a deterministic function of
+// (snapshot, congestion field, gate) regardless of which worker computes
+// it — so the schedule is byte-for-byte identical for every worker count
+// and GOMAXPROCS setting. Starvation-freedom: the first candidate in
+// commit order always commits (nothing precedes it to conflict with),
+// and the finish phase is a linear sequential sweep.
+//
+// The pass does not support layout adjusters (inserted SWAPs serialize
+// the cycle anyway); NewPipeline falls back to the sequential route pass
+// for specs that configure one or that use a non-A*-family finder.
+
+// parStats aggregates the parallel router's contention counters,
+// surfaced as route-parallel trace counters and route/parallel/...
+// metrics.
+type parStats struct {
+	// Conflicts counts speculative paths that lost the commit race to an
+	// earlier gate in the deterministic order.
+	Conflicts int64
+	// Retries counts finish-phase re-routes: sequential path-finds for
+	// candidates whose speculation conflicted.
+	Retries int64
+	// StallCycles counts cycles that needed a finish phase.
+	StallCycles int64
+}
+
+// parallelCompatible reports whether the resolved components allow the
+// parallel route pass to substitute its windowed finder without changing
+// which gates are routable: no layout adjuster (inserted SWAPs serialize
+// the cycle), and a finder from the complete A*-closest family (the
+// windowed finder accepts and rejects exactly like it). Incompatible
+// specs silently keep the sequential pass, so a process-wide worker
+// default is always safe to set.
+func parallelCompatible(cfg config) bool {
+	if cfg.Adjuster != nil {
+		return false
+	}
+	switch cfg.FinderName {
+	case "", "astar-closest", "windowed":
+		return true
+	}
+	return false
+}
+
+// resolveRouteWorkers maps a configured worker count to a pool size:
+// negative means GOMAXPROCS, and the result is at least 1.
+func resolveRouteWorkers(n int) int {
+	if n < 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// parallelRouter embeds the sequential router's scratch (occupancy,
+// cursors, ready set, layer buffers, arena) and adds the speculation
+// state. Like router, a parallelRouter is one-shot per route call and
+// owns the returned schedule.
+type parallelRouter struct {
+	router
+
+	workers int
+	finders []*route.Windowed
+	comp    route.Components
+	// emptyComp caches the empty-lattice labeling (a function of the
+	// defect map alone), restored by copy at every cycle start instead of
+	// re-sweeping.
+	emptyComp route.Components
+
+	// Per-cycle congestion field (windowed lookahead), its 2D
+	// difference-array scratch, and the cached per-qubit tile coordinates
+	// (the layout never moves without an adjuster).
+	cong     []int32
+	congDiff []int32
+	qtx      []int32
+	qty      []int32
+	// Per-qubit positions of two-qubit gates within ql.Lists[q] (arena +
+	// offsets), with a monotone pointer per qubit — so the per-cycle
+	// lookahead window is found without re-skipping single-qubit gates.
+	// q2rect parallels q2arena with each entry's stamp rectangle packed
+	// into one int64 (-1 when the gate stamps from its other operand), so
+	// the per-cycle sweep never loads gate records at all.
+	q2arena []int32
+	q2rect  []int64
+	q2off   []int32
+	q2ptr   []int32
+
+	// Per-round speculation state. readyOrd is the cycle's ordered ready
+	// slice; cands/retry hold indices into it; specOK/specPath receive
+	// each candidate's speculation result (workers write disjoint
+	// entries).
+	readyOrd []order.Ready
+	cands    []int
+	retry    []int
+	specOK   []bool
+	specPath []route.Path
+
+	next   atomic.Int64
+	wg     sync.WaitGroup
+	workCh chan struct{}
+
+	stats parStats
+}
+
+// route runs the parallel Alg. 2 main loop. The returned schedule is
+// owned by the router and valid until the next route call.
+func (pr *parallelRouter) route(c *circuit.Circuit, g *grid.Grid, layout *grid.Layout, cfg config) (*sched.Schedule, error) {
+	pr.init(c, g, layout, cfg)
+	pr.workers = resolveRouteWorkers(cfg.RouteWorkers)
+
+	pr.finders = pr.finders[:0]
+	for i := 0; i < pr.workers; i++ {
+		pr.finders = append(pr.finders, &route.Windowed{Comp: &pr.comp})
+	}
+	if pr.workers > 1 {
+		pr.workCh = make(chan struct{})
+		defer close(pr.workCh)
+		for w := 1; w < pr.workers; w++ {
+			go pr.workerLoop(w)
+		}
+	}
+
+	remaining := c.CXCount()
+	for q := 0; q < c.NumQubits; q++ {
+		pr.skip1Q(q)
+	}
+
+	// The empty-lattice labeling depends only on the defect map: compute
+	// it once against the reset occupancy and restore it by copy each
+	// cycle. Without an adjuster the layout is immutable, so per-qubit
+	// tile coordinates for the congestion field are also cached here.
+	pr.occ.Reset()
+	pr.emptyComp.Compute(g, pr.occ)
+	if cfg.Lookahead > 0 {
+		pr.qtx = resizeZeroed32(pr.qtx, c.NumQubits)
+		pr.qty = resizeZeroed32(pr.qty, c.NumQubits)
+		for q := 0; q < c.NumQubits; q++ {
+			x, y := g.TileXY(layout.QubitTile[q])
+			pr.qtx[q], pr.qty[q] = int32(x), int32(y)
+		}
+		// Index each qubit's two-qubit gates once; the congestion sweep
+		// then jumps straight to the pending window every cycle. The stamp
+		// rectangle (operand tiles' corner-vertex bounding box, normalized
+		// and widened to the far corner column/row) is resolved here too —
+		// the layout never moves without an adjuster.
+		pr.q2arena = pr.q2arena[:0]
+		pr.q2rect = pr.q2rect[:0]
+		pr.q2off = resizeZeroed32(pr.q2off, c.NumQubits+1)
+		pr.q2ptr = resizeZeroed32(pr.q2ptr, c.NumQubits)
+		for q := 0; q < c.NumQubits; q++ {
+			pr.q2off[q] = int32(len(pr.q2arena))
+			for i, gi := range pr.ql.Lists[q] {
+				gate := pr.c.Gates[gi]
+				if !gate.TwoQubit() {
+					continue
+				}
+				pr.q2arena = append(pr.q2arena, int32(i))
+				rect := int64(-1)
+				if gate.Q0 == q { // count each gate once, from its control side
+					x0, y0 := pr.qtx[gate.Q0], pr.qty[gate.Q0]
+					x1, y1 := pr.qtx[gate.Q1], pr.qty[gate.Q1]
+					if x1 < x0 {
+						x0, x1 = x1, x0
+					}
+					if y1 < y0 {
+						y0, y1 = y1, y0
+					}
+					x1++ // tile corners span one extra vertex column/row
+					y1++
+					rect = int64(x0) | int64(y0)<<16 | int64(x1)<<32 | int64(y1)<<48
+				}
+				pr.q2rect = append(pr.q2rect, rect)
+			}
+		}
+		pr.q2off[c.NumQubits] = int32(len(pr.q2arena))
+	}
+
+	cycle := 0
+	guard := 0
+	maxCycles := 16*(remaining+len(c.Gates)) + 4*g.Tiles() + 64
+
+	// compDirty tracks whether pr.comp's labeling has drifted from the
+	// occupancy it will next be read against (any Add since the last
+	// Compute, or the cycle-boundary Reset after one).
+	compDirty := true
+
+	for remaining > 0 {
+		if err := ctxErr(cfg.Ctx); err != nil {
+			return nil, fmt.Errorf("%w at cycle %d", err, cycle)
+		}
+		if guard++; guard > maxCycles {
+			return nil, &ErrUnroutable{Gate: -1, Reason: fmt.Sprintf(
+				"router exceeded %d cycles with %d gates left — scheduling livelock", maxCycles, remaining)}
+		}
+		pr.occ.Reset()
+		pr.busyEpoch++
+		pr.layerBuf = pr.layerBuf[:0]
+
+		ready := pr.collectReady()
+		if len(ready) > cfg.OrderingThreshold {
+			ready = cfg.Ordering.Order(ready, g)
+			pr.ready = ready[:0] // adopt whatever backing Order returned
+		}
+		pr.readyOrd = ready
+
+		var cong []int32
+		if cfg.Lookahead > 0 {
+			pr.computeCongestion()
+			cong = pr.cong
+		}
+		for _, f := range pr.finders {
+			f.Cong = cong
+		}
+
+		pr.cands = pr.cands[:0]
+		for i := range ready {
+			pr.cands = append(pr.cands, i)
+		}
+		pr.specOK = resizeBools(pr.specOK, len(ready))
+		pr.specPath = resizePaths(pr.specPath, len(ready))
+
+		// Speculation round: every ready gate path-finds in parallel
+		// against the cycle's empty-lattice snapshot, whose component
+		// labeling only changes when the defect map does — restore the
+		// cached labeling when the finish phase dirtied it.
+		if compDirty {
+			pr.comp.CopyFrom(&pr.emptyComp)
+			compDirty = false
+		}
+		pr.speculate()
+
+		// Commit phase: walk the ordered ready sequence, committing every
+		// speculative path that is disjoint from the braids committed
+		// before it. Conflicting candidates fall through to the finish
+		// phase; candidates whose speculation failed are deferred to the
+		// next cycle (occupancy only grows within a cycle, so failure
+		// against the cycle-start snapshot is final).
+		pr.retry = pr.retry[:0]
+		for _, ci := range pr.cands {
+			rd := ready[ci]
+			if !pr.specOK[ci] || pr.isBusy(rd.CtlTile) || pr.isBusy(rd.TgtTile) {
+				continue // deferred to the next cycle
+			}
+			if pr.occ.Conflicts(g, pr.specPath[ci]) {
+				pr.retry = append(pr.retry, ci)
+				pr.stats.Conflicts++
+				continue // speculation lost the commit race; finish phase
+			}
+			remaining -= pr.commit(ci)
+			compDirty = true
+		}
+
+		// Finish phase: the conflicting candidates re-route sequentially
+		// against the live occupancy — each gate is path-found at most
+		// twice per cycle, and the component labeling is refreshed after
+		// every commit so a deferral costs two label loads, never a
+		// full-lattice search flood (on a congested lattice nearly every
+		// deferral would otherwise flood; labeling is the cheaper side of
+		// that trade by an order of magnitude).
+		if len(pr.retry) > 0 {
+			pr.stats.StallCycles++
+			f := pr.finders[0]
+			for _, ci := range pr.retry {
+				rd := ready[ci]
+				if pr.isBusy(rd.CtlTile) || pr.isBusy(rd.TgtTile) {
+					continue
+				}
+				if compDirty {
+					pr.comp.Compute(g, pr.occ)
+					compDirty = false
+				}
+				pr.stats.Retries++
+				p, ok := f.Find(g, pr.occ, rd.CtlTile, rd.TgtTile, pr.specPath[ci][:0])
+				if !ok {
+					continue // disconnected under this cycle's braids; next cycle
+				}
+				pr.specPath[ci] = p
+				remaining -= pr.commit(ci)
+				compDirty = true
+			}
+		}
+
+		if len(pr.layerBuf) > 0 {
+			// The labels may have last been computed against this cycle's
+			// live occupancy; the coming Reset invalidates that.
+			compDirty = true
+			if cfg.Observer != nil {
+				stats := CycleStats{Cycle: cycle, Ready: len(ready), Executed: len(pr.layerBuf)}
+				for _, b := range pr.layerBuf {
+					stats.PathLength += len(b.Path)
+				}
+				stats.Deferred = stats.Ready - stats.Executed
+				cfg.Observer.OnCycle(stats)
+			}
+			pr.flushLayer()
+			cycle++
+			continue
+		}
+
+		// Stuck-progress detection, mirroring the sequential router: the
+		// cycle started from an empty lattice and still placed nothing.
+		if len(ready) > 0 {
+			rd := ready[0]
+			return nil, &ErrUnroutable{
+				Gate: rd.Gate, CtlTile: rd.CtlTile, TgtTile: rd.TgtTile,
+				Reason: fmt.Sprintf("no braiding path on an empty lattice (%d gates remaining); defects or reserved regions disconnect the tiles", remaining),
+			}
+		}
+		return nil, &ErrUnroutable{Gate: -1, Reason: fmt.Sprintf(
+			"%d gates remaining but none ready — dependency deadlock", remaining)}
+	}
+	return pr.sch, nil
+}
+
+// commit places candidate ci's speculated (or finish-phase) path into
+// the cycle's layer: occupancy, busy tiles, cursors, and the schedule
+// arena. It returns the number of gates executed (always 1) so call
+// sites read as remaining -= commit(ci).
+func (pr *parallelRouter) commit(ci int) int {
+	rd := pr.readyOrd[ci]
+	p := pr.specPath[ci]
+	pr.occ.Add(pr.g, p)
+	pr.layerBuf = append(pr.layerBuf, sched.Braid{
+		Gate: rd.Gate, CtlTile: rd.CtlTile, TgtTile: rd.TgtTile, Path: pr.storePath(p),
+	})
+	pr.markBusy(rd.CtlTile, rd.TgtTile)
+	gate := pr.c.Gates[rd.Gate]
+	pr.cursor[gate.Q0]++
+	pr.cursor[gate.Q1]++
+	pr.skip1Q(gate.Q0)
+	pr.skip1Q(gate.Q1)
+	return 1
+}
+
+// speculate path-finds every current candidate against the round
+// snapshot, spreading the work over the pool. Worker 0 is the calling
+// goroutine; helpers beyond the candidate count stay parked.
+func (pr *parallelRouter) speculate() {
+	pr.next.Store(0)
+	helpers := pr.workers - 1
+	if n := len(pr.cands) - 1; helpers > n {
+		helpers = n
+	}
+	if helpers <= 0 {
+		pr.speculateWorker(0)
+		return
+	}
+	pr.wg.Add(helpers)
+	for i := 0; i < helpers; i++ {
+		pr.workCh <- struct{}{}
+	}
+	pr.speculateWorker(0)
+	pr.wg.Wait()
+}
+
+// workerLoop parks a helper goroutine between rounds; each channel
+// receive corresponds to one round's Add(1).
+func (pr *parallelRouter) workerLoop(w int) {
+	for range pr.workCh {
+		pr.speculateWorker(w)
+		pr.wg.Done()
+	}
+}
+
+// speculateWorker claims candidates off the shared cursor and routes
+// them with this worker's finder. All shared state (occupancy, busy
+// tiles, components, congestion) is read-only during a round; results
+// land in per-candidate slots, so workers never contend on data.
+func (pr *parallelRouter) speculateWorker(w int) {
+	f := pr.finders[w]
+	g := pr.g
+	for {
+		i := int(pr.next.Add(1)) - 1
+		if i >= len(pr.cands) {
+			return
+		}
+		ci := pr.cands[i]
+		rd := pr.readyOrd[ci]
+		if pr.isBusy(rd.CtlTile) || pr.isBusy(rd.TgtTile) {
+			pr.specOK[ci] = false
+			continue
+		}
+		p, ok := f.Find(g, pr.occ, rd.CtlTile, rd.TgtTile, pr.specPath[ci][:0])
+		pr.specOK[ci] = ok
+		if ok {
+			pr.specPath[ci] = p
+		}
+	}
+}
+
+// computeCongestion builds the cycle's windowed-lookahead field: for
+// each qubit, the next cfg.Lookahead pending two-qubit gates beyond the
+// imminent one each stamp the bounding box of their operand tiles'
+// corner vertices, accumulated with a 2D difference array and one
+// prefix-sum sweep. The result is a per-vertex count of how many
+// upcoming braids want to cross that vertex's neighborhood — the
+// tie-break field the Windowed finders consume.
+func (pr *parallelRouter) computeCongestion() {
+	g := pr.g
+	c := pr.c
+	vw, vh := g.VW(), g.VH()
+	w := vw + 1 // difference-array stride: one sink column past the vertices
+	pr.congDiff = resizeZeroed32(pr.congDiff, w*(vh+1))
+	k := pr.cfg.Lookahead
+	for q := 0; q < c.NumQubits; q++ {
+		off := int(pr.q2off[q])
+		pos := pr.q2arena[off:pr.q2off[q+1]]
+		rects := pr.q2rect[off:pr.q2off[q+1]]
+		p := int(pr.q2ptr[q])
+		for p < len(pos) && int(pos[p]) < pr.cursor[q] {
+			p++ // cursors only advance, so this pointer is monotone too
+		}
+		pr.q2ptr[q] = int32(p)
+		// Window: the imminent gate at pos[p] routes this wavefront and is
+		// not "pending"; the k gates after it stamp the field.
+		end := p + k
+		if end > len(pos)-1 {
+			end = len(pos) - 1
+		}
+		for j := p + 1; j <= end; j++ {
+			r := rects[j]
+			if r < 0 {
+				continue // counted from the gate's control side instead
+			}
+			x0, y0 := int(r&0xffff), int(r>>16&0xffff)
+			x1, y1 := int(r>>32&0xffff), int(r>>48)
+			pr.congDiff[y0*w+x0]++
+			pr.congDiff[y0*w+x1+1]--
+			pr.congDiff[(y1+1)*w+x0]--
+			pr.congDiff[(y1+1)*w+x1+1]++
+		}
+	}
+	pr.cong = resizeZeroed32(pr.cong, vw*vh)
+	for y := 0; y < vh; y++ {
+		row := pr.congDiff[y*w:]
+		var acc int32
+		for x := 0; x < vw; x++ {
+			acc += row[x]
+			v := acc
+			if y > 0 {
+				v += pr.congDiff[(y-1)*w+x]
+			}
+			row[x] = v
+			pr.cong[y*vw+x] = v
+		}
+	}
+}
+
+// resizeZeroed32 returns s with length n and every element zero.
+func resizeZeroed32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// resizeBools returns s with length n, reusing capacity.
+func resizeBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+// resizePaths returns s with length n, preserving the per-slot buffer
+// capacities accumulated by earlier cycles.
+func resizePaths(s []route.Path, n int) []route.Path {
+	if cap(s) < n {
+		ns := make([]route.Path, n)
+		copy(ns, s)
+		return ns
+	}
+	return s[:n]
+}

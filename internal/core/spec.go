@@ -35,6 +35,18 @@ type Spec struct {
 	// OrderingThreshold invokes Ordering only when the ready set is
 	// strictly larger; ≤0 means DefaultOrderingThreshold.
 	OrderingThreshold int
+	// RouteWorkers selects the parallel route pass: 0 keeps the
+	// sequential Alg. 2 loop, n ≥ 1 speculatively routes each dependency
+	// layer over n workers, negative means GOMAXPROCS. Output schedules
+	// are byte-identical for every n ≥ 1, so the worker count is an
+	// execution knob, not part of a method's semantic identity.
+	RouteWorkers int
+	// Lookahead is the windowed-lookahead depth used by the parallel
+	// route pass to break equal-cost path ties with congestion from the
+	// next k pending two-qubit gates per qubit. ≤ 0 disables it. Like
+	// RouteWorkers it never changes which gates route, only which of the
+	// equally short paths is preferred.
+	Lookahead int
 }
 
 // Component registries. Factories take the pipeline's seeded rng so
@@ -147,6 +159,9 @@ func (sp Spec) components(rng *rand.Rand) (config, error) {
 	cfg.Placement = mkPlace(rng)
 	cfg.Ordering = mkOrder(rng)
 	cfg.Finder = mkFinder()
+	cfg.FinderName = fname
+	cfg.RouteWorkers = sp.RouteWorkers
+	cfg.Lookahead = sp.Lookahead
 	if sp.Adjuster != "" {
 		mkAdj, ok := adjusterReg[sp.Adjuster]
 		if !ok {
@@ -185,4 +200,5 @@ func init() {
 	RegisterFinder("full-16", func() route.Finder { return &route.Full16{} })
 	RegisterFinder("stack-dfs", func() route.Finder { return &route.StackDFS{} })
 	RegisterFinder("l-shape", func() route.Finder { return route.LShape{} })
+	RegisterFinder("windowed", func() route.Finder { return &route.Windowed{} })
 }

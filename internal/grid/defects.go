@@ -203,7 +203,8 @@ func (g *Grid) Defects() *DefectMap {
 // Clone returns a deep copy of the grid, including reservations and
 // defects. Compile uses it so WithDefects never mutates a caller's grid.
 func (g *Grid) Clone() *Grid {
-	out := &Grid{W: g.W, H: g.H, reserved: append([]bool(nil), g.reserved...)}
+	// Coordinate tables are immutable and dimension-determined — share them.
+	out := &Grid{W: g.W, H: g.H, reserved: append([]bool(nil), g.reserved...), vx: g.vx, vy: g.vy}
 	if g.def != nil {
 		out.def = &defectState{
 			tile:   append([]bool(nil), g.def.tile...),

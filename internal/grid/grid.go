@@ -26,6 +26,7 @@ type Grid struct {
 	W, H     int
 	reserved []bool       // per tile; true = no program qubit, non-braiding
 	def      *defectState // fabrication defects; nil on a pristine grid
+	vx, vy   []int16      // vertex id → corner coordinates; spares the hot paths a div/mod pair
 }
 
 // New returns a w×h grid with no reserved tiles.
@@ -33,7 +34,21 @@ func New(w, h int) *Grid {
 	if w <= 0 || h <= 0 {
 		panic(fmt.Sprintf("grid: invalid dimensions %dx%d", w, h))
 	}
-	return &Grid{W: w, H: h, reserved: make([]bool, w*h)}
+	g := &Grid{W: w, H: h, reserved: make([]bool, w*h)}
+	g.initCoords()
+	return g
+}
+
+// initCoords fills the vertex coordinate tables. Coordinates depend only
+// on W and H, so grids sharing dimensions may share the slices.
+func (g *Grid) initCoords() {
+	n := g.NumVertices()
+	g.vx = make([]int16, n)
+	g.vy = make([]int16, n)
+	for v := 0; v < n; v++ {
+		g.vx[v] = int16(v % g.VW())
+		g.vy[v] = int16(v / g.VW())
+	}
 }
 
 // Square returns the M×M grid for n program qubits, M = ceil(sqrt(n)).
@@ -182,7 +197,7 @@ func (g *Grid) NumVertices() int { return g.VW() * g.VH() }
 func (g *Grid) VertexID(x, y int) int { return y*g.VW() + x }
 
 // VertexXY returns the corner coordinates of vertex v.
-func (g *Grid) VertexXY(v int) (x, y int) { return v % g.VW(), v / g.VW() }
+func (g *Grid) VertexXY(v int) (x, y int) { return int(g.vx[v]), int(g.vy[v]) }
 
 // Corners returns the four routing vertices of tile t in NW, NE, SW, SE
 // order.

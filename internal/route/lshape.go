@@ -52,17 +52,33 @@ func lWalk(g *grid.Grid, occ *Occupancy, src, dst int, hFirst bool, buf Path) (P
 		cur = next
 		return true
 	}
+	// Horizontal legs are probed word-wide: the run's feasibility
+	// (vertices + east channels + routability) is one HRunFree call, and
+	// the vertices are then appended unchecked. The leg's starting vertex
+	// is always known-free (the caller checked the corner, or walkY just
+	// stepped onto the pivot), so including it in the probe only
+	// re-confirms a fact — accept/reject and the path bytes are identical
+	// to the scalar step loop.
 	walkX := func(y int) bool {
+		if sx == dx {
+			return true
+		}
+		lo, hi := sx, dx
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if !occ.HRunFree(y, lo, hi) {
+			return false
+		}
 		for x := sx; x != dx; {
 			if dx > x {
 				x++
 			} else {
 				x--
 			}
-			if !step(x, y) {
-				return false
-			}
+			p = append(p, g.VertexID(x, y))
 		}
+		cur = g.VertexID(dx, y)
 		return true
 	}
 	walkY := func(x int) bool {

@@ -83,10 +83,34 @@ func (p Path) Validate(g *grid.Grid) error {
 // greater than any epoch, so every Finder sees them as permanently
 // occupied without an extra branch in the probe. An Occupancy is bound to
 // the grid it was created for and must not be shared across grids.
+//
+// Alongside the stamp arrays the set maintains a word-packed mirror —
+// one bit per vertex and one per east channel, with per-word epoch
+// stamps so Reset stays O(1) — that HRunFree uses to test a whole
+// horizontal corridor 64 lattice columns per instruction instead of one.
+// Unroutable east channels (factory interiors, defects, dead endpoints)
+// are baked into the base words, so a word probe answers the full
+// feasibility question the scalar walk would.
 type Occupancy struct {
 	vStamp []int
 	eStamp []int
 	epoch  int
+
+	// Word-packed mirror for row probes. vw is the vertex-row stride;
+	// bit v of vWords marks vertex v occupied, bit v of eWords marks the
+	// east channel leaving vertex v occupied or unroutable. The *Base
+	// words hold the permanent (defect/unroutable) bits; a word whose
+	// epoch entry is stale reads as its base.
+	vw     int
+	vWords []uint64
+	vBase  []uint64
+	vEpoch []int
+	eWords []uint64
+	eBase  []uint64
+	eEpoch []int
+	sWords []uint64
+	sBase  []uint64
+	sEpoch []int
 }
 
 // defectEpoch outlives every real epoch: an entry stamped with it is
@@ -119,7 +143,154 @@ func NewOccupancy(g *grid.Grid) *Occupancy {
 			}
 		}
 	}
+
+	// Build the word-packed mirror: permanent bits in the base words,
+	// including unroutable east channels, so HRunFree never needs the
+	// scalar EdgeRoutable check.
+	o.vw = g.VW()
+	nw := (g.NumVertices() + 63) / 64
+	o.vWords = make([]uint64, nw)
+	o.vBase = make([]uint64, nw)
+	o.vEpoch = make([]int, nw)
+	o.eWords = make([]uint64, nw)
+	o.eBase = make([]uint64, nw)
+	o.eEpoch = make([]int, nw)
+	o.sWords = make([]uint64, nw)
+	o.sBase = make([]uint64, nw)
+	o.sEpoch = make([]int, nw)
+	for v := 0; v < g.NumVertices(); v++ {
+		bit := uint64(1) << (uint(v) & 63)
+		if o.vStamp[v] == defectEpoch {
+			o.vBase[v>>6] |= bit
+		}
+		x, y := g.VertexXY(v)
+		switch {
+		case x+1 >= g.VW():
+			o.eBase[v>>6] |= bit // no east channel at the row end
+		case o.eStamp[2*v] == defectEpoch || !g.EdgeRoutable(v, g.VertexID(x+1, y)):
+			o.eBase[v>>6] |= bit
+		}
+		switch {
+		case y+1 >= g.VH():
+			o.sBase[v>>6] |= bit // no south channel on the bottom row
+		case o.eStamp[2*v+1] == defectEpoch || !g.EdgeRoutable(v, g.VertexID(x, y+1)):
+			o.sBase[v>>6] |= bit
+		}
+	}
 	return o
+}
+
+// setVBit mirrors an occupied vertex into the word-packed view.
+func (o *Occupancy) setVBit(v int) {
+	w := v >> 6
+	if o.vEpoch[w] != o.epoch {
+		o.vWords[w] = o.vBase[w]
+		o.vEpoch[w] = o.epoch
+	}
+	o.vWords[w] |= 1 << (uint(v) & 63)
+}
+
+// setEBit mirrors an occupied east channel (of west vertex v) into the
+// word-packed view.
+func (o *Occupancy) setEBit(v int) {
+	w := v >> 6
+	if o.eEpoch[w] != o.epoch {
+		o.eWords[w] = o.eBase[w]
+		o.eEpoch[w] = o.epoch
+	}
+	o.eWords[w] |= 1 << (uint(v) & 63)
+}
+
+// setSBit mirrors an occupied south channel (of north vertex v) into
+// the word-packed view.
+func (o *Occupancy) setSBit(v int) {
+	w := v >> 6
+	if o.sEpoch[w] != o.epoch {
+		o.sWords[w] = o.sBase[w]
+		o.sEpoch[w] = o.epoch
+	}
+	o.sWords[w] |= 1 << (uint(v) & 63)
+}
+
+// vWordAt reads word w of the vertex mirror for the current epoch.
+func (o *Occupancy) vWordAt(w int) uint64 {
+	if o.vEpoch[w] == o.epoch {
+		return o.vWords[w]
+	}
+	return o.vBase[w]
+}
+
+// eWordAt reads word w of the east-channel mirror for the current epoch.
+func (o *Occupancy) eWordAt(w int) uint64 {
+	if o.eEpoch[w] == o.epoch {
+		return o.eWords[w]
+	}
+	return o.eBase[w]
+}
+
+// sWordAt reads word w of the south-channel mirror for the current epoch.
+func (o *Occupancy) sWordAt(w int) uint64 {
+	if o.sEpoch[w] == o.epoch {
+		return o.sWords[w]
+	}
+	return o.sBase[w]
+}
+
+// gatherBits extracts count (≤ 64) consecutive bits starting at global
+// bit index start from an epoch-checked word reader, unused high bits
+// zero.
+func gatherBits(wordAt func(int) uint64, start, count int) uint64 {
+	w, lo := start>>6, uint(start&63)
+	out := wordAt(w) >> lo
+	if int(lo)+count > 64 {
+		out |= wordAt(w+1) << (64 - lo)
+	}
+	if count < 64 {
+		out &= (1 << uint(count)) - 1
+	}
+	return out
+}
+
+// onesRange returns a word with bits [lo, hi] set, 0 ≤ lo ≤ hi ≤ 63.
+func onesRange(lo, hi int) uint64 {
+	return (^uint64(0) >> uint(63-(hi-lo))) << uint(lo)
+}
+
+// HRunFree reports whether the horizontal corridor on vertex row y
+// spanning columns [x0, x1] (in either order) is entirely free: every
+// vertex of the run and every east channel between consecutive run
+// vertices is unoccupied this cycle, non-defective, and routable. The
+// probe scans the word-packed mirror, testing up to 64 lattice columns
+// per instruction, and is exactly equivalent to the scalar
+// VertexUsed/EdgeUsed/EdgeRoutable walk along the run.
+func (o *Occupancy) HRunFree(y, x0, x1 int) bool {
+	if x0 > x1 {
+		x0, x1 = x1, x0
+	}
+	v0 := y*o.vw + x0
+	v1 := y*o.vw + x1
+	e1 := v1 - 1 // last east-channel id of the run; < v0 when the run is a point
+	for w := v0 >> 6; w <= v1>>6; w++ {
+		base := w << 6
+		lo, hi := v0-base, v1-base
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > 63 {
+			hi = 63
+		}
+		bits := o.vWordAt(w) & onesRange(lo, hi)
+		if ehi := e1 - base; ehi >= lo {
+			if ehi > 63 {
+				ehi = 63
+			}
+			bits |= o.eWordAt(w) & onesRange(lo, ehi)
+		}
+		if bits != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // Reset clears the per-cycle occupancy in O(1); defect stamps persist.
@@ -132,6 +303,20 @@ func (o *Occupancy) VertexUsed(v int) bool { return o.vStamp[v] >= o.epoch }
 // this cycle (or defective).
 func (o *Occupancy) EdgeUsed(g *grid.Grid, u, v int) bool {
 	return o.eStamp[g.EdgeID(u, v)] >= o.epoch
+}
+
+// EastBlocked reports whether the east channel of vertex v is impassable
+// this cycle: occupied, defective, unroutable, or off-lattice (the
+// row-end sentinel). One mirror load replaces the scalar
+// InBounds/EdgeRoutable/EdgeUsed triple.
+func (o *Occupancy) EastBlocked(v int) bool {
+	return o.eWordAt(v>>6)>>(uint(v)&63)&1 != 0
+}
+
+// SouthBlocked is EastBlocked for the south channel of vertex v (the
+// bottom-row sentinel covers the lattice edge).
+func (o *Occupancy) SouthBlocked(v int) bool {
+	return o.sWordAt(v>>6)>>(uint(v)&63)&1 != 0
 }
 
 // Conflicts reports whether p overlaps any braid already added this cycle
@@ -152,8 +337,23 @@ func (o *Occupancy) Conflicts(g *grid.Grid, p Path) bool {
 func (o *Occupancy) Add(g *grid.Grid, p Path) {
 	for i, v := range p {
 		o.vStamp[v] = o.epoch
+		o.setVBit(v)
 		if i > 0 {
-			o.eStamp[g.EdgeID(p[i-1], v)] = o.epoch
+			u := p[i-1]
+			o.eStamp[g.EdgeID(u, v)] = o.epoch
+			// Mirror channels under their west/north vertex's bit:
+			// adjacent same-row vertices differ by exactly 1, vertical
+			// neighbors by the row stride.
+			switch u - v {
+			case 1:
+				o.setEBit(v)
+			case -1:
+				o.setEBit(u)
+			case o.vw:
+				o.setSBit(v)
+			case -o.vw:
+				o.setSBit(u)
+			}
 		}
 	}
 }
@@ -204,6 +404,15 @@ type StatsReporter interface {
 // single instance reuses its internal buffers and is not safe for
 // concurrent use.
 type AStar struct {
+	// Cong, when non-nil, is a per-vertex congestion field that breaks
+	// ties between equal-length paths: the heap priority becomes
+	// f<<10 | min(cong, 1023), so a lower f still strictly dominates and
+	// path-length optimality is untouched — congestion only picks among
+	// shortest paths. Nil (the default, and the paper-faithful sequential
+	// configuration) leaves priorities as plain f values. Set by the
+	// windowed-lookahead router.
+	Cong []int32
+
 	open     graph.MinHeap
 	gScore   []int
 	cameFrom []int
@@ -259,6 +468,20 @@ func cornerPairsByDistance(g *grid.Grid, a, b int) [16]cornerPair {
 	return pairs
 }
 
+// pri scales an f-score into a heap priority. With no congestion field
+// it is the identity; with one, equal-f vertices order by congestion
+// while any lower f still wins (strict dominance via the shift).
+func (a *AStar) pri(f, v int) int {
+	if a.Cong == nil {
+		return f
+	}
+	c := a.Cong[v]
+	if c > 1023 {
+		c = 1023
+	}
+	return f<<10 | int(c)
+}
+
 // touch lazily re-initializes per-vertex search state for the current
 // epoch.
 func (a *AStar) touch(v int) {
@@ -291,7 +514,8 @@ func (a *AStar) search(g *grid.Grid, occ *Occupancy, src, dst int, buf Path) (Pa
 	a.open.Reset()
 	a.touch(src)
 	a.gScore[src] = 0
-	a.open.Push(src, g.VertexDist(src, dst))
+	a.open.Push(src, a.pri(g.VertexDist(src, dst), src))
+	vw := g.VW()
 	for a.open.Len() > 0 {
 		cur, _ := a.open.Pop()
 		a.stats.Pops++
@@ -306,21 +530,40 @@ func (a *AStar) search(g *grid.Grid, occ *Occupancy, src, dst int, buf Path) (Pa
 			continue
 		}
 		a.closed[cur] = true
-		a.nbrBuf = g.VertexNeighbors(cur, a.nbrBuf[:0])
-		for _, nb := range a.nbrBuf {
-			a.touch(nb)
-			if a.closed[nb] || occ.VertexUsed(nb) || occ.EdgeUsed(g, cur, nb) {
-				continue
-			}
-			tentative := a.gScore[cur] + 1
-			if tentative < a.gScore[nb] {
-				a.gScore[nb] = tentative
-				a.cameFrom[nb] = cur
-				a.open.Push(nb, tentative+g.VertexDist(nb, dst))
-			}
+		tentative := a.gScore[cur] + 1
+		// Expansion probes the word-packed channel mirrors: a set bit bakes
+		// occupied, defective, unroutable, and off-lattice in one load, so
+		// no InBounds/EdgeRoutable/EdgeID work remains on the hot path. The
+		// N, E, S, W order matches VertexNeighbors, keeping equal-length
+		// path tie-breaks — and thus emitted schedules — unchanged.
+		if cur >= vw && !occ.SouthBlocked(cur-vw) {
+			a.relax(g, occ, cur, cur-vw, tentative, dst)
+		}
+		if !occ.EastBlocked(cur) {
+			a.relax(g, occ, cur, cur+1, tentative, dst)
+		}
+		if !occ.SouthBlocked(cur) {
+			a.relax(g, occ, cur, cur+vw, tentative, dst)
+		}
+		if cur > 0 && !occ.EastBlocked(cur-1) {
+			a.relax(g, occ, cur, cur-1, tentative, dst)
 		}
 	}
 	return nil, false
+}
+
+// relax is one A* edge relaxation toward an in-bounds neighbor whose
+// connecting channel is already known to be open.
+func (a *AStar) relax(g *grid.Grid, occ *Occupancy, cur, nb, tentative, dst int) {
+	a.touch(nb)
+	if a.closed[nb] || occ.VertexUsed(nb) {
+		return
+	}
+	if tentative < a.gScore[nb] {
+		a.gScore[nb] = tentative
+		a.cameFrom[nb] = cur
+		a.open.Push(nb, a.pri(tentative+g.VertexDist(nb, dst), nb))
+	}
 }
 
 // reconstruct writes the src→dst path into buf by walking the cameFrom

@@ -27,6 +27,11 @@ type jobsRequest struct {
 	Compact  bool               `json:"compact,omitempty"`
 	Defects  *hilight.DefectMap `json:"defects,omitempty"`
 	Fallback []string           `json:"fallback,omitempty"`
+	// RouteWorkers and Lookahead tune the parallel route pass for every
+	// job; unset falls back to the server default, then the method preset.
+	// Execution knobs only — excluded from each job's fingerprint.
+	RouteWorkers *int `json:"route_workers,omitempty"`
+	Lookahead    *int `json:"lookahead,omitempty"`
 	// Parallelism bounds the batch's worker pool; 0 (or values above the
 	// server's worker count) use the server's worker count.
 	Parallelism int `json:"parallelism,omitempty"`
@@ -113,9 +118,12 @@ func newJobStore(maxStored int, m *obs.Registry) *jobStore {
 
 // submit validates the batch, registers it, and launches its CompileAll
 // run. It returns the batch id immediately.
-func (s *jobStore) submit(req *jobsRequest, workers int, defTimeout, maxTimeout time.Duration) (string, error) {
+func (s *jobStore) submit(req *jobsRequest, workers, routeWorkers int, defTimeout, maxTimeout time.Duration) (string, error) {
 	if len(req.Jobs) == 0 {
 		return "", badRequest("jobs batch is empty")
+	}
+	if req.RouteWorkers == nil && routeWorkers != 0 {
+		req.RouteWorkers = &routeWorkers // server-wide default, as in /v1/compile
 	}
 	const maxBatch = 4096
 	if len(req.Jobs) > maxBatch {
@@ -133,6 +141,7 @@ func (s *jobStore) submit(req *jobsRequest, workers int, defTimeout, maxTimeout 
 			QASM: e.QASM, Benchmark: e.Benchmark, Grid: e.Grid,
 			Method: req.Method, Seed: req.Seed, QCO: req.QCO,
 			Compact: req.Compact, Defects: req.Defects, Fallback: req.Fallback,
+			RouteWorkers: req.RouteWorkers, Lookahead: req.Lookahead,
 		}
 		c, g, opts, err := cr.build()
 		if err != nil {

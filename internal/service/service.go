@@ -35,6 +35,12 @@ type Config struct {
 	// 60s); MaxTimeout clamps request-supplied timeouts (default 10m).
 	DefaultTimeout time.Duration
 	MaxTimeout     time.Duration
+	// RouteWorkers is the server-wide worker-pool size for the parallel
+	// route pass, applied when a request doesn't set route_workers itself
+	// (0 keeps the method presets; negative selects GOMAXPROCS). Purely an
+	// execution knob: schedules are byte-identical at any pool size, so it
+	// never affects cache keys or cached results.
+	RouteWorkers int
 	// RetryAfter is the hint returned with 429 responses (default 1s).
 	RetryAfter time.Duration
 	// Metrics receives the service's metric families (service/...,
@@ -157,6 +163,13 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
+	if req.RouteWorkers == nil && s.cfg.RouteWorkers != 0 {
+		// Server-wide default; injected before build so request validation
+		// and option assembly stay in one place. Harmless before
+		// Fingerprint — route workers are excluded from the digest.
+		rw := s.cfg.RouteWorkers
+		req.RouteWorkers = &rw
+	}
 	c, g, opts, err := req.build()
 	if err != nil {
 		s.fail(w, err)
@@ -221,7 +234,7 @@ func (s *Server) handleJobsSubmit(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
-	id, err := s.jobs.submit(&req, s.cfg.Workers, s.cfg.DefaultTimeout, s.cfg.MaxTimeout)
+	id, err := s.jobs.submit(&req, s.cfg.Workers, s.cfg.RouteWorkers, s.cfg.DefaultTimeout, s.cfg.MaxTimeout)
 	if err != nil {
 		s.fail(w, err)
 		return
