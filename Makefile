@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-route bench-smoke fuzz golden check serve smoke
+.PHONY: all build vet lint test race bench bench-route bench-smoke fuzz golden check serve smoke chaos chaos-short
 
 all: check
 
@@ -68,5 +68,19 @@ serve:
 # off a full queue, and SIGTERMs the daemon mid-compile to check drain.
 smoke:
 	$(GO) test -run 'TestE2E' -v ./cmd/hilightd/
+
+# Bounded chaos soak (~30s under -race): ≥20 daemon lives over one shared
+# journal with a fixed fault schedule — kill -9 crashes mid-batch, journal
+# resurrection, injected pass panics, watchdog stalls, client disconnects
+# and slow-loris bodies — asserting no acked job is lost or duplicated,
+# results stay byte-deterministic, metrics reconcile, nothing leaks.
+chaos-short:
+	$(GO) test -race -run TestChaosShort -v ./internal/chaos/
+
+# Longer randomized soak via the CLI driver; tune with CHAOS_CYCLES/CHAOS_SEED.
+CHAOS_CYCLES ?= 50
+CHAOS_SEED ?= 1
+chaos:
+	$(GO) run ./cmd/chaos -cycles $(CHAOS_CYCLES) -seed $(CHAOS_SEED)
 
 check: build vet test

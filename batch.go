@@ -78,6 +78,9 @@ func CompileAll(jobs []BatchJob, parallelism int, opts ...Option) []BatchResult 
 			defer wg.Done()
 			for i := range work {
 				results[i] = runJob(i, jobs[i], opts, o.events, bm, time.Since(start))
+				if o.jobDone != nil {
+					o.jobDone(i, results[i])
+				}
 			}
 		}()
 	}
@@ -117,6 +120,9 @@ dispatch:
 			bm.canceled()
 			if o.events != nil {
 				o.events.OnEvent(obs.Event{Kind: obs.JobFinish, Job: i, Err: err})
+			}
+			if o.jobDone != nil {
+				o.jobDone(i, results[i])
 			}
 		}
 	}

@@ -5,6 +5,15 @@
 // Usage:
 //
 //	hilightd [-addr :8753] [-workers N] [-queue N] [-cache-bytes N]
+//	         [-journal DIR] [-watchdog D]
+//
+// With -journal, acknowledged async batches are written to a durable
+// append-only journal before the 202 returns; on startup the journal is
+// replayed — finished batches are served from the log, unfinished ones
+// re-run only their incomplete jobs — and compacted. A kill -9 mid-batch
+// therefore loses no acknowledged work. With -watchdog, a compile that
+// makes no routing-cycle progress for a full window is aborted (504) so
+// a stuck compile cannot pin a worker forever.
 //
 // Endpoints:
 //
@@ -59,6 +68,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight work")
 		logEvents    = fs.Bool("log-events", true, "log async batch job lifecycle events to stderr")
 		routeWorkers = fs.Int("route-workers", 0, "route-pass worker pool for *-parallel methods when a request doesn't set route_workers (0 = method preset, negative = GOMAXPROCS); schedules are identical at any setting")
+		journalDir   = fs.String("journal", "", "directory for the durable job journal (empty disables; async batches then don't survive restarts)")
+		watchdog     = fs.Duration("watchdog", 2*time.Minute, "abort compiles with no routing-cycle progress for this long (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -72,11 +83,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		RouteWorkers:   *routeWorkers,
+		JournalDir:     *journalDir,
+		WatchdogWindow: *watchdog,
 	}
 	if *logEvents {
 		cfg.Events = obs.NewLogObserver(stderr)
 	}
-	srv := service.New(cfg)
+	srv, err := service.New(cfg)
+	if err != nil {
+		fmt.Fprintln(stderr, "hilightd:", err)
+		return 1
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -1,117 +1,278 @@
 // Compile-as-a-service from the client side: submit an async batch to
-// hilightd, poll the job until it finishes, and fetch the schedules.
+// hilightd with a retry-aware HTTP client, poll the job until it
+// finishes, crash the daemon mid-conversation, and recover — first via
+// the durable job journal (the same id answers after a restart), then
+// via fingerprint-keyed idempotent resubmission (what a client does
+// when the daemon runs without a journal).
 //
 // By default the example boots the service in-process on an ephemeral
 // port so `go run ./examples/serve` works standalone; point -addr at a
 // running daemon (e.g. `make serve`, then -addr http://localhost:8753)
-// to drive a real one. Either way everything past the boot is plain
-// HTTP — exactly what a non-Go client would do.
+// to drive a real one — the restart demo is then skipped, since the
+// example can't crash a daemon it doesn't own. Either way everything
+// past the boot is plain HTTP — exactly what a non-Go client would do.
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log"
+	"math/rand"
 	"net"
 	"net/http"
+	"os"
+	"strconv"
 	"time"
 
 	"hilight/internal/service"
 )
 
-func main() {
-	addr := flag.String("addr", "", "base URL of a running hilightd (empty boots one in-process)")
-	flag.Parse()
+// submitBody is the batch every phase of the walkthrough submits.
+// Options (method, compact, seed...) are batch-level, matching
+// CompileAll: one option list, many circuits.
+var submitBody = map[string]any{
+	"jobs": []map[string]any{
+		{"benchmark": "QFT-16"},
+		{"benchmark": "CC-11"},
+		{"benchmark": "BV-10"},
+	},
+	"compact": true,
+	"seed":    7,
+}
 
-	base := *addr
-	if base == "" {
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
+// submitAck is the 202 body of POST /v1/jobs.
+type submitAck struct {
+	ID           string   `json:"id"`
+	Count        int      `json:"count"`
+	Fingerprints []string `json:"fingerprints"`
+}
+
+// pollBody is the GET /v1/jobs/{id} body.
+type pollBody struct {
+	Status   string `json:"status"`
+	Finished int    `json:"finished"`
+	Results  []struct {
+		Error  string `json:"error"`
+		Result *struct {
+			Fingerprint   string          `json:"fingerprint"`
+			Method        string          `json:"method"`
+			Cached        bool            `json:"cached"`
+			LatencyCycles int             `json:"latency_cycles"`
+			PathLen       int             `json:"path_len"`
+			Schedule      json.RawMessage `json:"schedule"`
+		} `json:"result"`
+	} `json:"results"`
+}
+
+// doRetry issues req-building fn with capped exponential backoff plus
+// jitter. It retries on connection errors (the daemon may be mid-
+// restart), 429 (honoring the server's Retry-After hint when present),
+// and 503 (draining). Anything else — success or a real failure — is
+// returned to the caller.
+func doRetry(build func() (*http.Request, error)) (*http.Response, []byte, error) {
+	backoff := 100 * time.Millisecond
+	const maxBackoff = 2 * time.Second
+	for attempt := 0; ; attempt++ {
+		req, err := build()
 		if err != nil {
-			log.Fatal(err)
+			return nil, nil, err
 		}
-		srv := service.New(service.Config{})
-		hs := &http.Server{Handler: srv.Handler()}
-		go hs.Serve(ln)
-		defer hs.Close()
-		base = "http://" + ln.Addr().String()
-		fmt.Printf("booted in-process hilightd at %s\n\n", base)
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil && resp.StatusCode != http.StatusTooManyRequests &&
+			resp.StatusCode != http.StatusServiceUnavailable {
+			data, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			return resp, data, rerr
+		}
+		wait := backoff
+		if err == nil {
+			// Prefer the server's own hint over our schedule.
+			if s := resp.Header.Get("Retry-After"); s != "" {
+				if secs, perr := strconv.Atoi(s); perr == nil {
+					wait = time.Duration(secs) * time.Second
+				}
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			fmt.Printf("    retry %d: server busy (%d), waiting %s\n", attempt+1, resp.StatusCode, wait)
+		} else {
+			fmt.Printf("    retry %d: %v, waiting %s\n", attempt+1, err, wait)
+		}
+		if attempt >= 8 {
+			return nil, nil, fmt.Errorf("giving up after %d attempts", attempt+1)
+		}
+		// Full jitter keeps a fleet of retrying clients from stampeding.
+		time.Sleep(wait/2 + time.Duration(rand.Int63n(int64(wait/2)+1)))
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
 	}
+}
 
-	// 1. Submit a batch. Options (method, compact, seed...) are
-	// batch-level, matching CompileAll: one option list, many circuits.
-	submit := map[string]any{
-		"jobs": []map[string]any{
-			{"benchmark": "QFT-16"},
-			{"benchmark": "CC-11"},
-			{"benchmark": "BV-10"},
-		},
-		"compact": true,
-		"seed":    7,
+func postJSON(base, path string, v any) (*http.Response, []byte, error) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return nil, nil, err
 	}
-	body, _ := json.Marshal(submit)
-	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	return doRetry(func() (*http.Request, error) {
+		req, err := http.NewRequest("POST", base+path, bytes.NewReader(body))
+		if err == nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		return req, err
+	})
+}
+
+func getJSON(base, path string) (*http.Response, []byte, error) {
+	return doRetry(func() (*http.Request, error) {
+		return http.NewRequest("GET", base+path, nil)
+	})
+}
+
+// submit posts the batch and decodes the ack.
+func submit(base string) submitAck {
+	resp, data, err := postJSON(base, "/v1/jobs", submitBody)
 	if err != nil {
 		log.Fatal(err)
 	}
-	data, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
 	if resp.StatusCode != http.StatusAccepted {
 		log.Fatalf("submit: %d: %s", resp.StatusCode, data)
 	}
-	var sub struct {
-		ID    string `json:"id"`
-		Count int    `json:"count"`
-	}
-	if err := json.Unmarshal(data, &sub); err != nil {
+	var ack submitAck
+	if err := json.Unmarshal(data, &ack); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("submitted batch %s (%d jobs)\n", sub.ID, sub.Count)
+	return ack
+}
 
-	// 2. Poll until the batch reports "done". The poll body carries a
-	// live finished-count while running and the full results when done.
-	var status struct {
-		Status   string `json:"status"`
-		Finished int    `json:"finished"`
-		Results  []struct {
-			Error  string `json:"error"`
-			Result *struct {
-				Fingerprint   string          `json:"fingerprint"`
-				Method        string          `json:"method"`
-				LatencyCycles int             `json:"latency_cycles"`
-				PathLen       int             `json:"path_len"`
-				Schedule      json.RawMessage `json:"schedule"`
-			} `json:"result"`
-		} `json:"results"`
-	}
+// poll loops GET /v1/jobs/{id} until the batch reports done.
+func poll(base, id string, count int) pollBody {
+	var status pollBody
 	for {
-		resp, err := http.Get(base + "/v1/jobs/" + sub.ID)
+		resp, data, err := getJSON(base, "/v1/jobs/"+id)
 		if err != nil {
 			log.Fatal(err)
 		}
-		data, _ := io.ReadAll(resp.Body)
-		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			log.Fatalf("poll: %d: %s", resp.StatusCode, data)
+		}
 		if err := json.Unmarshal(data, &status); err != nil {
 			log.Fatalf("poll: %s", data)
 		}
-		fmt.Printf("  poll: %s (%d/%d finished)\n", status.Status, status.Finished, sub.Count)
+		fmt.Printf("  poll: %s (%d/%d finished)\n", status.Status, status.Finished, count)
 		if status.Status == "done" {
-			break
+			return status
 		}
 		time.Sleep(50 * time.Millisecond)
 	}
+}
 
-	// 3. Read the schedules out of the final poll.
-	fmt.Println("\nresults:")
+func printResults(status pollBody) {
 	for i, r := range status.Results {
 		if r.Error != "" {
 			fmt.Printf("  job %d: FAILED: %s\n", i, r.Error)
 			continue
 		}
-		fmt.Printf("  job %d: method=%s latency=%d cycles, path=%d, schedule=%d bytes, fp=%s...\n",
-			i, r.Result.Method, r.Result.LatencyCycles, r.Result.PathLen,
+		fmt.Printf("  job %d: method=%s cached=%v latency=%d cycles, path=%d, schedule=%d bytes, fp=%s...\n",
+			i, r.Result.Method, r.Result.Cached, r.Result.LatencyCycles, r.Result.PathLen,
 			len(r.Result.Schedule), r.Result.Fingerprint[:12])
 	}
+}
+
+// bootDaemon starts an in-process hilightd journaling under dir and
+// returns its base URL plus the pieces needed to crash or stop it.
+func bootDaemon(dir string) (base string, srv *service.Server, hs *http.Server) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err = service.New(service.Config{JournalDir: dir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs = &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	return "http://" + ln.Addr().String(), srv, hs
+}
+
+func main() {
+	addr := flag.String("addr", "", "base URL of a running hilightd (empty boots one in-process)")
+	flag.Parse()
+
+	external := *addr != ""
+	base := *addr
+	var srv *service.Server
+	var hs *http.Server
+	var journalDir string
+	if !external {
+		dir, err := os.MkdirTemp("", "hilightd-journal-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		journalDir = dir
+		base, srv, hs = bootDaemon(journalDir)
+		fmt.Printf("booted in-process hilightd at %s (journal: %s)\n\n", base, journalDir)
+	}
+
+	// 1. Submit a batch and run it to completion. The 202 ack returns
+	// the per-job fingerprints — keep them: they are the idempotency
+	// keys for everything that follows.
+	fmt.Println("== 1. submit and poll ==")
+	ack := submit(base)
+	fmt.Printf("submitted batch %s (%d jobs, fingerprints %v...)\n", ack.ID, ack.Count, short(ack.Fingerprints))
+	printResults(poll(base, ack.ID, ack.Count))
+
+	if external {
+		fmt.Println("\n(-addr given: skipping the crash/recovery demo on a daemon we don't own)")
+		return
+	}
+
+	// 2. Crash the daemon (Kill emulates kill -9: no drain, unsynced
+	// journal tail dropped) and boot a fresh one over the same journal.
+	// The acknowledged batch survives: polling the SAME id on the new
+	// process answers, served from the replayed journal.
+	fmt.Println("\n== 2. crash, restart, poll the same id ==")
+	hs.Close()
+	srv.Kill()
+	base, srv, hs = bootDaemon(journalDir)
+	fmt.Printf("restarted hilightd at %s over the same journal\n", base)
+	printResults(poll(base, ack.ID, ack.Count))
+
+	// 3. Idempotent resubmission: a client that does NOT trust the
+	// journal (or talks to a journal-less daemon) resubmits the same
+	// batch after a restart and compares fingerprints. Compilation is
+	// deterministic, so matching fingerprints mean the recomputed
+	// results are byte-identical schedules.
+	fmt.Println("\n== 3. idempotent resubmission keyed by fingerprint ==")
+	re := submit(base)
+	if fmt.Sprint(re.Fingerprints) != fmt.Sprint(ack.Fingerprints) {
+		log.Fatalf("fingerprints changed across restart: %v vs %v", re.Fingerprints, ack.Fingerprints)
+	}
+	fmt.Printf("resubmitted as %s; fingerprints match the original ack — same compiles\n", re.ID)
+	printResults(poll(base, re.ID, re.Count))
+
+	hs.Close()
+	shutdown(srv)
+}
+
+func short(fps []string) []string {
+	out := make([]string, len(fps))
+	for i, fp := range fps {
+		if len(fp) > 8 {
+			fp = fp[:8]
+		}
+		out[i] = fp
+	}
+	return out
+}
+
+func shutdown(srv *service.Server) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	srv.Shutdown(ctx)
 }

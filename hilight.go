@@ -167,6 +167,7 @@ type options struct {
 	observer     core.Observer
 	metrics      *obs.Registry
 	events       obs.EventObserver
+	jobDone      func(job int, r BatchResult)
 	compact      bool
 	defects      *DefectMap
 	ctx          context.Context

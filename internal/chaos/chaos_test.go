@@ -1,0 +1,48 @@
+package chaos
+
+import (
+	"testing"
+)
+
+// TestChaosShort is the bounded soak behind `make chaos-short`: the
+// default fault schedule (fixed seed, ≥ 20 kill/restart cycles, every
+// fault class) over a throwaway journal, meant to run in ~30 s under
+// -race. Any violated invariant fails the test with the full list.
+func TestChaosShort(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak skipped in -short mode")
+	}
+	cfg := Defaults(t.TempDir())
+	if testing.Verbose() {
+		cfg.Log = testWriter{t}
+	}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("soak did not run: %v", err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if rep.Crashes == 0 || rep.Graceful == 0 {
+		t.Errorf("schedule exercised %d crashes / %d graceful stops; want both > 0", rep.Crashes, rep.Graceful)
+	}
+	if rep.Cycles < 20 {
+		t.Errorf("soak ran %d cycles, want ≥ 20", rep.Cycles)
+	}
+	if rep.Crashes > 0 && rep.Resurrected == 0 {
+		t.Error("crashes never interrupted a batch: journal resurrection was not exercised")
+	}
+	if rep.Stalls == 0 || rep.Panics == 0 || rep.Disconnects+rep.Loris == 0 {
+		t.Errorf("fault classes missed: %d stalls, %d panics, %d disconnects, %d loris",
+			rep.Stalls, rep.Panics, rep.Disconnects, rep.Loris)
+	}
+	t.Logf("soak: %d cycles (%d crashes), %d batches / %d jobs acked, %d batches resurrected",
+		rep.Cycles, rep.Crashes, rep.BatchesAcked, rep.JobsAcked, rep.Resurrected)
+}
+
+type testWriter struct{ t *testing.T }
+
+func (w testWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", p)
+	return len(p), nil
+}

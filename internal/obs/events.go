@@ -14,11 +14,23 @@ type EventKind uint8
 // after cancellation reports JobFinish with no preceding JobStart and a
 // zero Duration). JobDegraded is emitted in addition to JobFinish when a
 // WithFallback method produced the job's result.
+//
+// WatchdogFired and HandlerPanic are service-level events (hilightd):
+// they describe the serving process rather than one batch job, and carry
+// Job = -1.
 const (
 	JobStart EventKind = iota + 1
 	JobFinish
 	JobPanic
 	JobDegraded
+	// WatchdogFired reports that the compile watchdog observed no
+	// routing-cycle progress for a full window and aborted the stuck
+	// compile. Method carries the watchdog's label (the endpoint or
+	// batch id), Duration the stall window, Err the abort cause.
+	WatchdogFired
+	// HandlerPanic reports a recovered HTTP-handler panic. Method
+	// carries "METHOD /path", Err the panic value (with stack).
+	HandlerPanic
 )
 
 // String returns the kind's stable lowercase name.
@@ -32,16 +44,23 @@ func (k EventKind) String() string {
 		return "job-panic"
 	case JobDegraded:
 		return "job-degraded"
+	case WatchdogFired:
+		return "watchdog-fired"
+	case HandlerPanic:
+		return "handler-panic"
 	default:
 		return fmt.Sprintf("event-kind-%d", uint8(k))
 	}
 }
 
 // Event is one structured observation of a long compile: a batch job
-// starting, finishing, panicking, or degrading to a fallback method.
+// starting, finishing, panicking, or degrading to a fallback method —
+// or, for the service-level kinds, a watchdog abort or a recovered
+// handler panic.
 type Event struct {
 	Kind EventKind
-	// Job is the job's index in the CompileAll slice.
+	// Job is the job's index in the CompileAll slice; -1 for
+	// service-level events that describe no single job.
 	Job int
 	// Method names the compile method involved: the fallback method that
 	// produced a degraded result for JobDegraded, "" otherwise.

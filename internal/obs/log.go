@@ -37,7 +37,10 @@ func (l *LogObserver) OnEvent(e Event) {
 	if l.now != nil {
 		now = l.now
 	}
-	fmt.Fprintf(&b, "ts=%s kind=%s job=%d", now().UTC().Format(time.RFC3339Nano), e.Kind, e.Job)
+	fmt.Fprintf(&b, "ts=%s kind=%s", now().UTC().Format(time.RFC3339Nano), e.Kind)
+	if e.Job >= 0 {
+		fmt.Fprintf(&b, " job=%d", e.Job)
+	}
 	if e.Method != "" {
 		fmt.Fprintf(&b, " method=%s", e.Method)
 	}

@@ -1,0 +1,36 @@
+package service
+
+import (
+	"sync/atomic"
+
+	"hilight"
+)
+
+// ChaosHooks are test-only fault-injection points threaded through the
+// real request path. The chaos harness installs them to make a live
+// hilightd panic or stall inside a compile — exercising the recovery
+// middleware and the watchdog through the same code a production bug
+// would take, not through a mock.
+type ChaosHooks struct {
+	// OnRouteCycle, when non-nil, runs on every routing cycle of every
+	// sync compile, after the watchdog's progress tick. Panicking here
+	// emulates a pass bug; sleeping past the watchdog window emulates a
+	// livelock.
+	OnRouteCycle func(hilight.CycleStats)
+}
+
+// chaosHooks is process-global so the harness can reach compiles it did
+// not start. Production never installs hooks: the fast path is a single
+// atomic load returning nil.
+var chaosHooks atomic.Pointer[ChaosHooks]
+
+// SetChaosHooks installs h for every subsequent compile (nil uninstalls).
+// Test-only; not safe to leave installed in production.
+func SetChaosHooks(h *ChaosHooks) { chaosHooks.Store(h) }
+
+// routeCycleHook dispatches one routing cycle to the installed hooks.
+func routeCycleHook(s hilight.CycleStats) {
+	if h := chaosHooks.Load(); h != nil && h.OnRouteCycle != nil {
+		h.OnRouteCycle(s)
+	}
+}

@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -16,6 +17,10 @@ import (
 // CompileAll's semantics, the options (method, seed, qco, compact,
 // defects, fallback) are batch-level and shared by every entry; entries
 // select only the circuit and grid.
+//
+// The request must round-trip through JSON losslessly: the job journal
+// persists the decoded struct verbatim and resurrects batches by
+// re-preparing it after a crash.
 type jobsRequest struct {
 	// Jobs lists the batch's circuit/grid pairs.
 	Jobs []batchEntry `json:"jobs"`
@@ -61,16 +66,22 @@ type jobStatus struct {
 }
 
 // jobResult is one batch entry's outcome: a compile response or an
-// error, never both (the BatchResult invariant on the wire).
+// error, never both (the BatchResult invariant on the wire). Its zero
+// value means "no outcome yet" — the journal replay layer relies on
+// that to tell completed jobs from incomplete ones.
 type jobResult struct {
 	Error  string           `json:"error,omitempty"`
 	Result *compileResponse `json:"result,omitempty"`
 }
 
+// empty reports whether r carries no outcome.
+func (r *jobResult) empty() bool { return r.Result == nil && r.Error == "" }
+
 // batchJob is one stored async batch.
 type batchJob struct {
 	id       string
 	count    int
+	fps      []string      // per-job fingerprints, as acknowledged
 	done     chan struct{} // closed when results are ready
 	finished atomic.Int64  // terminally-finished jobs, for live polls
 
@@ -82,6 +93,10 @@ type batchJob struct {
 // background goroutine, serves status polls, and bounds memory by
 // evicting the oldest completed batches beyond maxStored. Shutdown
 // cancels the store context and waits for running batches to drain.
+//
+// With a journal attached, every acknowledged submission, job
+// completion, batch seal and eviction is also persisted; restore
+// rebuilds the store from a replayed journal on startup.
 type jobStore struct {
 	mu        sync.Mutex
 	seq       int
@@ -96,6 +111,13 @@ type jobStore struct {
 	// events, when non-nil, additionally receives every batch job's
 	// lifecycle events (the log bridge in hilightd).
 	events obs.EventObserver
+	// journal, when non-nil, makes acknowledged batches durable.
+	journal *journal
+	// watchdog aborts batches that stop making routing-cycle progress.
+	watchdog *watchdog
+	// cache lets resurrected batches serve journal-missed completions
+	// whose schedules a previous life already compiled and cached.
+	cache *scheduleCache
 
 	submitted *obs.Counter
 	completed *obs.Counter
@@ -116,26 +138,31 @@ func newJobStore(maxStored int, m *obs.Registry) *jobStore {
 	}
 }
 
-// submit validates the batch, registers it, and launches its CompileAll
-// run. It returns the batch id immediately.
-func (s *jobStore) submit(req *jobsRequest, workers, routeWorkers int, defTimeout, maxTimeout time.Duration) (string, error) {
+// prepare validates a batch request and resolves it into the inputs a
+// CompileAll run needs. It is shared by the submit path and journal
+// resurrection, so a journaled request re-prepares through exactly the
+// code that validated it at ack time. It mutates req only to inject the
+// server-wide route-worker default (so a journaled request replays with
+// the knobs it was acknowledged under).
+func prepare(req *jobsRequest, workers, routeWorkers int, defTimeout, maxTimeout time.Duration) (
+	batch []hilight.BatchJob, fps []string, shared []hilight.Option, parallelism int, timeout time.Duration, err error,
+) {
 	if len(req.Jobs) == 0 {
-		return "", badRequest("jobs batch is empty")
+		return nil, nil, nil, 0, 0, badRequest("jobs batch is empty")
 	}
 	if req.RouteWorkers == nil && routeWorkers != 0 {
 		req.RouteWorkers = &routeWorkers // server-wide default, as in /v1/compile
 	}
 	const maxBatch = 4096
 	if len(req.Jobs) > maxBatch {
-		return "", badRequest("jobs batch has %d entries (max %d)", len(req.Jobs), maxBatch)
+		return nil, nil, nil, 0, 0, badRequest("jobs batch has %d entries (max %d)", len(req.Jobs), maxBatch)
 	}
 	// Resolve every entry up front so a malformed entry fails the submit
 	// synchronously with a 400 instead of surfacing later in a poll. The
 	// per-entry compileRequest carries the batch-level options, so each
 	// fingerprint describes exactly the compile CompileAll will run.
-	batch := make([]hilight.BatchJob, len(req.Jobs))
-	fps := make([]string, len(req.Jobs))
-	var shared []hilight.Option
+	batch = make([]hilight.BatchJob, len(req.Jobs))
+	fps = make([]string, len(req.Jobs))
 	for i, e := range req.Jobs {
 		cr := compileRequest{
 			QASM: e.QASM, Benchmark: e.Benchmark, Grid: e.Grid,
@@ -146,13 +173,13 @@ func (s *jobStore) submit(req *jobsRequest, workers, routeWorkers int, defTimeou
 		c, g, opts, err := cr.build()
 		if err != nil {
 			if ae, ok := err.(*apiError); ok {
-				return "", &apiError{Status: ae.Status, Message: fmt.Sprintf("job %d: %s", i, ae.Message)}
+				return nil, nil, nil, 0, 0, &apiError{Status: ae.Status, Message: fmt.Sprintf("job %d: %s", i, ae.Message)}
 			}
-			return "", err
+			return nil, nil, nil, 0, 0, err
 		}
 		fp, err := hilight.Fingerprint(c, g, opts...)
 		if err != nil {
-			return "", badRequest("job %d: %v", i, err)
+			return nil, nil, nil, 0, 0, badRequest("job %d: %v", i, err)
 		}
 		fps[i] = fp
 		batch[i] = hilight.BatchJob{Circuit: c, Grid: g}
@@ -161,69 +188,236 @@ func (s *jobStore) submit(req *jobsRequest, workers, routeWorkers int, defTimeou
 		}
 	}
 
-	parallelism := req.Parallelism
+	parallelism = req.Parallelism
 	if parallelism <= 0 || parallelism > workers {
 		parallelism = workers
 	}
 	// One deadline for the whole batch: the per-compile default scaled by
 	// the batch's depth per worker, unless the request asks for less.
 	waves := (len(batch) + parallelism - 1) / parallelism
-	timeout := clampTimeout(req.TimeoutMS, time.Duration(waves)*defTimeout, time.Duration(waves)*maxTimeout)
+	timeout = clampTimeout(req.TimeoutMS, time.Duration(waves)*defTimeout, time.Duration(waves)*maxTimeout)
+	return batch, fps, shared, parallelism, timeout, nil
+}
+
+// submit validates the batch, registers it, journals the acknowledgment
+// (waiting for the fsync — once submit returns, the batch survives any
+// crash), and launches its CompileAll run. It returns the batch id and
+// the per-job fingerprints.
+func (s *jobStore) submit(req *jobsRequest, workers, routeWorkers int, defTimeout, maxTimeout time.Duration) (string, []string, error) {
+	batch, fps, shared, parallelism, timeout, err := prepare(req, workers, routeWorkers, defTimeout, maxTimeout)
+	if err != nil {
+		return "", nil, err
+	}
 
 	s.mu.Lock()
 	s.seq++
 	id := fmt.Sprintf("job-%06d", s.seq)
-	j := &batchJob{id: id, count: len(batch), done: make(chan struct{})}
+	j := &batchJob{id: id, count: len(batch), fps: fps, done: make(chan struct{})}
 	s.jobs[id] = j
 	s.order = append(s.order, id)
 	s.evictLocked()
 	s.mu.Unlock()
 
+	if s.journal != nil {
+		if err := s.journal.appendSubmit(id, req, fps); err != nil {
+			// The 202 ack promises durability; if the journal can't deliver
+			// it, withdraw the registration and fail the submit instead of
+			// lying to the client.
+			s.mu.Lock()
+			delete(s.jobs, id)
+			for i, oid := range s.order {
+				if oid == id {
+					s.order = append(s.order[:i], s.order[i+1:]...)
+					break
+				}
+			}
+			s.mu.Unlock()
+			return "", nil, &apiError{Status: 500, Message: fmt.Sprintf("job journal unavailable: %v", err)}
+		}
+	}
+
 	s.submitted.Inc()
 	s.active.Add(1)
 	s.wg.Add(1)
-	go s.run(j, batch, fps, shared, parallelism, timeout)
-	return id, nil
+	go s.run(j, batch, fps, shared, parallelism, timeout, nil)
+	return id, fps, nil
 }
 
-// run executes the batch and publishes its results.
-func (s *jobStore) run(j *batchJob, batch []hilight.BatchJob, fps []string, shared []hilight.Option, parallelism int, timeout time.Duration) {
+// run executes the batch and publishes its results. pre, when non-nil,
+// carries per-job outcomes a journal replay already settled: those jobs
+// are not recompiled. Remaining jobs first consult the schedule cache
+// by fingerprint (a previous life may have compiled them without the
+// completion record surviving), and only the rest go through CompileAll.
+//
+// Each job's outcome is journaled the moment it lands (via WithJobDone),
+// so a crash mid-batch preserves completed jobs. Outcomes that only
+// reflect cancellation — shutdown, timeout, a watchdog abort — are
+// deliberately NOT journaled: they are transient, and persisting them
+// would turn a restart's resurrection into a permanent failure. A batch
+// is sealed with a terminal record only when every job's outcome was
+// journaled; an unsealed batch resurrects on the next startup.
+func (s *jobStore) run(j *batchJob, batch []hilight.BatchJob, fps []string, shared []hilight.Option, parallelism int, timeout time.Duration, pre []jobResult) {
 	defer s.wg.Done()
-	opts := append([]hilight.Option{}, shared...)
-	opts = append(opts,
-		hilight.WithContext(s.ctx),
-		hilight.WithTimeout(timeout),
-		hilight.WithMetrics(s.metrics),
-		hilight.WithEvents(func(e hilight.CompileEvent) {
-			if e.Kind == hilight.EventJobFinish || e.Kind == hilight.EventJobPanic {
-				j.finished.Add(1)
-			}
-			if s.events != nil {
-				s.events.OnEvent(e)
-			}
-		}),
-	)
-	results := hilight.CompileAll(batch, parallelism, opts...)
-
-	wire := make([]jobResult, len(results))
-	for i, br := range results {
-		if br.Err != nil {
-			wire[i] = jobResult{Error: br.Err.Error()}
-			continue
+	wire := make([]jobResult, len(batch))
+	var unjournaled atomic.Int64
+	record := func(i int, transient bool) {
+		if s.journal == nil {
+			return
 		}
-		resp, err := newCompileResponse(fps[i], br.Result)
-		if err != nil {
-			wire[i] = jobResult{Error: err.Error()}
-			continue
+		if transient {
+			unjournaled.Add(1)
+			return
 		}
-		wire[i] = jobResult{Result: resp}
+		if err := s.journal.appendJob(j.id, i, &wire[i]); err != nil {
+			unjournaled.Add(1)
+		}
 	}
+
+	// Partition the batch: journal-replayed outcomes are final,
+	// cache-known fingerprints are served without recompiling, and only
+	// the remainder (subIdx) is handed to CompileAll.
+	var subIdx []int
+	for i := range batch {
+		if pre != nil && !pre[i].empty() {
+			wire[i] = pre[i]
+			j.finished.Add(1)
+			continue
+		}
+		if pre != nil && s.cache != nil {
+			if resp, ok := s.cache.Get(fps[i]); ok {
+				hit := *resp // shallow copy; Schedule bytes are immutable
+				hit.Cached = true
+				wire[i] = jobResult{Result: &hit}
+				j.finished.Add(1)
+				record(i, false)
+				continue
+			}
+		}
+		subIdx = append(subIdx, i)
+	}
+
+	if len(subIdx) > 0 {
+		sub := make([]hilight.BatchJob, len(subIdx))
+		for k, i := range subIdx {
+			sub[k] = batch[i]
+		}
+		wctx, progress, stopWd := s.watchdog.guard(s.ctx, j.id)
+		opts := append([]hilight.Option{}, shared...)
+		opts = append(opts,
+			hilight.WithContext(wctx),
+			hilight.WithTimeout(timeout),
+			hilight.WithMetrics(s.metrics),
+			hilight.WithObserver(func(cs hilight.CycleStats) {
+				progress()
+				routeCycleHook(cs)
+			}),
+			hilight.WithEvents(func(e hilight.CompileEvent) {
+				if e.Kind == hilight.EventJobFinish || e.Kind == hilight.EventJobPanic {
+					j.finished.Add(1)
+				}
+				if s.events != nil {
+					s.events.OnEvent(e)
+				}
+			}),
+			hilight.WithJobDone(func(k int, br hilight.BatchResult) {
+				// subIdx entries are disjoint, so concurrent callbacks write
+				// disjoint wire slots; CompileAll's return is the fence that
+				// publishes them to this goroutine.
+				i := subIdx[k]
+				switch {
+				case br.Err != nil:
+					wire[i] = jobResult{Error: br.Err.Error()}
+				default:
+					resp, err := newCompileResponse(fps[i], br.Result)
+					if err != nil {
+						wire[i] = jobResult{Error: err.Error()}
+					} else {
+						wire[i] = jobResult{Result: resp}
+					}
+				}
+				record(i, errors.Is(br.Err, hilight.ErrCanceled))
+			}),
+		)
+		hilight.CompileAll(sub, parallelism, opts...)
+		stopWd()
+		if stalled(wctx) {
+			s.watchdog.aborted.Inc()
+		}
+	}
+
+	if s.journal != nil && unjournaled.Load() == 0 {
+		// Seal the batch. appendDone waits for the fsync, so every
+		// fire-and-forget completion queued above is durable before the
+		// terminal record that vouches for them. A failed seal leaves the
+		// batch resurrectable — safe, just not final.
+		_ = s.journal.appendDone(j.id)
+	}
+
 	j.mu.Lock()
 	j.results = wire
 	j.mu.Unlock()
 	close(j.done)
 	s.completed.Inc()
 	s.active.Add(-1)
+}
+
+// restore rebuilds the store from replayed journal batches, in their
+// original submission order. Sealed batches are reinstalled verbatim —
+// a poll for them returns byte-for-byte what it would have before the
+// crash. Unsealed batches are resurrected: their journaled outcomes are
+// kept and only the incomplete jobs re-run, under the fingerprints the
+// original ack promised. Called from New before the server serves.
+func (s *jobStore) restore(batches []*replayBatch, workers, routeWorkers int, defTimeout, maxTimeout time.Duration) {
+	replayedB := s.metrics.Counter("journal/replayed-batches")
+	resurrectedB := s.metrics.Counter("journal/resurrected-batches")
+	replayedJ := s.metrics.Counter("journal/replayed-jobs")
+	rerunJ := s.metrics.Counter("journal/rerun-jobs")
+	for _, rb := range batches {
+		j := &batchJob{id: rb.id, count: len(rb.fps), fps: rb.fps, done: make(chan struct{})}
+		s.jobs[rb.id] = j
+		s.order = append(s.order, rb.id)
+		replayedB.Inc()
+		replayedJ.Add(int64(rb.have))
+
+		if rb.done {
+			j.results = rb.results
+			j.finished.Store(int64(len(rb.fps)))
+			close(j.done)
+			continue
+		}
+
+		resurrectedB.Inc()
+		rerunJ.Add(int64(len(rb.fps) - rb.have))
+		req := rb.req // copy: prepare may inject the route-worker default
+		batch, _, shared, parallelism, timeout, err := prepare(&req, workers, routeWorkers, defTimeout, maxTimeout)
+		if err != nil || len(batch) != len(rb.fps) {
+			// The journaled request no longer prepares into the batch the
+			// ack described (version skew, a renamed benchmark). Fail the
+			// incomplete jobs explicitly rather than guess at intent; the
+			// journaled completions are still served.
+			msg := fmt.Sprintf("journaled batch has %d jobs, request resolves to %d", len(rb.fps), len(batch))
+			if err != nil {
+				msg = err.Error()
+			}
+			for i := range rb.results {
+				if rb.results[i].empty() {
+					rb.results[i] = jobResult{Error: fmt.Sprintf("resurrection failed: %s", msg)}
+				}
+			}
+			j.results = rb.results
+			j.finished.Store(int64(len(rb.fps)))
+			close(j.done)
+			continue
+		}
+
+		// Re-run under the journaled fingerprints, not freshly computed
+		// ones: the ack already promised these ids to the client, and the
+		// compile options they digest are identical.
+		s.submitted.Inc()
+		s.active.Add(1)
+		s.wg.Add(1)
+		go s.run(j, batch, rb.fps, shared, parallelism, timeout, rb.results)
+	}
 }
 
 // status returns the batch's poll view.
@@ -251,7 +445,8 @@ func (s *jobStore) status(id string) (*jobStatus, bool) {
 
 // evictLocked drops the oldest completed batches beyond maxStored.
 // Running batches are never evicted — their goroutine still needs the
-// entry, and a poller would lose a batch it just submitted.
+// entry, and a poller would lose a batch it just submitted. Evictions
+// are journaled so a replay drops the same batches.
 func (s *jobStore) evictLocked() {
 	for len(s.jobs) > s.maxStored {
 		evicted := false
@@ -261,6 +456,9 @@ func (s *jobStore) evictLocked() {
 			case <-j.done:
 				delete(s.jobs, id)
 				s.order = append(s.order[:i], s.order[i+1:]...)
+				if s.journal != nil {
+					_ = s.journal.appendEvict(id)
+				}
 				evicted = true
 			default:
 				continue
@@ -276,20 +474,37 @@ func (s *jobStore) evictLocked() {
 // shutdown drains running batches: it first waits for them to finish
 // naturally, and only when ctx expires cancels the remainder (CompileAll
 // then drains promptly — undispatched jobs fail ErrCanceled directly)
-// and waits for the goroutines to exit.
+// and waits for the goroutines to exit. The journal is flushed and
+// closed either way.
 func (s *jobStore) shutdown(ctx context.Context) error {
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
 		close(done)
 	}()
+	var err error
 	select {
 	case <-done:
 		s.cancel()
-		return nil
 	case <-ctx.Done():
 		s.cancel()
 		<-done
-		return fmt.Errorf("service: job store drain cut short: %w", ctx.Err())
+		err = fmt.Errorf("service: job store drain cut short: %w", ctx.Err())
 	}
+	if s.journal != nil {
+		s.journal.close()
+	}
+	return err
+}
+
+// kill hard-stops the store, emulating a process crash: batches are
+// canceled, the journal drops its unsynced tail (exactly what kill -9
+// would lose), and the goroutines are reaped so tests can assert leak
+// freedom.
+func (s *jobStore) kill() {
+	s.cancel()
+	if s.journal != nil {
+		s.journal.kill()
+	}
+	s.wg.Wait()
 }

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"time"
 
@@ -49,8 +50,23 @@ type Config struct {
 	// it is served at GET /metrics.
 	Metrics *obs.Registry
 	// Events, when non-nil, observes async batch job lifecycles (wire it
-	// to obs.NewLogObserver for an access-log-style stream).
+	// to obs.NewLogObserver for an access-log-style stream) plus
+	// service-level incidents: watchdog aborts and recovered handler
+	// panics.
 	Events obs.EventObserver
+	// JournalDir, when non-empty, enables the durable job journal: every
+	// acknowledged POST /v1/jobs batch is written to an fsync-batched
+	// append-only log under this directory before the 202 returns, each
+	// job's outcome is journaled as it lands, and on startup the journal
+	// is replayed — finished batches are served verbatim, unfinished ones
+	// resurrected with only their incomplete jobs re-run — then
+	// compacted. Empty disables journaling (the seed behavior).
+	JournalDir string
+	// WatchdogWindow enables the compile watchdog: a compile observing
+	// no routing-cycle progress for a full window is aborted (sync
+	// compiles answer 504; batch jobs fail with the stall cause) and
+	// counted under service/watchdog/{fired,aborted}. 0 disables.
+	WatchdogWindow time.Duration
 }
 
 func (c *Config) fillDefaults() {
@@ -89,21 +105,25 @@ func (c *Config) fillDefaults() {
 // hilight compiler, with the schedule cache and admission control
 // between them. Create with New, expose via Handler, stop with Shutdown.
 type Server struct {
-	cfg   Config
-	mux   *http.ServeMux
-	cache *scheduleCache
-	admit *admission
-	jobs  *jobStore
+	cfg      Config
+	mux      *http.ServeMux
+	cache    *scheduleCache
+	admit    *admission
+	jobs     *jobStore
+	watchdog *watchdog
 
 	requests  *obs.Counter
 	succeeded *obs.Counter
 	failed    *obs.Counter
 	canceled  *obs.Counter
+	panics    *obs.Counter
 	seconds   *obs.Histogram
 }
 
-// New returns a configured Server.
-func New(cfg Config) *Server {
+// New returns a configured Server. With Config.JournalDir set it also
+// replays and compacts the journal, which can fail (unreadable
+// directory, unwritable log) — a journal-less New never errors.
+func New(cfg Config) (*Server, error) {
 	cfg.fillDefaults()
 	m := cfg.Metrics
 	s := &Server{
@@ -112,13 +132,31 @@ func New(cfg Config) *Server {
 		cache:     newScheduleCache(cfg.CacheBytes, m),
 		admit:     newAdmission(cfg.Workers, cfg.QueueDepth, m),
 		jobs:      newJobStore(cfg.MaxStoredJobs, m),
+		watchdog:  newWatchdog(cfg.WatchdogWindow, m, cfg.Events),
 		requests:  m.Counter("service/requests"),
 		succeeded: m.Counter("service/requests-ok"),
 		failed:    m.Counter("service/requests-failed"),
 		canceled:  m.Counter("service/requests-canceled"),
+		panics:    m.Counter("service/panics"),
 		seconds:   m.Histogram("service/request-seconds", obs.DurationBuckets),
 	}
 	s.jobs.events = cfg.Events
+	s.jobs.watchdog = s.watchdog
+	s.jobs.cache = s.cache
+	if cfg.JournalDir != "" {
+		jr, batches, maxSeq, err := openJournal(cfg.JournalDir, cfg.MaxStoredJobs, m)
+		if err != nil {
+			return nil, err
+		}
+		s.jobs.journal = jr
+		if maxSeq > s.jobs.seq {
+			// Never reuse an id a previous life acknowledged, even for
+			// batches the replay evicted.
+			s.jobs.seq = maxSeq
+		}
+		s.warmCache(batches)
+		s.jobs.restore(batches, cfg.Workers, cfg.RouteWorkers, cfg.DefaultTimeout, cfg.MaxTimeout)
+	}
 	s.mux.HandleFunc("POST /v1/compile", s.handleCompile)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleJobsSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobsStatus)
@@ -127,11 +165,81 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return s
+	return s, nil
 }
 
-// Handler returns the server's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// warmCache seeds the schedule cache with every successful result the
+// journal replayed: a resurrected batch (or a fresh request for the
+// same circuit) then serves those fingerprints without recompiling.
+func (s *Server) warmCache(batches []*replayBatch) {
+	for _, rb := range batches {
+		for i := range rb.results {
+			r := rb.results[i].Result
+			if r == nil || r.Fingerprint == "" {
+				continue
+			}
+			cp := *r
+			cp.Cached = false // stored form; Get flips the flag on hits
+			s.cache.Put(cp.Fingerprint, &cp, cp.sizeOf())
+		}
+	}
+}
+
+// Handler returns the server's HTTP handler: the route mux wrapped in
+// the panic-recovery middleware.
+func (s *Server) Handler() http.Handler { return s.recoverer(s.mux) }
+
+// recoverer converts a handler panic into a 500 JSON error envelope
+// instead of an aborted connection, counts it (service/panics), and
+// emits a HandlerPanic event carrying the stack. http.ErrAbortHandler
+// is re-panicked — it is net/http's sanctioned way to drop a
+// connection, not a bug. If the handler already wrote its header the
+// body may be torn mid-stream; nothing recoverable can be sent then,
+// so the middleware only reports.
+func (s *Server) recoverer(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tw := &trackedWriter{ResponseWriter: w}
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			s.panics.Inc()
+			if s.cfg.Events != nil {
+				s.cfg.Events.OnEvent(obs.Event{
+					Kind: obs.HandlerPanic, Job: -1,
+					Method: r.Method + " " + r.URL.Path,
+					Err:    fmt.Errorf("panic: %v\n%s", rec, debug.Stack()),
+				})
+			}
+			if !tw.wrote {
+				s.fail(tw, &apiError{Status: http.StatusInternalServerError,
+					Message: fmt.Sprintf("internal error: %v", rec)})
+			}
+		}()
+		next.ServeHTTP(tw, r)
+	})
+}
+
+// trackedWriter records whether a response header went out, so the
+// recovery middleware knows if a 500 can still be delivered.
+type trackedWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (t *trackedWriter) WriteHeader(code int) {
+	t.wrote = true
+	t.ResponseWriter.WriteHeader(code)
+}
+
+func (t *trackedWriter) Write(b []byte) (int, error) {
+	t.wrote = true
+	return t.ResponseWriter.Write(b)
+}
 
 // Metrics returns the registry the server meters into (and serves at
 // GET /metrics).
@@ -149,6 +257,17 @@ func (s *Server) Drain() { s.admit.drain() }
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.Drain()
 	return s.jobs.shutdown(ctx)
+}
+
+// Kill hard-stops the server, emulating a process crash for recovery
+// tests: admission rejects new work, running batches are canceled, and
+// the journal drops records that never reached an fsync — exactly the
+// state a kill -9 leaves on disk. Unlike Shutdown it does not wait for
+// batches to finish gracefully, only for their goroutines to observe
+// the cancellation and exit.
+func (s *Server) Kill() {
+	s.admit.drain()
+	s.jobs.kill()
 }
 
 // handleCompile serves POST /v1/compile: fingerprint, cache lookup,
@@ -198,15 +317,27 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
-	ctx := r.Context()
 	timeout := clampTimeout(req.TimeoutMS, s.cfg.DefaultTimeout, s.cfg.MaxTimeout)
+	wctx, progress, stopWd := s.watchdog.guard(r.Context(), "POST /v1/compile")
+	defer stopWd()
 	opts = append(opts,
-		hilight.WithContext(ctx),
+		hilight.WithContext(wctx),
 		hilight.WithTimeout(timeout),
 		hilight.WithMetrics(s.cfg.Metrics),
+		hilight.WithObserver(func(cs hilight.CycleStats) {
+			progress() // every routing cycle feeds the watchdog
+			routeCycleHook(cs)
+		}),
 	)
 	res, err := hilight.Compile(c, g, opts...)
+	stopWd()
 	if err != nil {
+		if stalled(wctx) {
+			s.watchdog.aborted.Inc()
+			s.fail(w, &apiError{Status: http.StatusGatewayTimeout,
+				Message: context.Cause(wctx).Error()})
+			return
+		}
 		s.failCompile(w, r, err)
 		return
 	}
@@ -234,13 +365,18 @@ func (s *Server) handleJobsSubmit(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
-	id, err := s.jobs.submit(&req, s.cfg.Workers, s.cfg.RouteWorkers, s.cfg.DefaultTimeout, s.cfg.MaxTimeout)
+	id, fps, err := s.jobs.submit(&req, s.cfg.Workers, s.cfg.RouteWorkers, s.cfg.DefaultTimeout, s.cfg.MaxTimeout)
 	if err != nil {
 		s.fail(w, err)
 		return
 	}
 	s.succeeded.Inc()
-	writeJSON(w, http.StatusAccepted, map[string]any{"id": id, "count": len(req.Jobs)})
+	// The fingerprints let clients resubmit idempotently after a daemon
+	// restart: a batch keyed by the same fingerprints compiles to the
+	// same schedules, journal or not.
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"id": id, "count": len(req.Jobs), "fingerprints": fps,
+	})
 }
 
 // handleJobsStatus serves GET /v1/jobs/{id}.

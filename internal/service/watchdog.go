@@ -1,0 +1,97 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hilight/internal/obs"
+)
+
+// errStalled is the typed cause a watchdog abort plants in its context:
+// handlers map it onto 504 and the aborted counter, distinguishing a
+// stuck compile from an ordinary deadline or client disconnect.
+var errStalled = errors.New("service: compile stalled")
+
+// watchdog detects stuck compiles at the service level. The router's
+// own stuck-progress check catches a router that cycles without placing
+// braids; the watchdog catches everything that check cannot see — a
+// pass spinning before routing starts, a livelocked search, a wedged
+// test hook — by demanding observable routing-cycle progress within
+// every window of wall time.
+//
+// A zero window (or nil watchdog) disables it: guard degenerates to a
+// passthrough with no goroutine.
+type watchdog struct {
+	window  time.Duration
+	fired   *obs.Counter
+	aborted *obs.Counter
+	events  obs.EventObserver
+}
+
+func newWatchdog(window time.Duration, m *obs.Registry, events obs.EventObserver) *watchdog {
+	return &watchdog{
+		window:  window,
+		fired:   m.Counter("service/watchdog/fired"),
+		aborted: m.Counter("service/watchdog/aborted"),
+		events:  events,
+	}
+}
+
+// guard wraps ctx with the watchdog: the returned progress func must be
+// ticked on every routing cycle (wire it into WithObserver), and stop
+// must be called when the compile returns. If a full window elapses
+// with no tick, the watchdog cancels the returned context with an
+// errStalled cause, increments service/watchdog/fired, and emits a
+// WatchdogFired event labeled with label. Detection lands between one
+// and two windows after the last tick.
+func (w *watchdog) guard(ctx context.Context, label string) (context.Context, func(), func()) {
+	if w == nil || w.window <= 0 {
+		return ctx, func() {}, func() {}
+	}
+	gctx, cancel := context.WithCancelCause(ctx)
+	var ticks atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(w.window)
+		defer t.Stop()
+		var last int64
+		for {
+			select {
+			case <-done:
+				return
+			case <-gctx.Done():
+				return
+			case <-t.C:
+				cur := ticks.Load()
+				if cur == last {
+					cause := fmt.Errorf("%w: no routing-cycle progress within %s (%s)",
+						errStalled, w.window, label)
+					w.fired.Inc()
+					if w.events != nil {
+						w.events.OnEvent(obs.Event{
+							Kind: obs.WatchdogFired, Job: -1,
+							Method: label, Duration: w.window, Err: cause,
+						})
+					}
+					cancel(cause)
+					return
+				}
+				last = cur
+			}
+		}
+	}()
+	stop := sync.OnceFunc(func() {
+		close(done)
+		cancel(nil)
+	})
+	return gctx, func() { ticks.Add(1) }, stop
+}
+
+// stalled reports whether ctx was aborted by the watchdog.
+func stalled(ctx context.Context) bool {
+	return errors.Is(context.Cause(ctx), errStalled)
+}

@@ -79,3 +79,22 @@ const (
 func WithEvents(fn func(CompileEvent)) Option {
 	return func(o *options) { o.events = obs.EventObserverFunc(fn) }
 }
+
+// WithJobDone registers fn to receive every CompileAll job's terminal
+// outcome the moment it lands: fn(job, result) is called exactly once
+// per job, with the job's index in the batch slice and its BatchResult
+// (exactly one of Result/Err set, the CompileAll invariant). Unlike
+// WithEvents — which describes lifecycle timing but not payloads — the
+// callback hands over the actual result, which is what streaming
+// consumers and the hilightd job journal need to persist partial batch
+// progress before the whole batch returns.
+//
+// fn may be invoked concurrently from multiple worker goroutines and
+// must be safe for concurrent use; jobs the dispatcher failed after a
+// cancellation are reported too (with their ErrCanceled error), from
+// the dispatching goroutine. CompileAll does not return until every
+// callback has. Compile ignores the option: outcomes describe batch
+// jobs.
+func WithJobDone(fn func(job int, r BatchResult)) Option {
+	return func(o *options) { o.jobDone = fn }
+}
