@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-route bench-smoke fuzz golden check serve smoke chaos chaos-short
+.PHONY: all build vet lint test race bench bench-route bench-smoke fuzz golden wire-compat check serve smoke chaos chaos-short
 
 all: check
 
@@ -33,6 +33,7 @@ race:
 bench-route:
 	$(GO) test -bench 'BenchmarkFinderFind|BenchmarkOccupancy' -benchmem -benchtime 1000x ./internal/route/
 	$(GO) test -bench 'BenchmarkRouteCircuit|BenchmarkCompileQFT' -benchmem -benchtime 5x ./internal/core/
+	$(GO) test -run '^$$' -bench BenchmarkWire -benchmem -benchtime 200x .
 
 # Fast benchmark regression gate for CI: one iteration of the QFT64
 # compile (sequential + the parallel worker sweep), failing only past 5x
@@ -45,17 +46,26 @@ bench-smoke:
 bench:
 	$(GO) test -bench . -benchmem ./...
 
-# Fuzz the hostile-input surfaces: the QASM parser and the schedule JSON
-# decoder. FUZZTIME=20s per target by default; raise it for deeper runs.
+# Fuzz the hostile-input surfaces: the QASM parser, the schedule JSON
+# decoder, and the binary wire decoders. FUZZTIME=20s per target by
+# default; raise it for deeper runs.
 FUZZTIME ?= 20s
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/qasm/
 	$(GO) test -run '^$$' -fuzz FuzzDecodeJSON -fuzztime $(FUZZTIME) ./internal/sched/
+	$(GO) test -run '^$$' -fuzz FuzzDecodeWire -fuzztime $(FUZZTIME) ./internal/wire/
 
 # Refresh the behavior-preservation goldens after an *intentional* schedule
 # change (testdata/golden_schedules.json).
 golden:
 	$(GO) test -run TestGoldenSchedules -update .
+
+# Wire-format compatibility gate (CI job wire-compat): every checked-in
+# testdata/golden_wire fixture must decode and re-encode byte-identically
+# — the v1 freeze. Refresh with `go test -run TestGoldenWire -update .`
+# only alongside a format version bump.
+wire-compat:
+	$(GO) test -run 'TestGoldenWire|TestBinaryRoundTrip|TestStreamRoundTrip' -v . ./internal/wire/
 
 # Run the compile service locally (POST /v1/compile, /v1/jobs; see
 # `hilightd -h` for flags). SERVE_ADDR=:9000 picks a different port.

@@ -12,8 +12,10 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -23,6 +25,7 @@ import (
 	"time"
 
 	"hilight"
+	"hilight/internal/wire"
 )
 
 func main() {
@@ -35,6 +38,7 @@ func main() {
 		factory = flag.String("factory", "", "reserve a WxH magic-state factory, e.g. 2x2")
 		seed    = flag.Int64("seed", 1, "seed for randomized components")
 		show    = flag.String("show", "metrics", "output: metrics, layers, viz, heat, svg, json, or qasm")
+		format  = flag.String("format", "", "schedule encoding to stdout: json (canonical JSON), bin (versioned binary wire format), or stream (binary frames emitted while the router runs); overrides -show")
 		trace   = flag.Bool("trace", false, "print per-stage pipeline timing and counters")
 		metrics = flag.Bool("metrics", false, "print aggregated compile metrics (Prometheus text format) after the output")
 		magicP  = flag.Int("magic-period", 0, "analyze magic-state throughput: cycles per distilled state (0 = off)")
@@ -56,7 +60,7 @@ func main() {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	err := run(*inFile, *benchN, *list, *method, *gridKin, *factory, *seed, *show, *magicP, *routeW, *lookahd, *trace, *metrics)
+	err := run(*inFile, *benchN, *list, *method, *gridKin, *factory, *seed, *show, *format, *magicP, *routeW, *lookahd, *trace, *metrics)
 	if *memProf != "" {
 		f, merr := os.Create(*memProf)
 		if merr != nil {
@@ -82,7 +86,7 @@ func exit(code int) {
 	os.Exit(code)
 }
 
-func run(inFile, benchName string, list bool, method, gridKind, factory string, seed int64, show string, magicPeriod, routeWorkers, lookahead int, trace, metrics bool) error {
+func run(inFile, benchName string, list bool, method, gridKind, factory string, seed int64, show, format string, magicPeriod, routeWorkers, lookahead int, trace, metrics bool) error {
 	if list {
 		fmt.Println("methods:")
 		for _, m := range hilight.Methods() {
@@ -121,6 +125,18 @@ func run(inFile, benchName string, list bool, method, gridKind, factory string, 
 		return fmt.Errorf("need -in or -bench (try -list)")
 	}
 
+	switch format {
+	case "", "json", "bin", "stream":
+	default:
+		return fmt.Errorf("unknown -format %q (json, bin, stream)", format)
+	}
+	// Binary formats own stdout; human-readable side channels (trace,
+	// metrics exposition) move to stderr so the payload stays parseable.
+	textOut := os.Stdout
+	if format == "bin" || format == "stream" {
+		textOut = os.Stderr
+	}
+
 	g, err := buildGrid(c.NumQubits, gridKind, factory)
 	if err != nil {
 		return err
@@ -137,15 +153,62 @@ func run(inFile, benchName string, list bool, method, gridKind, factory string, 
 		reg = hilight.NewMetrics()
 		copts = append(copts, hilight.WithMetrics(reg))
 	}
+	var enc *wire.StreamEncoder
+	if format == "stream" {
+		// Frames hit stdout while the router runs: a consumer holds layer 0
+		// before the compile finishes.
+		enc = wire.NewStreamEncoder(os.Stdout)
+		copts = append(copts, hilight.WithScheduleSink(enc))
+	}
 	res, err := hilight.Compile(c, g, copts...)
 	if err != nil {
+		if enc != nil && enc.Started() {
+			// Frames already went out; deliver the failure in-band too.
+			_ = enc.Abort(err.Error())
+		}
 		return err
 	}
 	if err := res.Schedule.Validate(res.Circuit); err != nil {
+		if enc != nil && enc.Started() {
+			_ = enc.Abort(err.Error())
+		}
 		return fmt.Errorf("internal error: produced invalid schedule: %w", err)
 	}
 	if trace {
-		printTrace(res)
+		printTrace(textOut, res)
+	}
+
+	switch format {
+	case "stream":
+		meta, err := json.Marshal(map[string]any{
+			"latency_cycles": res.Latency,
+			"path_len":       res.PathLen,
+			"resutil":        res.ResUtil,
+			"runtime_ns":     res.Runtime.Nanoseconds(),
+		})
+		if err != nil {
+			return err
+		}
+		if err := enc.End(meta); err != nil {
+			return err
+		}
+		return writeMetrics(reg, textOut)
+	case "bin":
+		data, err := hilight.EncodeScheduleBinary(res.Schedule)
+		if err != nil {
+			return err
+		}
+		if _, err := os.Stdout.Write(data); err != nil {
+			return err
+		}
+		return writeMetrics(reg, textOut)
+	case "json":
+		data, err := hilight.EncodeScheduleJSON(res.Schedule)
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+		return writeMetrics(reg, textOut)
 	}
 
 	switch show {
@@ -203,19 +266,23 @@ func run(inFile, benchName string, list bool, method, gridKind, factory string, 
 	default:
 		return fmt.Errorf("unknown -show %q (metrics, layers, viz, heat, svg, json, qasm)", show)
 	}
-	if reg != nil {
-		fmt.Println()
-		if err := reg.WriteMetrics(os.Stdout); err != nil {
-			return err
-		}
+	return writeMetrics(reg, os.Stdout)
+}
+
+// writeMetrics appends the Prometheus exposition when -metrics asked for
+// it; a nil registry is a no-op.
+func writeMetrics(reg *hilight.Metrics, w io.Writer) error {
+	if reg == nil {
+		return nil
 	}
-	return nil
+	fmt.Fprintln(w)
+	return reg.WriteMetrics(w)
 }
 
 // printTrace renders Result.Trace as a per-stage table: one row per
 // executed pipeline pass with its wall-clock duration and counters.
-func printTrace(res *hilight.Result) {
-	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+func printTrace(w io.Writer, res *hilight.Result) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "stage\tduration\tcounters")
 	var total time.Duration
 	for _, st := range res.Trace {

@@ -1,10 +1,15 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"hilight"
+	"hilight/internal/wire"
 )
 
 // capture runs f with stdout redirected and returns what it printed.
@@ -39,7 +44,7 @@ func capture(t *testing.T, f func() error) (string, error) {
 
 func TestRunList(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run("", "", true, "hilight", "rect", "", 1, "metrics", 0, 0, -1, false, false)
+		return run("", "", true, "hilight", "rect", "", 1, "metrics", "", 0, 0, -1, false, false)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -51,7 +56,7 @@ func TestRunList(t *testing.T) {
 
 func TestRunBenchMetrics(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run("", "BV-10", false, "hilight-map", "rect", "", 1, "metrics", 0, 0, -1, false, false)
+		return run("", "BV-10", false, "hilight-map", "rect", "", 1, "metrics", "", 0, 0, -1, false, false)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -69,7 +74,7 @@ func TestRunQASMFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	out, err := capture(t, func() error {
-		return run(path, "", false, "hilight-map", "square", "", 1, "metrics", 0, 0, -1, false, false)
+		return run(path, "", false, "hilight-map", "square", "", 1, "metrics", "", 0, 0, -1, false, false)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -87,7 +92,7 @@ func TestRunRealFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	out, err := capture(t, func() error {
-		return run(path, "", false, "hilight-map", "rect", "", 1, "metrics", 0, 0, -1, false, false)
+		return run(path, "", false, "hilight-map", "rect", "", 1, "metrics", "", 0, 0, -1, false, false)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -100,7 +105,7 @@ func TestRunRealFile(t *testing.T) {
 func TestRunShowVariants(t *testing.T) {
 	for _, show := range []string{"layers", "viz", "heat", "svg", "json", "qasm"} {
 		out, err := capture(t, func() error {
-			return run("", "CC-11", false, "hilight-map", "rect", "", 1, show, 0, 0, -1, false, false)
+			return run("", "CC-11", false, "hilight-map", "rect", "", 1, show, "", 0, 0, -1, false, false)
 		})
 		if err != nil {
 			t.Fatalf("%s: %v", show, err)
@@ -113,7 +118,7 @@ func TestRunShowVariants(t *testing.T) {
 
 func TestRunWithFactoryAndMagic(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run("", "sqrt8_260", false, "hilight-map", "rect", "1x1", 1, "metrics", 10, 0, -1, false, false)
+		return run("", "sqrt8_260", false, "hilight-map", "rect", "1x1", 1, "metrics", "", 10, 0, -1, false, false)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -125,20 +130,26 @@ func TestRunWithFactoryAndMagic(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	cases := []func() error{
-		func() error { return run("", "", false, "hilight", "rect", "", 1, "metrics", 0, 0, -1, false, false) }, // no input
 		func() error {
-			return run("", "nope", false, "hilight", "rect", "", 1, "metrics", 0, 0, -1, false, false)
+			return run("", "", false, "hilight", "rect", "", 1, "metrics", "", 0, 0, -1, false, false)
+		}, // no input
+		func() error {
+			return run("", "nope", false, "hilight", "rect", "", 1, "metrics", "", 0, 0, -1, false, false)
 		}, // bad bench
-		func() error { return run("", "BV-10", false, "nope", "rect", "", 1, "metrics", 0, 0, -1, false, false) }, // bad method
 		func() error {
-			return run("", "BV-10", false, "hilight", "hex", "", 1, "metrics", 0, 0, -1, false, false)
+			return run("", "BV-10", false, "nope", "rect", "", 1, "metrics", "", 0, 0, -1, false, false)
+		}, // bad method
+		func() error {
+			return run("", "BV-10", false, "hilight", "hex", "", 1, "metrics", "", 0, 0, -1, false, false)
 		}, // bad grid
 		func() error {
-			return run("", "BV-10", false, "hilight", "rect", "x", 1, "metrics", 0, 0, -1, false, false)
+			return run("", "BV-10", false, "hilight", "rect", "x", 1, "metrics", "", 0, 0, -1, false, false)
 		}, // bad factory
-		func() error { return run("", "BV-10", false, "hilight", "rect", "", 1, "nope", 0, 0, -1, false, false) }, // bad show
 		func() error {
-			return run("/no/such/file.qasm", "", false, "hilight", "rect", "", 1, "metrics", 0, 0, -1, false, false)
+			return run("", "BV-10", false, "hilight", "rect", "", 1, "nope", "", 0, 0, -1, false, false)
+		}, // bad show
+		func() error {
+			return run("/no/such/file.qasm", "", false, "hilight", "rect", "", 1, "metrics", "", 0, 0, -1, false, false)
 		},
 	}
 	for i, f := range cases {
@@ -150,7 +161,7 @@ func TestRunErrors(t *testing.T) {
 
 func TestRunTraceTable(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run("", "QFT-10", false, "hilight", "rect", "", 1, "metrics", 0, 0, -1, true, false)
+		return run("", "QFT-10", false, "hilight", "rect", "", 1, "metrics", "", 0, 0, -1, true, false)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -168,7 +179,7 @@ func TestRunTraceTable(t *testing.T) {
 // reported latency.
 func TestRunMetricsFlag(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run("", "BV-10", false, "hilight-map", "rect", "", 1, "metrics", 0, 0, -1, false, true)
+		return run("", "BV-10", false, "hilight-map", "rect", "", 1, "metrics", "", 0, 0, -1, false, true)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -187,5 +198,59 @@ func TestRunMetricsFlag(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("metrics exposition missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestRunFormatVariants pins the -format flag: json prints the canonical
+// schedule JSON, bin writes the binary wire payload, stream writes a
+// frame stream — and all three carry the same schedule.
+func TestRunFormatVariants(t *testing.T) {
+	outputs := map[string]string{}
+	for _, format := range []string{"json", "bin", "stream"} {
+		out, err := capture(t, func() error {
+			return run("", "BV-10", false, "hilight-map", "rect", "", 1, "metrics", format, 0, 0, -1, false, false)
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+		if len(out) == 0 {
+			t.Fatalf("%s produced no output", format)
+		}
+		outputs[format] = out
+	}
+
+	jsonSched, err := hilight.DecodeScheduleJSON([]byte(outputs["json"]))
+	if err != nil {
+		t.Fatalf("-format json output undecodable: %v", err)
+	}
+	binSched, err := hilight.DecodeScheduleBinary([]byte(outputs["bin"]))
+	if err != nil {
+		t.Fatalf("-format bin output undecodable: %v", err)
+	}
+	streamSched, meta, err := wire.ReadStream(strings.NewReader(outputs["stream"]))
+	if err != nil {
+		t.Fatalf("-format stream output undecodable: %v", err)
+	}
+	var trailer struct {
+		LatencyCycles int `json:"latency_cycles"`
+	}
+	if err := json.Unmarshal(meta, &trailer); err != nil || trailer.LatencyCycles <= 0 {
+		t.Errorf("stream trailer metadata malformed: %s (%v)", meta, err)
+	}
+	want, _ := hilight.EncodeScheduleJSON(jsonSched)
+	for name, s := range map[string]*hilight.Schedule{"bin": binSched, "stream": streamSched} {
+		got, _ := hilight.EncodeScheduleJSON(s)
+		if !bytes.Equal(got, want) {
+			t.Errorf("-format %s schedule differs from -format json", name)
+		}
+	}
+	if len(outputs["bin"]) >= len(outputs["json"]) {
+		t.Errorf("binary output (%d B) not smaller than JSON (%d B)", len(outputs["bin"]), len(outputs["json"]))
+	}
+
+	if _, err := capture(t, func() error {
+		return run("", "BV-10", false, "hilight-map", "rect", "", 1, "metrics", "nope", 0, 0, -1, false, false)
+	}); err == nil {
+		t.Error("unknown -format accepted")
 	}
 }

@@ -6,11 +6,14 @@ import (
 	"io"
 	"net/http"
 	"regexp"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
 	"testing"
 	"time"
+
+	"hilight/internal/wire"
 )
 
 // syncBuffer is a goroutine-safe buffer for the daemon's stdout/stderr.
@@ -288,4 +291,177 @@ func TestRunBadFlags(t *testing.T) {
 	if code := run([]string{"-addr", "256.0.0.1:bad"}, &out, &out); code != 1 {
 		t.Errorf("bad addr exit = %d, want 1", code)
 	}
+}
+
+// metricValue extracts a single metric's value from the Prometheus text
+// exposition.
+func metricValue(t *testing.T, metrics, name string) float64 {
+	t.Helper()
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + ` (\S+)$`)
+	m := re.FindStringSubmatch(metrics)
+	if m == nil {
+		t.Fatalf("metric %s not found in:\n%s", name, metrics)
+	}
+	v, err := strconv.ParseFloat(m[1], 64)
+	if err != nil {
+		t.Fatalf("metric %s value %q: %v", name, m[1], err)
+	}
+	return v
+}
+
+func stopDaemon(t *testing.T, stderr *syncBuffer, exit chan int) {
+	t.Helper()
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("daemon exit code %d\nstderr: %s", code, stderr.String())
+		}
+	case <-time.After(2 * time.Minute):
+		t.Fatal("daemon never exited after SIGTERM")
+	}
+}
+
+// TestE2EWireFormats drives the codec layer end to end: binary content
+// negotiation on /v1/compile, the streaming mode's first-frame-before-
+// compile-finishes guarantee, and the cache holding more entries under
+// the binary encoding than the same schedules' JSON bytes would allow.
+func TestE2EWireFormats(t *testing.T) {
+	benchmarks := []string{"QFT-10", "QFT-16", "BV-10", "CC-11", "Ising-10"}
+
+	// Phase 1: measure each benchmark's JSON schedule and binary payload
+	// over the real HTTP surface.
+	base, stderr, exit := bootDaemon(t)
+	waitReady(t, base)
+	var jsonTotal, binTotal int
+	for _, b := range benchmarks {
+		body := `{"benchmark":"` + b + `"}`
+		resp, err := http.Post(base+"/v1/compile", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s: status %d: %s", b, resp.StatusCode, data)
+		}
+		var env struct {
+			Schedule json.RawMessage `json:"schedule"`
+		}
+		if err := json.Unmarshal(data, &env); err != nil {
+			t.Fatal(err)
+		}
+		var compact bytes.Buffer
+		if err := json.Compact(&compact, env.Schedule); err != nil {
+			t.Fatal(err)
+		}
+		jsonTotal += compact.Len()
+
+		req, err := http.NewRequest("POST", base+"/v1/compile", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Accept", "application/x-hilight-sched")
+		bresp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bin, _ := io.ReadAll(bresp.Body)
+		bresp.Body.Close()
+		if bresp.StatusCode != 200 {
+			t.Fatalf("%s: binary status %d", b, bresp.StatusCode)
+		}
+		if ct := bresp.Header.Get("Content-Type"); ct != "application/x-hilight-sched" {
+			t.Fatalf("%s: binary Content-Type %q", b, ct)
+		}
+		if bresp.Header.Get("X-Hilight-Cached") != "true" {
+			t.Errorf("%s: binary follow-up missed the cache the JSON compile filled", b)
+		}
+		if _, err := wire.Binary.Decode(bin); err != nil {
+			t.Fatalf("%s: binary payload undecodable: %v", b, err)
+		}
+		binTotal += len(bin)
+	}
+	if binTotal*100 >= jsonTotal*40 {
+		t.Errorf("binary payloads %d B not ≤40%% of JSON %d B over Table 1 subset", binTotal, jsonTotal)
+	}
+
+	// Streaming: the first layer frame must arrive before the compile
+	// finishes. The end-frame trailer carries the compile's runtime on the
+	// same process clock, so the comparison is sound: if the first frame
+	// beat t0+runtime, it was delivered while the router was still working.
+	t0 := time.Now()
+	sresp, err := http.Post(base+"/v1/compile?stream=1", "application/json",
+		strings.NewReader(`{"benchmark":"QFT-100","no_cache":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := wire.NewStreamDecoder(sresp.Body)
+	var firstLayer time.Time
+	var layers int
+	var trailer struct {
+		RuntimeNS int64 `json:"runtime_ns"`
+		Cached    bool  `json:"cached"`
+	}
+	for {
+		f, err := dec.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("stream frame: %v", err)
+		}
+		switch f.Kind {
+		case wire.FrameLayer:
+			if layers == 0 {
+				firstLayer = time.Now()
+			}
+			layers++
+		case wire.FrameEnd:
+			if err := json.Unmarshal(f.Payload, &trailer); err != nil {
+				t.Fatalf("trailer: %v", err)
+			}
+		case wire.FrameError:
+			t.Fatalf("stream aborted: %s", f.Payload)
+		}
+	}
+	sresp.Body.Close()
+	if layers == 0 || trailer.RuntimeNS == 0 {
+		t.Fatalf("stream carried %d layers, runtime %d", layers, trailer.RuntimeNS)
+	}
+	compileEnd := t0.Add(time.Duration(trailer.RuntimeNS))
+	if !firstLayer.Before(compileEnd) {
+		t.Errorf("first layer frame at +%v, after the %v compile finished",
+			firstLayer.Sub(t0), time.Duration(trailer.RuntimeNS))
+	}
+	stopDaemon(t, stderr, exit)
+
+	// Phase 2: a cache cap far below the schedules' JSON footprint holds
+	// every entry under the binary encoding — the cache-entries win the
+	// codec refactor was for, observed through /metrics.
+	budget := jsonTotal / 2
+	base2, stderr2, exit2 := bootDaemon(t, "-cache-bytes", strconv.Itoa(budget))
+	waitReady(t, base2)
+	for _, b := range benchmarks {
+		status, _ := postCompile(t, base2, `{"benchmark":"`+b+`"}`)
+		if status != 200 {
+			t.Fatalf("%s: status %d", b, status)
+		}
+	}
+	metrics := scrapeMetrics(t, base2)
+	if got := metricValue(t, metrics, "cache_entries"); got != float64(len(benchmarks)) {
+		t.Errorf("cache_entries = %v with a %d B cap, want %d (JSON bytes would need %d)",
+			got, budget, len(benchmarks), jsonTotal)
+	}
+	if got := metricValue(t, metrics, "cache_evictions_total"); got != 0 {
+		t.Errorf("cache_evictions_total = %v, want 0", got)
+	}
+	encoded := metricValue(t, metrics, "cache_encoded_bytes")
+	if encoded != float64(binTotal) {
+		t.Errorf("cache_encoded_bytes = %v, want %d (the binary payload bytes)", encoded, binTotal)
+	}
+	stopDaemon(t, stderr2, exit2)
 }

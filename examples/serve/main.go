@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"hilight/internal/service"
+	"hilight/internal/wire"
 )
 
 // submitBody is the batch every phase of the walkthrough submits.
@@ -256,8 +257,76 @@ func main() {
 	fmt.Printf("resubmitted as %s; fingerprints match the original ack — same compiles\n", re.ID)
 	printResults(poll(base, re.ID, re.Count))
 
+	// 4. Content negotiation and layer streaming on the sync endpoint.
+	// JSON stays the default; Accept: application/x-hilight-sched answers
+	// the compact binary wire payload (here a cache hit from the batch
+	// above, flagged in the X-Hilight-Cached header), and ?stream=1
+	// delivers the schedule as binary frames while the router is still
+	// producing layers.
+	fmt.Println("\n== 4. binary negotiation and layer streaming ==")
+	demoWireFormats(base)
+
 	hs.Close()
 	shutdown(srv)
+}
+
+func demoWireFormats(base string) {
+	body, err := json.Marshal(map[string]any{"benchmark": "QFT-16", "compact": true, "seed": 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	req, err := http.NewRequest("POST", base+"/v1/compile", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", "application/x-hilight-sched")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bin, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		log.Fatalf("binary compile: %d: %s", resp.StatusCode, bin)
+	}
+	sched, err := wire.Binary.Decode(bin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  binary: %d bytes (cached=%s), decodes to %d layers\n",
+		len(bin), resp.Header.Get("X-Hilight-Cached"), len(sched.Layers))
+
+	// Streaming excludes compact (frames are the router's raw output), so
+	// this request compiles fresh and the frames arrive mid-compile.
+	sbody, err := json.Marshal(map[string]any{"benchmark": "QFT-16", "seed": 7, "no_cache": true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sresp, err := http.Post(base+"/v1/compile?stream=1", "application/json", bytes.NewReader(sbody))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	dec := wire.NewStreamDecoder(sresp.Body)
+	layers := 0
+	for {
+		f, err := dec.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		switch f.Kind {
+		case wire.FrameLayer:
+			layers++
+		case wire.FrameEnd:
+			fmt.Printf("  stream: grid frame, %d layer frames, trailer %s\n", layers, f.Payload)
+		case wire.FrameError:
+			log.Fatalf("stream aborted: %s", f.Payload)
+		}
+	}
 }
 
 func short(fps []string) []string {

@@ -9,6 +9,7 @@ import (
 	"hilight/internal/sched"
 	"hilight/internal/surgery"
 	"hilight/internal/viz"
+	"hilight/internal/wire"
 )
 
 // Lowering is the physical-lattice realization of a schedule at a code
@@ -40,6 +41,27 @@ func EncodeScheduleJSON(s *Schedule) ([]byte, error) { return sched.EncodeJSON(s
 // DecodeScheduleJSON reconstructs a schedule from EncodeScheduleJSON
 // output. Validate it against its circuit before trusting it.
 func DecodeScheduleJSON(data []byte) (*Schedule, error) { return sched.DecodeJSON(data) }
+
+// EncodeScheduleBinary serializes a schedule in the versioned binary
+// wire format — typically 10-20× smaller than the JSON form (varint
+// integers, delta-encoded braiding paths, bitset defect masks). The
+// encoding is byte-stable; both forms decode to byte-identically
+// re-encodable schedules, so either may be cached or content-addressed.
+func EncodeScheduleBinary(s *Schedule) ([]byte, error) { return wire.Binary.Encode(s) }
+
+// DecodeScheduleBinary reconstructs a schedule from EncodeScheduleBinary
+// output, rejecting truncated, corrupt, or future-versioned payloads.
+// Validate it against its circuit before trusting it.
+func DecodeScheduleBinary(data []byte) (*Schedule, error) { return wire.Binary.Decode(data) }
+
+// EncodeDefectsBinary serializes a defect map in the binary wire format.
+// Unlike EncodeDefects it is compact rather than readable; both
+// round-trip the map exactly.
+func EncodeDefectsBinary(d *DefectMap) ([]byte, error) { return wire.Binary.EncodeDefects(d) }
+
+// DecodeDefectsBinary parses EncodeDefectsBinary output; the map is
+// validated against the target grid when applied.
+func DecodeDefectsBinary(data []byte) (*DefectMap, error) { return wire.Binary.DecodeDefects(data) }
 
 // RenderLayout draws the grid and qubit layout as an ASCII diagram
 // (reserved factory tiles render as ###).

@@ -1,0 +1,179 @@
+package hilight_test
+
+// Binary wire-format goldens: testdata/golden_wire/*.bin pins the exact
+// bytes EncodeScheduleBinary (and EncodeDefectsBinary) produce for a
+// Table 1 subset at seed 1. Unlike the schedule-hash goldens, these catch
+// codec regressions even when the *schedule* is unchanged: a varint
+// tweak, a reordered field, or a version bump all surface as a byte
+// diff. Decoders must keep accepting every checked-in fixture forever —
+// that is the v1 compatibility promise the CI wire-compat job enforces.
+//
+// Regenerate with `go test -run TestGoldenWire -update` — only when the
+// wire format itself intentionally changes (which requires a version
+// bump, not a silent rewrite of v1).
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hilight"
+)
+
+const goldenWireDir = "testdata/golden_wire"
+
+// goldenWireBenchmarks is the Table 1 subset the fixtures cover — the
+// same deterministic rows the schedule-hash goldens pin.
+var goldenWireBenchmarks = []string{"QFT-10", "QFT-16", "BV-10", "CC-11", "Ising-10"}
+
+// goldenWireSchedule compiles one fixture circuit at seed 1.
+func goldenWireSchedule(t testing.TB, name string) *hilight.Schedule {
+	t.Helper()
+	c, ok := hilight.Benchmark(name)
+	if !ok {
+		t.Fatalf("unknown benchmark %s", name)
+	}
+	res, err := hilight.Compile(c, hilight.RectGrid(c.NumQubits), hilight.WithSeed(1))
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return res.Schedule
+}
+
+// goldenWireDefects samples the fixture defect map (rate 8%, seed 7 on a
+// 6×6 grid — the same draw TestEncodersByteStable audits).
+func goldenWireDefects(t testing.TB) *hilight.DefectMap {
+	t.Helper()
+	_, d := hilight.InjectDefects(hilight.NewGrid(6, 6), 0.08, 7)
+	if d.Empty() {
+		t.Fatal("fault injection produced no defects")
+	}
+	return d
+}
+
+// TestGoldenWire pins the binary encoding byte-for-byte against the
+// checked-in fixtures, and audits the codec contract on each: encoding
+// is byte-stable, decode∘encode is the identity on the wire bytes, and
+// the binary payload stays within the 40%-of-JSON budget.
+func TestGoldenWire(t *testing.T) {
+	if *updateGolden {
+		if err := os.MkdirAll(goldenWireDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var binTotal, jsonTotal int
+	for _, name := range goldenWireBenchmarks {
+		t.Run(name, func(t *testing.T) {
+			s := goldenWireSchedule(t, name)
+			bin, err := hilight.EncodeScheduleBinary(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			js, err := hilight.EncodeScheduleJSON(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			binTotal += len(bin)
+			jsonTotal += len(js)
+
+			path := filepath.Join(goldenWireDir, name+".bin")
+			if *updateGolden {
+				if err := os.WriteFile(path, bin, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%d bytes, JSON %d)", path, len(bin), len(js))
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing wire golden (run with -update): %v", err)
+			}
+			if !bytes.Equal(bin, want) {
+				t.Fatalf("binary encoding of %s drifted from %s (%d vs %d bytes)",
+					name, path, len(bin), len(want))
+			}
+
+			// Round trip: the fixture decodes, and re-encoding the decoded
+			// schedule reproduces the fixture bytes exactly.
+			rt, err := hilight.DecodeScheduleBinary(want)
+			if err != nil {
+				t.Fatalf("golden fixture undecodable: %v", err)
+			}
+			again, err := hilight.EncodeScheduleBinary(rt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(again, want) {
+				t.Error("decode∘encode is not the identity on the golden bytes")
+			}
+			// And the decoded schedule is semantically intact.
+			rtJSON, err := hilight.EncodeScheduleJSON(rt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(rtJSON, js) {
+				t.Error("golden fixture decodes to a different schedule")
+			}
+		})
+	}
+	if !*updateGolden {
+		// The size budget from the wire-format design: binary carries the
+		// Table 1 subset in at most 40% of the JSON footprint.
+		if binTotal*100 > jsonTotal*40 {
+			t.Errorf("binary total %d B exceeds 40%% of JSON total %d B", binTotal, jsonTotal)
+		}
+	}
+
+	// Defect maps get the same treatment on their own fixture.
+	t.Run("defects", func(t *testing.T) {
+		d := goldenWireDefects(t)
+		bin, err := hilight.EncodeDefectsBinary(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(goldenWireDir, "defects-6x6.bin")
+		if *updateGolden {
+			if err := os.WriteFile(path, bin, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("wrote %s (%d bytes)", path, len(bin))
+			return
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing wire golden (run with -update): %v", err)
+		}
+		if !bytes.Equal(bin, want) {
+			t.Fatalf("binary defect encoding drifted from %s", path)
+		}
+		rt, err := hilight.DecodeDefectsBinary(want)
+		if err != nil {
+			t.Fatalf("golden fixture undecodable: %v", err)
+		}
+		again, err := hilight.EncodeDefectsBinary(rt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(again, want) {
+			t.Error("decode∘encode is not the identity on the defect fixture")
+		}
+	})
+}
+
+// TestGoldenWireBinaryStable extends the byte-stability audit to the
+// binary codec: repeated encodings of one schedule are identical.
+func TestGoldenWireBinaryStable(t *testing.T) {
+	s := goldenWireSchedule(t, "BV-10")
+	a, err := hilight.EncodeScheduleBinary(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := hilight.EncodeScheduleBinary(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("EncodeScheduleBinary is not byte-stable")
+	}
+}

@@ -55,6 +55,12 @@ type (
 	Layout = grid.Layout
 	// Schedule is the braiding schedule produced by Compile.
 	Schedule = sched.Schedule
+	// Layer is one braiding cycle of a Schedule: the braids that execute
+	// simultaneously.
+	Layer = sched.Layer
+	// Braid is one braiding operation of a Layer: a gate (or inserted
+	// SWAP) realized as a routing path between two tiles.
+	Braid = sched.Braid
 	// Result carries the schedule and its latency/runtime/ResUtil metrics,
 	// plus Degraded/FallbackMethod when a WithFallback method produced it.
 	// Result.Trace records the compile's per-stage timing and counters
@@ -165,6 +171,7 @@ type options struct {
 	seed         int64
 	qco          *bool
 	observer     core.Observer
+	sink         core.ScheduleSink
 	metrics      *obs.Registry
 	events       obs.EventObserver
 	jobDone      func(job int, r BatchResult)
@@ -202,6 +209,30 @@ type CycleStats = core.CycleStats
 // gates were placed or deferred, and the lattice resources consumed.
 func WithObserver(fn func(CycleStats)) Option {
 	return func(o *options) { o.observer = core.ObserverFunc(fn) }
+}
+
+// ScheduleSink receives the schedule incrementally while the router
+// produces it: OnStart once with the grid and the pristine initial
+// layout, then OnLayer for every sealed braiding cycle, in order. The
+// layer and its braid paths are router-owned scratch — consume or copy
+// them before returning, never retain them. Returning an error aborts
+// the compile (the streaming service uses this to stop routing when a
+// client hangs up).
+type ScheduleSink = core.ScheduleSink
+
+// WithScheduleSink streams the schedule out of the compile as the router
+// seals each braiding cycle, instead of (in addition to, strictly — the
+// Result still carries the full schedule) waiting for Compile to return.
+// The sink observes the raw route output: WithCompaction's hoisting runs
+// afterwards and is not replayed, so combine the two only when the
+// streamed prefix being pre-compaction is acceptable. Each compile
+// attempt calls OnStart once; under WithFallback a failed primary may
+// therefore be followed by a second OnStart from the fallback method —
+// single-shot sinks (wire.StreamEncoder) reject that, failing the
+// fallback, so streaming is typically used without a fallback chain.
+// Compile ignores a nil sink.
+func WithScheduleSink(s ScheduleSink) Option {
+	return func(o *options) { o.sink = s }
 }
 
 // WithDefects compiles against degraded hardware: the tiles, vertices and
@@ -381,6 +412,7 @@ func Compile(c *Circuit, g *Grid, opts ...Option) (*Result, error) {
 			Rng:       rand.New(rand.NewSource(o.seed)),
 			QCO:       o.qco,
 			Observer:  o.observer,
+			Sink:      o.sink,
 			Metrics:   o.metrics,
 			Ctx:       ctx,
 			Compact:   o.compact,

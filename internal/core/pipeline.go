@@ -116,6 +116,11 @@ type RunOptions struct {
 	QCO *bool
 	// Observer receives per-cycle routing statistics.
 	Observer Observer
+	// Sink, when non-nil, receives the schedule incrementally as the
+	// route pass seals each braiding cycle (see ScheduleSink). Sinks
+	// observe the raw route output; the compact pass's rewrites are not
+	// replayed.
+	Sink ScheduleSink
 	// Metrics, when non-nil, aggregates this compile into a process-wide
 	// registry: every executed pass feeds its StageTrace under
 	// pipeline/<pass>/... names (runs, errors, a seconds histogram, and
@@ -185,6 +190,7 @@ func NewPipeline(sp Spec, opt RunOptions) (*Pipeline, error) {
 		cfg.Adjuster = opt.Adjuster
 	}
 	cfg.Observer = opt.Observer
+	cfg.Sink = opt.Sink
 	cfg.Metrics = opt.Metrics
 	cfg.Ctx = opt.Ctx
 	if opt.RouteWorkers != nil {

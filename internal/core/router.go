@@ -80,6 +80,21 @@ type ObserverFunc func(CycleStats)
 // OnCycle implements Observer.
 func (f ObserverFunc) OnCycle(s CycleStats) { f(s) }
 
+// ScheduleSink receives the schedule incrementally while the router
+// produces it: OnStart once, with the grid and the initial layout (a
+// router-owned snapshot taken before any inserted SWAP mutates the live
+// layout), then OnLayer for every sealed braiding cycle, in order. The
+// layer and its braid paths are arena-backed router state — a sink must
+// consume or copy them before returning and must not retain them. A sink
+// error aborts the compile; the streaming HTTP handler relies on this to
+// stop routing when the client hangs up. Sinks observe the raw route
+// output: passes that rewrite the schedule afterwards (compact) are not
+// replayed into the sink.
+type ScheduleSink interface {
+	OnStart(g *grid.Grid, initial *grid.Layout) error
+	OnLayer(cycle int, layer sched.Layer) error
+}
+
 // config is the resolved component bundle a pipeline threads into the
 // router: the materialized form of a Spec. Zero-value fields get the
 // HiLight defaults (pattern+proximity placement, proposed ordering,
@@ -99,6 +114,9 @@ type config struct {
 	QCO bool
 	// Observer, when non-nil, receives per-cycle routing statistics.
 	Observer Observer
+	// Sink, when non-nil, receives the schedule incrementally as the
+	// router seals each cycle (see ScheduleSink).
+	Sink ScheduleSink
 	// FinderName is the registry name Finder was resolved from ("" when
 	// the default applied). The pipeline uses it to decide whether the
 	// parallel route pass — which substitutes the windowed finder — may
@@ -238,6 +256,11 @@ func (r *router) init(c *circuit.Circuit, g *grid.Grid, layout *grid.Layout, cfg
 // router and valid until the next route call.
 func (r *router) route(c *circuit.Circuit, g *grid.Grid, layout *grid.Layout, cfg config) (*sched.Schedule, error) {
 	r.init(c, g, layout, cfg)
+	if cfg.Sink != nil {
+		if err := cfg.Sink.OnStart(g, r.sch.Initial); err != nil {
+			return nil, fmt.Errorf("core: schedule sink: %w", err)
+		}
+	}
 
 	// skip1Q advances each qubit's cursor past single-qubit gates: they
 	// cost no braiding cycles.
@@ -331,6 +354,11 @@ func (r *router) route(c *circuit.Circuit, g *grid.Grid, layout *grid.Layout, cf
 				cfg.Observer.OnCycle(stats)
 			}
 			r.flushLayer()
+			if cfg.Sink != nil {
+				if err := cfg.Sink.OnLayer(cycle, r.sch.Layers[len(r.sch.Layers)-1]); err != nil {
+					return nil, fmt.Errorf("core: schedule sink: %w", err)
+				}
+			}
 			cycle++
 		}
 

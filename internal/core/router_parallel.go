@@ -149,6 +149,11 @@ type parallelRouter struct {
 // owned by the router and valid until the next route call.
 func (pr *parallelRouter) route(c *circuit.Circuit, g *grid.Grid, layout *grid.Layout, cfg config) (*sched.Schedule, error) {
 	pr.init(c, g, layout, cfg)
+	if cfg.Sink != nil {
+		if err := cfg.Sink.OnStart(g, pr.sch.Initial); err != nil {
+			return nil, fmt.Errorf("core: schedule sink: %w", err)
+		}
+	}
 	pr.workers = resolveRouteWorkers(cfg.RouteWorkers)
 
 	pr.finders = pr.finders[:0]
@@ -336,6 +341,11 @@ func (pr *parallelRouter) route(c *circuit.Circuit, g *grid.Grid, layout *grid.L
 				cfg.Observer.OnCycle(stats)
 			}
 			pr.flushLayer()
+			if cfg.Sink != nil {
+				if err := cfg.Sink.OnLayer(cycle, pr.sch.Layers[len(pr.sch.Layers)-1]); err != nil {
+					return nil, fmt.Errorf("core: schedule sink: %w", err)
+				}
+			}
 			cycle++
 			continue
 		}

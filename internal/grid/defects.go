@@ -173,20 +173,11 @@ func (g *Grid) Defects() *DefectMap {
 			d.Vertices = append(d.Vertices, v)
 		}
 	}
-	// Recover channel endpoints from edge ids: edge 2v is the horizontal
-	// channel east of vertex v, edge 2v+1 the vertical channel south of it.
 	for id, bad := range g.def.edge {
 		if !bad {
 			continue
 		}
-		u := id / 2
-		ux, uy := g.VertexXY(u)
-		var v int
-		if id%2 == 0 {
-			v = g.VertexID(ux+1, uy)
-		} else {
-			v = g.VertexID(ux, uy+1)
-		}
+		u, v := g.EdgeEndpoints(id)
 		d.Channels = append(d.Channels, [2]int{u, v})
 	}
 	sort.Ints(d.Tiles)

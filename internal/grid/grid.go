@@ -234,6 +234,34 @@ func (g *Grid) EdgeID(u, v int) int {
 	panic(fmt.Sprintf("grid: EdgeID of non-adjacent vertices %d,%d", u, v))
 }
 
+// EdgeEndpoints inverts EdgeID: it returns the two adjacent vertices of
+// channel id (u < v). Edge 2u is the horizontal channel east of vertex u,
+// edge 2u+1 the vertical channel south of it. Ids on the far boundary
+// (where no east/south neighbor exists) have no channel; callers that
+// enumerate raw ids must skip them via EdgeExists.
+func (g *Grid) EdgeEndpoints(id int) (u, v int) {
+	u = id / 2
+	ux, uy := g.VertexXY(u)
+	if id%2 == 0 {
+		return u, g.VertexID(ux+1, uy)
+	}
+	return u, g.VertexID(ux, uy+1)
+}
+
+// EdgeExists reports whether channel id denotes a real lattice channel:
+// horizontal ids on the east vertex column and vertical ids on the south
+// vertex row index past the lattice and are dead slots in the edge space.
+func (g *Grid) EdgeExists(id int) bool {
+	if id < 0 || id >= g.NumEdges() {
+		return false
+	}
+	ux, uy := g.VertexXY(id / 2)
+	if id%2 == 0 {
+		return ux+1 < g.VW()
+	}
+	return uy+1 < g.VH()
+}
+
 // EdgeRoutable reports whether the channel between adjacent vertices u and
 // v is usable: channels strictly interior to a reserved or defective
 // region (both flanking tiles closed, or one flanking tile closed and the

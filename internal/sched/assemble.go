@@ -1,0 +1,58 @@
+package sched
+
+import (
+	"fmt"
+
+	"hilight/internal/grid"
+)
+
+// MaxGridTiles bounds decoded grids so hostile input cannot force a huge
+// allocation; the largest paper instance (QFT-500) uses 506 tiles. Both
+// the JSON and the binary wire decoder share the bound.
+const MaxGridTiles = 1 << 22
+
+// Assemble validates the serialized parts of a schedule — grid shape,
+// reserved tiles, defects, initial layout, layers — and builds the
+// Schedule. It is the single decode path shared by the JSON and binary
+// codecs, so both reject hostile input identically and reconstruct
+// byte-identical schedules. The layers are attached as-is; path-level
+// validity is Validate's job, exactly as for the original compile
+// output.
+func Assemble(gridW, gridH int, reserved []int, defects *grid.DefectMap, qubits int, initial []int, layers []Layer) (*Schedule, error) {
+	if gridW <= 0 || gridH <= 0 || gridW > MaxGridTiles || gridH > MaxGridTiles || gridW*gridH > MaxGridTiles {
+		return nil, fmt.Errorf("sched: bad grid dimensions %dx%d", gridW, gridH)
+	}
+	g := grid.New(gridW, gridH)
+	for _, t := range reserved {
+		if t < 0 || t >= g.Tiles() {
+			return nil, fmt.Errorf("sched: reserved tile %d out of range", t)
+		}
+		g.ReserveTile(t)
+	}
+	if err := g.ApplyDefects(defects); err != nil {
+		return nil, fmt.Errorf("sched: %w", err)
+	}
+	if qubits < 0 || len(initial) != qubits {
+		return nil, fmt.Errorf("sched: initial layout has %d entries for %d qubits", len(initial), qubits)
+	}
+	if g.Capacity() < qubits {
+		return nil, fmt.Errorf("sched: grid %s cannot hold %d qubits", g, qubits)
+	}
+	l := grid.NewLayout(qubits, g)
+	for q, t := range initial {
+		if t == -1 {
+			continue
+		}
+		if t < 0 || t >= g.Tiles() {
+			return nil, fmt.Errorf("sched: qubit %d on out-of-range tile %d", q, t)
+		}
+		if !g.Usable(t) {
+			return nil, fmt.Errorf("sched: qubit %d on unusable (reserved/defective) tile %d", q, t)
+		}
+		if l.TileQubit[t] != -1 {
+			return nil, fmt.Errorf("sched: tile %d assigned twice", t)
+		}
+		l.Assign(q, t, g)
+	}
+	return &Schedule{Grid: g, Initial: l, Layers: layers}, nil
+}

@@ -77,45 +77,7 @@ func DecodeJSON(data []byte) (*Schedule, error) {
 	if js.Version != jsonVersion {
 		return nil, fmt.Errorf("sched: unsupported schedule version %d", js.Version)
 	}
-	// maxGridTiles bounds decoded grids so hostile input cannot force a
-	// huge allocation; the largest paper instance (QFT-500) uses 506 tiles.
-	const maxGridTiles = 1 << 22
-	if js.GridW <= 0 || js.GridH <= 0 || js.GridW > maxGridTiles || js.GridH > maxGridTiles || js.GridW*js.GridH > maxGridTiles {
-		return nil, fmt.Errorf("sched: bad grid dimensions %dx%d", js.GridW, js.GridH)
-	}
-	g := grid.New(js.GridW, js.GridH)
-	for _, t := range js.Reserved {
-		if t < 0 || t >= g.Tiles() {
-			return nil, fmt.Errorf("sched: reserved tile %d out of range", t)
-		}
-		g.ReserveTile(t)
-	}
-	if err := g.ApplyDefects(js.Defects); err != nil {
-		return nil, fmt.Errorf("sched: %w", err)
-	}
-	if js.Qubits < 0 || len(js.Initial) != js.Qubits {
-		return nil, fmt.Errorf("sched: initial layout has %d entries for %d qubits", len(js.Initial), js.Qubits)
-	}
-	if g.Capacity() < js.Qubits {
-		return nil, fmt.Errorf("sched: grid %s cannot hold %d qubits", g, js.Qubits)
-	}
-	l := grid.NewLayout(js.Qubits, g)
-	for q, t := range js.Initial {
-		if t == -1 {
-			continue
-		}
-		if t < 0 || t >= g.Tiles() {
-			return nil, fmt.Errorf("sched: qubit %d on out-of-range tile %d", q, t)
-		}
-		if !g.Usable(t) {
-			return nil, fmt.Errorf("sched: qubit %d on unusable (reserved/defective) tile %d", q, t)
-		}
-		if l.TileQubit[t] != -1 {
-			return nil, fmt.Errorf("sched: tile %d assigned twice", t)
-		}
-		l.Assign(q, t, g)
-	}
-	s := &Schedule{Grid: g, Initial: l}
+	var layers []Layer
 	for _, jl := range js.Layers {
 		layer := make(Layer, len(jl))
 		for i, jb := range jl {
@@ -124,7 +86,7 @@ func DecodeJSON(data []byte) (*Schedule, error) {
 				Path: route.Path(jb.Path), SwapTiles: jb.SwapTiles,
 			}
 		}
-		s.Layers = append(s.Layers, layer)
+		layers = append(layers, layer)
 	}
-	return s, nil
+	return Assemble(js.GridW, js.GridH, js.Reserved, js.Defects, js.Qubits, js.Initial, layers)
 }

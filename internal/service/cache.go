@@ -16,13 +16,17 @@ import (
 	"hilight/internal/obs"
 )
 
-// scheduleCache is a bounded, size-capped LRU of compile responses keyed
-// by their hilight.Fingerprint digest. Entries are immutable once
-// inserted; Get returns the shared pointer and callers must copy before
-// mutating (the handlers copy to flip the Cached flag).
+// scheduleCache is a bounded, size-capped LRU of stored compile results
+// keyed by their hilight.Fingerprint digest. Values hold the schedule in
+// the binary wire encoding, and the byte cap is charged each entry's
+// true encoded size (binary payload + marshaled metadata) — computed
+// here, on insert, so callers cannot under- or over-charge. Entries are
+// immutable once inserted; Get returns the shared pointer and callers
+// must copy before mutating (the handlers copy to flip the Cached flag).
 //
 // The cache meters itself under the cache/... family: hits, misses and
-// evictions counters plus bytes and entries gauges.
+// evictions counters plus bytes, encoded-bytes (the schedule payloads
+// alone) and entries gauges.
 type scheduleCache struct {
 	mu    sync.Mutex
 	max   int64 // capacity in bytes; <= 0 disables the cache
@@ -30,34 +34,36 @@ type scheduleCache struct {
 	ll    *list.List // front = most recently used
 	items map[string]*list.Element
 
-	hits, misses, evictions *obs.Counter
-	bytes, entries          *obs.Gauge
+	hits, misses, evictions      *obs.Counter
+	bytes, encodedBytes, entries *obs.Gauge
 }
 
 // cacheItem is one LRU entry: the key (so eviction can unlink the map
-// entry), the cached response, and its accounted size.
+// entry), the stored result, and its accounted sizes.
 type cacheItem struct {
-	key  string
-	resp *compileResponse
-	size int64
+	key     string
+	stored  *storedResult
+	size    int64
+	payload int64
 }
 
 func newScheduleCache(maxBytes int64, m *obs.Registry) *scheduleCache {
 	return &scheduleCache{
-		max:       maxBytes,
-		ll:        list.New(),
-		items:     make(map[string]*list.Element),
-		hits:      m.Counter("cache/hits"),
-		misses:    m.Counter("cache/misses"),
-		evictions: m.Counter("cache/evictions"),
-		bytes:     m.Gauge("cache/bytes"),
-		entries:   m.Gauge("cache/entries"),
+		max:          maxBytes,
+		ll:           list.New(),
+		items:        make(map[string]*list.Element),
+		hits:         m.Counter("cache/hits"),
+		misses:       m.Counter("cache/misses"),
+		evictions:    m.Counter("cache/evictions"),
+		bytes:        m.Gauge("cache/bytes"),
+		encodedBytes: m.Gauge("cache/encoded-bytes"),
+		entries:      m.Gauge("cache/entries"),
 	}
 }
 
-// Get returns the cached response for key, bumping its recency. The
+// Get returns the stored result for key, bumping its recency. The
 // returned pointer is shared: callers must treat it as read-only.
-func (c *scheduleCache) Get(key string) (*compileResponse, bool) {
+func (c *scheduleCache) Get(key string) (*storedResult, bool) {
 	if c.max <= 0 {
 		c.misses.Inc()
 		return nil, false
@@ -71,15 +77,17 @@ func (c *scheduleCache) Get(key string) (*compileResponse, bool) {
 	}
 	c.ll.MoveToFront(el)
 	c.hits.Inc()
-	return el.Value.(*cacheItem).resp, true
+	return el.Value.(*cacheItem).stored, true
 }
 
-// Put inserts resp under key, accounting size bytes against the cap and
-// evicting least-recently-used entries until the insert fits. An entry
-// larger than the whole cache is not stored. Re-inserting an existing
-// key refreshes its recency and keeps the first value (responses are
-// deterministic per key, so the values are interchangeable).
-func (c *scheduleCache) Put(key string, resp *compileResponse, size int64) {
+// Put inserts sr under key, charging its true encoded size (sizeOf)
+// against the cap and evicting least-recently-used entries until the
+// insert fits. An entry larger than the whole cache is not stored.
+// Re-inserting an existing key refreshes its recency and keeps the first
+// value (results are deterministic per key, so the values are
+// interchangeable).
+func (c *scheduleCache) Put(key string, sr *storedResult) {
+	size := sr.sizeOf()
 	if c.max <= 0 || size > c.max {
 		return
 	}
@@ -97,10 +105,12 @@ func (c *scheduleCache) Put(key string, resp *compileResponse, size int64) {
 		c.removeLocked(last)
 		c.evictions.Inc()
 	}
-	el := c.ll.PushFront(&cacheItem{key: key, resp: resp, size: size})
+	payload := sr.payloadSize()
+	el := c.ll.PushFront(&cacheItem{key: key, stored: sr, size: size, payload: payload})
 	c.items[key] = el
 	c.size += size
 	c.bytes.Add(size)
+	c.encodedBytes.Add(payload)
 	c.entries.Add(1)
 }
 
@@ -117,5 +127,6 @@ func (c *scheduleCache) removeLocked(el *list.Element) {
 	delete(c.items, it.key)
 	c.size -= it.size
 	c.bytes.Add(-it.size)
+	c.encodedBytes.Add(-it.payload)
 	c.entries.Add(-1)
 }

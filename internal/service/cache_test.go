@@ -7,25 +7,36 @@ import (
 	"hilight/internal/obs"
 )
 
-func respOfSize(n int) *compileResponse {
-	return &compileResponse{Schedule: make([]byte, n)}
+// storedOfSize builds a stored result whose binary schedule payload is
+// exactly n bytes; its total accounted size is n + metaSize().
+func storedOfSize(n int) *storedResult {
+	return &storedResult{ScheduleBin: make([]byte, n)}
+}
+
+// metaSize is the marshaled metadata footprint of a storedOfSize entry —
+// the non-payload share of its accounted size, measured (not assumed)
+// so the assertions below track the real accounting.
+func metaSize() int64 {
+	return (&storedResult{}).sizeOf()
 }
 
 func TestCacheHitMissEvict(t *testing.T) {
 	m := obs.NewRegistry()
-	c := newScheduleCache(3000, m)
+	meta := metaSize()
+	// Room for exactly three 1000-byte entries (payload + metadata).
+	c := newScheduleCache(3*(1000+meta), m)
 
 	if _, ok := c.Get("a"); ok {
 		t.Fatal("hit on empty cache")
 	}
-	c.Put("a", respOfSize(100), 1000)
-	c.Put("b", respOfSize(200), 1000)
-	if r, ok := c.Get("a"); !ok || len(r.Schedule) != 100 {
+	c.Put("a", storedOfSize(1000))
+	c.Put("b", storedOfSize(1000))
+	if r, ok := c.Get("a"); !ok || len(r.ScheduleBin) != 1000 {
 		t.Fatal("miss after insert")
 	}
 	// "a" is now most recent; inserting two more evicts "b" first.
-	c.Put("c", respOfSize(300), 1000)
-	c.Put("d", respOfSize(400), 1000)
+	c.Put("c", storedOfSize(1000))
+	c.Put("d", storedOfSize(1000))
 	if _, ok := c.Get("b"); ok {
 		t.Error("LRU entry b survived eviction")
 	}
@@ -43,18 +54,66 @@ func TestCacheHitMissEvict(t *testing.T) {
 	if v, _ := snap.Counter("cache/evictions"); v != 1 {
 		t.Errorf("cache/evictions = %d, want 1", v)
 	}
-	if v, _ := snap.Gauge("cache/bytes"); v != 3000 {
-		t.Errorf("cache/bytes = %d, want 3000", v)
+	if v, _ := snap.Gauge("cache/bytes"); v != 3*(1000+meta) {
+		t.Errorf("cache/bytes = %d, want %d", v, 3*(1000+meta))
+	}
+	if v, _ := snap.Gauge("cache/encoded-bytes"); v != 3000 {
+		t.Errorf("cache/encoded-bytes = %d, want 3000 (payload bytes only)", v)
 	}
 	if v, _ := snap.Gauge("cache/entries"); v != 3 {
 		t.Errorf("cache/entries = %d, want 3", v)
 	}
 }
 
+// TestCacheChargesEncodedSize pins the accounting contract: the cap is
+// charged each entry's true encoded size — binary payload plus marshaled
+// metadata — not a fixed-overhead estimate. A cap sized for N such
+// entries admits exactly N and evicts on the N+1th.
+func TestCacheChargesEncodedSize(t *testing.T) {
+	m := obs.NewRegistry()
+	entry := 1000 + metaSize()
+	c := newScheduleCache(4*entry, m)
+	for i := 0; i < 4; i++ {
+		c.Put(fmt.Sprint("k", i), storedOfSize(1000))
+	}
+	if c.Len() != 4 {
+		t.Fatalf("cap sized for 4 true-encoded entries holds %d", c.Len())
+	}
+	if v, _ := m.Snapshot().Counter("cache/evictions"); v != 0 {
+		t.Fatalf("%d evictions before the cap was reached", v)
+	}
+	c.Put("k4", storedOfSize(1000))
+	if c.Len() != 4 {
+		t.Errorf("len = %d after overflow insert, want 4", c.Len())
+	}
+	if v, _ := m.Snapshot().Counter("cache/evictions"); v != 1 {
+		t.Errorf("cache/evictions = %d after overflow insert, want 1", v)
+	}
+	// The accounted bytes reconcile exactly with entries × true size.
+	if v, _ := m.Snapshot().Gauge("cache/bytes"); v != 4*entry {
+		t.Errorf("cache/bytes = %d, want %d", v, 4*entry)
+	}
+}
+
+// TestCacheMetadataCharged pins that metadata isn't free: entries whose
+// payload alone would fit are still evicted when payload+metadata
+// exceeds the cap.
+func TestCacheMetadataCharged(t *testing.T) {
+	m := obs.NewRegistry()
+	meta := metaSize()
+	// Two 100-byte payloads fit by payload alone, but not with metadata.
+	c := newScheduleCache(2*100+meta, m)
+	c.Put("a", storedOfSize(100))
+	c.Put("b", storedOfSize(100))
+	if c.Len() != 1 {
+		t.Errorf("len = %d, want 1 — metadata bytes were not charged", c.Len())
+	}
+}
+
 func TestCacheOversizedEntrySkipped(t *testing.T) {
 	m := obs.NewRegistry()
 	c := newScheduleCache(100, m)
-	c.Put("huge", respOfSize(1), 101)
+	c.Put("huge", storedOfSize(101))
 	if c.Len() != 0 {
 		t.Error("entry larger than the cache was stored")
 	}
@@ -63,7 +122,7 @@ func TestCacheOversizedEntrySkipped(t *testing.T) {
 func TestCacheDisabled(t *testing.T) {
 	m := obs.NewRegistry()
 	c := newScheduleCache(-1, m)
-	c.Put("a", respOfSize(1), 10)
+	c.Put("a", storedOfSize(1))
 	if _, ok := c.Get("a"); ok {
 		t.Error("disabled cache served a hit")
 	}
@@ -74,22 +133,26 @@ func TestCacheDisabled(t *testing.T) {
 
 func TestCacheDuplicatePutKeepsAccounting(t *testing.T) {
 	m := obs.NewRegistry()
-	c := newScheduleCache(1000, m)
-	c.Put("a", respOfSize(1), 400)
-	c.Put("a", respOfSize(2), 400)
+	c := newScheduleCache(10000, m)
+	c.Put("a", storedOfSize(400))
+	c.Put("a", storedOfSize(500))
 	if c.Len() != 1 {
 		t.Fatalf("duplicate key stored twice")
 	}
-	if v, _ := m.Snapshot().Gauge("cache/bytes"); v != 400 {
-		t.Errorf("cache/bytes = %d after duplicate put, want 400", v)
+	if v, _ := m.Snapshot().Gauge("cache/bytes"); v != 400+metaSize() {
+		t.Errorf("cache/bytes = %d after duplicate put, want %d", v, 400+metaSize())
+	}
+	if r, _ := c.Get("a"); len(r.ScheduleBin) != 400 {
+		t.Errorf("duplicate put replaced the first value")
 	}
 }
 
 func TestCacheManyKeys(t *testing.T) {
 	m := obs.NewRegistry()
-	c := newScheduleCache(10*256, m)
+	entry := 256 + metaSize()
+	c := newScheduleCache(10*entry, m)
 	for i := 0; i < 100; i++ {
-		c.Put(fmt.Sprint("k", i), respOfSize(i), 256)
+		c.Put(fmt.Sprint("k", i), storedOfSize(256))
 	}
 	if c.Len() != 10 {
 		t.Fatalf("len = %d, want 10 (size-capped)", c.Len())

@@ -10,6 +10,7 @@ import (
 
 	"hilight"
 	"hilight/internal/obs"
+	"hilight/internal/wire"
 )
 
 // jobsRequest is the JSON body of POST /v1/jobs: a batch of circuits
@@ -62,16 +63,27 @@ type jobStatus struct {
 	// batch runs (fed by the batch's lifecycle events).
 	Finished int `json:"finished"`
 	// Results is present once Status is "done", in job order.
-	Results []jobResult `json:"results,omitempty"`
+	Results []jobResultView `json:"results,omitempty"`
 }
 
-// jobResult is one batch entry's outcome: a compile response or an
-// error, never both (the BatchResult invariant on the wire). Its zero
-// value means "no outcome yet" — the journal replay layer relies on
-// that to tell completed jobs from incomplete ones.
-type jobResult struct {
+// jobResultView is the poll-time rendering of one job's outcome for the
+// negotiated codec: the stored binary schedule either transcoded back to
+// JSON (the default, byte-identical to the historical responses) or
+// passed through as the base64 schedule_bin payload.
+type jobResultView struct {
 	Error  string           `json:"error,omitempty"`
 	Result *compileResponse `json:"result,omitempty"`
+}
+
+// jobResult is one batch entry's stored outcome: a stored result (with
+// the schedule in the binary wire encoding) or an error, never both (the
+// BatchResult invariant). This is also the journal's per-job completion
+// payload, so the journal carries the compact encoding. Its zero value
+// means "no outcome yet" — the journal replay layer relies on that to
+// tell completed jobs from incomplete ones.
+type jobResult struct {
+	Error  string        `json:"error,omitempty"`
+	Result *storedResult `json:"result,omitempty"`
 }
 
 // empty reports whether r carries no outcome.
@@ -258,7 +270,7 @@ func (s *jobStore) submit(req *jobsRequest, workers, routeWorkers int, defTimeou
 // journaled; an unsealed batch resurrects on the next startup.
 func (s *jobStore) run(j *batchJob, batch []hilight.BatchJob, fps []string, shared []hilight.Option, parallelism int, timeout time.Duration, pre []jobResult) {
 	defer s.wg.Done()
-	wire := make([]jobResult, len(batch))
+	out := make([]jobResult, len(batch))
 	var unjournaled atomic.Int64
 	record := func(i int, transient bool) {
 		if s.journal == nil {
@@ -268,7 +280,7 @@ func (s *jobStore) run(j *batchJob, batch []hilight.BatchJob, fps []string, shar
 			unjournaled.Add(1)
 			return
 		}
-		if err := s.journal.appendJob(j.id, i, &wire[i]); err != nil {
+		if err := s.journal.appendJob(j.id, i, &out[i]); err != nil {
 			unjournaled.Add(1)
 		}
 	}
@@ -279,15 +291,15 @@ func (s *jobStore) run(j *batchJob, batch []hilight.BatchJob, fps []string, shar
 	var subIdx []int
 	for i := range batch {
 		if pre != nil && !pre[i].empty() {
-			wire[i] = pre[i]
+			out[i] = pre[i]
 			j.finished.Add(1)
 			continue
 		}
 		if pre != nil && s.cache != nil {
-			if resp, ok := s.cache.Get(fps[i]); ok {
-				hit := *resp // shallow copy; Schedule bytes are immutable
+			if sr, ok := s.cache.Get(fps[i]); ok {
+				hit := *sr // shallow copy; ScheduleBin bytes are immutable
 				hit.Cached = true
-				wire[i] = jobResult{Result: &hit}
+				out[i] = jobResult{Result: &hit}
 				j.finished.Add(1)
 				record(i, false)
 				continue
@@ -321,18 +333,18 @@ func (s *jobStore) run(j *batchJob, batch []hilight.BatchJob, fps []string, shar
 			}),
 			hilight.WithJobDone(func(k int, br hilight.BatchResult) {
 				// subIdx entries are disjoint, so concurrent callbacks write
-				// disjoint wire slots; CompileAll's return is the fence that
+				// disjoint out slots; CompileAll's return is the fence that
 				// publishes them to this goroutine.
 				i := subIdx[k]
 				switch {
 				case br.Err != nil:
-					wire[i] = jobResult{Error: br.Err.Error()}
+					out[i] = jobResult{Error: br.Err.Error()}
 				default:
-					resp, err := newCompileResponse(fps[i], br.Result)
+					sr, err := newStoredResult(fps[i], br.Result)
 					if err != nil {
-						wire[i] = jobResult{Error: err.Error()}
+						out[i] = jobResult{Error: err.Error()}
 					} else {
-						wire[i] = jobResult{Result: resp}
+						out[i] = jobResult{Result: sr}
 					}
 				}
 				record(i, errors.Is(br.Err, hilight.ErrCanceled))
@@ -354,7 +366,7 @@ func (s *jobStore) run(j *batchJob, batch []hilight.BatchJob, fps []string, shar
 	}
 
 	j.mu.Lock()
-	j.results = wire
+	j.results = out
 	j.mu.Unlock()
 	close(j.done)
 	s.completed.Inc()
@@ -420,8 +432,11 @@ func (s *jobStore) restore(batches []*replayBatch, workers, routeWorkers int, de
 	}
 }
 
-// status returns the batch's poll view.
-func (s *jobStore) status(id string) (*jobStatus, bool) {
+// status returns the batch's poll view, rendering each stored outcome
+// for the negotiated codec. JSON transcoding of a stored schedule is
+// deterministic, so repeated polls of a sealed batch stay byte-identical
+// — the resilience and chaos guarantees ride on that.
+func (s *jobStore) status(id string, codec wire.Codec) (*jobStatus, bool) {
 	s.mu.Lock()
 	j, ok := s.jobs[id]
 	s.mu.Unlock()
@@ -434,8 +449,21 @@ func (s *jobStore) status(id string) (*jobStatus, bool) {
 		st.Status = "done"
 		st.Finished = j.count
 		j.mu.Lock()
-		st.Results = j.results
+		results := j.results
 		j.mu.Unlock()
+		st.Results = make([]jobResultView, len(results))
+		for i := range results {
+			if r := results[i].Result; r != nil {
+				resp, err := r.response(codec)
+				if err != nil {
+					st.Results[i] = jobResultView{Error: err.Error()}
+					continue
+				}
+				st.Results[i] = jobResultView{Result: resp}
+			} else {
+				st.Results[i] = jobResultView{Error: results[i].Error}
+			}
+		}
 	default:
 		st.Status = "running"
 		st.Finished = int(j.finished.Load())

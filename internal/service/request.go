@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"hilight"
+	"hilight/internal/wire"
 )
 
 // compileRequest is the JSON body of POST /v1/compile and each entry of
@@ -191,7 +192,10 @@ type stageTrace struct {
 // compileResponse is the JSON body of a successful compile: the content
 // address, the schedule, and the metrics/trace of the compile that
 // produced it. Cached responses carry the original compile's runtime and
-// trace with Cached set.
+// trace with Cached set. Exactly one of Schedule and ScheduleBin is set,
+// by content negotiation: the default JSON form carries the schedule
+// inline, an Accept: application/x-hilight-sched request gets the binary
+// wire payload (base64 in the JSON envelope) instead.
 type compileResponse struct {
 	Fingerprint    string          `json:"fingerprint"`
 	Cached         bool            `json:"cached"`
@@ -203,16 +207,39 @@ type compileResponse struct {
 	ResUtil        float64         `json:"resutil"`
 	RuntimeNS      int64           `json:"runtime_ns"`
 	Trace          []stageTrace    `json:"trace,omitempty"`
-	Schedule       json.RawMessage `json:"schedule"`
+	Schedule       json.RawMessage `json:"schedule,omitempty"`
+	ScheduleBin    []byte          `json:"schedule_bin,omitempty"`
 }
 
-// newCompileResponse converts a compile result to its wire form.
-func newCompileResponse(fingerprint string, res *hilight.Result) (*compileResponse, error) {
-	schedJSON, err := hilight.EncodeScheduleJSON(res.Schedule)
+// storedResult is the canonical stored form of a successful compile: the
+// response metadata plus the schedule in the binary wire encoding. It is
+// both the schedule cache's value and the journal's per-job completion
+// payload (base64 inside the JSONL envelope), so the cache cap and the
+// journal are charged the compact encoding — the HTTP layer transcodes
+// to JSON on demand. Stored entries are immutable and shared; copy
+// before flipping Cached.
+type storedResult struct {
+	Fingerprint    string       `json:"fingerprint"`
+	Cached         bool         `json:"cached"`
+	Method         string       `json:"method"`
+	Degraded       bool         `json:"degraded,omitempty"`
+	FallbackMethod string       `json:"fallback_method,omitempty"`
+	LatencyCycles  int          `json:"latency_cycles"`
+	PathLen        int          `json:"path_len"`
+	ResUtil        float64      `json:"resutil"`
+	RuntimeNS      int64        `json:"runtime_ns"`
+	Trace          []stageTrace `json:"trace,omitempty"`
+	ScheduleBin    []byte       `json:"schedule_bin"`
+}
+
+// newStoredResult converts a compile result to its stored form, encoding
+// the schedule with the binary codec.
+func newStoredResult(fingerprint string, res *hilight.Result) (*storedResult, error) {
+	bin, err := wire.Binary.Encode(res.Schedule)
 	if err != nil {
 		return nil, fmt.Errorf("encode schedule: %w", err)
 	}
-	resp := &compileResponse{
+	sr := &storedResult{
 		Fingerprint:    fingerprint,
 		Method:         res.Method,
 		Degraded:       res.Degraded,
@@ -221,27 +248,79 @@ func newCompileResponse(fingerprint string, res *hilight.Result) (*compileRespon
 		PathLen:        res.PathLen,
 		ResUtil:        res.ResUtil,
 		RuntimeNS:      res.Runtime.Nanoseconds(),
-		Schedule:       schedJSON,
+		ScheduleBin:    bin,
 	}
 	for _, st := range res.Trace {
-		wire := stageTrace{Stage: st.Stage, DurationNS: st.Duration.Nanoseconds()}
+		tr := stageTrace{Stage: st.Stage, DurationNS: st.Duration.Nanoseconds()}
 		if len(st.Counters) > 0 {
-			wire.Counters = make(map[string]int64, len(st.Counters))
+			tr.Counters = make(map[string]int64, len(st.Counters))
 			for _, c := range st.Counters {
-				wire.Counters[c.Name] = c.Value
+				tr.Counters[c.Name] = c.Value
 			}
 		}
-		resp.Trace = append(resp.Trace, wire)
+		sr.Trace = append(sr.Trace, tr)
 	}
+	return sr, nil
+}
+
+// meta returns the response envelope without a schedule payload — the
+// shared first step of both content negotiations (and the streaming
+// trailer's metadata frame).
+func (sr *storedResult) meta() *compileResponse {
+	return &compileResponse{
+		Fingerprint:    sr.Fingerprint,
+		Cached:         sr.Cached,
+		Method:         sr.Method,
+		Degraded:       sr.Degraded,
+		FallbackMethod: sr.FallbackMethod,
+		LatencyCycles:  sr.LatencyCycles,
+		PathLen:        sr.PathLen,
+		ResUtil:        sr.ResUtil,
+		RuntimeNS:      sr.RuntimeNS,
+		Trace:          sr.Trace,
+	}
+}
+
+// response renders the stored result for the negotiated codec: the JSON
+// codec transcodes the stored binary schedule back to the canonical JSON
+// form (byte-stable — decode+re-encode of a schedule is deterministic),
+// the binary codec passes the stored payload through untouched.
+func (sr *storedResult) response(c wire.Codec) (*compileResponse, error) {
+	resp := sr.meta()
+	if c.Name() == wire.Binary.Name() {
+		resp.ScheduleBin = sr.ScheduleBin
+		return resp, nil
+	}
+	s, err := wire.Binary.Decode(sr.ScheduleBin)
+	if err != nil {
+		return nil, fmt.Errorf("stored schedule corrupt: %w", err)
+	}
+	schedJSON, err := hilight.EncodeScheduleJSON(s)
+	if err != nil {
+		return nil, fmt.Errorf("encode schedule: %w", err)
+	}
+	resp.Schedule = schedJSON
 	return resp, nil
 }
 
-// sizeOf approximates the response's cache footprint: the dominant
-// schedule payload plus a fixed overhead for the metadata.
-func (r *compileResponse) sizeOf() int64 {
-	const overhead = 512
-	return int64(len(r.Schedule)) + overhead
+// sizeOf is the stored result's cache footprint: the binary schedule
+// payload plus the actual marshaled size of the metadata — the true
+// encoded size, not an estimate, so the byte cap admits exactly as many
+// entries as their encodings occupy.
+func (sr *storedResult) sizeOf() int64 {
+	meta := *sr
+	meta.ScheduleBin = nil
+	b, err := json.Marshal(&meta)
+	if err != nil {
+		// Unreachable for the field types involved; stay conservative.
+		return int64(len(sr.ScheduleBin)) + 512
+	}
+	return int64(len(sr.ScheduleBin) + len(b))
 }
+
+// payloadSize is the schedule payload's share of sizeOf, metered under
+// cache/encoded-bytes.
+func (sr *storedResult) payloadSize() int64 { return int64(len(sr.ScheduleBin)) }
 
 // apiError is an error with an HTTP status; handlers render it as the
 // JSON error envelope.

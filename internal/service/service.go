@@ -5,14 +5,17 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"runtime/debug"
 	"strconv"
+	"strings"
 	"time"
 
 	"hilight"
 	"hilight/internal/obs"
+	"hilight/internal/wire"
 )
 
 // Config sizes a Server. The zero value is usable: every field has a
@@ -180,7 +183,7 @@ func (s *Server) warmCache(batches []*replayBatch) {
 			}
 			cp := *r
 			cp.Cached = false // stored form; Get flips the flag on hits
-			s.cache.Put(cp.Fingerprint, &cp, cp.sizeOf())
+			s.cache.Put(cp.Fingerprint, &cp)
 		}
 	}
 }
@@ -241,6 +244,15 @@ func (t *trackedWriter) Write(b []byte) (int, error) {
 	return t.ResponseWriter.Write(b)
 }
 
+// Flush forwards to the wrapped writer so the streaming path can push
+// frames through the recovery middleware (no-op if the transport can't
+// flush).
+func (t *trackedWriter) Flush() {
+	if f, ok := t.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // Metrics returns the registry the server meters into (and serves at
 // GET /metrics).
 func (s *Server) Metrics() *obs.Registry { return s.cfg.Metrics }
@@ -271,7 +283,12 @@ func (s *Server) Kill() {
 }
 
 // handleCompile serves POST /v1/compile: fingerprint, cache lookup,
-// admission, compile, cache fill.
+// admission, compile, cache fill. The response form is negotiated: the
+// default is the historical JSON envelope, Accept:
+// application/x-hilight-sched answers the raw binary schedule with the
+// envelope metadata in X-Hilight-* headers, and ?stream=1 switches to a
+// chunked layer stream fed by the router's emit hook while the compile
+// is still running.
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	s.requests.Inc()
 	t0 := time.Now()
@@ -289,6 +306,21 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		rw := s.cfg.RouteWorkers
 		req.RouteWorkers = &rw
 	}
+	codec := negotiate(r)
+	streaming := r.URL.Query().Get("stream") == "1"
+	if streaming {
+		// Streamed frames are the router's raw per-cycle output; options
+		// that rewrite or restart the schedule after routing would make the
+		// stream disagree with (compact) or duplicate (fallback) it.
+		if req.Compact {
+			s.fail(w, badRequest("stream=1 cannot be combined with compact: compaction rewrites layers after routing"))
+			return
+		}
+		if len(req.Fallback) > 0 {
+			s.fail(w, badRequest("stream=1 cannot be combined with fallback: a fallback compile restarts routing mid-stream"))
+			return
+		}
+	}
 	c, g, opts, err := req.build()
 	if err != nil {
 		s.fail(w, err)
@@ -301,11 +333,14 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if !req.NoCache {
-		if resp, ok := s.cache.Get(fp); ok {
-			hit := *resp // shallow copy; Schedule bytes are immutable
+		if sr, ok := s.cache.Get(fp); ok {
+			hit := *sr // shallow copy; ScheduleBin bytes are immutable
 			hit.Cached = true
-			s.succeeded.Inc()
-			writeJSON(w, http.StatusOK, &hit)
+			if streaming {
+				s.streamStored(w, &hit)
+				return
+			}
+			s.respond(w, codec, &hit)
 			return
 		}
 	}
@@ -329,9 +364,24 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 			routeCycleHook(cs)
 		}),
 	)
+	var enc *wire.StreamEncoder
+	if streaming {
+		// The stream goes out under a 200 the moment the router seals its
+		// first cycle. Errors after that point can only be delivered
+		// in-band as an 'X' frame.
+		w.Header().Set("Content-Type", wire.StreamContentType)
+		w.Header().Set("X-Hilight-Fingerprint", fp)
+		enc = wire.NewStreamEncoder(flushingWriter(w))
+		opts = append(opts, hilight.WithScheduleSink(enc))
+	}
 	res, err := hilight.Compile(c, g, opts...)
 	stopWd()
 	if err != nil {
+		if enc != nil && enc.Started() {
+			s.failed.Inc()
+			_ = enc.Abort(err.Error())
+			return
+		}
 		if stalled(wctx) {
 			s.watchdog.aborted.Inc()
 			s.fail(w, &apiError{Status: http.StatusGatewayTimeout,
@@ -341,16 +391,118 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		s.failCompile(w, r, err)
 		return
 	}
-	resp, err := newCompileResponse(fp, res)
+	sr, err := newStoredResult(fp, res)
 	if err != nil {
+		if enc != nil && enc.Started() {
+			s.failed.Inc()
+			_ = enc.Abort(err.Error())
+			return
+		}
 		s.fail(w, &apiError{Status: 500, Message: err.Error()})
 		return
 	}
 	if !req.NoCache {
-		s.cache.Put(fp, resp, resp.sizeOf())
+		s.cache.Put(fp, sr)
+	}
+	if enc != nil {
+		// The layers already went out frame by frame; seal the stream with
+		// the metadata trailer the JSON envelope would have carried.
+		s.succeeded.Inc()
+		meta, _ := json.Marshal(sr.meta())
+		_ = enc.End(meta)
+		return
+	}
+	s.respond(w, codec, sr)
+}
+
+// negotiate picks the response codec from the Accept header: an explicit
+// application/x-hilight-sched selects the binary codec; everything else
+// — absent, application/json, */* — keeps the historical JSON default.
+func negotiate(r *http.Request) wire.Codec {
+	for _, accept := range r.Header.Values("Accept") {
+		for _, part := range strings.Split(accept, ",") {
+			mt := strings.TrimSpace(part)
+			if i := strings.IndexByte(mt, ';'); i >= 0 {
+				mt = strings.TrimSpace(mt[:i])
+			}
+			if c, ok := wire.ByContentType(mt); ok && c.Name() != wire.JSON.Name() {
+				return c
+			}
+		}
+	}
+	return wire.JSON
+}
+
+// respond renders a stored result for the negotiated codec. JSON keeps
+// the historical enveloped response, byte for byte. The binary codec
+// answers the raw wire payload as the body with the envelope metadata
+// lifted into X-Hilight-* headers — no base64, no envelope tax.
+func (s *Server) respond(w http.ResponseWriter, codec wire.Codec, sr *storedResult) {
+	if codec.Name() == wire.Binary.Name() {
+		h := w.Header()
+		h.Set("Content-Type", codec.ContentType())
+		h.Set("Content-Length", strconv.Itoa(len(sr.ScheduleBin)))
+		h.Set("X-Hilight-Fingerprint", sr.Fingerprint)
+		h.Set("X-Hilight-Cached", strconv.FormatBool(sr.Cached))
+		h.Set("X-Hilight-Method", sr.Method)
+		h.Set("X-Hilight-Latency-Cycles", strconv.Itoa(sr.LatencyCycles))
+		if sr.Degraded {
+			h.Set("X-Hilight-Fallback-Method", sr.FallbackMethod)
+		}
+		s.succeeded.Inc()
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(sr.ScheduleBin)
+		return
+	}
+	resp, err := sr.response(codec)
+	if err != nil {
+		s.fail(w, &apiError{Status: 500, Message: err.Error()})
+		return
 	}
 	s.succeeded.Inc()
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// streamStored replays a cached schedule as a layer stream: the frames
+// come from the stored binary payload instead of a live router, so a
+// cache hit and a fresh compile are indistinguishable to a stream
+// consumer (apart from the metadata trailer's cached flag).
+func (s *Server) streamStored(w http.ResponseWriter, sr *storedResult) {
+	schd, err := wire.Binary.Decode(sr.ScheduleBin)
+	if err != nil {
+		s.fail(w, &apiError{Status: 500, Message: fmt.Sprintf("stored schedule corrupt: %v", err)})
+		return
+	}
+	meta, _ := json.Marshal(sr.meta())
+	w.Header().Set("Content-Type", wire.StreamContentType)
+	w.Header().Set("X-Hilight-Fingerprint", sr.Fingerprint)
+	s.succeeded.Inc()
+	// A write error means the client went away; nothing recoverable.
+	_ = wire.StreamSchedule(wire.NewStreamEncoder(flushingWriter(w)), schd, meta)
+}
+
+// flushWriter pushes every frame to the client as it is written — the
+// point of ?stream=1 is holding layer 0 before the compile finishes, so
+// frames must not sit in the response buffer.
+type flushWriter struct {
+	w http.ResponseWriter
+	f http.Flusher
+}
+
+func flushingWriter(w http.ResponseWriter) io.Writer {
+	fw := &flushWriter{w: w}
+	if f, ok := w.(http.Flusher); ok {
+		fw.f = f
+	}
+	return fw
+}
+
+func (fw *flushWriter) Write(p []byte) (int, error) {
+	n, err := fw.w.Write(p)
+	if fw.f != nil {
+		fw.f.Flush()
+	}
+	return n, err
 }
 
 // handleJobsSubmit serves POST /v1/jobs.
@@ -382,7 +534,7 @@ func (s *Server) handleJobsSubmit(w http.ResponseWriter, r *http.Request) {
 // handleJobsStatus serves GET /v1/jobs/{id}.
 func (s *Server) handleJobsStatus(w http.ResponseWriter, r *http.Request) {
 	s.requests.Inc()
-	st, ok := s.jobs.status(r.PathValue("id"))
+	st, ok := s.jobs.status(r.PathValue("id"), negotiate(r))
 	if !ok {
 		s.fail(w, &apiError{Status: 404, Message: fmt.Sprintf("unknown job %q", r.PathValue("id"))})
 		return

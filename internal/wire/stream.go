@@ -1,0 +1,338 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"hilight/internal/grid"
+	"hilight/internal/sched"
+)
+
+// Layer stream format v1.
+//
+// A stream opens with the 4-byte header 'H' 'L' 'T' <version> and then
+// carries self-delimiting frames:
+//
+//	kind byte | uvarint payload length | payload
+//
+// Frame kinds:
+//
+//	'G'  grid preamble — the schedule minus its layers (appendPreamble
+//	     payload). Always the first frame, exactly once.
+//	'L'  one braiding layer (appendLayer payload), in cycle order. The
+//	     router emits these as it seals each cycle, so a client holds
+//	     layer 0 before the compile finishes.
+//	'E'  end of stream; payload is free-form metadata (the service puts
+//	     the compile metrics JSON here). Terminal.
+//	'X'  abort; payload is a UTF-8 error message. Terminal — emitted
+//	     when the compile fails after frames were already flushed, since
+//	     HTTP status is long gone by then.
+//
+// A well-formed stream is G L* (E|X).
+const (
+	FrameGrid  byte = 'G'
+	FrameLayer byte = 'L'
+	FrameEnd   byte = 'E'
+	FrameError byte = 'X'
+
+	// maxFramePayload bounds a single frame so a hostile length prefix
+	// cannot force a giant allocation. The largest real payload is a
+	// preamble for a MaxGridTiles grid, far below this.
+	maxFramePayload = 1 << 26
+)
+
+// StreamContentType is the MIME type of a layer stream.
+const StreamContentType = "application/x-hilight-sched-stream"
+
+// StreamEncoder writes a layer stream. It is not safe for concurrent
+// use; the router's emit hook calls it from a single goroutine. Every
+// frame is written with a single Write call so an http.Flusher can push
+// whole frames. The first error sticks: later calls return it unchanged.
+type StreamEncoder struct {
+	w       io.Writer
+	started bool
+	done    bool
+	err     error
+}
+
+// NewStreamEncoder returns an encoder writing to w. Nothing is written
+// until Start.
+func NewStreamEncoder(w io.Writer) *StreamEncoder { return &StreamEncoder{w: w} }
+
+func (e *StreamEncoder) frame(kind byte, payload []byte) error {
+	if e.err != nil {
+		return e.err
+	}
+	if e.done {
+		e.err = fmt.Errorf("wire: frame %q after stream end", kind)
+		return e.err
+	}
+	buf := make([]byte, 0, 1+binary.MaxVarintLen64+len(payload))
+	buf = append(buf, kind)
+	buf = binary.AppendUvarint(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+	if _, err := e.w.Write(buf); err != nil {
+		e.err = err
+	}
+	return e.err
+}
+
+// Start writes the stream header and the 'G' preamble frame.
+func (e *StreamEncoder) Start(g *grid.Grid, initial *grid.Layout) error {
+	if e.err != nil {
+		return e.err
+	}
+	if e.started {
+		e.err = fmt.Errorf("wire: stream started twice")
+		return e.err
+	}
+	payload, err := appendPreamble(nil, g, initial)
+	if err != nil {
+		e.err = err
+		return err
+	}
+	if _, err := e.w.Write(header(kindStream)); err != nil {
+		e.err = err
+		return err
+	}
+	e.started = true
+	return e.frame(FrameGrid, payload)
+}
+
+// Layer writes one 'L' frame. The layer is encoded before returning, so
+// the caller (the router, whose layer buffers are arena-backed and
+// reused) may invalidate it afterwards.
+func (e *StreamEncoder) Layer(layer sched.Layer) error {
+	if e.err == nil && !e.started {
+		e.err = fmt.Errorf("wire: layer frame before start")
+		return e.err
+	}
+	return e.frame(FrameLayer, appendLayer(nil, layer))
+}
+
+// End terminates the stream with an 'E' frame carrying meta (may be nil).
+func (e *StreamEncoder) End(meta []byte) error {
+	if e.err == nil && !e.started {
+		e.err = fmt.Errorf("wire: end frame before start")
+		return e.err
+	}
+	if err := e.frame(FrameEnd, meta); err != nil {
+		return err
+	}
+	e.done = true
+	return nil
+}
+
+// Abort terminates the stream with an 'X' frame carrying msg. Valid even
+// before Start (the header is written first if needed) so transport
+// errors are always expressible in-band.
+func (e *StreamEncoder) Abort(msg string) error {
+	if e.err != nil {
+		return e.err
+	}
+	if !e.started {
+		if _, err := e.w.Write(header(kindStream)); err != nil {
+			e.err = err
+			return err
+		}
+		e.started = true
+	}
+	if err := e.frame(FrameError, []byte(msg)); err != nil {
+		return err
+	}
+	e.done = true
+	return nil
+}
+
+// Err returns the sticky error, if any.
+func (e *StreamEncoder) Err() error { return e.err }
+
+// Started reports whether the stream header has been written — once true,
+// errors can only be delivered in-band via Abort, not as an HTTP status.
+func (e *StreamEncoder) Started() bool { return e.started }
+
+// OnStart and OnLayer make a StreamEncoder a core.ScheduleSink (and a
+// hilight.ScheduleSink), so it plugs straight into the router's emit
+// hook: frames flow to the writer while the compile is still routing.
+// The cycle argument is implied by frame order and dropped.
+
+// OnStart implements the schedule-sink interface via Start.
+func (e *StreamEncoder) OnStart(g *grid.Grid, initial *grid.Layout) error {
+	return e.Start(g, initial)
+}
+
+// OnLayer implements the schedule-sink interface via Layer.
+func (e *StreamEncoder) OnLayer(cycle int, layer sched.Layer) error {
+	return e.Layer(layer)
+}
+
+// Frame is one decoded stream frame.
+type Frame struct {
+	Kind    byte
+	Payload []byte
+}
+
+// StreamDecoder reads a layer stream incrementally from r.
+type StreamDecoder struct {
+	r      io.Reader
+	header bool
+	done   bool
+}
+
+// NewStreamDecoder returns a decoder reading from r.
+func NewStreamDecoder(r io.Reader) *StreamDecoder { return &StreamDecoder{r: r} }
+
+// Next returns the next frame, validating the stream header on first
+// call. After a terminal frame ('E' or 'X') it returns io.EOF.
+func (d *StreamDecoder) Next() (Frame, error) {
+	if d.done {
+		return Frame{}, io.EOF
+	}
+	if !d.header {
+		var h [headerLen]byte
+		if _, err := io.ReadFull(d.r, h[:]); err != nil {
+			return Frame{}, fmt.Errorf("wire: stream header: %w", err)
+		}
+		if _, err := checkHeader(h[:], kindStream); err != nil {
+			return Frame{}, err
+		}
+		d.header = true
+	}
+	var kb [1]byte
+	if _, err := io.ReadFull(d.r, kb[:]); err != nil {
+		if err == io.EOF {
+			return Frame{}, fmt.Errorf("wire: stream truncated before terminal frame")
+		}
+		return Frame{}, err
+	}
+	kind := kb[0]
+	switch kind {
+	case FrameGrid, FrameLayer, FrameEnd, FrameError:
+	default:
+		return Frame{}, fmt.Errorf("wire: bad frame kind %#x", kind)
+	}
+	n, err := readUvarint(d.r)
+	if err != nil {
+		return Frame{}, fmt.Errorf("wire: frame %q length: %w", kind, err)
+	}
+	if n > maxFramePayload {
+		return Frame{}, fmt.Errorf("wire: frame %q payload %d exceeds limit", kind, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(d.r, payload); err != nil {
+		return Frame{}, fmt.Errorf("wire: frame %q payload: %w", kind, err)
+	}
+	if kind == FrameEnd || kind == FrameError {
+		d.done = true
+	}
+	return Frame{Kind: kind, Payload: payload}, nil
+}
+
+// readUvarint reads a varint byte-by-byte (frames are length-prefixed so
+// the reader must not over-read past the varint).
+func readUvarint(r io.Reader) (uint64, error) {
+	var x uint64
+	var s uint
+	var b [1]byte
+	for i := 0; i < binary.MaxVarintLen64; i++ {
+		if _, err := io.ReadFull(r, b[:]); err != nil {
+			return 0, err
+		}
+		c := b[0]
+		if c < 0x80 {
+			if i == binary.MaxVarintLen64-1 && c > 1 {
+				return 0, fmt.Errorf("uvarint overflow")
+			}
+			return x | uint64(c)<<s, nil
+		}
+		x |= uint64(c&0x7f) << s
+		s += 7
+	}
+	return 0, fmt.Errorf("uvarint overflow")
+}
+
+// DecodeGridFrame decodes a 'G' payload into the grid and initial layout
+// (as a partial schedule with no layers).
+func DecodeGridFrame(payload []byte) (*sched.Schedule, error) {
+	r := &reader{b: payload}
+	pre, err := decodePreamble(r)
+	if err != nil {
+		return nil, err
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes in grid frame", r.remaining())
+	}
+	return sched.Assemble(pre.gridW, pre.gridH, pre.reserved, pre.defects, pre.qubits, pre.initial, nil)
+}
+
+// DecodeLayerFrame decodes an 'L' payload.
+func DecodeLayerFrame(payload []byte) (sched.Layer, error) {
+	r := &reader{b: payload}
+	layer, err := decodeLayer(r)
+	if err != nil {
+		return nil, err
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes in layer frame", r.remaining())
+	}
+	return layer, nil
+}
+
+// ReadStream consumes an entire layer stream and reassembles the
+// schedule, returning the 'E' frame's metadata alongside. An 'X' frame
+// becomes an error carrying the remote message.
+func ReadStream(r io.Reader) (*sched.Schedule, []byte, error) {
+	d := NewStreamDecoder(r)
+	var s *sched.Schedule
+	var meta []byte
+	for {
+		f, err := d.Next()
+		if err == io.EOF {
+			return s, meta, nil
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		switch f.Kind {
+		case FrameGrid:
+			if s != nil {
+				return nil, nil, fmt.Errorf("wire: duplicate grid frame")
+			}
+			if s, err = DecodeGridFrame(f.Payload); err != nil {
+				return nil, nil, err
+			}
+		case FrameLayer:
+			if s == nil {
+				return nil, nil, fmt.Errorf("wire: layer frame before grid frame")
+			}
+			layer, err := DecodeLayerFrame(f.Payload)
+			if err != nil {
+				return nil, nil, err
+			}
+			s.Layers = append(s.Layers, layer)
+		case FrameEnd:
+			if s == nil {
+				return nil, nil, fmt.Errorf("wire: end frame before grid frame")
+			}
+			meta = f.Payload
+		case FrameError:
+			return nil, nil, fmt.Errorf("wire: remote error: %s", f.Payload)
+		}
+	}
+}
+
+// StreamSchedule replays an already-complete schedule as a stream —
+// the service uses it to serve ?stream=1 on a cache hit, where no live
+// router is producing layers.
+func StreamSchedule(e *StreamEncoder, s *sched.Schedule, meta []byte) error {
+	if err := e.Start(s.Grid, s.Initial); err != nil {
+		return err
+	}
+	for _, layer := range s.Layers {
+		if err := e.Layer(layer); err != nil {
+			return err
+		}
+	}
+	return e.End(meta)
+}

@@ -1,0 +1,136 @@
+// Package wire is the serialization layer of the HiLight stack: an
+// explicit codec registry that every tier — the service schedule cache,
+// the job journal, the HTTP API, and the CLIs — routes schedule and
+// defect-map bytes through, instead of hard-coding one encoding.
+//
+// Two codecs are registered:
+//
+//   - "json": the verbose, human-readable debug/interop format. It
+//     delegates to the original sched/grid JSON encoders, so its bytes
+//     are exactly what the repo has always produced (the golden fixtures
+//     pin this).
+//   - "binary": a compact, versioned, schema-assumed binary format
+//     (magic+version header, varint integers, delta-encoded braiding
+//     path vertices, bitset defect masks; no embedded compression) — the
+//     LightWeight-objective encoding for caches and high-volume clients.
+//
+// The package also defines the frame-based streaming form of a schedule
+// (see stream.go): braiding layers encoded and emitted one frame at a
+// time while the router produces them, so a client can consume cycle 0
+// before the compile finishes.
+package wire
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"hilight/internal/grid"
+	"hilight/internal/sched"
+)
+
+// Codec is one schedule/defect-map serialization. Implementations must
+// be stateless and safe for concurrent use; Encode must be byte-stable
+// (equal inputs yield equal bytes) because cache keys, goldens, and the
+// chaos harness's determinism ledger all rely on it.
+type Codec interface {
+	// Name is the registry key ("json", "binary") — also the value of
+	// the CLI -format flag and the service's ?format= parameter.
+	Name() string
+	// ContentType is the MIME type used for HTTP content negotiation.
+	ContentType() string
+	// Encode serializes a schedule (with its grid, reserved tiles,
+	// defects, and initial layout).
+	Encode(s *sched.Schedule) ([]byte, error)
+	// Decode reconstructs a schedule from Encode output. The result
+	// still needs sched.Validate against the matching circuit before
+	// being trusted.
+	Decode(data []byte) (*sched.Schedule, error)
+	// EncodeDefects serializes a standalone defect map.
+	EncodeDefects(d *grid.DefectMap) ([]byte, error)
+	// DecodeDefects reconstructs a defect map from EncodeDefects output.
+	DecodeDefects(data []byte) (*grid.DefectMap, error)
+}
+
+// The registered codecs, also reachable by name via Lookup.
+var (
+	// JSON is the debug/interop codec: byte-identical to the historical
+	// sched.EncodeJSON / grid.EncodeDefects output.
+	JSON Codec = jsonCodec{}
+	// Binary is the versioned compact codec (see binary.go for the frame
+	// layout).
+	Binary Codec = binaryCodec{}
+)
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Codec{}
+	byCT     = map[string]Codec{}
+)
+
+func init() {
+	Register(JSON)
+	Register(Binary)
+}
+
+// Register adds a codec under its Name and ContentType. Registering a
+// duplicate name or content type panics — codec identity is a wire
+// contract, not something to silently overwrite.
+func Register(c Codec) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[c.Name()]; dup {
+		panic(fmt.Sprintf("wire: duplicate codec name %q", c.Name()))
+	}
+	if _, dup := byCT[c.ContentType()]; dup {
+		panic(fmt.Sprintf("wire: duplicate codec content type %q", c.ContentType()))
+	}
+	registry[c.Name()] = c
+	byCT[c.ContentType()] = c
+}
+
+// Lookup returns the codec registered under name.
+func Lookup(name string) (Codec, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	c, ok := registry[name]
+	return c, ok
+}
+
+// ByContentType returns the codec whose ContentType matches ct exactly
+// (parameters stripped by the caller).
+func ByContentType(ct string) (Codec, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	c, ok := byCT[ct]
+	return c, ok
+}
+
+// Names lists the registered codec names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// jsonCodec adapts the historical JSON encoders to the Codec interface.
+// Its bytes are pinned by the existing golden fixtures: it MUST stay a
+// pure delegation.
+type jsonCodec struct{}
+
+func (jsonCodec) Name() string        { return "json" }
+func (jsonCodec) ContentType() string { return "application/json" }
+
+func (jsonCodec) Encode(s *sched.Schedule) ([]byte, error) { return sched.EncodeJSON(s) }
+func (jsonCodec) Decode(data []byte) (*sched.Schedule, error) {
+	return sched.DecodeJSON(data)
+}
+func (jsonCodec) EncodeDefects(d *grid.DefectMap) ([]byte, error) { return grid.EncodeDefects(d) }
+func (jsonCodec) DecodeDefects(data []byte) (*grid.DefectMap, error) {
+	return grid.DecodeDefects(data)
+}

@@ -1,0 +1,90 @@
+package hilight_test
+
+import (
+	"bytes"
+	"testing"
+
+	"hilight"
+	"hilight/internal/wire"
+)
+
+// TestScheduleSinkStreamsCompile pins the emit-hook contract end to end:
+// compiling with a wire.StreamEncoder sink produces a frame stream that
+// reassembles into exactly the schedule Compile returns — for both the
+// sequential and the parallel route pass.
+func TestScheduleSinkStreamsCompile(t *testing.T) {
+	c := hilight.QFT(10)
+	for _, method := range []string{"hilight", "hilight-parallel"} {
+		t.Run(method, func(t *testing.T) {
+			g := hilight.RectGrid(c.NumQubits)
+			var buf bytes.Buffer
+			enc := wire.NewStreamEncoder(&buf)
+			res, err := hilight.Compile(c, g,
+				hilight.WithMethod(method),
+				hilight.WithScheduleSink(enc))
+			if err != nil {
+				t.Fatalf("Compile: %v", err)
+			}
+			if err := enc.End(nil); err != nil {
+				t.Fatalf("End: %v", err)
+			}
+			streamed, _, err := wire.ReadStream(&buf)
+			if err != nil {
+				t.Fatalf("ReadStream: %v", err)
+			}
+			want, err := hilight.EncodeScheduleJSON(res.Schedule)
+			if err != nil {
+				t.Fatalf("EncodeScheduleJSON(result): %v", err)
+			}
+			got, err := hilight.EncodeScheduleJSON(streamed)
+			if err != nil {
+				t.Fatalf("EncodeScheduleJSON(streamed): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("streamed schedule differs from Compile result (%d vs %d layers)",
+					len(streamed.Layers), len(res.Schedule.Layers))
+			}
+		})
+	}
+}
+
+// TestScheduleSinkLayerCount pins the per-layer callback cadence: one
+// OnLayer per schedule layer, cycles in order, after a single OnStart.
+func TestScheduleSinkLayerCount(t *testing.T) {
+	c := hilight.QFT(8)
+	g := hilight.RectGrid(c.NumQubits)
+	var starts, layers int
+	lastCycle := -1
+	sink := sinkFuncs{
+		onStart: func() error { starts++; return nil },
+		onLayer: func(cycle int, layer hilight.Layer) error {
+			layers++
+			if cycle != lastCycle+1 {
+				t.Errorf("cycle %d after %d — not contiguous", cycle, lastCycle)
+			}
+			lastCycle = cycle
+			if len(layer) == 0 {
+				t.Errorf("cycle %d: empty layer emitted", cycle)
+			}
+			return nil
+		},
+	}
+	res, err := hilight.Compile(c, g, hilight.WithScheduleSink(sink))
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if starts != 1 {
+		t.Errorf("OnStart called %d times, want 1", starts)
+	}
+	if layers != len(res.Schedule.Layers) {
+		t.Errorf("OnLayer called %d times, schedule has %d layers", layers, len(res.Schedule.Layers))
+	}
+}
+
+type sinkFuncs struct {
+	onStart func() error
+	onLayer func(cycle int, layer hilight.Layer) error
+}
+
+func (s sinkFuncs) OnStart(g *hilight.Grid, initial *hilight.Layout) error { return s.onStart() }
+func (s sinkFuncs) OnLayer(cycle int, layer hilight.Layer) error           { return s.onLayer(cycle, layer) }
