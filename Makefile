@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-route bench-smoke fuzz golden wire-compat check serve smoke chaos chaos-short
+.PHONY: all build vet lint test race bench bench-route bench-smoke fuzz golden wire-compat check serve smoke chaos chaos-short cluster-smoke
 
 all: check
 
@@ -86,6 +86,17 @@ smoke:
 # results stay byte-deterministic, metrics reconcile, nothing leaks.
 chaos-short:
 	$(GO) test -race -run TestChaosShort -v ./internal/chaos/
+
+# Multi-node soak under -race: one coordinator over three in-process
+# workers, a worker killed mid-batch — no acked job may be lost, the
+# coordinator must stop routing to the dead worker within a probe
+# interval or two, and repeated fingerprints must hit the sharded caches
+# at least as often as a single node. Plus the cluster unit/integration
+# tests (ring, steal queue, byte-identity, passthrough).
+cluster-smoke:
+	$(GO) test -race -run TestClusterSoak -v ./internal/chaos/
+	$(GO) test -race ./internal/cluster/
+	$(GO) test -race -run TestE2ECoordinator -v ./cmd/hilightd/
 
 # Longer randomized soak via the CLI driver; tune with CHAOS_CYCLES/CHAOS_SEED.
 CHAOS_CYCLES ?= 50

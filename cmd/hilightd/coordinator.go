@@ -1,0 +1,87 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"hilight/internal/cluster"
+)
+
+type coordinatorConfig struct {
+	addr          string
+	workers       []string
+	nodeID        string
+	probeInterval time.Duration
+	maxJobs       int
+	drainTimeout  time.Duration
+}
+
+// runCoordinator is the -coordinator body: the same listen / serve /
+// signal-drain shape as the worker path, around a cluster.Coordinator
+// instead of a service.Server.
+func runCoordinator(cfg coordinatorConfig, stdout, stderr io.Writer) int {
+	var urls []string
+	for _, w := range cfg.workers {
+		if w = strings.TrimSpace(w); w != "" {
+			urls = append(urls, w)
+		}
+	}
+	co, err := cluster.New(cluster.Config{
+		Workers:       urls,
+		NodeID:        cfg.nodeID,
+		ProbeInterval: cfg.probeInterval,
+		MaxStoredJobs: cfg.maxJobs,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "hilightd:", err)
+		return 1
+	}
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "hilightd:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "hilightd coordinating %d workers on http://%s\n", len(urls), ln.Addr())
+
+	hs := &http.Server{Handler: co.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+	case err := <-serveErr:
+		fmt.Fprintln(stderr, "hilightd:", err)
+		return 1
+	}
+	stop()
+
+	fmt.Fprintln(stderr, "hilightd: draining...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
+	defer cancel()
+	code := 0
+	if err := hs.Shutdown(drainCtx); err != nil {
+		fmt.Fprintln(stderr, "hilightd: http drain:", err)
+		code = 1
+	}
+	if err := co.Shutdown(drainCtx); err != nil {
+		fmt.Fprintln(stderr, "hilightd:", err)
+		code = 1
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(stderr, "hilightd:", err)
+		code = 1
+	}
+	fmt.Fprintln(stderr, "hilightd: shutdown complete")
+	return code
+}

@@ -5,7 +5,18 @@
 // Usage:
 //
 //	hilightd [-addr :8753] [-workers N] [-queue N] [-cache-bytes N]
-//	         [-journal DIR] [-watchdog D]
+//	         [-journal DIR] [-watchdog D] [-node-id NAME] [-tenant-quota N]
+//	hilightd -coordinator URL1,URL2,... [-addr :8753] [-node-id NAME]
+//	         [-probe-interval D]
+//
+// With -coordinator, hilightd runs as a cluster coordinator instead of
+// a compile worker: sync compiles and async batch units are
+// consistent-hashed across the listed workers on the request
+// fingerprint (so each worker's schedule cache shards naturally), async
+// units flow through a work-stealing queue, and workers failing their
+// periodic readiness probe are drained out of the hash ring. Client
+// JSON is byte-identical either way — node-to-node traffic uses a
+// compact binary-payload envelope transcoded back at the coordinator.
 //
 // With -journal, acknowledged async batches are written to a durable
 // append-only journal before the 202 returns; on startup the journal is
@@ -41,6 +52,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -70,9 +82,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		routeWorkers = fs.Int("route-workers", 0, "route-pass worker pool for *-parallel methods when a request doesn't set route_workers (0 = method preset, negative = GOMAXPROCS); schedules are identical at any setting")
 		journalDir   = fs.String("journal", "", "directory for the durable job journal (empty disables; async batches then don't survive restarts)")
 		watchdog     = fs.Duration("watchdog", 2*time.Minute, "abort compiles with no routing-cycle progress for this long (0 disables)")
+		nodeID       = fs.String("node-id", "", "node name stamped in the X-Hilight-Node response header (cluster deployments)")
+		tenantQuota  = fs.Int("tenant-quota", 0, "max concurrently admitted compiles+batches per tenant (X-Hilight-Tenant header; 0 disables)")
+		coordinator  = fs.String("coordinator", "", "run as cluster coordinator over this comma-separated worker URL list instead of compiling locally")
+		probeIvl     = fs.Duration("probe-interval", 250*time.Millisecond, "coordinator worker readiness probe period")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *coordinator != "" {
+		return runCoordinator(coordinatorConfig{
+			addr:          *addr,
+			workers:       strings.Split(*coordinator, ","),
+			nodeID:        *nodeID,
+			probeInterval: *probeIvl,
+			maxJobs:       *maxJobs,
+			drainTimeout:  *drainTimeout,
+		}, stdout, stderr)
 	}
 
 	cfg := service.Config{
@@ -85,6 +111,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		RouteWorkers:   *routeWorkers,
 		JournalDir:     *journalDir,
 		WatchdogWindow: *watchdog,
+		NodeID:         *nodeID,
+		TenantQuota:    *tenantQuota,
 	}
 	if *logEvents {
 		cfg.Events = obs.NewLogObserver(stderr)

@@ -465,3 +465,92 @@ func TestE2EWireFormats(t *testing.T) {
 	}
 	stopDaemon(t, stderr2, exit2)
 }
+
+var coordRe = regexp.MustCompile(`hilightd coordinating \d+ workers on (http://\S+)`)
+
+// TestE2ECoordinator boots two worker daemons and a coordinator over
+// them, all in-process: compiles route deterministically on the
+// fingerprint (the repeat lands on the same worker and hits its cache),
+// the coordinator's JSON matches the single-node shape, and one SIGTERM
+// drains the whole trio cleanly.
+func TestE2ECoordinator(t *testing.T) {
+	w1, _, exit1 := bootDaemon(t, "-node-id", "w1", "-watchdog", "0")
+	w2, _, exit2 := bootDaemon(t, "-node-id", "w2", "-watchdog", "0")
+	waitReady(t, w1)
+	waitReady(t, w2)
+
+	var stdout, stderr syncBuffer
+	coExit := make(chan int, 1)
+	go func() {
+		coExit <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-coordinator", w1 + "," + w2,
+			"-node-id", "co",
+			"-probe-interval", "50ms",
+		}, &stdout, &stderr)
+	}()
+	var base string
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if m := coordRe.FindStringSubmatch(stdout.String()); m != nil {
+			base = m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("coordinator never announced itself\nstdout: %s\nstderr: %s", stdout.String(), stderr.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	waitReady(t, base)
+
+	req, err := http.NewRequest("POST", base+"/v1/compile", strings.NewReader(`{"benchmark": "QFT-10"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	first, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, first.Body)
+	first.Body.Close()
+	if first.StatusCode != 200 {
+		t.Fatalf("compile via coordinator: %d", first.StatusCode)
+	}
+	if got := first.Header.Get("X-Hilight-Node"); got != "co" {
+		t.Errorf("X-Hilight-Node = %q, want coordinator id", got)
+	}
+	servedBy := first.Header.Get("X-Hilight-Worker")
+	if servedBy == "" {
+		t.Fatal("coordinator response lacks X-Hilight-Worker")
+	}
+
+	status, env := postCompile(t, base, `{"benchmark": "QFT-10"}`)
+	if status != 200 {
+		t.Fatalf("repeat compile: %d", status)
+	}
+	if cached, _ := env["cached"].(bool); !cached {
+		t.Error("repeat fingerprint missed the sharded worker cache")
+	}
+
+	metrics := scrapeMetrics(t, base)
+	for _, want := range []string{"cluster_forwards_total 2", "cluster_worker_up 2"} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("coordinator metrics lack %q:\n%s", want, metrics)
+		}
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	for name, ch := range map[string]chan int{"coordinator": coExit, "worker1": exit1, "worker2": exit2} {
+		select {
+		case code := <-ch:
+			if code != 0 {
+				t.Errorf("%s exited %d", name, code)
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatalf("%s never exited after SIGTERM", name)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"hilight/internal/service"
+)
+
+// clusterBatch is one async batch accepted by the coordinator: its
+// units fan out through the steal queue and land back in outcomes.
+type clusterBatch struct {
+	id  string
+	fps []string
+
+	mu       sync.Mutex
+	outcomes []service.UnitOutcome
+	pending  int           // units without a terminal outcome
+	done     chan struct{} // closed when pending reaches zero
+	finished atomic.Int64  // terminal outcomes, for running polls
+}
+
+// settle records unit idx's terminal outcome, closing done on the last
+// one. Exactly one settle per unit — the dispatch path retries
+// internally and only settles when the outcome is final.
+func (b *clusterBatch) settle(idx int, o service.UnitOutcome) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.outcomes[idx] = o
+	b.finished.Add(1)
+	if b.pending--; b.pending == 0 {
+		close(b.done)
+	}
+}
+
+// view snapshots the batch for a status poll.
+func (b *clusterBatch) view() (finished int, done bool, outcomes []service.UnitOutcome) {
+	select {
+	case <-b.done:
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		return len(b.outcomes), true, b.outcomes
+	default:
+		return int(b.finished.Load()), false, nil
+	}
+}
+
+// batchStore owns the coordinator's accepted batches, mirroring the
+// single-node job store's id scheme and oldest-first eviction of
+// completed batches.
+type batchStore struct {
+	mu        sync.Mutex
+	seq       int
+	jobs      map[string]*clusterBatch
+	order     []string
+	maxStored int
+}
+
+func newBatchStore(maxStored int) *batchStore {
+	return &batchStore{jobs: make(map[string]*clusterBatch), maxStored: maxStored}
+}
+
+// add registers a new batch over fps and returns it.
+func (s *batchStore) add(fps []string) *clusterBatch {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	b := &clusterBatch{
+		id:       fmt.Sprintf("job-%06d", s.seq),
+		fps:      fps,
+		outcomes: make([]service.UnitOutcome, len(fps)),
+		pending:  len(fps),
+		done:     make(chan struct{}),
+	}
+	s.jobs[b.id] = b
+	s.order = append(s.order, b.id)
+	s.evictLocked()
+	return b
+}
+
+func (s *batchStore) get(id string) (*clusterBatch, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.jobs[id]
+	return b, ok
+}
+
+// evictLocked drops the oldest completed batches beyond maxStored;
+// running batches are never evicted.
+func (s *batchStore) evictLocked() {
+	for len(s.jobs) > s.maxStored {
+		evicted := false
+		for i, id := range s.order {
+			b := s.jobs[id]
+			select {
+			case <-b.done:
+				delete(s.jobs, id)
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				evicted = true
+			default:
+				continue
+			}
+			break
+		}
+		if !evicted {
+			return
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"hilight/internal/service"
+)
+
+// LocalWorker is one in-process hilightd worker on a loopback listener
+// — the building block for cluster tests, the chaos soak, and the
+// cluster-smoke make target.
+type LocalWorker struct {
+	URL string
+	Srv *service.Server
+
+	hs *http.Server
+	ln net.Listener
+}
+
+// StartLocalWorker boots a worker on 127.0.0.1:0 with the given
+// config (NodeID defaulted to id when unset).
+func StartLocalWorker(id string, cfg service.Config) (*LocalWorker, error) {
+	if cfg.NodeID == "" {
+		cfg.NodeID = id
+	}
+	s, err := service.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		sctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = s.Shutdown(sctx)
+		return nil, err
+	}
+	w := &LocalWorker{
+		URL: fmt.Sprintf("http://%s", ln.Addr()),
+		Srv: s,
+		hs:  &http.Server{Handler: s.Handler()},
+		ln:  ln,
+	}
+	go func() { _ = w.hs.Serve(ln) }()
+	return w, nil
+}
+
+// Close drains the worker the way a SIGTERM would: readiness flips to
+// 503, in-flight work finishes, then the listener and service stop.
+func (w *LocalWorker) Close() error {
+	w.Srv.Drain()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	err := w.hs.Shutdown(ctx)
+	_ = w.Srv.Shutdown(ctx)
+	return err
+}
+
+// Kill drops the worker abruptly — the listener closes mid-connection
+// and nothing drains. This is the crash the coordinator's probes and
+// requeues exist for.
+func (w *LocalWorker) Kill() {
+	_ = w.hs.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	_ = w.Srv.Shutdown(ctx)
+}

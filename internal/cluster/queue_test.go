@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func task() *unitTask { return &unitTask{} }
+
+// popAsync runs pop in a goroutine and returns a channel carrying the
+// result, so tests can assert both "returns promptly" and "blocks".
+func popAsync(q *stealQueue, w string) <-chan struct {
+	t      *unitTask
+	stolen bool
+} {
+	ch := make(chan struct {
+		t      *unitTask
+		stolen bool
+	}, 1)
+	go func() {
+		t, stolen := q.pop(w)
+		ch <- struct {
+			t      *unitTask
+			stolen bool
+		}{t, stolen}
+	}()
+	return ch
+}
+
+func TestQueueOwnWorkPriorityAndOrder(t *testing.T) {
+	q := newStealQueue([]string{"a", "b"})
+	lo1, lo2, hi1 := task(), task(), task()
+	q.push("a", lo1, false)
+	q.push("a", lo2, false)
+	q.push("a", hi1, true)
+
+	got, stolen := q.pop("a")
+	if got != hi1 || stolen {
+		t.Fatalf("first pop = %p stolen=%v, want hi unit %p from own lane", got, stolen, hi1)
+	}
+	if got, _ := q.pop("a"); got != lo1 {
+		t.Fatalf("lo lane not FIFO: got %p want %p", got, lo1)
+	}
+	if got, _ := q.pop("a"); got != lo2 {
+		t.Fatalf("lo lane not FIFO: got %p want %p", got, lo2)
+	}
+}
+
+func TestQueueStealsFromLongestBacklog(t *testing.T) {
+	q := newStealQueue([]string{"a", "b", "c"})
+	a1, a2, a3 := task(), task(), task()
+	q.push("a", a1, false)
+	q.push("a", a2, false)
+	q.push("a", a3, false)
+	q.push("b", task(), false)
+	q.push("b", task(), false)
+
+	got, stolen := q.pop("c")
+	if !stolen {
+		t.Fatal("idle worker did not steal")
+	}
+	// Tail theft from the longest backlog: a's newest unit moves, a's
+	// warm head stays put.
+	if got != a3 {
+		t.Fatalf("stole %p, want tail of longest backlog %p", got, a3)
+	}
+	if got, _ := q.pop("a"); got != a1 || q.depth() != 3 {
+		t.Fatalf("victim lost its head unit (got %p, depth %d)", got, q.depth())
+	}
+}
+
+func TestQueueLeavesLoneUnitWithLiveOwner(t *testing.T) {
+	q := newStealQueue([]string{"a", "b"})
+	q.push("a", task(), false)
+
+	ch := popAsync(q, "b")
+	select {
+	case r := <-ch:
+		t.Fatalf("stole a live worker's lone unit: %+v", r)
+	case <-time.After(50 * time.Millisecond):
+	}
+	// A second unit makes a a legitimate victim; the blocked thief wakes.
+	q.push("a", task(), false)
+	select {
+	case r := <-ch:
+		if !r.stolen {
+			t.Fatal("woken pop did not report a steal")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("thief stayed asleep after victim backlog reached 2")
+	}
+}
+
+func TestQueuePauseDrainsAndBlocksOwner(t *testing.T) {
+	q := newStealQueue([]string{"a", "b"})
+	u1, u2 := task(), task()
+	q.push("a", u1, true)
+	q.push("a", u2, false)
+
+	drained := q.pause("a")
+	if len(drained) != 2 || drained[0] != u1 || drained[1] != u2 {
+		t.Fatalf("pause drained %d units, want hi-then-lo pair", len(drained))
+	}
+	// The paused worker's dispatcher idles even with work elsewhere.
+	q.push("a", task(), false)
+	ch := popAsync(q, "a")
+	select {
+	case r := <-ch:
+		t.Fatalf("paused worker's pop returned %+v", r)
+	case <-time.After(50 * time.Millisecond):
+	}
+	q.resume("a")
+	select {
+	case r := <-ch:
+		if r.t == nil {
+			t.Fatal("resume delivered nil")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("resume did not wake the paused dispatcher")
+	}
+}
+
+// TestQueueStragglerOnPausedWorkerIsStealable covers the race where a
+// unit lands in a worker's lanes concurrently with its pause: a lone
+// unit on a paused worker must still be stealable, or it would strand.
+func TestQueueStragglerOnPausedWorkerIsStealable(t *testing.T) {
+	q := newStealQueue([]string{"a", "b"})
+	q.pause("a")
+	straggler := task()
+	q.push("a", straggler, false)
+
+	got, stolen := q.pop("b")
+	if got != straggler || !stolen {
+		t.Fatalf("straggler on paused worker not stolen (got %p stolen=%v)", got, stolen)
+	}
+}
+
+func TestQueueCloseUnblocksPop(t *testing.T) {
+	q := newStealQueue([]string{"a"})
+	ch := popAsync(q, "a")
+	q.close()
+	select {
+	case r := <-ch:
+		if r.t != nil {
+			t.Fatalf("closed pop returned a unit: %+v", r)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("close did not unblock pop")
+	}
+}

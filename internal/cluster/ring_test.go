@@ -1,0 +1,76 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingDeterministicAcrossInputOrder(t *testing.T) {
+	a := buildRing([]string{"w1", "w2", "w3"}, ringVnodes)
+	b := buildRing([]string{"w3", "w1", "w2"}, ringVnodes)
+	for i := 0; i < 1000; i++ {
+		k := fmt.Sprintf("fp-%d", i)
+		if a.owner(k) != b.owner(k) {
+			t.Fatalf("key %q: owner depends on input order (%q vs %q)", k, a.owner(k), b.owner(k))
+		}
+	}
+}
+
+func TestRingEmptyOwnsNothing(t *testing.T) {
+	r := buildRing(nil, ringVnodes)
+	if got := r.owner("anything"); got != "" {
+		t.Fatalf("empty ring owner = %q, want \"\"", got)
+	}
+}
+
+func TestRingSpreadsKeys(t *testing.T) {
+	nodes := []string{"w1", "w2", "w3"}
+	r := buildRing(nodes, ringVnodes)
+	counts := map[string]int{}
+	const keys = 10000
+	for i := 0; i < keys; i++ {
+		counts[r.owner(fmt.Sprintf("fp-%d", i))]++
+	}
+	for _, n := range nodes {
+		if counts[n] < keys/10 {
+			t.Errorf("node %s owns %d/%d keys — ring badly unbalanced: %v", n, counts[n], keys, counts)
+		}
+	}
+}
+
+// TestRingMinimalDisruption pins the consistent-hashing property the
+// sharded cache depends on: removing one node must not move any key
+// between the surviving nodes.
+func TestRingMinimalDisruption(t *testing.T) {
+	old := buildRing([]string{"w1", "w2", "w3"}, ringVnodes)
+	shrunk := buildRing([]string{"w1", "w3"}, ringVnodes)
+	movedKeys, orphans := 0, 0
+	for i := 0; i < 5000; i++ {
+		k := fmt.Sprintf("fp-%d", i)
+		was, is := old.owner(k), shrunk.owner(k)
+		if was == "w2" {
+			orphans++
+			continue
+		}
+		if was != is {
+			movedKeys++
+		}
+	}
+	if movedKeys != 0 {
+		t.Errorf("%d keys moved between surviving nodes on member removal", movedKeys)
+	}
+	if orphans == 0 {
+		t.Error("removed node owned no keys — spread test should have caught this")
+	}
+}
+
+func TestMovedAccounting(t *testing.T) {
+	r3 := buildRing([]string{"w1", "w2", "w3"}, ringVnodes)
+	r2 := buildRing([]string{"w1", "w3"}, ringVnodes)
+	if got := moved(r3, r3, 256); got != 0 {
+		t.Errorf("moved(r, r) = %d, want 0", got)
+	}
+	if got := moved(r3, r2, 256); got == 0 {
+		t.Error("moved across a membership change reported 0")
+	}
+}

@@ -11,7 +11,7 @@ import (
 
 func TestAdmissionPoolAndQueueBounds(t *testing.T) {
 	m := obs.NewRegistry()
-	a := newAdmission(2, 1, m) // 2 workers, 1 queued
+	a := newAdmission(2, 1, 0, m) // 2 workers, 1 queued
 
 	rel1, err := a.acquire(context.Background())
 	if err != nil {
@@ -79,7 +79,7 @@ func waitGauge(t *testing.T, m *obs.Registry, name string, want int64) {
 
 func TestAdmissionCanceledWhileQueued(t *testing.T) {
 	m := obs.NewRegistry()
-	a := newAdmission(1, 4, m)
+	a := newAdmission(1, 4, 0, m)
 	rel, err := a.acquire(context.Background())
 	if err != nil {
 		t.Fatal(err)
@@ -104,9 +104,103 @@ func TestAdmissionCanceledWhileQueued(t *testing.T) {
 	rel2()
 }
 
+func TestAdmissionTenantQuota(t *testing.T) {
+	m := obs.NewRegistry()
+	a := newAdmission(4, 4, 2, m) // quota: 2 concurrent admissions per tenant
+
+	relA1, err := a.acquireFor(context.Background(), "acme", priorityInteractive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relA2, err := a.acquireFor(context.Background(), "acme", priorityInteractive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.acquireFor(context.Background(), "acme", priorityInteractive); !errors.Is(err, errQuotaExceeded) {
+		t.Fatalf("third acme acquire returned %v, want errQuotaExceeded", err)
+	}
+	// A different tenant is unaffected by acme's saturation.
+	relB, err := a.acquireFor(context.Background(), "globex", priorityInteractive)
+	if err != nil {
+		t.Fatalf("other tenant rejected: %v", err)
+	}
+	relA1()
+	// Releasing one admission reopens the quota.
+	relA3, err := a.acquireFor(context.Background(), "acme", priorityInteractive)
+	if err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	relA2()
+	relA3()
+	relB()
+	if v, _ := m.Snapshot().Counter("service/quota-rejected"); v != 1 {
+		t.Errorf("quota-rejected = %d, want 1", v)
+	}
+	a.mu.Lock()
+	if len(a.tenants) != 0 {
+		t.Errorf("tenant map not empty after all releases: %v", a.tenants)
+	}
+	a.mu.Unlock()
+}
+
+func TestAdmissionTenantReleaseIdempotent(t *testing.T) {
+	m := obs.NewRegistry()
+	a := newAdmission(1, 1, 1, m)
+	rel, err := a.acquireTenant("acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel()
+	rel() // double release must not underflow the count
+	rel2, err := a.acquireTenant("acme")
+	if err != nil {
+		t.Fatalf("acquire after double release: %v", err)
+	}
+	rel2()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if n := a.tenants["acme"]; n != 0 {
+		t.Errorf("acme count = %d after releases, want 0", n)
+	}
+}
+
+func TestAdmissionBatchPriorityYieldsAtHalfCap(t *testing.T) {
+	m := obs.NewRegistry()
+	a := newAdmission(2, 2, 0, m) // tickets cap 4; half cap = 2
+
+	// An empty controller admits batch work.
+	rel1, err := a.acquireFor(context.Background(), "", priorityBatch)
+	if err != nil {
+		t.Fatalf("batch acquire on idle controller: %v", err)
+	}
+	rel2, err := a.acquireFor(context.Background(), "", priorityInteractive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two of four tickets held: batch traffic now bounces while
+	// interactive still has the remaining headroom.
+	if _, err := a.acquireFor(context.Background(), "", priorityBatch); !errors.Is(err, errQueueFull) {
+		t.Fatalf("batch acquire at half cap returned %v, want errQueueFull", err)
+	}
+	got3 := make(chan error, 1)
+	var rel3 func()
+	go func() {
+		r, err := a.acquireFor(context.Background(), "", priorityInteractive)
+		rel3 = r
+		got3 <- err
+	}()
+	waitGauge(t, m, "service/queued", 1)
+	rel1()
+	if err := <-got3; err != nil {
+		t.Fatalf("interactive acquire past half cap: %v", err)
+	}
+	rel2()
+	rel3()
+}
+
 func TestAdmissionDrain(t *testing.T) {
 	m := obs.NewRegistry()
-	a := newAdmission(1, 1, m)
+	a := newAdmission(1, 1, 0, m)
 	a.drain()
 	if _, err := a.acquire(context.Background()); !errors.Is(err, errDraining) {
 		t.Fatalf("acquire on draining controller returned %v", err)

@@ -96,6 +96,10 @@ type batchJob struct {
 	fps      []string      // per-job fingerprints, as acknowledged
 	done     chan struct{} // closed when results are ready
 	finished atomic.Int64  // terminally-finished jobs, for live polls
+	// onDone, when non-nil, runs once when the batch finishes — the
+	// submit path parks the tenant-quota release here so a batch counts
+	// against its tenant from ack to completion.
+	onDone func()
 
 	mu      sync.Mutex
 	results []jobResult
@@ -215,7 +219,7 @@ func prepare(req *jobsRequest, workers, routeWorkers int, defTimeout, maxTimeout
 // (waiting for the fsync — once submit returns, the batch survives any
 // crash), and launches its CompileAll run. It returns the batch id and
 // the per-job fingerprints.
-func (s *jobStore) submit(req *jobsRequest, workers, routeWorkers int, defTimeout, maxTimeout time.Duration) (string, []string, error) {
+func (s *jobStore) submit(req *jobsRequest, workers, routeWorkers int, defTimeout, maxTimeout time.Duration, onDone func()) (string, []string, error) {
 	batch, fps, shared, parallelism, timeout, err := prepare(req, workers, routeWorkers, defTimeout, maxTimeout)
 	if err != nil {
 		return "", nil, err
@@ -224,7 +228,7 @@ func (s *jobStore) submit(req *jobsRequest, workers, routeWorkers int, defTimeou
 	s.mu.Lock()
 	s.seq++
 	id := fmt.Sprintf("job-%06d", s.seq)
-	j := &batchJob{id: id, count: len(batch), fps: fps, done: make(chan struct{})}
+	j := &batchJob{id: id, count: len(batch), fps: fps, done: make(chan struct{}), onDone: onDone}
 	s.jobs[id] = j
 	s.order = append(s.order, id)
 	s.evictLocked()
@@ -371,6 +375,9 @@ func (s *jobStore) run(j *batchJob, batch []hilight.BatchJob, fps []string, shar
 	close(j.done)
 	s.completed.Inc()
 	s.active.Add(-1)
+	if j.onDone != nil {
+		j.onDone()
+	}
 }
 
 // restore rebuilds the store from replayed journal batches, in their

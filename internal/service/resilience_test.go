@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"net/http"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -51,6 +52,75 @@ func TestWatchdogGuardFiresOnStall(t *testing.T) {
 		}
 	case <-time.After(time.Second):
 		t.Fatal("stop() did not release the guard context")
+	}
+}
+
+// waitNoWatchdogGoroutines polls the process stack dump until no
+// watchdog ticker goroutine survives, failing after a grace period.
+func waitNoWatchdogGoroutines(t *testing.T) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		dump := string(buf[:n])
+		leaked := ""
+		for _, g := range strings.Split(dump, "\n\n") {
+			if strings.Contains(g, "service.(*watchdog).guard.") {
+				leaked = g
+			}
+		}
+		if leaked == "" {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("watchdog goroutine leaked:\n%s", leaked)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestWatchdogNoLeakOnEarlyFinish pins the finish-before-first-tick
+// path: a compile that returns (and calls stop) long before the window
+// elapses must release the ticker goroutine promptly — not after the
+// first tick — and must never be counted as fired. Repeated guards make
+// a slow leak visible as an accumulating goroutine count.
+func TestWatchdogNoLeakOnEarlyFinish(t *testing.T) {
+	m := obs.NewRegistry()
+	wd := newWatchdog(time.Hour, m, nil) // first tick is an hour away
+	for i := 0; i < 64; i++ {
+		_, progress, stop := wd.guard(context.Background(), "early-finish")
+		progress()
+		stop() // the compile finished before the first tick
+	}
+	waitNoWatchdogGoroutines(t)
+	if v, _ := m.Snapshot().Counter("service/watchdog/fired"); v != 0 {
+		t.Errorf("service/watchdog/fired = %d after clean early finishes, want 0", v)
+	}
+}
+
+// TestWatchdogNoLeakOnShutdown pins the server-shutdown path: a guard
+// whose parent context is canceled (the job store's ctx during Shutdown
+// or Kill) must release its goroutine even if the owner never reaches
+// its stop call, and a post-cancel stop must stay a safe no-op.
+func TestWatchdogNoLeakOnShutdown(t *testing.T) {
+	m := obs.NewRegistry()
+	wd := newWatchdog(time.Hour, m, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	gctx, _, stop := wd.guard(ctx, "shutdown")
+	cancel() // server shutdown cancels the store ctx under the compile
+	select {
+	case <-gctx.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("guard context did not observe parent cancellation")
+	}
+	waitNoWatchdogGoroutines(t)
+	if stalled(gctx) {
+		t.Error("parent cancellation misreported as a stall")
+	}
+	stop() // late stop after shutdown must not panic or double-count
+	if v, _ := m.Snapshot().Counter("service/watchdog/fired"); v != 0 {
+		t.Errorf("service/watchdog/fired = %d after shutdown, want 0", v)
 	}
 }
 

@@ -45,8 +45,23 @@ type Config struct {
 	// execution knob: schedules are byte-identical at any pool size, so it
 	// never affects cache keys or cached results.
 	RouteWorkers int
-	// RetryAfter is the hint returned with 429 responses (default 1s).
+	// RetryAfter is the floor of the Retry-After hint returned with 429
+	// responses (default 1s). The actual hint is derived from live load —
+	// current queue depth times the recent average compile latency —
+	// clamped between this floor and maxRetryAfter, and mirrored in the
+	// JSON error body as retry_after_ms so clients don't need to parse
+	// headers.
 	RetryAfter time.Duration
+	// NodeID, when non-empty, names this node in the X-Hilight-Node
+	// response header — cluster deployments use it to make worker
+	// placement observable to clients and tests.
+	NodeID string
+	// TenantQuota bounds concurrently admitted work per tenant (the
+	// X-Hilight-Tenant request header; absent means the default tenant):
+	// a tenant may hold at most this many sync compiles plus running
+	// async batches at once, and excess submissions answer 429 without
+	// consuming queue tickets. 0 disables per-tenant quotas.
+	TenantQuota int
 	// Metrics receives the service's metric families (service/...,
 	// cache/..., jobs/...) alongside the compiler's own (pipeline/...,
 	// route/..., batch/...). Nil creates a private registry; either way
@@ -121,6 +136,9 @@ type Server struct {
 	canceled  *obs.Counter
 	panics    *obs.Counter
 	seconds   *obs.Histogram
+	// compileSeconds observes only real (uncached, admitted) sync
+	// compiles; the Retry-After derivation reads its running average.
+	compileSeconds *obs.Histogram
 }
 
 // New returns a configured Server. With Config.JournalDir set it also
@@ -133,7 +151,7 @@ func New(cfg Config) (*Server, error) {
 		cfg:       cfg,
 		mux:       http.NewServeMux(),
 		cache:     newScheduleCache(cfg.CacheBytes, m),
-		admit:     newAdmission(cfg.Workers, cfg.QueueDepth, m),
+		admit:     newAdmission(cfg.Workers, cfg.QueueDepth, cfg.TenantQuota, m),
 		jobs:      newJobStore(cfg.MaxStoredJobs, m),
 		watchdog:  newWatchdog(cfg.WatchdogWindow, m, cfg.Events),
 		requests:  m.Counter("service/requests"),
@@ -142,6 +160,7 @@ func New(cfg Config) (*Server, error) {
 		canceled:  m.Counter("service/requests-canceled"),
 		panics:    m.Counter("service/panics"),
 		seconds:   m.Histogram("service/request-seconds", obs.DurationBuckets),
+		compileSeconds: m.Histogram("service/compile-seconds", obs.DurationBuckets),
 	}
 	s.jobs.events = cfg.Events
 	s.jobs.watchdog = s.watchdog
@@ -189,8 +208,19 @@ func (s *Server) warmCache(batches []*replayBatch) {
 }
 
 // Handler returns the server's HTTP handler: the route mux wrapped in
-// the panic-recovery middleware.
-func (s *Server) Handler() http.Handler { return s.recoverer(s.mux) }
+// the panic-recovery middleware (and, with a NodeID configured, the
+// node-identification header).
+func (s *Server) Handler() http.Handler {
+	h := s.recoverer(s.mux)
+	if s.cfg.NodeID == "" {
+		return h
+	}
+	inner := h
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Hilight-Node", s.cfg.NodeID)
+		inner.ServeHTTP(w, r)
+	})
+}
 
 // recoverer converts a handler panic into a 500 JSON error envelope
 // instead of an aborted connection, counts it (service/panics), and
@@ -306,7 +336,12 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		rw := s.cfg.RouteWorkers
 		req.RouteWorkers = &rw
 	}
-	codec := negotiate(r)
+	mode := negotiate(r)
+	pri, err := parsePriority(r)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
 	streaming := r.URL.Query().Get("stream") == "1"
 	if streaming {
 		// Streamed frames are the router's raw per-cycle output; options
@@ -340,12 +375,12 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 				s.streamStored(w, &hit)
 				return
 			}
-			s.respond(w, codec, &hit)
+			s.respond(w, mode, &hit)
 			return
 		}
 	}
 
-	release, err := s.admit.acquire(r.Context())
+	release, err := s.admit.acquireFor(r.Context(), tenantOf(r), pri)
 	if err != nil {
 		s.failAdmission(w, r, err)
 		return
@@ -368,18 +403,41 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	if streaming {
 		// The stream goes out under a 200 the moment the router seals its
 		// first cycle. Errors after that point can only be delivered
-		// in-band as an 'X' frame.
+		// in-band as an 'X' frame — including a pass panic: frames are
+		// single Write calls, so a panic lands between frames and the
+		// abort below closes the stream well-formed instead of truncating
+		// it. The re-panic hands the original value to the recovery
+		// middleware for its usual counting and event report.
 		w.Header().Set("Content-Type", wire.StreamContentType)
 		w.Header().Set("X-Hilight-Fingerprint", fp)
 		enc = wire.NewStreamEncoder(flushingWriter(w))
+		defer func() {
+			if rec := recover(); rec != nil {
+				if rec != http.ErrAbortHandler && enc.Started() {
+					s.failed.Inc()
+					_ = enc.Abort(fmt.Sprintf("internal error: %v", rec))
+				}
+				panic(rec)
+			}
+		}()
 		opts = append(opts, hilight.WithScheduleSink(enc))
 	}
+	t1 := time.Now()
 	res, err := hilight.Compile(c, g, opts...)
 	stopWd()
+	s.compileSeconds.ObserveDuration(time.Since(t1))
 	if err != nil {
 		if enc != nil && enc.Started() {
 			s.failed.Inc()
-			_ = enc.Abort(err.Error())
+			msg := err.Error()
+			if stalled(wctx) {
+				// The watchdog killed a stream mid-flight: the abort frame
+				// carries the stall cause, and the abort is counted exactly
+				// like its 504 sibling below.
+				s.watchdog.aborted.Inc()
+				msg = context.Cause(wctx).Error()
+			}
+			_ = enc.Abort(msg)
 			return
 		}
 		if stalled(wctx) {
@@ -412,35 +470,87 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		_ = enc.End(meta)
 		return
 	}
-	s.respond(w, codec, sr)
+	s.respond(w, mode, sr)
 }
 
-// negotiate picks the response codec from the Accept header: an explicit
-// application/x-hilight-sched selects the binary codec; everything else
-// — absent, application/json, */* — keeps the historical JSON default.
-func negotiate(r *http.Request) wire.Codec {
+// respMode is the negotiated response rendering for a sync compile.
+type respMode int
+
+const (
+	// modeJSON is the historical default: the JSON envelope with the
+	// schedule inline.
+	modeJSON respMode = iota
+	// modeBinary answers the raw binary wire payload with the envelope
+	// metadata in X-Hilight-* headers.
+	modeBinary
+	// modeEnvelope answers the JSON envelope with the schedule as the
+	// base64 binary payload (schedule_bin) instead of inline JSON — the
+	// node-to-node form: full metadata for a byte-identical transcode at
+	// the coordinator edge, at the binary payload's size.
+	modeEnvelope
+)
+
+// codec maps the mode onto the stored-result codec used for job views.
+func (m respMode) codec() wire.Codec {
+	if m == modeJSON {
+		return wire.JSON
+	}
+	return wire.Binary
+}
+
+// negotiate picks the response mode from the Accept header: an explicit
+// application/x-hilight-sched selects the raw binary payload,
+// application/x-hilight-sched+json the binary-in-envelope form, and
+// everything else — absent, application/json, */* — keeps the
+// historical JSON default.
+func negotiate(r *http.Request) respMode {
 	for _, accept := range r.Header.Values("Accept") {
 		for _, part := range strings.Split(accept, ",") {
 			mt := strings.TrimSpace(part)
 			if i := strings.IndexByte(mt, ';'); i >= 0 {
 				mt = strings.TrimSpace(mt[:i])
 			}
+			if mt == wire.BinaryEnvelopeContentType {
+				return modeEnvelope
+			}
 			if c, ok := wire.ByContentType(mt); ok && c.Name() != wire.JSON.Name() {
-				return c
+				return modeBinary
 			}
 		}
 	}
-	return wire.JSON
+	return modeJSON
 }
 
-// respond renders a stored result for the negotiated codec. JSON keeps
-// the historical enveloped response, byte for byte. The binary codec
+// tenantOf extracts the request's tenant for quota accounting; an absent
+// header is the default (empty) tenant.
+func tenantOf(r *http.Request) string { return r.Header.Get("X-Hilight-Tenant") }
+
+// parsePriority maps the X-Hilight-Priority header onto an admission
+// priority class. Absent or "interactive" is the high class; "batch"
+// requests accept extra backpressure (they may only claim queue tickets
+// while the queue is under half full, so interactive traffic always has
+// headroom). Anything else is a request error.
+func parsePriority(r *http.Request) (priorityClass, error) {
+	switch r.Header.Get("X-Hilight-Priority") {
+	case "", "interactive":
+		return priorityInteractive, nil
+	case "batch", "low":
+		return priorityBatch, nil
+	default:
+		return priorityInteractive, badRequest("unknown X-Hilight-Priority %q (interactive, batch)", r.Header.Get("X-Hilight-Priority"))
+	}
+}
+
+// respond renders a stored result for the negotiated mode. JSON keeps
+// the historical enveloped response, byte for byte. The binary mode
 // answers the raw wire payload as the body with the envelope metadata
-// lifted into X-Hilight-* headers — no base64, no envelope tax.
-func (s *Server) respond(w http.ResponseWriter, codec wire.Codec, sr *storedResult) {
-	if codec.Name() == wire.Binary.Name() {
+// lifted into X-Hilight-* headers — no base64, no envelope tax. The
+// envelope mode keeps the JSON envelope but carries the schedule as the
+// binary payload.
+func (s *Server) respond(w http.ResponseWriter, mode respMode, sr *storedResult) {
+	if mode == modeBinary {
 		h := w.Header()
-		h.Set("Content-Type", codec.ContentType())
+		h.Set("Content-Type", wire.Binary.ContentType())
 		h.Set("Content-Length", strconv.Itoa(len(sr.ScheduleBin)))
 		h.Set("X-Hilight-Fingerprint", sr.Fingerprint)
 		h.Set("X-Hilight-Cached", strconv.FormatBool(sr.Cached))
@@ -454,12 +564,20 @@ func (s *Server) respond(w http.ResponseWriter, codec wire.Codec, sr *storedResu
 		_, _ = w.Write(sr.ScheduleBin)
 		return
 	}
-	resp, err := sr.response(codec)
+	resp, err := sr.response(mode.codec())
 	if err != nil {
 		s.fail(w, &apiError{Status: 500, Message: err.Error()})
 		return
 	}
 	s.succeeded.Inc()
+	if mode == modeEnvelope {
+		w.Header().Set("Content-Type", wire.BinaryEnvelopeContentType)
+		w.WriteHeader(http.StatusOK)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(resp)
+		return
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -517,8 +635,19 @@ func (s *Server) handleJobsSubmit(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
-	id, fps, err := s.jobs.submit(&req, s.cfg.Workers, s.cfg.RouteWorkers, s.cfg.DefaultTimeout, s.cfg.MaxTimeout)
+	// A batch holds one unit of its tenant's quota from ack to the last
+	// job — released by the batch's completion hook, or here if the
+	// submit never launches it.
+	relTenant, err := s.admit.acquireTenant(tenantOf(r))
 	if err != nil {
+		s.admit.rejected.Inc()
+		s.admit.quotaRejected.Inc()
+		s.failAdmission(w, r, err)
+		return
+	}
+	id, fps, err := s.jobs.submit(&req, s.cfg.Workers, s.cfg.RouteWorkers, s.cfg.DefaultTimeout, s.cfg.MaxTimeout, relTenant)
+	if err != nil {
+		relTenant()
 		s.fail(w, err)
 		return
 	}
@@ -534,7 +663,7 @@ func (s *Server) handleJobsSubmit(w http.ResponseWriter, r *http.Request) {
 // handleJobsStatus serves GET /v1/jobs/{id}.
 func (s *Server) handleJobsStatus(w http.ResponseWriter, r *http.Request) {
 	s.requests.Inc()
-	st, ok := s.jobs.status(r.PathValue("id"), negotiate(r))
+	st, ok := s.jobs.status(r.PathValue("id"), negotiate(r).codec())
 	if !ok {
 		s.fail(w, &apiError{Status: 404, Message: fmt.Sprintf("unknown job %q", r.PathValue("id"))})
 		return
@@ -594,14 +723,47 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, into any) er
 	return nil
 }
 
+// maxRetryAfter caps the derived Retry-After hint: past a minute the
+// estimate says more about a pathological backlog than about when to
+// retry, and well-behaved clients should poll by then anyway.
+const maxRetryAfter = time.Minute
+
+// retryAfterHint derives the 429 Retry-After from live load instead of
+// a static config value: the current backlog (queued + in-flight), in
+// waves of cfg.Workers, times the recent average compile latency from
+// the service/compile-seconds histogram. Before any compile has been
+// observed — or if load is momentarily zero — it falls back to the
+// configured floor; the result is clamped to [cfg.RetryAfter,
+// maxRetryAfter].
+func (s *Server) retryAfterHint() time.Duration {
+	hint := s.cfg.RetryAfter
+	if n := s.compileSeconds.Count(); n > 0 {
+		avg := time.Duration(s.compileSeconds.Sum() / float64(n) * float64(time.Second))
+		waves := s.admit.load()/max(s.cfg.Workers, 1) + 1
+		hint = time.Duration(waves) * avg
+	}
+	return min(max(hint, s.cfg.RetryAfter), maxRetryAfter)
+}
+
 // failAdmission renders admission-control rejections: 429 + Retry-After
-// for a full queue, 503 for a draining server, and a canceled wait as a
-// client cancellation.
+// for a full queue or an exhausted tenant quota, 503 for a draining
+// server, and a canceled wait as a client cancellation. The Retry-After
+// value is mirrored in the JSON body as retry_after_ms so retrying
+// clients need not parse headers.
 func (s *Server) failAdmission(w http.ResponseWriter, r *http.Request, err error) {
+	reject := func(msg string) {
+		ra := s.retryAfterHint()
+		w.Header().Set("Retry-After", strconv.Itoa(int((ra+time.Second-1)/time.Second)))
+		s.failed.Inc()
+		writeJSON(w, http.StatusTooManyRequests, map[string]any{
+			"error": msg, "retry_after_ms": ra.Milliseconds(),
+		})
+	}
 	switch {
 	case errors.Is(err, errQueueFull):
-		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
-		s.fail(w, &apiError{Status: http.StatusTooManyRequests, Message: "compile queue full; retry later"})
+		reject("compile queue full; retry later")
+	case errors.Is(err, errQuotaExceeded):
+		reject(err.Error())
 	case errors.Is(err, errDraining):
 		s.fail(w, &apiError{Status: http.StatusServiceUnavailable, Message: "server is draining"})
 	default: // context canceled while queued

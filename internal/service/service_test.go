@@ -50,6 +50,7 @@ func waitNoCompileGoroutines(t *testing.T) {
 		"service.(*Server).handleCompile(",
 		"service.(*admission).acquire(",
 		"service.(*jobStore).run(",
+		"service.(*watchdog).guard.",
 	}
 	deadline := time.Now().Add(5 * time.Second)
 	for {

@@ -66,6 +66,18 @@ func (w *watchdog) guard(ctx context.Context, label string) (context.Context, fu
 			case <-gctx.Done():
 				return
 			case <-t.C:
+				// The compile may have finished (stop closed done) in the
+				// same instant the tick fired; Go's select picks randomly
+				// between ready cases, so re-check done before treating the
+				// silence as a stall. Without this a compile finishing right
+				// at a tick boundary could be spuriously counted as fired
+				// and its (already released) context canceled with a stall
+				// cause.
+				select {
+				case <-done:
+					return
+				default:
+				}
 				cur := ticks.Load()
 				if cur == last {
 					cause := fmt.Errorf("%w: no routing-cycle progress within %s (%s)",

@@ -52,6 +52,14 @@ type Codec interface {
 	DecodeDefects(data []byte) (*grid.DefectMap, error)
 }
 
+// BinaryEnvelopeContentType is the node-to-node negotiation form: the
+// JSON response envelope (full metadata, exactly the historical field
+// set) carrying the schedule as the binary payload (schedule_bin)
+// instead of inline JSON. It is not a Codec — the envelope belongs to
+// the service layer — but the content type lives here beside its
+// binary sibling so the wire contract has one home.
+const BinaryEnvelopeContentType = "application/x-hilight-sched+json"
+
 // The registered codecs, also reachable by name via Lookup.
 var (
 	// JSON is the debug/interop codec: byte-identical to the historical
