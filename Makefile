@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-route bench-smoke fuzz golden wire-compat check serve smoke chaos chaos-short cluster-smoke
+.PHONY: all build vet lint test race bench bench-route bench-smoke fuzz golden wire-compat check serve smoke chaos chaos-short cluster-smoke session-smoke
 
 all: check
 
@@ -54,6 +54,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/qasm/
 	$(GO) test -run '^$$' -fuzz FuzzDecodeJSON -fuzztime $(FUZZTIME) ./internal/sched/
 	$(GO) test -run '^$$' -fuzz FuzzDecodeWire -fuzztime $(FUZZTIME) ./internal/wire/
+	$(GO) test -run '^$$' -fuzz FuzzDelta -fuzztime $(FUZZTIME) ./internal/session/
 
 # Refresh the behavior-preservation goldens after an *intentional* schedule
 # change (testdata/golden_schedules.json).
@@ -97,6 +98,18 @@ cluster-smoke:
 	$(GO) test -race -run TestClusterSoak -v ./internal/chaos/
 	$(GO) test -race ./internal/cluster/
 	$(GO) test -race -run TestE2ECoordinator -v ./cmd/hilightd/
+
+# Session-engine soak under -race: daemon lives over one shared journal
+# driving incremental recompiles (If-Fingerprint-Match) interleaved with
+# live defect feeds and kill -9 crashes — every recompiled schedule must
+# validate and route around the current defects, and no acked session
+# head may be lost across a restart. Plus the session unit/equivalence
+# tests and the service/cluster session round-trips.
+session-smoke:
+	$(GO) test -race -run TestSessionChurn -v ./internal/chaos/
+	$(GO) test -race ./internal/session/
+	$(GO) test -race -run 'TestSession|TestDefectFeed' ./internal/service/
+	$(GO) test -race -run TestClusterSessionAffinity ./internal/cluster/
 
 # Longer randomized soak via the CLI driver; tune with CHAOS_CYCLES/CHAOS_SEED.
 CHAOS_CYCLES ?= 50

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -46,8 +47,20 @@ func main() {
 		lookahd = flag.Int("lookahead", -1, "dependency-layer lookahead window for *-parallel route methods (-1 = method preset, 0 = off); tie-breaks equal-length paths only")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file after compiling")
+		diffF   = flag.Bool("diff", false, "compare two schedule files (canonical JSON or binary wire format) and print the differences: hilight -diff a.json b.json")
 	)
 	flag.Parse()
+	if *diffF {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "hilight: -diff needs exactly two schedule files")
+			os.Exit(2)
+		}
+		if err := runDiff(flag.Arg(0), flag.Arg(1)); err != nil {
+			fmt.Fprintln(os.Stderr, "hilight:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
 		if err != nil {
@@ -84,6 +97,45 @@ func main() {
 func exit(code int) {
 	pprof.StopCPUProfile()
 	os.Exit(code)
+}
+
+// runDiff loads two schedule files and prints how they differ — the
+// regression view for anyone iterating on heuristics, and the offline
+// twin of the delta a session recompile reports.
+func runDiff(pathA, pathB string) error {
+	a, err := loadSchedule(pathA)
+	if err != nil {
+		return err
+	}
+	b, err := loadSchedule(pathB)
+	if err != nil {
+		return err
+	}
+	d := hilight.CompareSchedules(a, b)
+	d.Print(os.Stdout, filepath.Base(pathA), filepath.Base(pathB))
+	return nil
+}
+
+// loadSchedule reads a schedule in either on-disk encoding the CLI can
+// emit, sniffing JSON by its leading byte.
+func loadSchedule(path string) (*hilight.Schedule, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	if len(trimmed) > 0 && trimmed[0] == '{' {
+		s, err := hilight.DecodeScheduleJSON(data)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return s, nil
+	}
+	s, err := hilight.DecodeScheduleBinary(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
 }
 
 func run(inFile, benchName string, list bool, method, gridKind, factory string, seed int64, show, format string, magicPeriod, routeWorkers, lookahead int, trace, metrics bool) error {

@@ -1,0 +1,216 @@
+// An incremental compile session, both in-process and over HTTP: a
+// client iterating on a circuit recompiles after each edit, and the
+// session engine replays the parent schedule's untouched prefix
+// verbatim so only the affected suffix pays routing cost. The same
+// session then survives live hardware degradation — a defect feed
+// evicts every cached schedule the new map broke and recompiles each
+// one warm from its own stale schedule.
+//
+// By default the HTTP half boots hilightd in-process on an ephemeral
+// port so `go run ./examples/session` works standalone; point -addr at
+// a running daemon (`make serve`, then -addr http://localhost:8753) to
+// drive a real one.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+
+	"hilight"
+	"hilight/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", "", "base URL of a running hilightd (empty boots one in-process)")
+	flag.Parse()
+
+	// == 1. The library engine: Recompile against a previous Result. ==
+	fmt.Println("== 1. hilight.Recompile: edit loop ==")
+	c := hilight.QFT(8)
+	g := hilight.RectGrid(c.NumQubits)
+	parent, err := hilight.Compile(c, g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cold compile: %d layers, latency %d\n", len(parent.Schedule.Layers), parent.Latency)
+
+	// Append one gate at a time — the dominant session edit. WarmCycles
+	// counts parent layers replayed byte-identically; Delta is the
+	// sched.Compare diff against the parent schedule.
+	res := parent
+	for i := 0; i < 3; i++ {
+		res, err = hilight.Recompile(res, hilight.Delta{Edits: []hilight.Edit{{
+			Op:   hilight.OpAppend,
+			Gate: hilight.Gate{Kind: hilight.CX, Q0: i, Q1: c.NumQubits - 1 - i},
+		}}})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("edit %d: +CX(%d,%d): %d/%d layers replayed warm, %d gates moved, %d re-routed\n",
+			i+1, i, c.NumQubits-1-i, res.WarmCycles, len(res.Schedule.Layers),
+			res.Delta.GateMoves, res.Delta.GateRepaths)
+	}
+
+	// Hardware degraded mid-session: replace the defect map. Prefix
+	// layers that still route clear of the damage replay; the rest
+	// re-route. A delta that invalidates the placement silently runs
+	// cold (WarmCycles 0) — a fallback is never an error.
+	_, dm := hilight.InjectDefects(hilight.RectGrid(c.NumQubits), 0.08, 11)
+	res, err = hilight.Recompile(res, hilight.Delta{Defects: dm})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := res.Schedule.Validate(res.Circuit); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("defect delta (%d dead vertices, %d dead tiles, %d broken channels): %d/%d layers replayed, schedule validates on the degraded grid\n\n",
+		len(dm.Vertices), len(dm.Tiles), len(dm.Channels), res.WarmCycles, len(res.Schedule.Layers))
+
+	// == 2. The same engine over HTTP: compile sessions. ==
+	fmt.Println("== 2. hilightd compile sessions ==")
+	base := *addr
+	if base == "" {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv, err := service.New(service.Config{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go hs.Serve(ln)
+		defer hs.Close()
+		base = "http://" + ln.Addr().String()
+		fmt.Printf("booted in-process hilightd at %s\n", base)
+	}
+
+	// The session protocol: send the FULL edited circuit plus an
+	// If-Fingerprint-Match header naming the parent compile. The server
+	// resolves the parent from its schedule cache and warm-starts.
+	qasm := []string{
+		"OPENQASM 2.0;",
+		`include "qelib1.inc";`,
+		"qreg q[6];",
+		"h q[0];",
+		"cx q[0],q[1];",
+		"cx q[1],q[2];",
+		"cx q[2],q[3];",
+		"cx q[3],q[4];",
+		"cx q[4],q[5];",
+	}
+	head := compile(base, qasm, "")
+	fmt.Printf("cold: fp=%s… latency=%d\n", head.Fingerprint[:12], head.LatencyCycles)
+
+	for i := 0; i < 3; i++ {
+		qasm = append(qasm, fmt.Sprintf("cx q[%d],q[%d];", i, 5-i))
+		child := compile(base, qasm, head.Fingerprint)
+		fmt.Printf("edit %d: fp=%s… warm_cycles=%d parent=%s…\n",
+			i+1, child.Fingerprint[:12], child.WarmCycles, child.Parent[:12])
+		head = child
+	}
+
+	// A parent that left the cache answers 412 Precondition Failed —
+	// the client's signal to recompile cold and start a fresh lineage.
+	// (The circuit must be new: a schedule-cache hit short-circuits the
+	// session and serves the cached result regardless of the parent.)
+	status, _ := post(base, append(qasm, "cx q[0],q[3];"), "sha256:0000000000000000")
+	fmt.Printf("unknown parent: %d Precondition Failed\n", status)
+
+	// == 3. The live defect feed. ==
+	// Announce a defect map that kills a vertex the head schedule routes
+	// through. The server sweeps its cache, evicts every conflicting
+	// schedule, recompiles each warm from its own stale schedule, and
+	// returns the old→new fingerprint mapping.
+	fmt.Println("\n== 3. POST /v1/defects: live degradation ==")
+	var sched *hilight.Schedule
+	if sched, err = hilight.DecodeScheduleJSON(head.Schedule); err != nil {
+		log.Fatal(err)
+	}
+	dead := -1
+	for _, layer := range sched.Layers {
+		for _, b := range layer {
+			if len(b.Path) > 0 {
+				dead = b.Path[0]
+			}
+		}
+	}
+	feedBody, _ := json.Marshal(map[string]any{"defects": &hilight.DefectMap{Vertices: []int{dead}}})
+	resp, err := http.Post(base+"/v1/defects", "application/json", bytes.NewReader(feedBody))
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var feed struct {
+		Checked      int               `json:"checked"`
+		Conflicting  int               `json:"conflicting"`
+		Recompiled   int               `json:"recompiled"`
+		Fingerprints map[string]string `json:"fingerprints"`
+	}
+	if err := json.Unmarshal(data, &feed); err != nil {
+		log.Fatalf("defect feed: %s", data)
+	}
+	fmt.Printf("feed (vertex %d dead): %d checked, %d conflicting, %d recompiled warm\n",
+		dead, feed.Checked, feed.Conflicting, feed.Recompiled)
+	if newFP, ok := feed.Fingerprints[head.Fingerprint]; ok && newFP != "" {
+		fmt.Printf("session head remapped: %s… -> %s…\n", head.Fingerprint[:12], newFP[:12])
+	}
+}
+
+// sessionResponse is the subset of the compile response the session
+// client reads.
+type sessionResponse struct {
+	Fingerprint   string          `json:"fingerprint"`
+	LatencyCycles int             `json:"latency_cycles"`
+	WarmCycles    int             `json:"warm_cycles"`
+	Parent        string          `json:"parent"`
+	Schedule      json.RawMessage `json:"schedule"`
+}
+
+// post compiles the QASM program, naming parentFP in
+// If-Fingerprint-Match when non-empty, and returns the raw status+body.
+func post(base string, qasm []string, parentFP string) (int, []byte) {
+	body, err := json.Marshal(map[string]any{"qasm": strings.Join(qasm, "\n")})
+	if err != nil {
+		log.Fatal(err)
+	}
+	req, err := http.NewRequest("POST", base+"/v1/compile", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if parentFP != "" {
+		req.Header.Set("If-Fingerprint-Match", parentFP)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+// compile is post + decode, fatal on any non-200.
+func compile(base string, qasm []string, parentFP string) *sessionResponse {
+	status, data := post(base, qasm, parentFP)
+	if status != http.StatusOK {
+		log.Fatalf("compile: %d: %s", status, data)
+	}
+	var sr sessionResponse
+	if err := json.Unmarshal(data, &sr); err != nil {
+		log.Fatal(err)
+	}
+	return &sr
+}

@@ -391,6 +391,7 @@ func Compile(c *Circuit, g *Grid, opts ...Option) (*Result, error) {
 		specs[i] = sp
 	}
 
+	baseGrid := g
 	if !o.defects.Empty() {
 		gg := g.Clone()
 		if err := gg.ApplyDefects(o.defects); err != nil {
@@ -447,6 +448,9 @@ func Compile(c *Circuit, g *Grid, opts ...Option) (*Result, error) {
 				o.metrics.Counter("compile/fallback-recovered").Inc()
 			}
 		}
+		// The pristine caller grid, so Recompile can rebuild the degraded
+		// grid from a fresh DefectMap delta.
+		res.BaseGrid = baseGrid
 		return res, nil
 	}
 	return nil, firstErr

@@ -46,3 +46,35 @@ func (w testWriter) Write(p []byte) (int, error) {
 	w.t.Logf("%s", p)
 	return len(p), nil
 }
+
+// TestSessionChurn is the bounded defect-churn session soak behind
+// `make session-smoke`: one editing session streams gate appends and
+// defect-map updates at a daemon that keeps getting kill -9'd over a
+// shared journal. Any violated invariant fails the test.
+func TestSessionChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("session soak skipped in -short mode")
+	}
+	cfg := SessionDefaults(t.TempDir())
+	if testing.Verbose() {
+		cfg.Log = testWriter{t}
+	}
+	rep, err := RunSessions(cfg)
+	if err != nil {
+		t.Fatalf("session soak did not run: %v", err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if rep.Edits == 0 || rep.Warm == 0 {
+		t.Errorf("soak made %d edits with %d warm replays; want both > 0", rep.Edits, rep.Warm)
+	}
+	if rep.Feeds == 0 || rep.FeedRecompiles == 0 {
+		t.Errorf("soak fed %d defect maps with %d recompiles; want both > 0", rep.Feeds, rep.FeedRecompiles)
+	}
+	if rep.Crashes > 0 && rep.Resurrections == 0 {
+		t.Error("crashes never forced a journal-resurrected session parent")
+	}
+	t.Logf("session soak: %d cycles (%d crashes), %d edits (%d warm/%d cold), %d feeds (%d recompiles), %d resurrections",
+		rep.Cycles, rep.Crashes, rep.Edits, rep.Warm, rep.ColdFallbacks, rep.Feeds, rep.FeedRecompiles, rep.Resurrections)
+}

@@ -122,8 +122,10 @@ type Coordinator struct {
 	forwardRetry  *obs.Counter
 	steals        *obs.Counter
 	requeues      *obs.Counter
-	hashMoves     *obs.Counter
-	affinityHits  *obs.Counter
+	hashMoves       *obs.Counter
+	affinityHits    *obs.Counter
+	sessionForwards *obs.Counter
+	sessionAffinity *obs.Counter
 	unitCacheHits *obs.Counter
 	unitsDone     *obs.Counter
 	batches       *obs.Counter
@@ -157,8 +159,10 @@ func New(cfg Config) (*Coordinator, error) {
 		forwardRetry:  m.Counter("cluster/forward-retries"),
 		steals:        m.Counter("cluster/steals"),
 		requeues:      m.Counter("cluster/requeues"),
-		hashMoves:     m.Counter("cluster/hash-moves"),
-		affinityHits:  m.Counter("cluster/affinity-hits"),
+		hashMoves:       m.Counter("cluster/hash-moves"),
+		affinityHits:    m.Counter("cluster/affinity-hits"),
+		sessionForwards: m.Counter("cluster/session-forwards"),
+		sessionAffinity: m.Counter("cluster/session-affinity-hits"),
 		unitCacheHits: m.Counter("cluster/unit-cache-hits"),
 		unitsDone:     m.Counter("cluster/units-done"),
 		batches:       m.Counter("cluster/batches"),
@@ -179,6 +183,7 @@ func New(cfg Config) (*Coordinator, error) {
 	c.upCount.Set(int64(len(c.order)))
 
 	c.mux.HandleFunc("POST /v1/compile", c.handleCompile)
+	c.mux.HandleFunc("POST /v1/defects", c.handleDefects)
 	c.mux.HandleFunc("POST /v1/jobs", c.handleJobsSubmit)
 	c.mux.HandleFunc("GET /v1/jobs/{id}", c.handleJobsStatus)
 	c.mux.HandleFunc("GET /v1/methods", func(w http.ResponseWriter, r *http.Request) {
@@ -252,21 +257,23 @@ func (c *Coordinator) liveWorkers() int {
 
 // pickWorker routes a fingerprint: the worker that last served it when
 // still up (affinity — so a unit a steal moved keeps hitting the warm
-// cache it filled), otherwise the ring owner among up workers.
-func (c *Coordinator) pickWorker(fp string) *workerState {
+// cache it filled), otherwise the ring owner among up workers. The
+// second return reports whether the affinity map (not the ring) decided
+// — session routing meters that separately.
+func (c *Coordinator) pickWorker(fp string) (*workerState, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if w, ok := c.affinity[fp]; ok {
 		if ws := c.workers[w]; ws != nil && ws.up {
 			c.affinityHits.Inc()
-			return ws
+			return ws, true
 		}
 	}
 	owner := c.ring.owner(fp)
 	if owner == "" {
-		return nil
+		return nil, false
 	}
-	return c.workers[owner]
+	return c.workers[owner], false
 }
 
 // noteServed records that worker w served fingerprint fp, steering
@@ -457,9 +464,23 @@ func (c *Coordinator) handleCompile(w http.ResponseWriter, r *http.Request) {
 	pass := passthrough(r)
 	c.forwards.Inc()
 
+	// A session recompile routes on its *parent* fingerprint: the warm
+	// start only pays off on the worker whose cache holds the parent, and
+	// the affinity map knows which worker served it. The child lands in
+	// that worker's cache too, so its affinity entry follows from
+	// noteServed below.
+	routeFP := fp
+	if parent := r.Header.Get("If-Fingerprint-Match"); parent != "" {
+		routeFP = parent
+		c.sessionForwards.Inc()
+	}
+
 	var lastErr error
 	for attempt := 0; attempt < c.maxAttempts(); attempt++ {
-		ws := c.pickWorker(fp)
+		ws, viaAffinity := c.pickWorker(routeFP)
+		if routeFP != fp && viaAffinity {
+			c.sessionAffinity.Inc()
+		}
 		if ws == nil {
 			writeError(w, http.StatusServiceUnavailable, "no live workers")
 			return
@@ -556,9 +577,11 @@ var relayedHeaders = []string{
 	"X-Hilight-Latency-Cycles", "X-Hilight-Fallback-Method",
 }
 
-// copyRequestHeaders forwards the admission-relevant client headers.
+// copyRequestHeaders forwards the admission-relevant client headers plus
+// the session precondition (a worker missing the parent answers 412,
+// which relays to the client untouched).
 func copyRequestHeaders(dst *http.Request, src *http.Request) {
-	for _, h := range []string{"X-Hilight-Tenant", "X-Hilight-Priority"} {
+	for _, h := range []string{"X-Hilight-Tenant", "X-Hilight-Priority", "If-Fingerprint-Match"} {
 		if v := src.Header.Get(h); v != "" {
 			dst.Header.Set(h, v)
 		}
@@ -583,6 +606,86 @@ func (fw flushWriter) Write(p []byte) (int, error) {
 	n, err := fw.w.Write(p)
 	fw.f.Flush()
 	return n, err
+}
+
+// handleDefects broadcasts a defect feed to every live worker — each
+// worker sweeps and recompiles its own cache shard — and answers the
+// aggregated sweep. Per-worker failures degrade the aggregate (counted
+// in failed_workers) instead of failing the feed: the next level-
+// triggered update repairs whatever a down worker missed.
+func (c *Coordinator) handleDefects(w http.ResponseWriter, r *http.Request) {
+	if c.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	body, err := c.readBody(w, r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	c.mu.Lock()
+	var targets []*workerState
+	for _, wu := range c.order {
+		if ws := c.workers[wu]; ws.up {
+			targets = append(targets, ws)
+		}
+	}
+	c.mu.Unlock()
+	if len(targets) == 0 {
+		writeError(w, http.StatusServiceUnavailable, "no live workers")
+		return
+	}
+
+	type sweep struct {
+		Checked      int               `json:"checked"`
+		Conflicting  int               `json:"conflicting"`
+		Evicted      int               `json:"evicted"`
+		Recompiled   int               `json:"recompiled"`
+		Failed       int               `json:"failed,omitempty"`
+		Fingerprints map[string]string `json:"fingerprints,omitempty"`
+	}
+	total := sweep{Fingerprints: map[string]string{}}
+	failedWorkers := 0
+	for _, ws := range targets {
+		req, err := http.NewRequestWithContext(r.Context(), "POST",
+			ws.url+"/v1/defects", bytes.NewReader(body))
+		if err != nil {
+			failedWorkers++
+			continue
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := c.client.Do(req)
+		if err != nil {
+			c.markDown(ws.url)
+			failedWorkers++
+			continue
+		}
+		var one sweep
+		err = json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(&one)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || err != nil {
+			failedWorkers++
+			continue
+		}
+		total.Checked += one.Checked
+		total.Conflicting += one.Conflicting
+		total.Evicted += one.Evicted
+		total.Recompiled += one.Recompiled
+		total.Failed += one.Failed
+		for old, nw := range one.Fingerprints {
+			total.Fingerprints[old] = nw
+		}
+	}
+	if len(total.Fingerprints) == 0 {
+		total.Fingerprints = nil
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"checked": total.Checked, "conflicting": total.Conflicting,
+		"evicted": total.Evicted, "recompiled": total.Recompiled,
+		"failed": total.Failed, "fingerprints": total.Fingerprints,
+		"workers": len(targets), "failed_workers": failedWorkers,
+	})
 }
 
 // handleJobsSubmit splits a batch into units, acks with the same body a
@@ -622,7 +725,7 @@ func (c *Coordinator) handleJobsSubmit(w http.ResponseWriter, r *http.Request) {
 
 // enqueue routes a unit to its current owner's lanes.
 func (c *Coordinator) enqueue(t *unitTask, hi bool) {
-	ws := c.pickWorker(t.fp)
+	ws, _ := c.pickWorker(t.fp)
 	if ws == nil {
 		t.batch.settle(t.idx, service.UnitOutcome{Err: "no live workers"})
 		return

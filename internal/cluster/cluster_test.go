@@ -13,6 +13,8 @@ import (
 	"testing"
 	"time"
 
+	"hilight"
+
 	"hilight/internal/obs"
 	"hilight/internal/service"
 	"hilight/internal/wire"
@@ -376,5 +378,144 @@ func TestClusterStreamPassthrough(t *testing.T) {
 	}
 	if _, _, err := wire.ReadStream(bytes.NewReader(body)); err != nil {
 		t.Errorf("relayed stream undecodable: %v", err)
+	}
+}
+
+// dropCompileTimings removes the wall-clock fields from a compile
+// response body so responses from independent daemons compare equal.
+func dropCompileTimings(t *testing.T, body []byte) []byte {
+	t.Helper()
+	var m map[string]any
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatalf("dropCompileTimings: %v: %s", err, body)
+	}
+	delete(m, "runtime_ns")
+	delete(m, "trace")
+	out, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestClusterSessionAffinity drives a session recompile through the
+// coordinator: a bogus parent fingerprint relays the worker's 412, a
+// real one routes the child to the worker whose cache holds the parent
+// (counted as a session affinity hit), the coordinator's cached bytes
+// match the serving worker's own, and the session response agrees with
+// a fresh single-node daemon serving the same edit.
+func TestClusterSessionAffinity(t *testing.T) {
+	tc := startCluster(t, 3, service.Config{}, 100*time.Millisecond)
+
+	c := hilight.QFT(8)
+	parentQASM := hilight.FormatQASM(c)
+	child := c.Clone()
+	child.Add2(hilight.CX, 0, 7)
+	childQASM := hilight.FormatQASM(child)
+
+	r1, b1 := post(t, tc.ts.URL+"/v1/compile", map[string]any{"qasm": parentQASM}, nil)
+	if r1.StatusCode != 200 {
+		t.Fatalf("cold compile: %d: %s", r1.StatusCode, b1)
+	}
+	var cold struct {
+		Fingerprint string `json:"fingerprint"`
+	}
+	if err := json.Unmarshal(b1, &cold); err != nil {
+		t.Fatal(err)
+	}
+	w1 := r1.Header.Get("X-Hilight-Worker")
+	if w1 == "" {
+		t.Fatal("no X-Hilight-Worker header on the cold compile")
+	}
+
+	// A parent nobody holds: the worker's 412 relays untouched.
+	rMiss, bMiss := post(t, tc.ts.URL+"/v1/compile", map[string]any{"qasm": childQASM},
+		map[string]string{"If-Fingerprint-Match": "sha256:deadbeef"})
+	if rMiss.StatusCode != http.StatusPreconditionFailed {
+		t.Fatalf("bogus parent: status %d, want 412: %s", rMiss.StatusCode, bMiss)
+	}
+
+	// The real session routes on the parent fingerprint to the worker
+	// that served it.
+	rS, bS := post(t, tc.ts.URL+"/v1/compile", map[string]any{"qasm": childQASM},
+		map[string]string{"If-Fingerprint-Match": cold.Fingerprint})
+	if rS.StatusCode != 200 {
+		t.Fatalf("session compile: %d: %s", rS.StatusCode, bS)
+	}
+	if got := rS.Header.Get("X-Hilight-Worker"); got != w1 {
+		t.Errorf("session landed on %q, parent lives on %q", got, w1)
+	}
+	var warm struct {
+		Fingerprint string `json:"fingerprint"`
+		WarmCycles  int    `json:"warm_cycles"`
+		Parent      string `json:"parent"`
+	}
+	if err := json.Unmarshal(bS, &warm); err != nil {
+		t.Fatal(err)
+	}
+	if warm.WarmCycles == 0 {
+		t.Error("session through coordinator produced no warm cycles")
+	}
+	if warm.Parent != cold.Fingerprint {
+		t.Errorf("session parent = %q, want %q", warm.Parent, cold.Fingerprint)
+	}
+	if got := tc.co.sessionAffinity.Value(); got != 1 {
+		t.Errorf("cluster/session-affinity-hits = %d, want 1", got)
+	}
+	if got := tc.co.sessionForwards.Value(); got != 2 {
+		t.Errorf("cluster/session-forwards = %d, want 2 (miss + hit)", got)
+	}
+
+	// The child is now cached on the serving worker; the coordinator's
+	// transcoded bytes for it must match that worker's own JSON exactly.
+	var serving *LocalWorker
+	for _, w := range tc.workers {
+		if u, _ := url.Parse(w.URL); u.Host == w1 {
+			serving = w
+		}
+	}
+	if serving == nil {
+		t.Fatalf("X-Hilight-Worker %q matches no worker", w1)
+	}
+	rRep, bRep := post(t, tc.ts.URL+"/v1/compile", map[string]any{"qasm": childQASM},
+		map[string]string{"If-Fingerprint-Match": cold.Fingerprint})
+	if rRep.StatusCode != 200 {
+		t.Fatalf("repeat session: %d: %s", rRep.StatusCode, bRep)
+	}
+	refResp, refJSON := post(t, serving.URL+"/v1/compile", map[string]any{"qasm": childQASM}, nil)
+	if refResp.StatusCode != 200 {
+		t.Fatalf("direct worker repeat: %d: %s", refResp.StatusCode, refJSON)
+	}
+	if !bytes.Equal(bRep, refJSON) {
+		t.Errorf("coordinator session JSON differs from the serving worker's:\n%s\nvs\n%s", bRep, refJSON)
+	}
+
+	// And the whole exchange matches a single-node daemon running the
+	// same edit, modulo wall-clock fields.
+	ref, err := StartLocalWorker("ref", service.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Kill()
+	rc, bc := post(t, ref.URL+"/v1/compile", map[string]any{"qasm": parentQASM}, nil)
+	if rc.StatusCode != 200 {
+		t.Fatalf("single-node cold: %d: %s", rc.StatusCode, bc)
+	}
+	var refCold struct {
+		Fingerprint string `json:"fingerprint"`
+	}
+	if err := json.Unmarshal(bc, &refCold); err != nil {
+		t.Fatal(err)
+	}
+	if refCold.Fingerprint != cold.Fingerprint {
+		t.Fatalf("fingerprint diverged across daemons: %q vs %q", refCold.Fingerprint, cold.Fingerprint)
+	}
+	rw, bw := post(t, ref.URL+"/v1/compile", map[string]any{"qasm": childQASM},
+		map[string]string{"If-Fingerprint-Match": refCold.Fingerprint})
+	if rw.StatusCode != 200 {
+		t.Fatalf("single-node session: %d: %s", rw.StatusCode, bw)
+	}
+	if a, b := dropCompileTimings(t, bS), dropCompileTimings(t, bw); !bytes.Equal(a, b) {
+		t.Errorf("coordinator session disagrees with single-node daemon:\n%s\nvs\n%s", a, b)
 	}
 }

@@ -10,6 +10,13 @@ import (
 // before Compile started or a deadline fired mid-routing.
 var ErrCanceled = errors.New("compile canceled")
 
+// ErrWarmStart is the sentinel wrapped into every warm-start replay
+// failure: the previous schedule's prefix no longer replays verbatim on
+// the new circuit or grid (a braid's gate diverged, a path crosses a new
+// defect, the layout drifted). Callers detect it with errors.Is and fall
+// back to a cold compile — a warm-start failure is never fatal.
+var ErrWarmStart = errors.New("warm-start prefix replay failed")
+
 // ErrUnroutable reports that the router proved a gate cannot be braided:
 // a full sweep on an otherwise-empty lattice placed nothing, so waiting
 // more cycles cannot help (defects, reserved regions, or a partitioned

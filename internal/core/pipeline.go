@@ -86,7 +86,14 @@ func (t StageTrace) Counter(name string) (int64, bool) {
 type Result struct {
 	Schedule *sched.Schedule
 	Circuit  *circuit.Circuit // the routed circuit (post SWAP-decomposition/QCO)
-	Grid     *grid.Grid
+	// Input is the caller's circuit exactly as handed to the pipeline,
+	// before SWAP decomposition and QCO. Recompile edits apply to it.
+	Input *circuit.Circuit
+	Grid  *grid.Grid
+	// BaseGrid is the grid before any per-compile defect map was applied
+	// (Grid when no defects were requested). Recompile rebuilds the
+	// degraded grid from it when a DefectMap delta arrives.
+	BaseGrid *grid.Grid
 	Latency  int
 	PathLen  int           // total braiding path length (ResUtil numerator)
 	Runtime  time.Duration // wall-clock pipeline time
@@ -103,6 +110,37 @@ type Result struct {
 	// FallbackMethod then names the method that succeeded.
 	Degraded       bool
 	FallbackMethod string
+	// WarmCycles is the number of schedule layers replayed verbatim from
+	// a warm-start parent (0 for a cold compile). The first WarmCycles
+	// layers of Schedule are byte-identical to the parent's.
+	WarmCycles int
+	// Delta, set by the public Recompile, reports what changed between
+	// the parent schedule and this one (sched.Compare output).
+	Delta *sched.Diff
+}
+
+// WarmStart seeds a pipeline with the reusable part of a previous
+// compile: the parent's initial layout and the schedule layer-prefix
+// that is still valid for the edited circuit and current grid. The
+// route pass replays the prefix verbatim — re-verifying every braid
+// against the new circuit, layout and defect map — and resumes the
+// Alg. 2 loop where the prefix ends. A prefix braid that no longer
+// replays fails the pipeline with ErrWarmStart; callers fall back to a
+// cold compile. Warm starts are incompatible with layout adjusters and
+// the compact pass (both rewrite cycles the replay promised to keep).
+type WarmStart struct {
+	// Initial is the parent's initial layout; the warm pipeline adopts a
+	// clone of it instead of running placement.
+	Initial *grid.Layout
+	// Prefix holds the parent schedule layers to replay, in order. The
+	// layers are read, never mutated; paths are copied into the new
+	// schedule's arena.
+	Prefix []sched.Layer
+	// Working, when non-nil, is the already-transformed working circuit
+	// (post SWAP decomposition and QCO) the session planner computed to
+	// find the prefix. The pipeline adopts it instead of re-running both
+	// transforms, which would otherwise dominate a short warm recompile.
+	Working *circuit.Circuit
 }
 
 // RunOptions carries the per-compile knobs that are not part of a
@@ -146,6 +184,11 @@ type RunOptions struct {
 	// Lookahead, when non-nil, overrides the spec's windowed-lookahead
 	// depth (≤ 0 disables congestion tie-breaking).
 	Lookahead *int
+	// Warm, when non-nil, warm-starts the compile from a previous
+	// result: placement is replaced by the parent layout and the route
+	// pass replays Warm.Prefix before routing the remainder. See
+	// WarmStart for the compatibility rules.
+	Warm *WarmStart
 }
 
 // Pipeline is an executable sequence of named passes with its resolved
@@ -199,17 +242,39 @@ func NewPipeline(sp Spec, opt RunOptions) (*Pipeline, error) {
 	if opt.Lookahead != nil {
 		cfg.Lookahead = *opt.Lookahead
 	}
+	cfg.Warm = opt.Warm
+	if cfg.Warm != nil {
+		if cfg.Adjuster != nil {
+			return nil, fmt.Errorf("core: %w: layout adjusters rewrite cycles the replayed prefix promised to keep", ErrWarmStart)
+		}
+		if opt.Compact {
+			return nil, fmt.Errorf("core: %w: the compact pass hoists braids into replayed cycles", ErrWarmStart)
+		}
+		if cfg.Warm.Initial == nil {
+			return nil, fmt.Errorf("core: %w: nil initial layout", ErrWarmStart)
+		}
+	}
 
 	p := &Pipeline{Spec: sp, cfg: cfg}
-	p.Passes = append(p.Passes, passValidate, passDecomposeSwaps)
-	if cfg.QCO {
-		p.Passes = append(p.Passes, passQCO)
+	p.Passes = append(p.Passes, passValidate)
+	if cfg.Warm != nil && cfg.Warm.Working != nil {
+		p.Passes = append(p.Passes, passAdoptWorking)
+	} else {
+		p.Passes = append(p.Passes, passDecomposeSwaps)
+		if cfg.QCO {
+			p.Passes = append(p.Passes, passQCO)
+		}
 	}
 	routePass := passRoute
-	if cfg.RouteWorkers != 0 && parallelCompatible(cfg) {
+	placePass := passPlace
+	if cfg.Warm != nil {
+		// The sequential router owns prefix replay; the speculative
+		// parallel pass would re-derive the prefix cycles from scratch.
+		placePass = passPlaceWarm
+	} else if cfg.RouteWorkers != 0 && parallelCompatible(cfg) {
 		routePass = passRouteParallel
 	}
-	p.Passes = append(p.Passes, passCapacity, passPlace, routePass)
+	p.Passes = append(p.Passes, passCapacity, placePass, routePass)
 	if cfg.Adjuster != nil {
 		p.Passes = append(p.Passes, passAdjust)
 	}
@@ -228,7 +293,7 @@ func (p *Pipeline) Execute(c *circuit.Circuit, g *grid.Grid) (*Result, error) {
 	st := &State{
 		Input:  c,
 		Grid:   g,
-		Result: &Result{Grid: g, Method: p.Spec.Method},
+		Result: &Result{Grid: g, Method: p.Spec.Method, Input: c},
 		cfg:    p.cfg,
 	}
 	start := time.Now()
@@ -329,6 +394,17 @@ var (
 		return nil
 	}}
 
+	// passAdoptWorking installs the session planner's precomputed working
+	// circuit in place of the decompose-swaps and qco passes: the planner
+	// already ran both transforms to find the replayable prefix, and they
+	// are deterministic, so re-running them would only burn the time a
+	// warm start exists to save.
+	passAdoptWorking = Pass{Name: "adopt-working", Run: func(st *State) error {
+		st.Circuit = st.cfg.Warm.Working
+		st.Count("gates", int64(len(st.Circuit.Gates)))
+		return nil
+	}}
+
 	// passCapacity fails fast when the grid has fewer usable tiles than
 	// the circuit has program qubits.
 	passCapacity = Pass{Name: "capacity", Run: func(st *State) error {
@@ -346,6 +422,27 @@ var (
 	passPlace = Pass{Name: "place", Run: func(st *State) error {
 		st.Layout = st.cfg.Placement.Place(st.Circuit, st.Grid)
 		st.Count("qubits", int64(st.Circuit.NumQubits))
+		return nil
+	}}
+
+	// passPlaceWarm adopts the warm-start parent's initial layout instead
+	// of running placement: the replayed prefix braided from exactly this
+	// layout, so re-placing would invalidate every prefix path. The
+	// layout must still be structurally valid for the (possibly
+	// defect-degraded) grid — a program qubit on a newly dead tile means
+	// the warm start is off the table.
+	passPlaceWarm = Pass{Name: "place-warm", Run: func(st *State) error {
+		warm := st.cfg.Warm
+		if len(warm.Initial.QubitTile) < st.Circuit.NumQubits {
+			return fmt.Errorf("core: %w: parent layout places %d qubits, circuit has %d",
+				ErrWarmStart, len(warm.Initial.QubitTile), st.Circuit.NumQubits)
+		}
+		if err := warm.Initial.Validate(st.Grid); err != nil {
+			return fmt.Errorf("core: %w: parent layout invalid on current grid: %v", ErrWarmStart, err)
+		}
+		st.Layout = warm.Initial.Clone()
+		st.Count("qubits", int64(st.Circuit.NumQubits))
+		st.Count("warm-prefix", int64(len(warm.Prefix)))
 		return nil
 	}}
 
@@ -456,6 +553,9 @@ var (
 			res.ResUtil = float64(res.PathLen) / (float64(st.Grid.Tiles()) * float64(res.Latency))
 		} else {
 			res.ResUtil = 0
+		}
+		if st.cfg.Warm != nil {
+			res.WarmCycles = len(st.cfg.Warm.Prefix)
 		}
 		st.Count("latency", int64(res.Latency))
 		st.Count("pathlen", int64(res.PathLen))

@@ -137,6 +137,9 @@ type config struct {
 	// Ctx, when non-nil, is honored at every cycle boundary of the
 	// routing loop: once done, Map returns an error wrapping ErrCanceled.
 	Ctx context.Context
+	// Warm, when non-nil, makes the route pass replay Warm.Prefix
+	// verbatim before entering the Alg. 2 loop (see WarmStart).
+	Warm *WarmStart
 }
 
 func (cfg *config) fillDefaults() {
@@ -206,11 +209,13 @@ type router struct {
 	pendingOffs []int
 	state       RouterState
 
-	// Result storage. Braiding paths are appended into arena and sliced
-	// out, so a schedule costs O(log total-path-length) allocations the
-	// first time and none once the arena has grown to steady state.
-	sch   *sched.Schedule
-	arena []int
+	// Result storage. Braiding paths are appended into arena and braids
+	// into braidArena, both sliced out, so a schedule costs O(log
+	// total-path-length) allocations the first time and none once the
+	// arenas have grown to steady state.
+	sch        *sched.Schedule
+	arena      []int
+	braidArena []sched.Braid
 }
 
 // init sizes the scratch for a (circuit, grid, layout) triple and resets
@@ -233,6 +238,7 @@ func (r *router) init(c *circuit.Circuit, g *grid.Grid, layout *grid.Layout, cfg
 	r.active = r.active[:0]
 	r.layerBuf = r.layerBuf[:0]
 	r.arena = r.arena[:0]
+	r.braidArena = r.braidArena[:0]
 
 	if r.sch == nil {
 		r.sch = &sched.Schedule{}
@@ -270,6 +276,13 @@ func (r *router) route(c *circuit.Circuit, g *grid.Grid, layout *grid.Layout, cf
 	}
 
 	cycle := 0
+	if cfg.Warm != nil {
+		n, err := r.replayPrefix(cfg.Warm.Prefix, &remaining)
+		if err != nil {
+			return nil, err
+		}
+		cycle = n
+	}
 	guard := 0
 	maxCycles := 16*(remaining+len(c.Gates)) + 4*g.Tiles() + 64
 
@@ -411,6 +424,128 @@ func (r *router) route(c *circuit.Circuit, g *grid.Grid, layout *grid.Layout, cf
 	return r.sch, nil
 }
 
+// replayPrefix re-emits the warm-start prefix layers verbatim, verifying
+// every braid against the current circuit, layout, grid and defect map —
+// the same invariants sched.Validate would check — so a stale prefix can
+// never smuggle an invalid cycle into the schedule. Returns the number
+// of cycles replayed; any mismatch fails with ErrWarmStart and the
+// caller falls back to a cold compile. Replay performs no path search:
+// its cost is linear in the prefix path length, which is what makes a
+// recompile cheaper than a cold compile.
+func (r *router) replayPrefix(prefix []sched.Layer, remaining *int) (int, error) {
+	// Size the result storage for the whole prefix up front: replaying
+	// thousands of layers through incremental append would spend more
+	// time in slice growth than in verification.
+	braids, verts := 0, 0
+	for _, layer := range prefix {
+		braids += len(layer)
+		for _, b := range layer {
+			verts += len(b.Path)
+		}
+	}
+	if cap(r.arena)-len(r.arena) < verts {
+		next := make([]int, len(r.arena), len(r.arena)+verts+verts/4)
+		copy(next, r.arena)
+		r.arena = next
+	}
+	if cap(r.braidArena)-len(r.braidArena) < braids {
+		next := make([]sched.Braid, len(r.braidArena), len(r.braidArena)+braids+braids/4)
+		copy(next, r.braidArena)
+		r.braidArena = next
+	}
+	if cap(r.sch.Layers)-len(r.sch.Layers) < len(prefix) {
+		next := make([]sched.Layer, len(r.sch.Layers), len(r.sch.Layers)+len(prefix)+len(prefix)/8+8)
+		copy(next, r.sch.Layers)
+		r.sch.Layers = next
+	}
+	for li, layer := range prefix {
+		if len(layer) == 0 {
+			return 0, fmt.Errorf("core: %w: empty layer %d", ErrWarmStart, li)
+		}
+		r.occ.Reset()
+		r.busyEpoch++
+		r.layerBuf = r.layerBuf[:0]
+		for _, b := range layer {
+			if err := r.replayBraid(b); err != nil {
+				return 0, fmt.Errorf("core: %w: cycle %d: %v", ErrWarmStart, li, err)
+			}
+			*remaining--
+		}
+		if r.cfg.Observer != nil {
+			stats := CycleStats{Cycle: li, Ready: len(layer), Executed: len(layer)}
+			for _, b := range r.layerBuf {
+				stats.PathLength += len(b.Path)
+			}
+			r.cfg.Observer.OnCycle(stats)
+		}
+		r.flushLayer()
+		if r.cfg.Sink != nil {
+			if err := r.cfg.Sink.OnLayer(li, r.sch.Layers[len(r.sch.Layers)-1]); err != nil {
+				return 0, fmt.Errorf("core: schedule sink: %w", err)
+			}
+		}
+	}
+	return len(prefix), nil
+}
+
+// replayBraid verifies one prefix braid still holds on the current
+// compile state and appends it to the layer under construction. The
+// checks mirror sched.Validate: the gate exists, is two-qubit, is at
+// the front of both operand gate lists, its operands sit on the braid's
+// tiles, the tiles are usable, the path is a live simple walk anchored
+// at the endpoint corners, and nothing in this cycle conflicts.
+func (r *router) replayBraid(b sched.Braid) error {
+	if b.Gate < 0 || b.SwapTiles {
+		return fmt.Errorf("inserted-SWAP braid cannot be replayed")
+	}
+	if b.Gate >= len(r.c.Gates) {
+		return fmt.Errorf("gate %d beyond circuit end", b.Gate)
+	}
+	gate := r.c.Gates[b.Gate]
+	if !gate.TwoQubit() {
+		return fmt.Errorf("gate %d is not two-qubit", b.Gate)
+	}
+	for _, q := range [2]int{gate.Q0, gate.Q1} {
+		lst := r.ql.Lists[q]
+		if r.cursor[q] >= len(lst) || lst[r.cursor[q]] != b.Gate {
+			return fmt.Errorf("gate %d is not the next gate on qubit %d", b.Gate, q)
+		}
+	}
+	if r.layout.QubitTile[gate.Q0] != b.CtlTile || r.layout.QubitTile[gate.Q1] != b.TgtTile {
+		return fmt.Errorf("gate %d operands moved: layout has tiles %d,%d, braid has %d,%d",
+			b.Gate, r.layout.QubitTile[gate.Q0], r.layout.QubitTile[gate.Q1], b.CtlTile, b.TgtTile)
+	}
+	if !r.g.Usable(b.CtlTile) || !r.g.Usable(b.TgtTile) {
+		return fmt.Errorf("gate %d braids on an unusable tile (%d or %d)", b.Gate, b.CtlTile, b.TgtTile)
+	}
+	if err := b.Path.Validate(r.g); err != nil {
+		return fmt.Errorf("gate %d path: %v", b.Gate, err)
+	}
+	if !tileCorner(r.g, b.CtlTile, b.Path[0]) || !tileCorner(r.g, b.TgtTile, b.Path[len(b.Path)-1]) {
+		return fmt.Errorf("gate %d path not anchored at its tile corners", b.Gate)
+	}
+	if r.occ.Conflicts(r.g, b.Path) {
+		return fmt.Errorf("gate %d path conflicts within its cycle", b.Gate)
+	}
+	r.occ.Add(r.g, b.Path)
+	r.layerBuf = append(r.layerBuf, sched.Braid{
+		Gate: b.Gate, CtlTile: b.CtlTile, TgtTile: b.TgtTile, Path: r.storePath(b.Path),
+	})
+	r.markBusy(b.CtlTile, b.TgtTile)
+	r.cursor[gate.Q0]++
+	r.cursor[gate.Q1]++
+	r.skip1Q(gate.Q0)
+	r.skip1Q(gate.Q1)
+	return nil
+}
+
+// tileCorner reports whether vertex v is one of tile t's four corners.
+func tileCorner(g *grid.Grid, t, v int) bool {
+	x, y := g.TileXY(t)
+	return v == g.VertexID(x, y) || v == g.VertexID(x+1, y) ||
+		v == g.VertexID(x, y+1) || v == g.VertexID(x+1, y+1)
+}
+
 // ctxErr translates a done context into the typed cancellation error.
 func ctxErr(ctx context.Context) error {
 	if ctx == nil {
@@ -473,16 +608,15 @@ func (r *router) storePath(p route.Path) route.Path {
 	return route.Path(r.arena[n:len(r.arena):len(r.arena)])
 }
 
-// flushLayer appends a copy of layerBuf to the schedule, reusing the
-// layer storage left over from a previous route call when possible.
+// flushLayer appends a copy of layerBuf to the schedule. Braids live in
+// a shared arena so a schedule with thousands of single-braid layers
+// (the session replay shape) costs O(log braids) allocations, not one
+// per layer. An arena growth leaves earlier layers on the old backing
+// array, which stays valid — layers never alias each other.
 func (r *router) flushLayer() {
-	n := len(r.sch.Layers)
-	if cap(r.sch.Layers) > n {
-		r.sch.Layers = r.sch.Layers[:n+1]
-		r.sch.Layers[n] = append(r.sch.Layers[n][:0], r.layerBuf...)
-	} else {
-		r.sch.Layers = append(r.sch.Layers, append(sched.Layer(nil), r.layerBuf...))
-	}
+	n := len(r.braidArena)
+	r.braidArena = append(r.braidArena, r.layerBuf...)
+	r.sch.Layers = append(r.sch.Layers, sched.Layer(r.braidArena[n:len(r.braidArena):len(r.braidArena)]))
 }
 
 // computeHeights computes, per two-qubit gate, the length of the longest

@@ -49,7 +49,6 @@ func (p Path) Validate(g *grid.Grid) error {
 	if len(p) == 0 {
 		return fmt.Errorf("route: empty path")
 	}
-	seen := make(map[int]bool, len(p))
 	for i, v := range p {
 		if v < 0 || v >= g.NumVertices() {
 			return fmt.Errorf("route: vertex %d out of range", v)
@@ -57,10 +56,6 @@ func (p Path) Validate(g *grid.Grid) error {
 		if g.VertexDefective(v) {
 			return fmt.Errorf("route: vertex %d is defective", v)
 		}
-		if seen[v] {
-			return fmt.Errorf("route: vertex %d repeated", v)
-		}
-		seen[v] = true
 		if i == 0 {
 			continue
 		}
@@ -70,6 +65,27 @@ func (p Path) Validate(g *grid.Grid) error {
 		if !g.EdgeRoutable(p[i-1], v) {
 			return fmt.Errorf("route: channel %d-%d not routable", p[i-1], v)
 		}
+	}
+	// Simple-walk check last, and allocation-free for the short paths
+	// braids actually produce: Validate sits on the warm-replay hot path
+	// (once per braid per recompile), where a per-call map shows up as
+	// the top allocator. Quadratic beats a map handily below ~64 vertices.
+	if len(p) <= 64 {
+		for i := 1; i < len(p); i++ {
+			for j := 0; j < i; j++ {
+				if p[j] == p[i] {
+					return fmt.Errorf("route: vertex %d repeated", p[i])
+				}
+			}
+		}
+		return nil
+	}
+	seen := make(map[int]bool, len(p))
+	for _, v := range p {
+		if seen[v] {
+			return fmt.Errorf("route: vertex %d repeated", v)
+		}
+		seen[v] = true
 	}
 	return nil
 }

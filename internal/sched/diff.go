@@ -3,7 +3,7 @@ package sched
 import (
 	"fmt"
 	"io"
-	"strings"
+	"slices"
 	"text/tabwriter"
 )
 
@@ -33,16 +33,29 @@ func Compare(a, b *Schedule) Diff {
 		BraidsA: a.BraidCount(), BraidsB: b.BraidCount(),
 		InsertedA: a.InsertedBraids(), InsertedB: b.InsertedBraids(),
 	}
+	// Identical leading layers — the dominant case for session
+	// recompiles, where the warm start replays the parent prefix
+	// verbatim — contribute nothing to moves, repaths or coverage, so
+	// skip them wholesale and index only the differing suffixes.
+	// (Schedules where a gate appears more than once are invalid; their
+	// per-gate diff is undefined either way.)
+	skip := 0
+	for skip < len(a.Layers) && skip < len(b.Layers) && layerEqual(a.Layers[skip], b.Layers[skip]) {
+		skip++
+	}
 	type slot struct {
 		cycle int
-		path  string
+		path  []int
 	}
 	index := func(s *Schedule) map[int]slot {
-		m := map[int]slot{}
-		for li, layer := range s.Layers {
-			for _, br := range layer {
+		m := make(map[int]slot, 2*(len(s.Layers)-skip))
+		for li := skip; li < len(s.Layers); li++ {
+			for _, br := range s.Layers[li] {
 				if br.Gate >= 0 {
-					m[br.Gate] = slot{cycle: li, path: pathKey(br)}
+					// Paths are borrowed, never mutated: keying on the slice
+					// keeps Compare allocation-light on schedules with
+					// thousands of layers (the session hot path).
+					m[br.Gate] = slot{cycle: li, path: br.Path}
 				}
 			}
 		}
@@ -58,7 +71,7 @@ func Compare(a, b *Schedule) Diff {
 		switch {
 		case sa.cycle != sb.cycle:
 			d.GateMoves++
-		case sa.path != sb.path:
+		case !slices.Equal(sa.path, sb.path):
 			d.GateRepaths++
 		}
 	}
@@ -70,15 +83,20 @@ func Compare(a, b *Schedule) Diff {
 	return d
 }
 
-func pathKey(b Braid) string {
-	var sb strings.Builder
-	for i, v := range b.Path {
-		if i > 0 {
-			sb.WriteByte('-')
-		}
-		fmt.Fprintf(&sb, "%d", v)
+// layerEqual reports whether two layers schedule exactly the same braids
+// along exactly the same paths.
+func layerEqual(a, b Layer) bool {
+	if len(a) != len(b) {
+		return false
 	}
-	return sb.String()
+	for i := range a {
+		if a[i].Gate != b[i].Gate || a[i].CtlTile != b[i].CtlTile ||
+			a[i].TgtTile != b[i].TgtTile || a[i].SwapTiles != b[i].SwapTiles ||
+			!slices.Equal(a[i].Path, b[i].Path) {
+			return false
+		}
+	}
+	return true
 }
 
 // Print renders the diff as a two-column comparison.

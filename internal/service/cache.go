@@ -114,6 +114,34 @@ func (c *scheduleCache) Put(key string, sr *storedResult) {
 	c.entries.Add(1)
 }
 
+// Snapshot returns the stored results currently cached, most recently
+// used first. The pointers are shared and read-only, exactly as with
+// Get; recency is not bumped. The defect feed iterates a snapshot so
+// conflict checks run without holding the cache lock.
+func (c *scheduleCache) Snapshot() []*storedResult {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*storedResult, 0, len(c.items))
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*cacheItem).stored)
+	}
+	return out
+}
+
+// Remove drops key from the cache (no-op when absent). Used by the
+// defect feed to invalidate entries whose schedules conflict with the
+// new defect map.
+func (c *scheduleCache) Remove(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	c.removeLocked(el)
+	return true
+}
+
 // Len returns the number of cached entries.
 func (c *scheduleCache) Len() int {
 	c.mu.Lock()

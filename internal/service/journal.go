@@ -34,11 +34,19 @@ import (
 //	{"kind":"job","id":"job-000001","job":2,"res":{...}}
 //	{"kind":"done","id":"job-000001"}
 //	{"kind":"evict","id":"job-000001"}
+//	{"kind":"session","id":"<child fp>","fps":["<parent fp>"],"res":{...}}
+//
+// A session record captures compile lineage: the stored result of a
+// recompile (If-Fingerprint-Match or a defect-feed refresh) keyed by its
+// child fingerprint, with the parent fingerprint alongside. Replay seeds
+// the schedule cache with these results, so a restarted daemon keeps
+// serving warm starts against the same parents its previous life built.
 const (
-	recSubmit = "submit"
-	recJob    = "job"
-	recDone   = "done"
-	recEvict  = "evict"
+	recSubmit  = "submit"
+	recJob     = "job"
+	recDone    = "done"
+	recEvict   = "evict"
+	recSession = "session"
 )
 
 // journalFile is the single segment file inside the journal directory.
@@ -103,24 +111,26 @@ type replayBatch struct {
 // openJournal replays, prunes and compacts the journal under dir, then
 // opens it for appending. It returns the retained batches in submission
 // order (finished batches beyond maxStored are dropped, mirroring the
-// job store's eviction policy) and the highest batch sequence number
-// ever used, so new ids never collide with replayed ones.
-func openJournal(dir string, maxStored int, m *obs.Registry) (*journal, []*replayBatch, int, error) {
+// job store's eviction policy), the retained session records (bounded by
+// the same maxStored, newest kept), and the highest batch sequence
+// number ever used, so new ids never collide with replayed ones.
+func openJournal(dir string, maxStored int, m *obs.Registry) (*journal, []*replayBatch, []*journalRecord, int, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, nil, 0, fmt.Errorf("journal: %w", err)
+		return nil, nil, nil, 0, fmt.Errorf("journal: %w", err)
 	}
 	path := filepath.Join(dir, journalFile)
-	batches, maxSeq, err := readJournal(path, m)
+	batches, sessions, maxSeq, err := readJournal(path, m)
 	if err != nil {
-		return nil, nil, 0, err
+		return nil, nil, nil, 0, err
 	}
 	batches = pruneReplay(batches, maxStored, m)
-	if err := compactJournal(path, batches); err != nil {
-		return nil, nil, 0, err
+	sessions = pruneSessions(sessions, maxStored, m)
+	if err := compactJournal(path, batches, sessions); err != nil {
+		return nil, nil, nil, 0, err
 	}
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND|os.O_CREATE, 0o644)
 	if err != nil {
-		return nil, nil, 0, fmt.Errorf("journal: %w", err)
+		return nil, nil, nil, 0, fmt.Errorf("journal: %w", err)
 	}
 	j := &journal{
 		path:      path,
@@ -134,7 +144,7 @@ func openJournal(dir string, maxStored int, m *obs.Registry) (*journal, []*repla
 	}
 	j.wg.Add(1)
 	go j.syncer()
-	return j, batches, maxSeq, nil
+	return j, batches, sessions, maxSeq, nil
 }
 
 // append enqueues rec. With wait set it blocks until the group commit
@@ -325,6 +335,14 @@ func (j *journal) appendEvict(id string) error {
 	return j.append(&journalRecord{Kind: recEvict, ID: id}, false)
 }
 
+// appendSession journals a session recompile's lineage and stored result,
+// waiting for the fsync: once it returns nil the child schedule — and
+// with it the warm-start parent chain — survives any crash, so an acked
+// session request is never lost.
+func (j *journal) appendSession(child, parent string, res json.RawMessage) error {
+	return j.append(&journalRecord{Kind: recSession, ID: child, Fps: []string{parent}, Res: res}, true)
+}
+
 // parseBatchSeq extracts the numeric sequence from a "job-%06d" id.
 func parseBatchSeq(id string) (int, bool) {
 	var seq int
@@ -342,23 +360,25 @@ func parseBatchSeq(id string) (int, bool) {
 // keep the first record and are counted: a correct journal never
 // contains one, so the counter doubles as the chaos harness's
 // no-duplicates probe.
-func readJournal(path string, m *obs.Registry) ([]*replayBatch, int, error) {
+func readJournal(path string, m *obs.Registry) ([]*replayBatch, []*journalRecord, int, error) {
 	f, err := os.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
-		return nil, 0, nil
+		return nil, nil, 0, nil
 	}
 	if err != nil {
-		return nil, 0, fmt.Errorf("journal: %w", err)
+		return nil, nil, 0, fmt.Errorf("journal: %w", err)
 	}
 	defer f.Close()
 
 	torn := m.Counter("journal/torn-records")
 	dups := m.Counter("journal/duplicate-completions")
 	var (
-		batches []*replayBatch
-		byID    = map[string]*replayBatch{}
-		evicted = map[string]bool{}
-		maxSeq  int
+		batches  []*replayBatch
+		sessions []*journalRecord
+		sessIdx  = map[string]int{}
+		byID     = map[string]*replayBatch{}
+		evicted  = map[string]bool{}
+		maxSeq   int
 	)
 	r := bufio.NewReaderSize(f, 1<<16)
 	for {
@@ -370,7 +390,7 @@ func readJournal(path string, m *obs.Registry) ([]*replayBatch, int, error) {
 			break
 		}
 		if err != nil {
-			return nil, 0, fmt.Errorf("journal: read: %w", err)
+			return nil, nil, 0, fmt.Errorf("journal: read: %w", err)
 		}
 		var rec journalRecord
 		if json.Unmarshal(line, &rec) != nil {
@@ -428,9 +448,36 @@ func readJournal(path string, m *obs.Registry) ([]*replayBatch, int, error) {
 				}
 			}
 			evicted[rec.ID] = true
+		case recSession:
+			if len(rec.Res) == 0 {
+				torn.Inc()
+				continue
+			}
+			r := rec
+			if i, ok := sessIdx[rec.ID]; ok {
+				// The same child fingerprint recompiled again (e.g. against a
+				// different parent after a defect feed): the newest lineage
+				// wins, matching the cache's view of the fingerprint.
+				sessions[i] = &r
+				continue
+			}
+			sessIdx[rec.ID] = len(sessions)
+			sessions = append(sessions, &r)
 		}
 	}
-	return batches, maxSeq, nil
+	return batches, sessions, maxSeq, nil
+}
+
+// pruneSessions bounds retained session records: the newest maxStored
+// survive, older lineage is compacted away (losing it only costs a cold
+// recompile after the next restart, never correctness).
+func pruneSessions(sessions []*journalRecord, maxStored int, m *obs.Registry) []*journalRecord {
+	drop := len(sessions) - maxStored
+	if drop <= 0 {
+		return sessions
+	}
+	m.Counter("journal/compacted-away").Add(int64(drop))
+	return sessions[drop:]
 }
 
 // pruneReplay applies the job store's retention policy to the replayed
@@ -463,7 +510,7 @@ func pruneReplay(batches []*replayBatch, maxStored int, m *obs.Registry) []*repl
 // compactJournal rewrites the journal to exactly the retained batches:
 // tmp file, fsync, atomic rename, directory fsync. A crash at any point
 // leaves either the old or the new journal intact.
-func compactJournal(path string, batches []*replayBatch) error {
+func compactJournal(path string, batches []*replayBatch, sessions []*journalRecord) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
@@ -495,6 +542,12 @@ func compactJournal(path string, batches []*replayBatch) error {
 				f.Close()
 				return fmt.Errorf("journal: compact: %w", err)
 			}
+		}
+	}
+	for _, rec := range sessions {
+		if err := enc.Encode(rec); err != nil {
+			f.Close()
+			return fmt.Errorf("journal: compact: %w", err)
 		}
 	}
 	if err := w.Flush(); err != nil {

@@ -206,9 +206,16 @@ type compileResponse struct {
 	PathLen        int             `json:"path_len"`
 	ResUtil        float64         `json:"resutil"`
 	RuntimeNS      int64           `json:"runtime_ns"`
-	Trace          []stageTrace    `json:"trace,omitempty"`
-	Schedule       json.RawMessage `json:"schedule,omitempty"`
-	ScheduleBin    []byte          `json:"schedule_bin,omitempty"`
+	// WarmCycles, Parent and Delta are set on session recompiles
+	// (If-Fingerprint-Match): how many parent layers were replayed
+	// verbatim, the parent fingerprint, and the sched.Compare diff
+	// against the parent schedule.
+	WarmCycles  int             `json:"warm_cycles,omitempty"`
+	Parent      string          `json:"parent,omitempty"`
+	Delta       json.RawMessage `json:"delta,omitempty"`
+	Trace       []stageTrace    `json:"trace,omitempty"`
+	Schedule    json.RawMessage `json:"schedule,omitempty"`
+	ScheduleBin []byte          `json:"schedule_bin,omitempty"`
 }
 
 // storedResult is the canonical stored form of a successful compile: the
@@ -228,8 +235,19 @@ type storedResult struct {
 	PathLen        int          `json:"path_len"`
 	ResUtil        float64      `json:"resutil"`
 	RuntimeNS      int64        `json:"runtime_ns"`
+	WarmCycles     int          `json:"warm_cycles,omitempty"`
+	Parent         string       `json:"parent,omitempty"`
+	Delta          json.RawMessage `json:"delta,omitempty"`
 	Trace          []stageTrace `json:"trace,omitempty"`
 	ScheduleBin    []byte       `json:"schedule_bin"`
+	// ReqJSON is the canonical compile request that produced this
+	// result. It makes the entry a viable session parent — building the
+	// request is deterministic, so If-Fingerprint-Match reconstructs the
+	// parent's input circuit from it — and lets the live defect feed
+	// re-issue the request under a rewritten defect map. The input
+	// circuit is deliberately not stored separately: it would double the
+	// metadata footprint every entry pays toward the cache byte cap.
+	ReqJSON json.RawMessage `json:"req,omitempty"`
 }
 
 // newStoredResult converts a compile result to its stored form, encoding
@@ -248,7 +266,12 @@ func newStoredResult(fingerprint string, res *hilight.Result) (*storedResult, er
 		PathLen:        res.PathLen,
 		ResUtil:        res.ResUtil,
 		RuntimeNS:      res.Runtime.Nanoseconds(),
+		WarmCycles:     res.WarmCycles,
 		ScheduleBin:    bin,
+	}
+	if res.Delta != nil {
+		// The field types cannot fail to marshal.
+		sr.Delta, _ = json.Marshal(res.Delta)
 	}
 	for _, st := range res.Trace {
 		tr := stageTrace{Stage: st.Stage, DurationNS: st.Duration.Nanoseconds()}
@@ -277,6 +300,9 @@ func (sr *storedResult) meta() *compileResponse {
 		PathLen:        sr.PathLen,
 		ResUtil:        sr.ResUtil,
 		RuntimeNS:      sr.RuntimeNS,
+		WarmCycles:     sr.WarmCycles,
+		Parent:         sr.Parent,
+		Delta:          sr.Delta,
 		Trace:          sr.Trace,
 	}
 }

@@ -139,6 +139,15 @@ type Server struct {
 	// compileSeconds observes only real (uncached, admitted) sync
 	// compiles; the Retry-After derivation reads its running average.
 	compileSeconds *obs.Histogram
+	// Session engine meters: If-Fingerprint-Match recompiles, the subset
+	// that fell back to a cold compile (no replayable prefix), parent
+	// misses answered 412, and the defect feed's sweep outcomes.
+	sessions         *obs.Counter
+	sessionCold      *obs.Counter
+	sessionMisses    *obs.Counter
+	defectFeeds      *obs.Counter
+	defectEvicted    *obs.Counter
+	defectRecompiled *obs.Counter
 }
 
 // New returns a configured Server. With Config.JournalDir set it also
@@ -161,12 +170,18 @@ func New(cfg Config) (*Server, error) {
 		panics:    m.Counter("service/panics"),
 		seconds:   m.Histogram("service/request-seconds", obs.DurationBuckets),
 		compileSeconds: m.Histogram("service/compile-seconds", obs.DurationBuckets),
+		sessions:         m.Counter("service/sessions"),
+		sessionCold:      m.Counter("service/session-cold-fallbacks"),
+		sessionMisses:    m.Counter("service/session-parent-misses"),
+		defectFeeds:      m.Counter("service/defect-feeds"),
+		defectEvicted:    m.Counter("service/defect-evictions"),
+		defectRecompiled: m.Counter("service/defect-recompiles"),
 	}
 	s.jobs.events = cfg.Events
 	s.jobs.watchdog = s.watchdog
 	s.jobs.cache = s.cache
 	if cfg.JournalDir != "" {
-		jr, batches, maxSeq, err := openJournal(cfg.JournalDir, cfg.MaxStoredJobs, m)
+		jr, batches, sessions, maxSeq, err := openJournal(cfg.JournalDir, cfg.MaxStoredJobs, m)
 		if err != nil {
 			return nil, err
 		}
@@ -177,9 +192,11 @@ func New(cfg Config) (*Server, error) {
 			s.jobs.seq = maxSeq
 		}
 		s.warmCache(batches)
+		s.seedSessions(sessions)
 		s.jobs.restore(batches, cfg.Workers, cfg.RouteWorkers, cfg.DefaultTimeout, cfg.MaxTimeout)
 	}
 	s.mux.HandleFunc("POST /v1/compile", s.handleCompile)
+	s.mux.HandleFunc("POST /v1/defects", s.handleDefects)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleJobsSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobsStatus)
 	s.mux.HandleFunc("GET /v1/methods", s.handleMethods)
@@ -204,6 +221,21 @@ func (s *Server) warmCache(batches []*replayBatch) {
 			cp.Cached = false // stored form; Get flips the flag on hits
 			s.cache.Put(cp.Fingerprint, &cp)
 		}
+	}
+}
+
+// seedSessions reinstalls journaled session results into the schedule
+// cache: a restarted daemon then resolves If-Fingerprint-Match parents —
+// and serves repeat fingerprints — exactly as its previous life did,
+// resurrecting warm-start lineage across crashes.
+func (s *Server) seedSessions(sessions []*journalRecord) {
+	for _, rec := range sessions {
+		var sr storedResult
+		if json.Unmarshal(rec.Res, &sr) != nil || sr.Fingerprint == "" || len(sr.ScheduleBin) == 0 {
+			continue
+		}
+		sr.Cached = false // stored form; Get flips the flag on hits
+		s.cache.Put(sr.Fingerprint, &sr)
 	}
 }
 
@@ -356,6 +388,13 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	parentFP := r.Header.Get("If-Fingerprint-Match")
+	if parentFP != "" && streaming {
+		// A replayed prefix streams instantly while the suffix routes live;
+		// mixing the two framing regimes isn't supported.
+		s.fail(w, badRequest("stream=1 cannot be combined with If-Fingerprint-Match"))
+		return
+	}
 	c, g, opts, err := req.build()
 	if err != nil {
 		s.fail(w, err)
@@ -376,6 +415,38 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			s.respond(w, mode, &hit)
+			return
+		}
+	}
+
+	// A session recompile resolves its parent before admission: a 412 is
+	// cheap and the client should learn about a lost parent immediately,
+	// not after queueing. The parent comes from the schedule cache, which
+	// the journal replay re-seeds on boot — so lineage survives restarts.
+	var parentC *hilight.Circuit
+	var parentSched *hilight.Schedule
+	if parentFP != "" {
+		parent, ok := s.cache.Get(parentFP)
+		if !ok || len(parent.ReqJSON) == 0 {
+			s.sessionMisses.Inc()
+			s.fail(w, &apiError{Status: http.StatusPreconditionFailed,
+				Message: fmt.Sprintf("parent fingerprint %q not cached; recompile cold", parentFP)})
+			return
+		}
+		// Request building is deterministic, so the recorded request
+		// reproduces the parent's input circuit exactly — no need to
+		// store the circuit a second time in the cache entry.
+		var preq compileRequest
+		err = json.Unmarshal(parent.ReqJSON, &preq)
+		if err == nil {
+			parentC, _, _, err = preq.build()
+		}
+		if err == nil {
+			parentSched, err = hilight.DecodeScheduleBinary(parent.ScheduleBin)
+		}
+		if err != nil {
+			s.fail(w, &apiError{Status: http.StatusInternalServerError,
+				Message: fmt.Sprintf("cached parent %q corrupt: %v", parentFP, err)})
 			return
 		}
 	}
@@ -423,7 +494,16 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		opts = append(opts, hilight.WithScheduleSink(enc))
 	}
 	t1 := time.Now()
-	res, err := hilight.Compile(c, g, opts...)
+	var res *hilight.Result
+	if parentSched != nil {
+		s.sessions.Inc()
+		res, err = hilight.RecompileFrom(parentC, parentSched, c, g, opts...)
+		if err == nil && res.WarmCycles == 0 {
+			s.sessionCold.Inc()
+		}
+	} else {
+		res, err = hilight.Compile(c, g, opts...)
+	}
 	stopWd()
 	s.compileSeconds.ObserveDuration(time.Since(t1))
 	if err != nil {
@@ -459,8 +539,23 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, &apiError{Status: 500, Message: err.Error()})
 		return
 	}
+	sr.Parent = parentFP
+	// Record the canonical request so this entry can later be a session
+	// parent and a defect-feed recompile target. Marshaling the already-
+	// decoded struct cannot fail.
+	sr.ReqJSON, _ = json.Marshal(&req)
 	if !req.NoCache {
 		s.cache.Put(fp, sr)
+	}
+	if parentFP != "" && s.jobs.journal != nil {
+		// The ack below promises the session result exists; the waited
+		// fsync makes that promise crash-proof, mirroring the jobs ack.
+		srJSON, _ := json.Marshal(sr)
+		if err := s.jobs.journal.appendSession(fp, parentFP, srJSON); err != nil {
+			s.fail(w, &apiError{Status: http.StatusInternalServerError,
+				Message: fmt.Sprintf("journal session: %v", err)})
+			return
+		}
 	}
 	if enc != nil {
 		// The layers already went out frame by frame; seal the stream with

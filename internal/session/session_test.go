@@ -1,0 +1,245 @@
+package session
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"hilight/internal/circuit"
+	"hilight/internal/core"
+	"hilight/internal/grid"
+)
+
+func qft(n int) *circuit.Circuit {
+	c := circuit.New("qft", n)
+	for i := 0; i < n; i++ {
+		c.Add1(circuit.H, i)
+		for j := i + 1; j < n; j++ {
+			c.Add2(circuit.CX, j, i)
+		}
+	}
+	return c
+}
+
+func TestApplyEdits(t *testing.T) {
+	base := circuit.New("base", 3)
+	base.Add2(circuit.CX, 0, 1)
+	base.Add2(circuit.CX, 1, 2)
+
+	t.Run("append", func(t *testing.T) {
+		out, err := ApplyEdits(base, []Edit{{Op: OpAppend, Gate: circuit.NewGate2(circuit.CX, 0, 2)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out.Gates) != 3 || out.Gates[2] != circuit.NewGate2(circuit.CX, 0, 2) {
+			t.Fatalf("append produced %v", out.Gates)
+		}
+		if len(base.Gates) != 2 {
+			t.Fatal("input circuit mutated")
+		}
+	})
+	t.Run("insert", func(t *testing.T) {
+		out, err := ApplyEdits(base, []Edit{{Op: OpInsert, Index: 1, Gate: circuit.NewGate1(circuit.H, 0)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []circuit.Gate{base.Gates[0], circuit.NewGate1(circuit.H, 0), base.Gates[1]}
+		for i, g := range want {
+			if out.Gates[i] != g {
+				t.Fatalf("gate %d = %v, want %v", i, out.Gates[i], g)
+			}
+		}
+	})
+	t.Run("remove", func(t *testing.T) {
+		out, err := ApplyEdits(base, []Edit{{Op: OpRemove, Index: 0}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out.Gates) != 1 || out.Gates[0] != base.Gates[1] {
+			t.Fatalf("remove produced %v", out.Gates)
+		}
+	})
+	t.Run("replace", func(t *testing.T) {
+		out, err := ApplyEdits(base, []Edit{{Op: OpReplace, Index: 1, Gate: circuit.NewGate2(circuit.CZ, 0, 2)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Gates[1] != circuit.NewGate2(circuit.CZ, 0, 2) {
+			t.Fatalf("replace produced %v", out.Gates)
+		}
+	})
+	t.Run("errors", func(t *testing.T) {
+		cases := [][]Edit{
+			{{Op: OpInsert, Index: 5, Gate: circuit.NewGate1(circuit.H, 0)}},
+			{{Op: OpRemove, Index: -1}},
+			{{Op: OpReplace, Index: 2, Gate: circuit.NewGate1(circuit.H, 0)}},
+			{{Op: Op("mangle")}},
+			{{Op: OpAppend, Gate: circuit.NewGate2(circuit.CX, 0, 9)}}, // out-of-range qubit
+		}
+		for i, edits := range cases {
+			if _, err := ApplyEdits(base, edits); err == nil {
+				t.Errorf("case %d: edits %v accepted, want error", i, edits)
+			}
+		}
+	})
+}
+
+func TestCommonPrefixGates(t *testing.T) {
+	a := qft(5)
+	b := a.Clone()
+	if got := CommonPrefixGates(a, b); got != len(a.Gates) {
+		t.Fatalf("identical circuits: prefix %d, want %d", got, len(a.Gates))
+	}
+	b.Gates[7] = circuit.NewGate2(circuit.CZ, 0, 4)
+	if got := CommonPrefixGates(a, b); got != 7 {
+		t.Fatalf("divergence at 7: prefix %d", got)
+	}
+	w := circuit.New("wide", a.NumQubits+1)
+	if got := CommonPrefixGates(a, w); got != 0 {
+		t.Fatalf("width change: prefix %d, want 0", got)
+	}
+}
+
+// compile is a minimal cold compile through the core pipeline for plan
+// tests (the public package depends on this one, so tests drive core
+// directly).
+func compile(t *testing.T, c *circuit.Circuit, g *grid.Grid) *core.Result {
+	t.Helper()
+	res, err := core.Run(c, g, core.MustMethod("hilight"), core.RunOptions{
+		Rng: rand.New(rand.NewSource(1)),
+	})
+	if err != nil {
+		t.Fatalf("cold compile: %v", err)
+	}
+	return res
+}
+
+func TestPlanPrefixAppendReplaysEverything(t *testing.T) {
+	c := qft(8)
+	g := grid.Rect(c.NumQubits)
+	parent := compile(t, c, g)
+
+	// An append touches nothing before the end: the whole parent
+	// schedule must be replayable.
+	edited, err := ApplyEdits(c, []Edit{{Op: OpAppend, Gate: circuit.NewGate2(circuit.CX, 0, 7)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := CommonPrefixGates(WorkingCircuit(c, true), WorkingCircuit(edited, true))
+	plan := PlanPrefix(parent.Schedule, p, g)
+	if plan.PrefixLen != len(parent.Schedule.Layers) {
+		t.Fatalf("append: prefix %d layers, want all %d", plan.PrefixLen, len(parent.Schedule.Layers))
+	}
+
+	// Warm-run the edited circuit and check the replay really is
+	// byte-identical layer by layer.
+	res, err := core.Run(edited, g, core.MustMethod("hilight"), core.RunOptions{
+		Rng:  rand.New(rand.NewSource(1)),
+		Warm: &core.WarmStart{Initial: plan.Initial, Prefix: plan.Prefix},
+	})
+	if err != nil {
+		t.Fatalf("warm compile: %v", err)
+	}
+	if res.WarmCycles != plan.PrefixLen {
+		t.Fatalf("WarmCycles = %d, want %d", res.WarmCycles, plan.PrefixLen)
+	}
+	if err := res.Schedule.Validate(res.Circuit); err != nil {
+		t.Fatalf("warm schedule invalid: %v", err)
+	}
+	for li := 0; li < plan.PrefixLen; li++ {
+		a, b := parent.Schedule.Layers[li], res.Schedule.Layers[li]
+		if len(a) != len(b) {
+			t.Fatalf("layer %d: %d braids vs %d", li, len(a), len(b))
+		}
+		for bi := range a {
+			if a[bi].Gate != b[bi].Gate || a[bi].CtlTile != b[bi].CtlTile || a[bi].TgtTile != b[bi].TgtTile {
+				t.Fatalf("layer %d braid %d diverged: %+v vs %+v", li, bi, a[bi], b[bi])
+			}
+			if len(a[bi].Path) != len(b[bi].Path) {
+				t.Fatalf("layer %d braid %d path length diverged", li, bi)
+			}
+			for pi := range a[bi].Path {
+				if a[bi].Path[pi] != b[bi].Path[pi] {
+					t.Fatalf("layer %d braid %d path diverged at %d", li, bi, pi)
+				}
+			}
+		}
+	}
+}
+
+func TestPlanPrefixDefectDeltaStopsAtConflict(t *testing.T) {
+	c := qft(8)
+	g := grid.Rect(c.NumQubits)
+	parent := compile(t, c, g)
+
+	// Kill the vertex the very first braid routes through: no layer
+	// containing that path may replay.
+	firstPath := parent.Schedule.Layers[0][0].Path
+	dm := &grid.DefectMap{Vertices: []int{firstPath[len(firstPath)/2]}}
+	dg := g.Clone()
+	if err := dg.ApplyDefects(dm); err != nil {
+		t.Fatal(err)
+	}
+	p := len(WorkingCircuit(c, true).Gates)
+	plan := PlanPrefix(parent.Schedule, p, dg)
+	if plan.PrefixLen != 0 {
+		t.Fatalf("defect on layer 0 path: prefix %d, want 0", plan.PrefixLen)
+	}
+
+	// A defect nothing routes through leaves the full schedule
+	// replayable (pick a tile no braid touches, if one exists).
+	used := map[int]bool{}
+	for _, l := range parent.Schedule.Layers {
+		for _, b := range l {
+			used[b.CtlTile] = true
+			used[b.TgtTile] = true
+		}
+	}
+	free := -1
+	for ti := 0; ti < g.Tiles(); ti++ {
+		if !used[ti] && g.Usable(ti) {
+			free = ti
+			break
+		}
+	}
+	if free >= 0 {
+		dg2 := g.Clone()
+		if err := dg2.ApplyDefects(&grid.DefectMap{Tiles: []int{free}}); err != nil {
+			t.Fatal(err)
+		}
+		plan2 := PlanPrefix(parent.Schedule, p, dg2)
+		// Paths may still cross the free tile's corners; the plan just
+		// must not be trivially empty because of an unrelated defect.
+		if plan2.PrefixLen == 0 && parent.Schedule.Initial.Validate(dg2) == nil {
+			ok := false
+			for _, b := range parent.Schedule.Layers[0] {
+				if b.Path.Validate(dg2) != nil {
+					ok = true
+				}
+			}
+			if !ok {
+				t.Fatal("unrelated defect emptied the plan")
+			}
+		}
+	}
+}
+
+func TestWarmStartMismatchFallsOut(t *testing.T) {
+	c := qft(6)
+	g := grid.Rect(c.NumQubits)
+	parent := compile(t, c, g)
+
+	// Hand the router a prefix that references gates beyond the edited
+	// circuit's end: it must fail with ErrWarmStart, not emit a broken
+	// schedule.
+	edited := c.Clone()
+	edited.Gates = edited.Gates[:1]
+	bad := &core.WarmStart{Initial: parent.Schedule.Initial, Prefix: parent.Schedule.Layers}
+	_, err := core.Run(edited, g, core.MustMethod("hilight"), core.RunOptions{
+		Rng:  rand.New(rand.NewSource(1)),
+		Warm: bad,
+	})
+	if !errors.Is(err, core.ErrWarmStart) {
+		t.Fatalf("divergent prefix: err = %v, want ErrWarmStart", err)
+	}
+}
